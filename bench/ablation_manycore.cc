@@ -1,0 +1,105 @@
+/**
+ * @file
+ * §7 future-work extension: many-core servers. "Most tasks in servers
+ * are executed on only a few cores but tend to migrate frequently
+ * across cores", so per-core tracers must provision every core's
+ * buffer while only a handful produce at any moment. This ablation
+ * runs a migrating-task workload over 32..256 cores with a fixed
+ * total buffer and compares the retained volume of BTrace against the
+ * per-core baseline.
+ */
+
+#include <cstdio>
+
+#include "analysis/continuity.h"
+#include "baselines/ftrace_like.h"
+#include "bench_util.h"
+#include "common/format.h"
+#include "common/prng.h"
+#include "core/btrace.h"
+#include "sim/replay.h"
+
+using namespace btrace;
+
+namespace {
+
+/**
+ * A few hot tasks migrate across @p cores cores: each task runs on a
+ * core for a short burst, then moves. Returns the produced log.
+ */
+std::vector<ProducedEvent>
+runMigratingTasks(Tracer &tracer, unsigned cores, uint64_t events,
+                  uint64_t seed)
+{
+    Prng rng(seed);
+    constexpr unsigned kTasks = 4;
+    std::array<uint16_t, kTasks> task_core{};
+    for (unsigned t = 0; t < kTasks; ++t)
+        task_core[t] = uint16_t(rng.nextBounded(cores));
+
+    std::vector<ProducedEvent> produced;
+    produced.reserve(events);
+    for (uint64_t s = 1; s <= events; ++s) {
+        const auto task = unsigned(rng.nextBounded(kTasks));
+        if (rng.chance(0.002))  // frequent migration
+            task_core[task] = uint16_t(rng.nextBounded(cores));
+        const uint16_t core = task_core[task];
+        tracer.record(core, task, s, 48);
+        produced.push_back(ProducedEvent{
+            s, uint32_t(EntryLayout::normalSize(48)), float(s), core,
+            task, false});
+    }
+    return produced;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    banner("Ablation", "many-core servers with migrating tasks (§7)",
+           args);
+
+    const std::size_t capacity = 8u << 20;
+    const auto events = uint64_t(600000 * args.scale);
+
+    TextTable table;
+    table.header({"cores", "tracer", "retained", "latest fragment",
+                  "loss rate"});
+    for (const unsigned cores : {32u, 64u, 128u, 256u}) {
+        for (int which = 0; which < 2; ++which) {
+            std::unique_ptr<Tracer> tracer;
+            if (which == 0) {
+                BTraceConfig cfg;
+                cfg.blockSize = 4096;
+                cfg.activeBlocks = 2 * cores;
+                const std::size_t raw = capacity / cfg.blockSize;
+                cfg.numBlocks = raw - raw % cfg.activeBlocks;
+                cfg.cores = cores;
+                tracer = std::make_unique<BTrace>(cfg);
+            } else {
+                FtraceConfig cfg;
+                cfg.capacityBytes = capacity;
+                cfg.cores = cores;
+                tracer = std::make_unique<FtraceLike>(cfg);
+            }
+            const auto produced = runMigratingTasks(
+                *tracer, cores, events, args.seed);
+            const ContinuityReport rep = analyzeContinuity(
+                produced, tracer->dump(), tracer->capacityBytes());
+            table.row({std::to_string(cores), tracer->name(),
+                       humanBytes(rep.retainedBytes),
+                       humanBytes(rep.latestFragmentBytes),
+                       fmtDouble(rep.lossRate, 2)});
+        }
+        std::fflush(stdout);
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nExpected shape: the per-core tracer's useful "
+                "retention shrinks ~1/cores\n(only the few cores the "
+                "tasks currently occupy hold fresh data), while\n"
+                "BTrace keeps the whole buffer productive regardless "
+                "of core count.\n");
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Resize ablation (§4.4): wall-clock cost of grow/shrink under live
+ * producer load, resident-memory footprint across a resize cycle, and
+ * the impact on producer throughput — the capability no baseline
+ * supports without disabling preemption (Table 1, "Resizing").
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/format.h"
+#include "core/btrace.h"
+
+using namespace btrace;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    banner("Ablation", "runtime buffer resizing under load", args);
+
+    BTraceConfig cfg;
+    cfg.blockSize = 4096;
+    cfg.numBlocks = 768;       // 3 MB initial
+    cfg.activeBlocks = 64;
+    cfg.maxBlocks = 122880;    // 480 MB ceiling
+    cfg.cores = 4;
+    BTrace bt(cfg);
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> stamp{0};
+    std::atomic<uint64_t> written{0};
+    std::vector<std::thread> producers;
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        producers.emplace_back([&, c]() {
+            while (!stop.load(std::memory_order_relaxed)) {
+                const uint64_t s =
+                    stamp.fetch_add(1, std::memory_order_relaxed) + 1;
+                if (bt.record(uint16_t(c), c, s, 64))
+                    written.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+
+    auto throughput = [&](double window_ms) {
+        const uint64_t w0 = written.load();
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(int(window_ms)));
+        return double(written.load() - w0) / (window_ms / 1000.0);
+    };
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    const double base_tp = throughput(200);
+    std::printf("baseline: N=%zu (%s), producer throughput %.2f M "
+                "entries/s, resident %s\n",
+                bt.numBlocks(),
+                humanBytes(double(bt.capacityBytes())).c_str(),
+                base_tp / 1e6,
+                humanBytes(double(bt.residentBytes())).c_str());
+
+    struct Step { const char *what; std::size_t blocks; };
+    const Step steps[] = {
+        {"grow  3 MB -> 48 MB", 12288},
+        {"grow 48 MB -> 192 MB", 49152},
+        {"shrink 192 MB -> 12 MB", 3072},
+        {"shrink 12 MB -> 256 KB", 64},
+        {"grow 256 KB -> 3 MB", 768},
+    };
+    std::printf("\n%-26s %10s %14s %16s\n", "step", "resize ms",
+                "resident after", "throughput after");
+    for (const Step &s : steps) {
+        // Let the producers touch the current buffer first.
+        std::this_thread::sleep_for(std::chrono::milliseconds(120));
+        const auto t0 = Clock::now();
+        bt.resize(s.blocks);
+        const double ms = msSince(t0);
+        const double tp = throughput(200);
+        std::printf("%-26s %9.2f  %14s %13.2f M/s\n", s.what, ms,
+                    humanBytes(double(bt.residentBytes())).c_str(),
+                    tp / 1e6);
+        std::fflush(stdout);
+    }
+
+    stop.store(true);
+    for (auto &p : producers)
+        p.join();
+
+    const Dump d = bt.dump();
+    uint64_t corrupt = 0;
+    for (const DumpEntry &e : d.entries)
+        corrupt += !e.payloadOk;
+    std::printf("\nfinal dump after %llu resizes: %zu entries retained, "
+                "%llu corrupt (must be 0)\n",
+                static_cast<unsigned long long>(
+                    bt.counters().resizes.load()),
+                d.entries.size(),
+                static_cast<unsigned long long>(corrupt));
+    std::printf("\nExpected shape: resize cost stays in the millisecond "
+                "range and scales\nwith the quiesce, not with buffer "
+                "size; producers keep recording through\nevery step "
+                "(only advancement briefly backs off); shrink returns "
+                "physical\nmemory to the OS (§4.4).\n");
+    return corrupt == 0 ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fig 3 reproduction: cumulative trace volume by level over a 30 s
+ * recording vs. the latest continuous fragment each tracer retains
+ * with a fixed 450 MB buffer (the horizontal lines of the figure).
+ * BTrace should hold all level-3 traces of the window; ftrace only
+ * ~level-2 volume.
+ */
+
+#include <cstdio>
+
+#include "analysis/continuity.h"
+#include "bench_util.h"
+#include "sim/replay.h"
+#include "workloads/categories.h"
+
+using namespace btrace;
+
+int
+main(int argc, char **argv)
+{
+    // Full scale is a 450 MB buffer and ~5.6M events per tracer; the
+    // default runs at 0.5 scale (225 MB, same shape). Use --scale=1
+    // for the paper-exact volume.
+    const BenchArgs args = BenchArgs::parse(argc, argv, 0.5);
+    banner("Fig 3", "recordable trace levels with a 450 MB buffer",
+           args);
+
+    const double buffer_mb = 450.0 * args.scale;
+    const double duration = args.duration > 0 ? args.duration : 30.0;
+
+    std::printf("cumulative produced volume (MB, all 12 cores):\n");
+    std::printf("%8s", "t(s)");
+    for (int level = 1; level <= 3; ++level)
+        std::printf("  level-%d", level);
+    std::printf("\n");
+    for (double t = 5.0; t <= duration + 1e-9; t += 5.0) {
+        std::printf("%8.0f", t);
+        for (int level = 1; level <= 3; ++level) {
+            const double mb =
+                levelRateMbPerCoreMin(level) * 12.0 * (t / 60.0) *
+                args.scale;
+            std::printf("  %7.1f", mb);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nlatest continuous fragment with a %.0f MB buffer "
+                "(the horizontal lines):\n", buffer_mb);
+    const Workload wl = levelWorkload(3).scaled(args.scale);
+    for (const TracerKind kind : allTracerKinds()) {
+        TracerFactoryOptions fo;
+        fo.capacityBytes = std::size_t(buffer_mb * 1024 * 1024);
+        auto tracer = makeTracer(kind, fo);
+        ReplayOptions opt;
+        opt.mode = ReplayMode::ThreadLevel;
+        opt.durationSec = duration;
+        opt.seed = args.seed;
+        const ReplayResult res = replay(*tracer, wl, opt);
+        const ContinuityReport rep = analyzeContinuity(res);
+        const double frag_mb = rep.latestFragmentBytes / (1024.0 * 1024.0);
+        // Which level's full window would this fragment hold? (The
+        // buffer equals the level-3 volume exactly, so BTrace's ~97 %
+        // effectivity gets a small tolerance — the paper's Fig 3 line
+        // sits marginally above its level-3 curve the same way.)
+        int holds = 0;
+        for (int level = 3; level >= 1; --level) {
+            const double need = levelRateMbPerCoreMin(level) * 12.0 *
+                                (duration / 60.0) * args.scale;
+            if (frag_mb >= 0.95 * need) {
+                holds = level;
+                break;
+            }
+        }
+        std::printf("  %-7s %7.1f MB  -> holds the full %.0f s window "
+                    "up to level-%d\n",
+                    res.tracerName.c_str(), frag_mb, duration, holds);
+        std::fflush(stdout);
+    }
+    std::printf("\nExpected shape: BTrace (and BBQ) retain the whole "
+                "level-3 window;\nftrace/LTTng retain roughly the "
+                "level-2 volume; VTrace far less.\n");
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Fig 5 reproduction: the worked example of per-core buffer
+ * under-utilization. Four cores share timestamps 1..20 with skewed
+ * speeds; with 4-entry per-core buffers the little core overwrites
+ * ts-12/ts-14 while neighbours survive, yielding the paper's 37.5 %
+ * effectivity ratio (latest fragment 6 of 16 retained slots).
+ */
+
+#include <cstdio>
+
+#include "baselines/ftrace_like.h"
+#include "bench_util.h"
+#include "core/btrace.h"
+
+using namespace btrace;
+
+namespace {
+
+// The Fig 5 assignment: ts → producing core, chosen to reproduce the
+// figure's retention exactly: the little core (3) wraps and loses
+// ts-2..8, ts-12 and ts-14; the busier middle core (2) loses
+// ts-3..9; the slow cores keep their old entries. Per-core buffers
+// then retain {1, 10, 11, 13, 15..20} — a latest fragment of 6 of 16
+// slots, the paper's 37.5 % effectivity.
+constexpr uint16_t producerOf(uint64_t ts)
+{
+    switch (ts) {
+      case 2: case 4: case 6: case 8: case 12: case 14: case 15:
+      case 16: case 18: case 20:
+        return 3;  // little core, fastest producer
+      case 3: case 5: case 7: case 9: case 11: case 13: case 17:
+      case 19:
+        return 2;  // middle core
+      case 10:
+        return 1;  // middle core, nearly idle
+      default:
+        return 0;  // big core (ts-1)
+    }
+}
+
+template <typename Tracer>
+void
+run(const char *name, Tracer &tracer, std::size_t capacity_slots)
+{
+    for (uint64_t ts = 1; ts <= 20; ++ts)
+        tracer.record(producerOf(ts), 1, ts, 16);
+    const Dump d = tracer.dump();
+    std::vector<bool> kept(21, false);
+    for (const DumpEntry &e : d.entries)
+        if (e.stamp <= 20)
+            kept[e.stamp] = true;
+
+    std::printf("%-8s ", name);
+    for (uint64_t ts = 1; ts <= 20; ++ts)
+        std::printf("%s", kept[ts] ? "#" : ".");
+
+    // Latest fragment = contiguous kept suffix.
+    uint64_t frag = 0;
+    for (uint64_t ts = 20; ts >= 1 && kept[ts]; --ts)
+        ++frag;
+    std::printf("   latest fragment %llu of %zu slots -> effectivity "
+                "%.1f%%\n", static_cast<unsigned long long>(frag),
+                capacity_slots,
+                100.0 * double(frag) / double(capacity_slots));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    banner("Fig 5", "skewed per-core buffers vs a partitioned global "
+           "buffer", args);
+
+    std::printf("timestamp ->   1...5....0....5...20   ('#' retained, "
+                "'.' overwritten)\n\n");
+
+    // Per-core buffers: 4 cores x one 4 KB ring; 1024-byte entries
+    // give exactly 4 slots per core (16 slots total).
+    FtraceConfig tiny;
+    tiny.cores = 4;
+    tiny.capacityBytes = 4 * 4096;
+    FtraceLike percore(tiny);
+    // 4 KB ring / 1024-byte entries = 4 slots per core.
+    struct PerCoreAdapter
+    {
+        FtraceLike &f;
+        void record(uint16_t core, uint32_t thread, uint64_t ts,
+                    uint32_t) { f.record(core, thread, ts, 1000); }
+        Dump dump() { return f.dump(); }
+    } adapter{percore};
+    run("percore", adapter, 16);
+
+    // BTrace with the same 16-slot global capacity (16 blocks of one
+    // entry each... here: 16 KB total, 1 KB blocks are too small for
+    // 1000-byte payloads + headers, so use 2 KB blocks/one entry).
+    BTraceConfig bcfg;
+    bcfg.blockSize = 2048;
+    bcfg.numBlocks = 16;
+    bcfg.activeBlocks = 4;
+    bcfg.cores = 4;
+    BTrace bt(bcfg);
+    struct BtAdapter
+    {
+        BTrace &b;
+        void record(uint16_t core, uint32_t thread, uint64_t ts,
+                    uint32_t) { b.record(core, thread, ts, 1000); }
+        Dump dump() { return b.dump(); }
+    } btAdapter{bt};
+    run("BTrace", btAdapter, 16);
+
+    std::printf("\nExpected shape: the per-core row loses ts-12/ts-14 "
+                "(and the old ts-2..9\nregion) to the little core's "
+                "wrap-around — effectivity ~37.5%% as in the\npaper — "
+                "while BTrace retains a much longer suffix of the same "
+                "20 events.\n");
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fig 11 reproduction: recording-latency CDFs for the eShop-2 workload
+ * and an overall CDF pooled across representative workloads, per
+ * tracer (model nanoseconds; see DESIGN.md §2 for the cost-model
+ * substitution).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "sim/replay.h"
+#include "workloads/catalog.h"
+
+using namespace btrace;
+
+namespace {
+
+constexpr double axisMaxNs = 500.0;
+constexpr std::size_t buckets = 100;
+
+Histogram
+latencyHistogram(TracerKind kind, const std::vector<const Workload *> &ws,
+                 const BenchArgs &args)
+{
+    Histogram h(axisMaxNs, buckets);
+    for (const Workload *w : ws) {
+        TracerFactoryOptions fo;
+        auto tracer = makeTracer(kind, fo);
+        ReplayOptions opt;
+        opt.mode = ReplayMode::ThreadLevel;
+        opt.rateScale = args.scale;
+        opt.durationSec = args.duration;
+        opt.seed = args.seed;
+        opt.keepProducedLog = false;  // only latency needed
+        const ReplayResult res = replay(*tracer, *w, opt);
+        for (const double v : res.latencyNs.values())
+            h.add(v);
+    }
+    return h;
+}
+
+void
+printCdf(const char *title, const std::vector<const Workload *> &ws,
+         const BenchArgs &args)
+{
+    std::printf("\n(%s) CDF%%ile at latency (ns):\n", title);
+    std::printf("%-8s", "tracer");
+    for (double ns = 50; ns <= axisMaxNs; ns += 50)
+        std::printf(" %5.0f", ns);
+    std::printf("   p50   p99\n");
+    for (const TracerKind kind : allTracerKinds()) {
+        const Histogram h = latencyHistogram(kind, ws, args);
+        std::printf("%-8s", tracerKindName(kind).c_str());
+        for (double ns = 50; ns <= axisMaxNs; ns += 50) {
+            const auto b = std::size_t(ns / axisMaxNs * buckets) - 1;
+            std::printf(" %4.0f%%", 100.0 * h.cdfAt(b));
+        }
+        std::printf("  %4.0f  %4.0f\n", h.quantile(0.5),
+                    h.quantile(0.99));
+        std::fflush(stdout);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv, 0.5);
+    banner("Fig 11", "recording latency CDF", args);
+
+    const std::vector<const Workload *> eshop2 = {
+        &workloadByName("eShop-2")};
+    printCdf("a: eShop-2 workload", eshop2, args);
+
+    const std::vector<const Workload *> overall = {
+        &workloadByName("Desktop"), &workloadByName("LockScr"),
+        &workloadByName("IM"), &workloadByName("Video-1"),
+        &workloadByName("Game-1"), &workloadByName("eShop-2")};
+    printCdf("b: overall", overall, args);
+
+    std::printf("\nExpected shape: BTrace lowest at p50 and p99; ftrace "
+                "close behind;\nLTTng/VTrace shifted right by framework "
+                "overhead; BBQ worst, with the\neShop-2 tail stretched "
+                "by contention and blocking (§5.2, Fig 11).\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Wall-clock microbenchmarks (google-benchmark) of the five tracers'
+ * record() paths with real threads. Complements the cost-model
+ * latencies of Table 2 / Fig 11 with silicon numbers; on this
+ * container (1 CPU) absolute values are indicative, but the ordering
+ * of the cheap paths (BTrace/ftrace vs framework-heavy designs) and
+ * the contention penalty of the global buffer remain visible.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+
+#include "sim/replay.h"
+
+using namespace btrace;
+
+namespace {
+
+TracerFactoryOptions
+microFactory()
+{
+    TracerFactoryOptions fo;
+    fo.capacityBytes = 8u << 20;
+    fo.cores = 12;
+    return fo;
+}
+
+void
+benchRecord(benchmark::State &state, TracerKind kind)
+{
+    static std::unique_ptr<Tracer> tracer;
+    static std::atomic<uint64_t> stamp{0};
+    if (state.thread_index() == 0) {
+        tracer = makeTracer(kind, microFactory());
+        stamp.store(0);
+    }
+
+    const auto core = uint16_t(state.thread_index() % 12);
+    const auto thread = uint32_t(state.thread_index());
+    for (auto _ : state) {
+        const uint64_t s =
+            stamp.fetch_add(1, std::memory_order_relaxed) + 1;
+        benchmark::DoNotOptimize(tracer->record(core, thread, s, 64));
+    }
+    state.SetItemsProcessed(state.iterations());
+
+    if (state.thread_index() == 0)
+        tracer.reset();
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(benchRecord, BTrace, TracerKind::BTrace);
+BENCHMARK_CAPTURE(benchRecord, BBQ, TracerKind::Bbq);
+BENCHMARK_CAPTURE(benchRecord, ftrace, TracerKind::Ftrace);
+BENCHMARK_CAPTURE(benchRecord, LTTng, TracerKind::Lttng);
+BENCHMARK_CAPTURE(benchRecord, VTrace, TracerKind::Vtrace);
+
+BENCHMARK_CAPTURE(benchRecord, BTrace_4T, TracerKind::BTrace)
+    ->Threads(4);
+BENCHMARK_CAPTURE(benchRecord, BBQ_4T, TracerKind::Bbq)->Threads(4);
+BENCHMARK_CAPTURE(benchRecord, LTTng_4T, TracerKind::Lttng)->Threads(4);
+
+BENCHMARK_MAIN();

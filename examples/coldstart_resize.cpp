@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Cold-start tracing with dynamic resizing — the §2.2 Observation 3
+ * scenario. An anomaly detector flags slow app launches, so the
+ * recorder grows the trace buffer just before a launch, captures the
+ * detailed startup window, dumps it once the main activity settles,
+ * and shrinks back — returning the physical memory to the OS while
+ * producers keep tracing (§4.4 implicit reclamation).
+ *
+ *   $ ./coldstart_resize
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/format.h"
+#include "core/btrace.h"
+
+using namespace btrace;
+
+namespace {
+
+constexpr uint16_t kCatBackground = 1;
+constexpr uint16_t kCatStartup = 2;
+
+} // namespace
+
+int
+main()
+{
+    BTraceConfig cfg;
+    cfg.blockSize = 4096;
+    cfg.numBlocks = 512;       // 2 MB idle footprint
+    cfg.activeBlocks = 32;
+    cfg.maxBlocks = 32768;     // up to 128 MB during critical phases
+    cfg.cores = 4;
+    BTrace tracer(cfg);
+
+    std::atomic<bool> stop{false};
+    std::atomic<bool> burst{false};
+    std::atomic<uint64_t> stamp{0};
+
+    // Background producers run the whole time; during the burst they
+    // emit the detailed startup categories at a much higher rate.
+    std::vector<std::thread> producers;
+    for (unsigned core = 0; core < cfg.cores; ++core) {
+        producers.emplace_back([&, core]() {
+            while (!stop.load(std::memory_order_relaxed)) {
+                const bool hot = burst.load(std::memory_order_relaxed);
+                const uint64_t s =
+                    stamp.fetch_add(1, std::memory_order_relaxed) + 1;
+                tracer.record(uint16_t(core), core, s, hot ? 96 : 32,
+                              hot ? kCatStartup : kCatBackground);
+                if (!hot)
+                    std::this_thread::yield();
+            }
+        });
+    }
+
+    auto report = [&](const char *phase) {
+        std::printf("%-28s capacity %8s  resident %8s  events %llu\n",
+                    phase,
+                    humanBytes(double(tracer.capacityBytes())).c_str(),
+                    humanBytes(double(tracer.residentBytes())).c_str(),
+                    static_cast<unsigned long long>(stamp.load()));
+    };
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    report("idle (2 MB steady state)");
+
+    // Anomaly detector: "app launch incoming" — grow first, then let
+    // the detailed startup trace pour in.
+    tracer.resize(32768);
+    report("grown for cold start");
+    burst.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    burst.store(false);
+    report("startup window captured");
+
+    // Main activity loaded: dump the window, then shrink.
+    const Dump d = tracer.dump();
+    std::size_t startup_entries = 0;
+    for (const DumpEntry &e : d.entries)
+        startup_entries += e.category == kCatStartup;
+    std::printf("dumped %zu entries, %zu from the startup burst\n",
+                d.entries.size(), startup_entries);
+
+    tracer.resize(512);
+    report("shrunk back to idle");
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    stop.store(true);
+    for (auto &p : producers)
+        p.join();
+    report("final");
+
+    std::printf("\nThe buffer grew 64x only for the critical phase and "
+                "the shrink returned\nthe pages to the OS without "
+                "stopping a single producer (§4.4).\n");
+    return startup_entries > 0 ? 0 : 1;
+}

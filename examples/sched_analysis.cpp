@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Energy-defect analysis — the first §6 case study. Middle cores
+ * enter deep idle; user-critical render threads get scheduled onto
+ * them, time out while the core wakes, and are migrated to big cores.
+ * Each occurrence is a sparse triple (idle -> sched -> migration)
+ * spread over a long window; finding the pattern needs statistics
+ * over *continuous* traces.
+ *
+ * The example replays the scenario through BTrace and through the
+ * per-core baseline with the same buffer, then runs the statistical
+ * analysis on both dumps: the partitioned buffer retains enough of
+ * the window to expose the pattern; the per-core buffer does not.
+ *
+ *   $ ./sched_analysis
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/defects.h"
+#include "baselines/ftrace_like.h"
+#include "common/prng.h"
+#include "core/btrace.h"
+
+using namespace btrace;
+
+namespace {
+
+constexpr uint16_t kCatSched = 1;
+constexpr uint16_t kCatIdle = 2;
+constexpr uint16_t kCatFreq = 3;
+constexpr uint16_t kCatMigration = 4;  // the clue
+
+/**
+ * Generate the workload: dense sched/idle/freq noise plus periodic
+ * "deep idle -> timeout -> migration" triples on middle cores. Returns
+ * how many migration events were produced.
+ */
+uint64_t
+runScenario(Tracer &tracer, uint64_t events)
+{
+    Prng rng(42);
+    uint64_t stamp = 0;
+    uint64_t signatures = 0;
+    for (uint64_t i = 0; i < events; ++i) {
+        // Sparse defect signature on the *busiest* little core — the
+        // worst case for a per-core buffer, whose 1/C slice wraps
+        // fastest exactly where the clues are. Full idle -> sched ->
+        // migration triple, ~1 in 4000 events.
+        if (rng.chance(0.00025)) {
+            tracer.record(0, 1, ++stamp, 56, kCatIdle);
+            tracer.record(0, 1, ++stamp, 56, kCatSched);
+            tracer.record(0, 1, ++stamp, 56, kCatMigration);
+            ++signatures;
+            continue;
+        }
+        // Little cores (0-1) dominate the noise volume.
+        const uint16_t core = rng.chance(0.75)
+                                  ? uint16_t(rng.nextBounded(2))
+                                  : uint16_t(2 + rng.nextBounded(2));
+        const uint16_t cat = rng.chance(0.5)
+                                 ? kCatSched
+                                 : (rng.chance(0.5) ? kCatIdle
+                                                    : kCatFreq);
+        tracer.record(core, 1, ++stamp, 56, cat);
+    }
+    return signatures;
+}
+
+/** The analysis a developer would run: the §6 migration-storm
+ *  detector, only meaningful over a long continuous window. */
+void
+analyze(const char *name, Tracer &tracer, uint64_t produced_signatures)
+{
+    const Dump d = tracer.dump();
+    uint64_t lo = ~0ull, hi = 0;
+    for (const DumpEntry &e : d.entries) {
+        lo = std::min(lo, e.stamp);
+        hi = std::max(hi, e.stamp);
+    }
+    const uint64_t window = d.entries.empty() ? 0 : hi - lo + 1;
+    const DefectReport rep = detectMigrationStorm(
+        d.entries, kCatIdle, kCatSched, kCatMigration, 16);
+    std::printf("%-8s retained window %7llu events, migration storms "
+                "detected %3zu of %3llu (%.0f%%)\n",
+                name, static_cast<unsigned long long>(window),
+                rep.occurrences.size(),
+                static_cast<unsigned long long>(produced_signatures),
+                produced_signatures
+                    ? 100.0 * double(rep.occurrences.size()) /
+                          double(produced_signatures)
+                    : 0.0);
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::size_t capacity = 16u << 20;
+    const uint64_t events = 250000;
+
+    std::printf("energy-defect analysis: %llu events with a sparse "
+                "migration signature,\nboth tracers get %zu MB.\n\n",
+                static_cast<unsigned long long>(events), capacity >> 20);
+
+    BTraceConfig bcfg;
+    bcfg.blockSize = 4096;
+    bcfg.numBlocks = capacity / 4096;
+    bcfg.activeBlocks = 64;
+    bcfg.cores = 4;
+    BTrace bt(bcfg);
+    const uint64_t m1 = runScenario(bt, events);
+    analyze("BTrace", bt, m1);
+
+    FtraceConfig fcfg;
+    fcfg.capacityBytes = capacity;
+    fcfg.cores = 4;
+    FtraceLike ft(fcfg);
+    const uint64_t m2 = runScenario(ft, events);
+    analyze("percore", ft, m2);
+
+    std::printf("\nWith the same memory, the partitioned global buffer "
+                "keeps a much longer\ncontinuous window, so the "
+                "statistical signature (migrations clustered on\nthe "
+                "woken middle core) is visible — the §6 energy case "
+                "study.\n");
+    return 0;
+}

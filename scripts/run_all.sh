@@ -1,0 +1,19 @@
+#!/bin/sh
+# Regenerate the full reproduction: build, tests, every experiment.
+# Outputs land in test_output.txt and bench_output.txt at the repo
+# root (the files referenced by EXPERIMENTS.md).
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "### $b" | tee -a bench_output.txt
+    "$b" 2>/dev/null | tee -a bench_output.txt
+    echo | tee -a bench_output.txt
+done

@@ -1,0 +1,98 @@
+#include "analysis/continuity.h"
+
+#include <algorithm>
+
+#include "common/panic.h"
+
+namespace btrace {
+
+ContinuityReport
+analyzeContinuity(const std::vector<ProducedEvent> &produced,
+                  const Dump &dump, std::size_t capacity_bytes)
+{
+    ContinuityReport rep;
+    rep.producedCount = produced.size();
+
+    // Stamps are 1..M in production order; index the ground truth.
+    const uint64_t max_stamp = produced.size();
+    std::vector<uint8_t> state(max_stamp + 1, 0);  // 1=produced 2=dropped
+    std::vector<uint32_t> bytes(max_stamp + 1, 0);
+    for (const ProducedEvent &e : produced) {
+        BTRACE_ASSERT(e.stamp >= 1 && e.stamp <= max_stamp,
+                      "non-contiguous stamp space");
+        state[e.stamp] = e.dropped ? 2 : 1;
+        bytes[e.stamp] = e.bytes;
+        if (e.dropped)
+            ++rep.droppedByDesign;
+        else
+            rep.producedBytes += e.bytes;
+    }
+
+    std::vector<uint8_t> retained(max_stamp + 1, 0);
+    for (const DumpEntry &e : dump.entries) {
+        if (e.stamp < 1 || e.stamp > max_stamp || state[e.stamp] == 0) {
+            ++rep.unknownStamps;
+            continue;
+        }
+        if (!e.payloadOk)
+            ++rep.corruptPayloads;
+        if (state[e.stamp] == 2)
+            ++rep.resurfacedDrops;
+        if (retained[e.stamp]) {
+            ++rep.duplicateStamps;
+            continue;
+        }
+        retained[e.stamp] = 1;
+        ++rep.retainedCount;
+        rep.retainedBytes += bytes[e.stamp];
+    }
+
+    if (rep.retainedCount == 0)
+        return rep;
+
+    uint64_t newest = max_stamp;
+    while (newest >= 1 && !retained[newest])
+        --newest;
+    uint64_t oldest = 1;
+    while (oldest <= max_stamp && !retained[oldest])
+        ++oldest;
+
+    // Latest fragment: contiguous retained run ending at the newest
+    // retained stamp.
+    uint64_t s = newest;
+    while (s >= oldest && retained[s]) {
+        rep.latestFragmentBytes += bytes[s];
+        ++rep.latestFragmentCount;
+        --s;
+    }
+
+    // Loss within the collected range, and fragment count.
+    uint64_t in_range = 0;
+    bool in_run = false;
+    for (uint64_t i = oldest; i <= newest; ++i) {
+        if (retained[i]) {
+            ++in_range;
+            if (!in_run) {
+                ++rep.fragments;
+                in_run = true;
+            }
+        } else {
+            in_run = false;
+        }
+    }
+    const uint64_t range = newest - oldest + 1;
+    rep.lossRate = 1.0 - double(in_range) / double(range);
+    rep.effectivityRatio =
+        capacity_bytes ? rep.latestFragmentBytes / double(capacity_bytes)
+                       : 0.0;
+    return rep;
+}
+
+ContinuityReport
+analyzeContinuity(const ReplayResult &result)
+{
+    return analyzeContinuity(result.produced, result.dump,
+                             result.capacityBytes);
+}
+
+} // namespace btrace

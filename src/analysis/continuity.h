@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Logic-stamp continuity analysis (§5 "Replaying setup").
+ *
+ * The replay engine assigns every produced event a unique,
+ * monotonically increasing logic stamp; events whose stamps do not
+ * appear in the dump were lost (overwritten, dropped, or stuck in an
+ * unreadable block). From the produced log and a dump this module
+ * computes the paper's four Table 2 metrics:
+ *
+ *  - latest fragment: the most recent contiguous stamp run (no holes)
+ *    ending at the newest retained event, in bytes;
+ *  - loss rate: the fraction of events missing within the collected
+ *    range (oldest retained .. newest retained);
+ *  - fragment count: number of maximal contiguous retained runs;
+ *  - effectivity ratio (§2.2): latest fragment / buffer capacity.
+ */
+
+#ifndef BTRACE_ANALYSIS_CONTINUITY_H
+#define BTRACE_ANALYSIS_CONTINUITY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/replay.h"
+
+namespace btrace {
+
+/** Continuity metrics of one replay run. */
+struct ContinuityReport
+{
+    uint64_t producedCount = 0;   //!< attempts, incl. design drops
+    uint64_t retainedCount = 0;   //!< unique stamps present in the dump
+    uint64_t droppedByDesign = 0; //!< events the tracer shed (Drop)
+    double producedBytes = 0.0;
+    double retainedBytes = 0.0;
+
+    double latestFragmentBytes = 0.0;
+    uint64_t latestFragmentCount = 0;
+    double lossRate = 0.0;
+    uint64_t fragments = 0;
+    double effectivityRatio = 0.0;
+
+    // Integrity diagnostics: all must be zero for a correct tracer.
+    uint64_t duplicateStamps = 0;
+    uint64_t unknownStamps = 0;   //!< dump stamps never produced
+    uint64_t corruptPayloads = 0; //!< payload pattern mismatches
+    uint64_t resurfacedDrops = 0; //!< dropped events present in dump
+};
+
+/** Analyze @p dump against the @p produced ground truth. */
+ContinuityReport analyzeContinuity(
+    const std::vector<ProducedEvent> &produced, const Dump &dump,
+    std::size_t capacity_bytes);
+
+/** Convenience overload for a finished replay. */
+ContinuityReport analyzeContinuity(const ReplayResult &result);
+
+} // namespace btrace
+
+#endif // BTRACE_ANALYSIS_CONTINUITY_H

@@ -1,0 +1,149 @@
+#include "analysis/defects.h"
+
+#include <algorithm>
+#include <map>
+
+namespace btrace {
+
+namespace {
+
+std::vector<DumpEntry>
+sorted(const std::vector<DumpEntry> &entries)
+{
+    std::vector<DumpEntry> out = entries;
+    std::sort(out.begin(), out.end(),
+              [](const DumpEntry &a, const DumpEntry &b) {
+                  return a.stamp < b.stamp;
+              });
+    return out;
+}
+
+uint64_t
+spanOf(const std::vector<DumpEntry> &es)
+{
+    if (es.empty())
+        return 0;
+    return es.back().stamp - es.front().stamp + 1;
+}
+
+} // namespace
+
+double
+DefectReport::ratePerMEvents() const
+{
+    if (windowStamps == 0)
+        return 0.0;
+    return double(occurrences.size()) * 1e6 / double(windowStamps);
+}
+
+DefectReport
+detectMigrationStorm(const std::vector<DumpEntry> &entries,
+                     uint16_t cat_idle, uint16_t cat_sched,
+                     uint16_t cat_migration, uint64_t max_span)
+{
+    DefectReport rep;
+    const auto es = sorted(entries);
+    rep.windowStamps = spanOf(es);
+
+    // Per-core progress through the idle -> sched -> migration
+    // automaton, with a stamp deadline per in-flight match.
+    struct State
+    {
+        int stage = 0;
+        uint64_t start = 0;
+    };
+    std::map<uint16_t, State> per_core;
+
+    for (const DumpEntry &e : es) {
+        State &st = per_core[e.core];
+        if (st.stage > 0 && e.stamp - st.start > max_span)
+            st = State{};
+        if (e.category == cat_idle) {
+            st.stage = 1;
+            st.start = e.stamp;
+        } else if (e.category == cat_sched && st.stage == 1) {
+            st.stage = 2;
+        } else if (e.category == cat_migration && st.stage == 2) {
+            rep.occurrences.push_back(
+                DefectOccurrence{st.start, e.stamp, e.core});
+            st = State{};
+        }
+    }
+    return rep;
+}
+
+DefectReport
+detectThermalBusyLoop(const std::vector<DumpEntry> &entries,
+                      uint16_t cat_busy, uint16_t cat_downscale,
+                      std::size_t min_burst, uint64_t max_span,
+                      uint64_t lookahead)
+{
+    DefectReport rep;
+    const auto es = sorted(entries);
+    rep.windowStamps = spanOf(es);
+
+    // Collect per-thread busy bursts.
+    struct Burst
+    {
+        uint64_t first = 0;
+        uint64_t last = 0;
+        std::size_t count = 0;
+    };
+    std::map<uint32_t, Burst> open;
+    std::vector<Burst> bursts;
+    for (const DumpEntry &e : es) {
+        if (e.category != cat_busy)
+            continue;
+        Burst &b = open[e.thread];
+        if (b.count > 0 && e.stamp - b.first > max_span) {
+            if (b.count >= min_burst)
+                bursts.push_back(b);
+            b = Burst{};
+        }
+        if (b.count == 0)
+            b.first = e.stamp;
+        b.last = e.stamp;
+        ++b.count;
+    }
+    for (auto &[thread, b] : open) {
+        if (b.count >= min_burst)
+            bursts.push_back(b);
+    }
+    std::sort(bursts.begin(), bursts.end(),
+              [](const Burst &a, const Burst &b) {
+                  return a.first < b.first;
+              });
+
+    // Match each burst to a later downscale within the lookahead.
+    std::vector<uint64_t> downscales;
+    for (const DumpEntry &e : es) {
+        if (e.category == cat_downscale)
+            downscales.push_back(e.stamp);
+    }
+    for (const Burst &b : bursts) {
+        const auto it = std::lower_bound(downscales.begin(),
+                                         downscales.end(), b.last);
+        if (it != downscales.end() && *it - b.last <= lookahead) {
+            rep.occurrences.push_back(
+                DefectOccurrence{b.first, *it, 0});
+        }
+    }
+    return rep;
+}
+
+bool
+rootCauseWithinWindow(const std::vector<DumpEntry> &entries,
+                      uint16_t cat_root_cause, uint64_t min_distance)
+{
+    uint64_t newest = 0;
+    for (const DumpEntry &e : entries)
+        newest = std::max(newest, e.stamp);
+    for (const DumpEntry &e : entries) {
+        if (e.category == cat_root_cause &&
+            newest - e.stamp >= min_distance)
+            return true;
+    }
+    return false;
+}
+
+} // namespace btrace

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Defect-signature detectors — the §6 case studies as a library.
+ *
+ * The paper's production deployments diagnose three defect families
+ * whose signatures are *sparse events spread over long windows*, which
+ * is exactly what fragmented traces destroy:
+ *
+ *  - energy defects: repeated idle -> schedule -> migration triples on
+ *    a core (threads migrated off a waking core by an over-aggressive
+ *    policy);
+ *  - frame drops: a periodic misbehaving thread whose activity
+ *    precedes a frequency downscale long before the symptom;
+ *  - silent defects: a watchdog window that must contain the root
+ *    cause written tens of seconds before the report.
+ *
+ * Detectors run over a dump (plus the category ids the caller used)
+ * and report occurrence counts and stamp spans, so examples and tests
+ * can quantify "is the signature still diagnosable from this trace?".
+ */
+
+#ifndef BTRACE_ANALYSIS_DEFECTS_H
+#define BTRACE_ANALYSIS_DEFECTS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/tracer.h"
+
+namespace btrace {
+
+/** One detected occurrence of a defect signature. */
+struct DefectOccurrence
+{
+    uint64_t firstStamp = 0;
+    uint64_t lastStamp = 0;
+    uint16_t core = 0;
+};
+
+/** Result of a detector pass. */
+struct DefectReport
+{
+    std::vector<DefectOccurrence> occurrences;
+    uint64_t windowStamps = 0;  //!< retained stamp span scanned
+
+    /** Occurrences per million retained events. */
+    double ratePerMEvents() const;
+};
+
+/**
+ * Energy-defect detector: count idle -> sched -> migration sequences
+ * on the same core within @p max_span stamps (§6 "Energy defects").
+ */
+DefectReport detectMigrationStorm(const std::vector<DumpEntry> &entries,
+                                  uint16_t cat_idle, uint16_t cat_sched,
+                                  uint16_t cat_migration,
+                                  uint64_t max_span = 64);
+
+/**
+ * Frame-drop precursor: a burst of @p cat_busy events (>=
+ * @p min_burst within @p max_span stamps on one thread) followed by a
+ * @p cat_downscale event within @p lookahead stamps (§6 "Frame
+ * drops"). Returns one occurrence per matched burst.
+ */
+DefectReport detectThermalBusyLoop(const std::vector<DumpEntry> &entries,
+                                   uint16_t cat_busy,
+                                   uint16_t cat_downscale,
+                                   std::size_t min_burst = 8,
+                                   uint64_t max_span = 256,
+                                   uint64_t lookahead = 100000);
+
+/**
+ * Silent-defect check: is any @p cat_root_cause event retained at
+ * least @p min_distance stamps before the newest retained event (the
+ * watchdog report)? (§6 "Silent defects".)
+ */
+bool rootCauseWithinWindow(const std::vector<DumpEntry> &entries,
+                           uint16_t cat_root_cause,
+                           uint64_t min_distance);
+
+} // namespace btrace
+
+#endif // BTRACE_ANALYSIS_DEFECTS_H

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Trace exporters: turn dumps into formats existing tooling eats —
+ * Chrome trace-event JSON (viewable in Perfetto / chrome://tracing),
+ * CSV for spreadsheets, and a per-core/per-category text rollup. The
+ * tracepoint registry supplies category names.
+ */
+
+#ifndef BTRACE_ANALYSIS_EXPORT_H
+#define BTRACE_ANALYSIS_EXPORT_H
+
+#include <string>
+#include <vector>
+
+#include "trace/tracepoint.h"
+#include "trace/tracer.h"
+
+namespace btrace {
+
+/** Options shared by the exporters. */
+struct ExportOptions
+{
+    /** Registry used to resolve category names; null = global(). */
+    const TracepointRegistry *registry = nullptr;
+    /** Nanoseconds represented by one stamp step (synthetic clock). */
+    double nsPerStamp = 1000.0;
+    /** Sort entries by stamp before exporting. */
+    bool sortByStamp = true;
+};
+
+/**
+ * Chrome trace-event JSON ("traceEvents" array of instant events,
+ * phase "i"); stamps become microsecond timestamps, cores become
+ * pids, threads become tids.
+ */
+std::string exportChromeJson(const std::vector<DumpEntry> &entries,
+                             const ExportOptions &opt = {});
+
+/** CSV with header: stamp,core,thread,category,category_name,size. */
+std::string exportCsv(const std::vector<DumpEntry> &entries,
+                      const ExportOptions &opt = {});
+
+/**
+ * Human-readable rollup: entries and bytes per core and per category,
+ * plus stamp range — the first thing a developer prints after a dump.
+ */
+std::string summarizeDump(const Dump &dump,
+                          const ExportOptions &opt = {});
+
+} // namespace btrace
+
+#endif // BTRACE_ANALYSIS_EXPORT_H

@@ -1,0 +1,90 @@
+#include "analysis/gaps.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/panic.h"
+
+namespace btrace {
+
+uint64_t
+GapReport::maxGapLength() const
+{
+    uint64_t best = 0;
+    for (const Gap &g : gaps)
+        best = std::max(best, g.length());
+    return best;
+}
+
+GapReport
+analyzeGaps(const std::vector<ProducedEvent> &produced, const Dump &dump,
+            uint64_t small_threshold)
+{
+    GapReport rep;
+    rep.smallThreshold = small_threshold;
+    if (produced.empty())
+        return rep;
+
+    const uint64_t max_stamp = produced.size();
+    std::vector<uint8_t> retained(max_stamp + 1, 0);
+    std::vector<uint32_t> bytes(max_stamp + 1, 0);
+    for (const ProducedEvent &e : produced) {
+        BTRACE_ASSERT(e.stamp >= 1 && e.stamp <= max_stamp,
+                      "non-contiguous stamp space");
+        bytes[e.stamp] = e.bytes;
+    }
+    for (const DumpEntry &e : dump.entries) {
+        if (e.stamp >= 1 && e.stamp <= max_stamp)
+            retained[e.stamp] = 1;
+    }
+
+    uint64_t newest = max_stamp;
+    while (newest >= 1 && !retained[newest])
+        --newest;
+    uint64_t oldest = 1;
+    while (oldest <= max_stamp && !retained[oldest])
+        ++oldest;
+    if (oldest >= newest)
+        return rep;
+
+    Gap current;
+    bool in_gap = false;
+    for (uint64_t s = oldest; s <= newest; ++s) {
+        if (!retained[s]) {
+            if (!in_gap) {
+                current = Gap{s, s, 0};
+                in_gap = true;
+            }
+            current.lastStamp = s;
+            current.bytes += bytes[s];
+        } else if (in_gap) {
+            rep.gaps.push_back(current);
+            in_gap = false;
+        }
+    }
+    BTRACE_DASSERT(!in_gap, "range must end retained");
+
+    for (const Gap &g : rep.gaps) {
+        if (g.length() <= small_threshold) {
+            ++rep.smallGaps;
+            rep.smallGapBytes += g.bytes;
+        } else {
+            ++rep.largeGaps;
+            rep.largeGapBytes += g.bytes;
+        }
+    }
+    return rep;
+}
+
+std::string
+describeGaps(const GapReport &rep)
+{
+    std::ostringstream out;
+    out << rep.gaps.size() << " gaps (" << rep.smallGaps
+        << " small / " << rep.largeGaps << " large, threshold "
+        << rep.smallThreshold << " events), max "
+        << rep.maxGapLength() << " events";
+    return out.str();
+}
+
+} // namespace btrace

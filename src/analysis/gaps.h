@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Gap statistics: where and how badly a trace is holed.
+ *
+ * The paper stresses that the per-core tracers' gaps come in two
+ * kinds (Fig 1): *large* gaps a developer notices, and *numerous
+ * indistinguishable small* gaps that silently mislead analysis (is
+ * the missing event a non-taken branch or a drop?). This module
+ * classifies every gap of a run by length and origin core so the
+ * Fig 1 narrative can be quantified, not just drawn.
+ */
+
+#ifndef BTRACE_ANALYSIS_GAPS_H
+#define BTRACE_ANALYSIS_GAPS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/replay.h"
+
+namespace btrace {
+
+/** One maximal run of missing stamps within the collected range. */
+struct Gap
+{
+    uint64_t firstStamp = 0;
+    uint64_t lastStamp = 0;
+    double bytes = 0;
+
+    uint64_t length() const { return lastStamp - firstStamp + 1; }
+};
+
+/** Classified gap statistics of one replay. */
+struct GapReport
+{
+    std::vector<Gap> gaps;          //!< all gaps, ascending by stamp
+    uint64_t smallGaps = 0;         //!< length <= smallThreshold
+    uint64_t largeGaps = 0;
+    double smallGapBytes = 0;
+    double largeGapBytes = 0;
+    uint64_t smallThreshold = 0;
+
+    /** Largest single gap, in events (0 if none). */
+    uint64_t maxGapLength() const;
+};
+
+/**
+ * Build the gap report over the collected range (oldest..newest
+ * retained stamp). Gaps of at most @p small_threshold events are the
+ * "indistinguishable" kind.
+ */
+GapReport analyzeGaps(const std::vector<ProducedEvent> &produced,
+                      const Dump &dump, uint64_t small_threshold = 16);
+
+/** One-line rendering: "1234 gaps (1200 small / 34 large), max 5678". */
+std::string describeGaps(const GapReport &report);
+
+} // namespace btrace
+
+#endif // BTRACE_ANALYSIS_GAPS_H

@@ -1,0 +1,75 @@
+#include "analysis/report.h"
+
+#include <sstream>
+
+#include "common/format.h"
+#include "common/panic.h"
+#include "common/stats.h"
+
+namespace btrace {
+
+void
+appendMetrics(TracerMetrics &row, const ContinuityReport &rep,
+              double latency_geo_ns)
+{
+    row.latestFragmentMb.push_back(rep.latestFragmentBytes /
+                                   (1024.0 * 1024.0));
+    row.lossRate.push_back(rep.lossRate);
+    row.fragments.push_back(double(rep.fragments));
+    row.latencyGeoNs.push_back(latency_geo_ns);
+}
+
+namespace {
+
+void
+renderBlock(std::ostringstream &out, const std::string &title,
+            const std::vector<std::string> &workloads,
+            const std::vector<TracerMetrics> &rows,
+            const std::vector<double> TracerMetrics::*field,
+            std::string (*fmt)(double))
+{
+    out << "== " << title << " ==\n";
+    TextTable table;
+    std::vector<std::string> head = {"Tracer"};
+    head.insert(head.end(), workloads.begin(), workloads.end());
+    head.push_back("G.M.");
+    table.header(std::move(head));
+
+    for (const TracerMetrics &row : rows) {
+        const auto &vals = row.*field;
+        BTRACE_ASSERT(vals.size() == workloads.size(),
+                      "metric vector does not match workload list");
+        std::vector<std::string> cells = {row.tracer};
+        for (double v : vals)
+            cells.push_back(fmt(v));
+        cells.push_back(fmt(geoMean(vals, 1e-3)));
+        table.row(std::move(cells));
+    }
+    out << table.render() << "\n";
+}
+
+std::string fmtMb(double v) { return fmtDouble(v, 1); }
+std::string fmtLoss(double v) { return fmtDouble(v, 2); }
+std::string fmtFrag(double v) { return fmtCompact(v); }
+std::string fmtLat(double v) { return fmtDouble(v, 0); }
+
+} // namespace
+
+std::string
+renderTable2(const std::vector<std::string> &workloads,
+             const std::vector<TracerMetrics> &rows)
+{
+    std::ostringstream out;
+    renderBlock(out, "Latest continuous entries (MB) — higher is better",
+                workloads, rows, &TracerMetrics::latestFragmentMb, fmtMb);
+    renderBlock(out, "Loss rate — lower is better", workloads, rows,
+                &TracerMetrics::lossRate, fmtLoss);
+    renderBlock(out, "Number of fragments — lower is better", workloads,
+                rows, &TracerMetrics::fragments, fmtFrag);
+    renderBlock(out, "Recording latency, geometric mean (ns) — lower is "
+                "better", workloads, rows, &TracerMetrics::latencyGeoNs,
+                fmtLat);
+    return out.str();
+}
+
+} // namespace btrace

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared report assembly for the bench harnesses: Table 2-style
+ * metric tables with a geometric-mean column, matching the layout of
+ * the paper's evaluation tables.
+ */
+
+#ifndef BTRACE_ANALYSIS_REPORT_H
+#define BTRACE_ANALYSIS_REPORT_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/continuity.h"
+
+namespace btrace {
+
+/** One tracer's per-workload metric vectors, Table 2 order. */
+struct TracerMetrics
+{
+    std::string tracer;
+    std::vector<double> latestFragmentMb;
+    std::vector<double> lossRate;
+    std::vector<double> fragments;
+    std::vector<double> latencyGeoNs;
+};
+
+/** Extract the Table 2 metrics from one analyzed replay. */
+void appendMetrics(TracerMetrics &row, const ContinuityReport &rep,
+                   double latency_geo_ns);
+
+/** Render the full Table 2 (four metric blocks, G.M. column). */
+std::string renderTable2(const std::vector<std::string> &workloads,
+                         const std::vector<TracerMetrics> &rows);
+
+} // namespace btrace
+
+#endif // BTRACE_ANALYSIS_REPORT_H

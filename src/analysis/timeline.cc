@@ -1,0 +1,98 @@
+#include "analysis/timeline.h"
+
+#include <algorithm>
+
+#include "common/panic.h"
+
+namespace btrace {
+
+double
+Timeline::coverage() const
+{
+    const uint64_t total = windowEvents();
+    if (total == 0)
+        return 0.0;
+    uint64_t kept = 0;
+    for (const auto &[lo, hi] : retainedRuns)
+        kept += hi - lo + 1;
+    return double(kept) / double(total);
+}
+
+Timeline
+buildTimeline(const ReplayResult &result)
+{
+    Timeline tl;
+    const auto &produced = result.produced;
+    if (produced.empty())
+        return tl;
+
+    const uint64_t max_stamp = produced.size();
+    std::vector<uint32_t> bytes(max_stamp + 1, 0);
+    for (const ProducedEvent &e : produced)
+        bytes[e.stamp] = e.bytes;
+
+    // Window: newest events whose cumulative bytes fit the capacity.
+    double acc = 0.0;
+    uint64_t start = max_stamp + 1;
+    while (start > 1 && acc < double(result.capacityBytes)) {
+        --start;
+        acc += bytes[start];
+    }
+    tl.windowStart = start;
+    tl.windowEnd = max_stamp;
+
+    std::vector<uint8_t> retained(max_stamp + 1, 0);
+    for (const DumpEntry &e : result.dump.entries) {
+        if (e.stamp >= 1 && e.stamp <= max_stamp)
+            retained[e.stamp] = 1;
+    }
+
+    bool in_run = false;
+    for (uint64_t s = tl.windowStart; s <= tl.windowEnd; ++s) {
+        if (retained[s]) {
+            if (!in_run) {
+                tl.retainedRuns.emplace_back(s, s);
+                in_run = true;
+            } else {
+                tl.retainedRuns.back().second = s;
+            }
+        } else {
+            in_run = false;
+        }
+    }
+    return tl;
+}
+
+std::string
+renderTimeline(const Timeline &tl, std::size_t width)
+{
+    BTRACE_ASSERT(width >= 1, "band too narrow");
+    const uint64_t total = tl.windowEvents();
+    if (total == 0)
+        return std::string(width, '.');
+
+    // Per-bucket retained counts.
+    std::vector<uint64_t> kept(width, 0);
+    std::vector<uint64_t> size(width, 0);
+    for (std::size_t b = 0; b < width; ++b) {
+        const uint64_t lo = tl.windowStart + total * b / width;
+        const uint64_t hi = tl.windowStart + total * (b + 1) / width;
+        size[b] = hi > lo ? hi - lo : 1;
+    }
+    for (const auto &[lo, hi] : tl.retainedRuns) {
+        for (uint64_t s = lo; s <= hi; ++s) {
+            const auto b = static_cast<std::size_t>(
+                (s - tl.windowStart) * width / total);
+            ++kept[std::min(b, width - 1)];
+        }
+    }
+
+    std::string band(width, '.');
+    for (std::size_t b = 0; b < width; ++b) {
+        const double frac = double(kept[b]) / double(size[b]);
+        band[b] = frac >= 0.999 ? '#' : (frac > 0.0 ? '+' : '.');
+    }
+    return band;
+}
+
+} // namespace btrace

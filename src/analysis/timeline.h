@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Retained-event timelines for the Fig 1 comparison: which of the last
+ * N written events (N = what the buffer could ideally hold) are still
+ * present in the dump, rendered as an ASCII band where gaps show up as
+ * blanks exactly like the figure's white stripes.
+ */
+
+#ifndef BTRACE_ANALYSIS_TIMELINE_H
+#define BTRACE_ANALYSIS_TIMELINE_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/replay.h"
+
+namespace btrace {
+
+/** Retention picture over the last-N-events window of one run. */
+struct Timeline
+{
+    uint64_t windowStart = 1;  //!< oldest stamp in the window
+    uint64_t windowEnd = 0;    //!< newest produced stamp (inclusive)
+    /** Maximal contiguous retained stamp runs within the window. */
+    std::vector<std::pair<uint64_t, uint64_t>> retainedRuns;
+
+    uint64_t windowEvents() const
+    {
+        return windowEnd >= windowStart ? windowEnd - windowStart + 1 : 0;
+    }
+
+    /** Fraction of window events retained. */
+    double coverage() const;
+};
+
+/**
+ * Build the timeline of @p result. The window covers the newest
+ * produced events whose cumulative size fits the buffer capacity —
+ * "the last N written events" of Fig 1.
+ */
+Timeline buildTimeline(const ReplayResult &result);
+
+/**
+ * Render as a @p width-character band: '#' fully retained bucket,
+ * '+' partially retained, '.' fully lost (a gap). Newest on the right,
+ * as in Fig 1.
+ */
+std::string renderTimeline(const Timeline &timeline,
+                           std::size_t width = 96);
+
+} // namespace btrace
+
+#endif // BTRACE_ANALYSIS_TIMELINE_H

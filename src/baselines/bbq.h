@@ -1,0 +1,94 @@
+/**
+ * @file
+ * BBQ-style global buffer baseline (Wang et al., USENIX ATC'22), in
+ * overwrite mode — the paper's "ideal retention, worst latency"
+ * comparison point (Fig 1, Table 1/2).
+ *
+ * One ring of fixed-size blocks is shared by *all* cores: every
+ * producer reserves space in the single current block with a
+ * fetch_add on a line that ping-pongs across the whole SoC. Retention
+ * is near-perfect (the buffer behaves like one global FIFO), but:
+ *
+ *  - every reservation pays cross-core contention, and
+ *  - when the ring wraps onto a block that still has unconfirmed
+ *    entries (a preempted writer), all producers must wait — the
+ *    "Blocking" availability of Table 1.
+ */
+
+#ifndef BTRACE_BASELINES_BBQ_H
+#define BTRACE_BASELINES_BBQ_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "core/metadata.h"
+#include "trace/tracer.h"
+
+namespace btrace {
+
+/** Configuration of the BBQ baseline. */
+struct BbqConfig
+{
+    std::size_t blockSize = 4096;
+    std::size_t numBlocks = 3072;
+    unsigned cores = 12;
+};
+
+/** Global block-based bounded queue in overwrite mode. */
+class Bbq : public Tracer
+{
+  public:
+    explicit Bbq(const BbqConfig &config,
+                 const CostModel &model = CostModel::def());
+
+    std::string name() const override { return "BBQ"; }
+    std::size_t capacityBytes() const override;
+
+    WriteTicket allocate(uint16_t core, uint32_t thread,
+                         uint32_t payload_len) override;
+    void confirm(WriteTicket &ticket) override;
+    Dump dump() override;
+
+    /** Times producers found the ring blocked by an unfinished block. */
+    uint64_t blockedCount() const
+    {
+        return blocked.load(std::memory_order_relaxed);
+    }
+
+  private:
+    uint8_t *blockData(uint64_t phys) { return data.data() + phys * cap; }
+
+    /** Move the shared head to position @p from + 1 if possible. */
+    bool tryAdvanceHead(uint64_t head_pos, double &cost);
+
+    /**
+     * Contention proxy: the cache line holding the current block's
+     * Allocated word bounces between every core that writes. We track
+     * the cores behind the last few reservations; the number of
+     * distinct ones approximates the set of cores ping-ponging the
+     * line right now (works identically under deterministic replay
+     * and real threads).
+     */
+    std::size_t recentDistinctCores() const;
+
+    BbqConfig cfg;
+    std::size_t cap;
+    std::size_t n;
+
+    std::vector<uint8_t> data;
+    std::vector<MetadataBlock> meta;          //!< one per block
+    CacheAligned<std::atomic<uint64_t>> head; //!< global block position
+    CacheAligned<std::atomic<uint64_t>> inflight; //!< concurrent writers
+    std::atomic<uint64_t> blocked{0};
+
+    static constexpr std::size_t recentWindow = 16;
+    std::array<std::atomic<uint16_t>, recentWindow> recentCores{};
+    std::atomic<uint64_t> recentIdx{0};
+};
+
+} // namespace btrace
+
+#endif // BTRACE_BASELINES_BBQ_H

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Single-writer byte ring with overwrite-oldest semantics, the storage
+ * primitive behind the ftrace-like (per-core) and VampirTrace-like
+ * (per-thread) baselines.
+ *
+ * Entries are stored contiguously (never straddling the wrap point; a
+ * dummy entry pads the tail instead) so the ring always tiles into
+ * parseable entries between head and tail. The ring itself is not
+ * thread-safe; callers provide exclusion (per-core preempt-off
+ * emulation, or thread ownership).
+ */
+
+#ifndef BTRACE_BASELINES_BYTE_RING_H
+#define BTRACE_BASELINES_BYTE_RING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/event.h"
+#include "trace/tracer.h"
+
+namespace btrace {
+
+/** Overwrite-oldest circular byte buffer of whole entries. */
+class ByteRing
+{
+  public:
+    explicit ByteRing(std::size_t bytes)
+        : buf(bytes), size(bytes)
+    {
+        BTRACE_ASSERT(bytes >= 64 && bytes % 8 == 0, "bad ring size");
+    }
+
+    /**
+     * Reserve @p need contiguous bytes, evicting oldest entries (and
+     * padding the wrap point) as necessary. Returns the write pointer.
+     */
+    uint8_t *
+    reserve(std::size_t need)
+    {
+        BTRACE_DASSERT(need <= size && need % 8 == 0, "bad reservation");
+
+        // Pad the tail if the entry would straddle the wrap point.
+        const std::size_t tail_off = tail % size;
+        if (size - tail_off < need) {
+            const std::size_t pad = size - tail_off;
+            evictFor(pad);
+            writeDummy(buf.data() + tail_off, pad);
+            tail += pad;
+        }
+        evictFor(need);
+        uint8_t *dst = buf.data() + tail % size;
+        tail += need;
+        return dst;
+    }
+
+    /** Walk retained entries oldest-to-newest into @p out. */
+    void
+    collect(std::vector<DumpEntry> &out) const
+    {
+        uint64_t at = head;
+        while (at < tail) {
+            const uint8_t *p = buf.data() + at % size;
+            EntryCursor cursor(p, entryBytesAt(at));
+            EntryView view;
+            if (!cursor.next(view))
+                break;  // should not happen; be defensive
+            if (view.type == EntryType::Normal) {
+                out.push_back(DumpEntry{view.stamp, view.size, view.core,
+                                        view.thread, view.category,
+                                        view.payloadOk});
+            }
+            at += view.size;
+        }
+    }
+
+    /** Bytes currently retained. */
+    std::size_t usedBytes() const { return std::size_t(tail - head); }
+
+    std::size_t capacity() const { return size; }
+
+  private:
+    /** Drop oldest entries until @p need bytes fit. */
+    void
+    evictFor(std::size_t need)
+    {
+        while (tail + need - head > size) {
+            const uint8_t *p = buf.data() + head % size;
+            EntryCursor cursor(p, entryBytesAt(head));
+            EntryView view;
+            if (!cursor.next(view)) {
+                // Damaged head (cannot happen with single writers);
+                // drop everything to stay safe.
+                head = tail;
+                break;
+            }
+            head += view.size;
+        }
+    }
+
+    /** Contiguous bytes available for parsing at absolute offset. */
+    std::size_t
+    entryBytesAt(uint64_t at) const
+    {
+        return size - at % size;
+    }
+
+    std::vector<uint8_t> buf;
+    std::size_t size;
+    uint64_t head = 0;  //!< absolute offset of the oldest entry
+    uint64_t tail = 0;  //!< absolute offset of the next write
+};
+
+} // namespace btrace
+
+#endif // BTRACE_BASELINES_BYTE_RING_H

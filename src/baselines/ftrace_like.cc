@@ -1,0 +1,71 @@
+#include "baselines/ftrace_like.h"
+
+namespace btrace {
+
+FtraceLike::FtraceLike(const FtraceConfig &config, const CostModel &model)
+    : Tracer(model), cfg(config),
+      perCore((config.capacityBytes / config.cores) & ~std::size_t(7))
+{
+    BTRACE_ASSERT(cfg.cores >= 1, "need at least one core");
+    BTRACE_ASSERT(perCore >= 4096, "per-core ring too small");
+    rings.reserve(cfg.cores);
+    for (unsigned c = 0; c < cfg.cores; ++c)
+        rings.push_back(std::make_unique<CoreRing>(perCore));
+}
+
+std::size_t
+FtraceLike::capacityBytes() const
+{
+    return perCore * cfg.cores;
+}
+
+WriteTicket
+FtraceLike::allocate(uint16_t core, uint32_t thread, uint32_t payload_len)
+{
+    BTRACE_DASSERT(core < cfg.cores, "core id out of range");
+    const auto need = static_cast<uint32_t>(
+        EntryLayout::normalSize(payload_len));
+
+    WriteTicket ticket;
+    ticket.core = core;
+    ticket.thread = thread;
+    // preempt_disable + timestamp + local-CPU reserve (two local
+    // atomics in the kernel implementation) + bookkeeping.
+    ticket.cost = costs.preemptToggle + costs.tscRead +
+                  2 * costs.atomicLocal + costs.setupOverhead;
+
+    CoreRing &cr = *rings[core];
+    while (cr.busy.test_and_set(std::memory_order_acquire))
+        ; // only contended if the harness violates core exclusivity
+
+    ticket.dst = cr.ring.reserve(need);
+    ticket.entrySize = need;
+    ticket.cookie = core;
+    ticket.status = AllocStatus::Ok;
+    return ticket;
+}
+
+void
+FtraceLike::confirm(WriteTicket &ticket)
+{
+    BTRACE_DASSERT(ticket.status == AllocStatus::Ok, "confirm without Ok");
+    CoreRing &cr = *rings[ticket.cookie];
+    cr.busy.clear(std::memory_order_release);
+    ticket.cost += costs.atomicLocal;  // commit counter update
+}
+
+Dump
+FtraceLike::dump()
+{
+    Dump out;
+    for (auto &crp : rings) {
+        CoreRing &cr = *crp;
+        while (cr.busy.test_and_set(std::memory_order_acquire))
+            ;
+        cr.ring.collect(out.entries);
+        cr.busy.clear(std::memory_order_release);
+    }
+    return out;
+}
+
+} // namespace btrace

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * ftrace-like baseline: per-core ring buffers in overwrite mode with
+ * preemption disabled around the write (Linux kernel Function Tracer
+ * discipline, §2.2).
+ *
+ * Retention per core is perfect FIFO, but the buffer is statically
+ * split 1/C per core, so skewed per-core production speeds leave slow
+ * cores' buffers half-stale while fast cores overwrite recent data —
+ * the utilization/effectivity problem of Fig 5. Preempt-off makes the
+ * write path cheap and atomically owned in the kernel; it is exactly
+ * the discipline that userspace tracers cannot afford.
+ */
+
+#ifndef BTRACE_BASELINES_FTRACE_LIKE_H
+#define BTRACE_BASELINES_FTRACE_LIKE_H
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "baselines/byte_ring.h"
+#include "common/cacheline.h"
+#include "trace/tracer.h"
+
+namespace btrace {
+
+/** Configuration of the ftrace-like baseline. */
+struct FtraceConfig
+{
+    std::size_t capacityBytes = 12u << 20; //!< split evenly across cores
+    unsigned cores = 12;
+};
+
+/** Per-core overwrite rings with preempt-off writes. */
+class FtraceLike : public Tracer
+{
+  public:
+    explicit FtraceLike(const FtraceConfig &config,
+                        const CostModel &model = CostModel::def());
+
+    std::string name() const override { return "ftrace"; }
+    bool disablesPreemption() const override { return true; }
+    std::size_t capacityBytes() const override;
+
+    WriteTicket allocate(uint16_t core, uint32_t thread,
+                         uint32_t payload_len) override;
+    void confirm(WriteTicket &ticket) override;
+    Dump dump() override;
+
+  private:
+    struct CoreRing
+    {
+        explicit CoreRing(std::size_t bytes) : ring(bytes) {}
+        ByteRing ring;
+        // Models the preempt_disable() critical section: within one
+        // core writes are mutually exclusive by construction in the
+        // kernel; real-thread harnesses get the same guarantee here.
+        std::atomic_flag busy = ATOMIC_FLAG_INIT;
+    };
+
+    FtraceConfig cfg;
+    std::size_t perCore;
+    std::vector<std::unique_ptr<CoreRing>> rings;
+};
+
+} // namespace btrace
+
+#endif // BTRACE_BASELINES_FTRACE_LIKE_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * LTTng-UST-like baseline: per-core rings of sub-buffers, lockless
+ * reservation, and *drop-newest* behaviour when the ring wraps onto a
+ * sub-buffer that still has uncommitted (preempted-writer) data
+ * (§2.2, Fig 1b).
+ *
+ * Each core's buffer is split into S sub-buffers. Producers reserve
+ * space in the current sub-buffer with a CAS loop and commit with a
+ * counter increment. Switching to the next sub-buffer requires its
+ * previous generation to be fully committed; otherwise the incoming
+ * event is dropped — LTTng sacrifices availability of the newest data
+ * rather than block or disable preemption.
+ */
+
+#ifndef BTRACE_BASELINES_LTTNG_LIKE_H
+#define BTRACE_BASELINES_LTTNG_LIKE_H
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "trace/tracer.h"
+
+namespace btrace {
+
+/** Configuration of the LTTng-like baseline. */
+struct LttngConfig
+{
+    std::size_t capacityBytes = 12u << 20; //!< split evenly across cores
+    unsigned cores = 12;
+    unsigned subBuffers = 8;               //!< sub-buffers per core
+};
+
+/** Per-core sub-buffered rings with drop-newest overwrite mode. */
+class LttngLike : public Tracer
+{
+  public:
+    explicit LttngLike(const LttngConfig &config,
+                       const CostModel &model = CostModel::def());
+
+    std::string name() const override { return "LTTng"; }
+    std::size_t capacityBytes() const override;
+
+    WriteTicket allocate(uint16_t core, uint32_t thread,
+                         uint32_t payload_len) override;
+    void confirm(WriteTicket &ticket) override;
+    Dump dump() override;
+
+    /** Events shed because the next sub-buffer was unfinished. */
+    uint64_t droppedCount() const
+    {
+        return dropped.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct SubBuf
+    {
+        std::atomic<uint64_t> seq{0};       //!< generation served
+        std::atomic<uint32_t> reserved{0};  //!< bytes reserved
+        std::atomic<uint32_t> committed{0}; //!< bytes committed
+    };
+
+    struct CoreState
+    {
+        CoreState(std::size_t bytes, unsigned sub_count)
+            : buf(bytes), subs(sub_count) {}
+        std::vector<uint8_t> buf;
+        std::vector<SubBuf> subs;
+        std::atomic<uint64_t> curSeq{0};
+        std::atomic_flag switchLock = ATOMIC_FLAG_INIT;
+    };
+
+    /** Try to move core @p cs from generation @p gen to the next. */
+    enum class SwitchResult { Switched, WouldDrop };
+    SwitchResult trySwitch(CoreState &cs, uint64_t gen, double &cost);
+
+    uint8_t *
+    subBase(CoreState &cs, uint64_t gen)
+    {
+        return cs.buf.data() + (gen % cfg.subBuffers) * subBytes;
+    }
+
+    LttngConfig cfg;
+    std::size_t perCore;
+    std::size_t subBytes;
+    std::vector<std::unique_ptr<CoreState>> coresState;
+    std::atomic<uint64_t> dropped{0};
+};
+
+} // namespace btrace
+
+#endif // BTRACE_BASELINES_LTTNG_LIKE_H

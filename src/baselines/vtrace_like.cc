@@ -1,0 +1,92 @@
+#include "baselines/vtrace_like.h"
+
+#include <algorithm>
+
+namespace btrace {
+
+VtraceLike::VtraceLike(const VtraceConfig &config, const CostModel &model)
+    : Tracer(model), cfg(config)
+{
+    BTRACE_ASSERT(cfg.expectedThreads >= 1, "need at least one thread");
+    perThread = std::max(cfg.minPerThread,
+                         cfg.capacityBytes / cfg.expectedThreads) &
+                ~std::size_t(7);
+}
+
+std::size_t
+VtraceLike::capacityBytes() const
+{
+    // The nominal budget. With very many expected threads the
+    // per-thread minimum can make the *allocated* total exceed this —
+    // precisely the 1/T provisioning pathology (§2.2); see
+    // allocatedBytes().
+    return cfg.capacityBytes;
+}
+
+std::size_t
+VtraceLike::allocatedBytes() const
+{
+    std::scoped_lock lock(mapLock);
+    return rings.size() * perThread;
+}
+
+ByteRing &
+VtraceLike::ringFor(uint32_t thread, double &cost)
+{
+    std::scoped_lock lock(mapLock);
+    auto it = rings.find(thread);
+    if (it == rings.end()) {
+        it = rings.emplace(thread,
+                           std::make_unique<ByteRing>(perThread)).first;
+        cost += 10 * costs.setupOverhead;  // first-event buffer setup
+    }
+    return *it->second;
+}
+
+WriteTicket
+VtraceLike::allocate(uint16_t core, uint32_t thread, uint32_t payload_len)
+{
+    const auto need = static_cast<uint32_t>(
+        EntryLayout::normalSize(payload_len));
+    BTRACE_DASSERT(need <= perThread, "entry larger than a thread ring");
+
+    WriteTicket ticket;
+    ticket.core = core;
+    ticket.thread = thread;
+    // OTF record encoding, clock synchronization, and per-thread
+    // bookkeeping: no atomics, but a heavyweight framework path.
+    ticket.cost = costs.tscRead + costs.vtraceFramework +
+                  costs.setupOverhead;
+
+    ByteRing &ring = ringFor(thread, ticket.cost);
+    ticket.dst = ring.reserve(need);
+    ticket.entrySize = need;
+    ticket.status = AllocStatus::Ok;
+    return ticket;
+}
+
+void
+VtraceLike::confirm(WriteTicket &ticket)
+{
+    BTRACE_DASSERT(ticket.status == AllocStatus::Ok, "confirm without Ok");
+    ticket.cost += costs.setupOverhead;  // flush bookkeeping
+}
+
+Dump
+VtraceLike::dump()
+{
+    Dump out;
+    std::scoped_lock lock(mapLock);
+    for (auto &[thread, ring] : rings)
+        ring->collect(out.entries);
+    return out;
+}
+
+std::size_t
+VtraceLike::threadBufferCount() const
+{
+    std::scoped_lock lock(mapLock);
+    return rings.size();
+}
+
+} // namespace btrace

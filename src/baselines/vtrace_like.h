@@ -1,0 +1,67 @@
+/**
+ * @file
+ * VampirTrace-like baseline: one private buffer per thread (§2.2).
+ *
+ * Per-thread buffers avoid all synchronization on the write path, but
+ * the fixed total capacity must be split across every thread that ever
+ * traces. With the hundreds of threads per core that smartphones run
+ * (Fig 6), each thread's slice is tiny, so utilization collapses to
+ * ~1/T and retained traces shatter into per-thread fragments
+ * (Table 1/2: worst latest-fragment and loss results).
+ */
+
+#ifndef BTRACE_BASELINES_VTRACE_LIKE_H
+#define BTRACE_BASELINES_VTRACE_LIKE_H
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "baselines/byte_ring.h"
+#include "trace/tracer.h"
+
+namespace btrace {
+
+/** Configuration of the VampirTrace-like baseline. */
+struct VtraceConfig
+{
+    std::size_t capacityBytes = 12u << 20;
+    /** Threads the capacity is provisioned for (buffer = cap / this). */
+    unsigned expectedThreads = 400;
+    std::size_t minPerThread = 2048;
+};
+
+/** Per-thread overwrite rings. */
+class VtraceLike : public Tracer
+{
+  public:
+    explicit VtraceLike(const VtraceConfig &config,
+                        const CostModel &model = CostModel::def());
+
+    std::string name() const override { return "VTrace"; }
+    std::size_t capacityBytes() const override;
+
+    WriteTicket allocate(uint16_t core, uint32_t thread,
+                         uint32_t payload_len) override;
+    void confirm(WriteTicket &ticket) override;
+    Dump dump() override;
+
+    /** Number of per-thread buffers created so far. */
+    std::size_t threadBufferCount() const;
+
+    /** Memory actually allocated (may exceed the nominal budget). */
+    std::size_t allocatedBytes() const;
+
+  private:
+    ByteRing &ringFor(uint32_t thread, double &cost);
+
+    VtraceConfig cfg;
+    std::size_t perThread;
+
+    mutable std::mutex mapLock;
+    std::unordered_map<uint32_t, std::unique_ptr<ByteRing>> rings;
+};
+
+} // namespace btrace
+
+#endif // BTRACE_BASELINES_VTRACE_LIKE_H

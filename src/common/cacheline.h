@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Cache-line geometry constants and padding helpers.
+ */
+
+#ifndef BTRACE_COMMON_CACHELINE_H
+#define BTRACE_COMMON_CACHELINE_H
+
+#include <cstddef>
+
+namespace btrace {
+
+/**
+ * Assumed cache-line size. std::hardware_destructive_interference_size
+ * is not consistently available across toolchains; 64 bytes matches
+ * every ARM big.LITTLE and x86 part this library targets.
+ */
+constexpr std::size_t cacheLineSize = 64;
+
+/** Wrap a value so each instance lives on its own cache line. */
+template <typename T>
+struct alignas(cacheLineSize) CacheAligned
+{
+    T value{};
+
+    T *operator->() { return &value; }
+    const T *operator->() const { return &value; }
+    T &operator*() { return value; }
+    const T &operator*() const { return value; }
+};
+
+/** Round @p n up to a multiple of @p align (power of two). */
+constexpr std::size_t
+alignUp(std::size_t n, std::size_t align)
+{
+    return (n + align - 1) & ~(align - 1);
+}
+
+/** True iff @p n is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+} // namespace btrace
+
+#endif // BTRACE_COMMON_CACHELINE_H

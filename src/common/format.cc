@@ -1,0 +1,101 @@
+#include "common/format.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace btrace {
+
+std::string
+humanBytes(double bytes)
+{
+    char buf[32];
+    if (bytes >= 1024.0 * 1024.0 * 1024.0) {
+        std::snprintf(buf, sizeof(buf), "%.1f GB",
+                      bytes / (1024.0 * 1024.0 * 1024.0));
+    } else if (bytes >= 1024.0 * 1024.0) {
+        std::snprintf(buf, sizeof(buf), "%.1f MB", bytes / (1024.0 * 1024.0));
+    } else if (bytes >= 1024.0) {
+        std::snprintf(buf, sizeof(buf), "%.1f KB", bytes / 1024.0);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+    }
+    return buf;
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtCompact(double v)
+{
+    if (v == 0)
+        return "0";
+    if (v < 1000)
+        return fmtDouble(v, v < 10 ? 1 : 0);
+    const int exp = static_cast<int>(std::floor(std::log10(v)));
+    const double mant = v / std::pow(10.0, exp);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0fe%d", mant, exp);
+    return buf;
+}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    head = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    body.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::size_t cols = head.size();
+    for (const auto &r : body)
+        cols = std::max(cols, r.size());
+
+    std::vector<std::size_t> widths(cols, 0);
+    auto widen = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i)
+            widths[i] = std::max(widths[i], r[i].size());
+    };
+    widen(head);
+    for (const auto &r : body)
+        widen(r);
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < cols; ++i) {
+            const std::string &cell = i < r.size() ? r[i] : std::string();
+            out << (i == 0 ? "| " : " | ");
+            out << cell;
+            out << std::string(widths[i] - cell.size(), ' ');
+        }
+        out << " |\n";
+    };
+
+    if (!head.empty()) {
+        emit(head);
+        for (std::size_t i = 0; i < cols; ++i) {
+            out << (i == 0 ? "|-" : "-|-");
+            out << std::string(widths[i], '-');
+        }
+        out << "-|\n";
+    }
+    for (const auto &r : body)
+        emit(r);
+    return out.str();
+}
+
+} // namespace btrace

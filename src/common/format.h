@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain-text output helpers shared by the bench harnesses: humanized
+ * byte counts and a fixed-width table printer that mimics the layout
+ * of the paper's tables.
+ */
+
+#ifndef BTRACE_COMMON_FORMAT_H
+#define BTRACE_COMMON_FORMAT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace btrace {
+
+/** "12.0 MB", "4.0 KB", "873 B". */
+std::string humanBytes(double bytes);
+
+/** Fixed-precision double → string ("3.14"). */
+std::string fmtDouble(double v, int precision = 2);
+
+/** Compact scientific-ish rendering used for fragment counts ("2e4"). */
+std::string fmtCompact(double v);
+
+/**
+ * Fixed-width text table. Columns are sized to the widest cell. Used
+ * by every bench binary so all reproduction output looks alike.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a body row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render with column separators and a header rule. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace btrace
+
+#endif // BTRACE_COMMON_FORMAT_H

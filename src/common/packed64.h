@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Packed 64-bit word layouts used by BTrace metadata.
+ *
+ * Two packings are defined:
+ *
+ *  - RndPos: [ Rnd:32 | Pos:32 ] — the Allocated / Confirmed words of a
+ *    metadata block (§4.1 of the paper). Pos counts bytes within the
+ *    data block; Rnd counts how many rounds the metadata block has been
+ *    (re)used, and identifies the managed data block (§3.3).
+ *
+ *  - RatioPos: [ Ratio:15 | Frozen:1 | Pos:48 ] — the global and
+ *    core-local ratio_and_pos words (§4.2). Pos is a monotonically
+ *    increasing global block position; Ratio is the data-blocks-per-
+ *    metadata-block mapping factor (§3.3); Frozen is set by the
+ *    resizer to park block advancement while the mapping changes
+ *    (§4.4; our elaboration, see DESIGN.md).
+ *
+ * Both packings place Pos in the low bits so that a fetch_add(1 or
+ * size) advances Pos; an overflow into the high bits would require
+ * 2^32 failed byte allocations (RndPos) or 2^48 block advancements
+ * (RatioPos) and is out of scope by design.
+ */
+
+#ifndef BTRACE_COMMON_PACKED64_H
+#define BTRACE_COMMON_PACKED64_H
+
+#include <cstdint>
+
+namespace btrace {
+
+/** [ Rnd:32 | Pos:32 ] packing for metadata Allocated/Confirmed. */
+struct RndPos
+{
+    uint32_t rnd = 0;  //!< metadata round (identifies the data block)
+    uint32_t pos = 0;  //!< byte position / byte count within the block
+
+    static constexpr uint64_t
+    pack(uint32_t rnd, uint32_t pos)
+    {
+        return (uint64_t(rnd) << 32) | pos;
+    }
+
+    static constexpr RndPos
+    unpack(uint64_t word)
+    {
+        return {uint32_t(word >> 32), uint32_t(word & 0xffffffffu)};
+    }
+
+    constexpr uint64_t packed() const { return pack(rnd, pos); }
+
+    friend constexpr bool
+    operator==(const RndPos &a, const RndPos &b) = default;
+};
+
+/** [ Ratio:15 | Frozen:1 | Pos:48 ] packing for ratio_and_pos. */
+struct RatioPos
+{
+    static constexpr int posBits = 48;
+    static constexpr uint64_t posMask = (uint64_t(1) << posBits) - 1;
+    static constexpr uint64_t frozenBit = uint64_t(1) << posBits;
+    static constexpr uint32_t maxRatio = (1u << 15) - 1;
+
+    uint32_t ratio = 1;    //!< data blocks per metadata block
+    bool frozen = false;   //!< resize in progress; advancement parked
+    uint64_t pos = 0;      //!< monotonic global block position
+
+    static constexpr uint64_t
+    pack(uint32_t ratio, bool frozen, uint64_t pos)
+    {
+        return (uint64_t(ratio) << (posBits + 1)) |
+               (frozen ? frozenBit : 0) | (pos & posMask);
+    }
+
+    static constexpr RatioPos
+    unpack(uint64_t word)
+    {
+        return {uint32_t(word >> (posBits + 1)),
+                (word & frozenBit) != 0, word & posMask};
+    }
+
+    constexpr uint64_t packed() const { return pack(ratio, frozen, pos); }
+
+    friend constexpr bool
+    operator==(const RatioPos &a, const RatioPos &b) = default;
+};
+
+} // namespace btrace
+
+#endif // BTRACE_COMMON_PACKED64_H

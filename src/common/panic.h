@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Error-handling primitives, in the spirit of gem5's logging.hh.
+ *
+ * btrace::panic() reports an internal invariant violation (a bug in
+ * this library) and aborts. btrace::fatal() reports a condition caused
+ * by the caller (bad configuration, invalid arguments) and exits.
+ * BTRACE_ASSERT is an always-on invariant check used on cold paths;
+ * BTRACE_DASSERT compiles away in release builds and may be used on
+ * hot paths.
+ */
+
+#ifndef BTRACE_COMMON_PANIC_H
+#define BTRACE_COMMON_PANIC_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace btrace {
+
+/** Print an internal-bug diagnostic and abort(). */
+[[noreturn]] inline void
+panicAt(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "btrace panic: %s:%d: %s\n", file, line, msg);
+    std::abort();
+}
+
+/** Print a user-error diagnostic and exit(1). */
+[[noreturn]] inline void
+fatalAt(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "btrace fatal: %s:%d: %s\n", file, line, msg);
+    std::exit(1);
+}
+
+} // namespace btrace
+
+#define BTRACE_PANIC(msg) ::btrace::panicAt(__FILE__, __LINE__, msg)
+#define BTRACE_FATAL(msg) ::btrace::fatalAt(__FILE__, __LINE__, msg)
+
+/** Always-on invariant check; use on cold paths only. */
+#define BTRACE_ASSERT(cond, msg)                                        \
+    do {                                                                \
+        if (!(cond))                                                    \
+            BTRACE_PANIC("assertion failed: " #cond " — " msg);         \
+    } while (0)
+
+/** Debug-only invariant check; safe on hot paths. */
+#ifdef NDEBUG
+#define BTRACE_DASSERT(cond, msg) do { (void)sizeof(cond); } while (0)
+#else
+#define BTRACE_DASSERT(cond, msg) BTRACE_ASSERT(cond, msg)
+#endif
+
+#endif // BTRACE_COMMON_PANIC_H

@@ -1,0 +1,124 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/panic.h"
+
+namespace btrace {
+
+void
+RunningStat::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    sum += x;
+    logSum += std::log(std::max(x, 1e-9));
+}
+
+double
+RunningStat::geoMean() const
+{
+    return n ? std::exp(logSum / double(n)) : 0.0;
+}
+
+void
+SampleSet::ensureSorted()
+{
+    if (!sorted) {
+        std::sort(samples.begin(), samples.end());
+        sorted = true;
+    }
+}
+
+double
+SampleSet::percentile(double q)
+{
+    if (samples.empty())
+        return 0.0;
+    ensureSorted();
+    q = std::clamp(q, 0.0, 1.0);
+    const auto rank = static_cast<std::size_t>(
+        q * double(samples.size() - 1) + 0.5);
+    return samples[rank];
+}
+
+double
+SampleSet::mean() const
+{
+    if (samples.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : samples)
+        sum += x;
+    return sum / double(samples.size());
+}
+
+double
+SampleSet::geoMean() const
+{
+    return btrace::geoMean(samples);
+}
+
+Histogram::Histogram(double limit, std::size_t buckets)
+    : width(limit / double(buckets)), counts(buckets, 0)
+{
+    BTRACE_ASSERT(limit > 0 && buckets > 0, "bad histogram geometry");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total;
+    if (x < 0)
+        x = 0;
+    const auto idx = static_cast<std::size_t>(x / width);
+    if (idx >= counts.size())
+        ++past;
+    else
+        ++counts[idx];
+}
+
+double
+Histogram::cdfAt(std::size_t i) const
+{
+    if (total == 0)
+        return 0.0;
+    uint64_t cum = 0;
+    for (std::size_t b = 0; b <= i && b < counts.size(); ++b)
+        cum += counts[b];
+    return double(cum) / double(total);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total == 0)
+        return 0.0;
+    const auto target = static_cast<uint64_t>(q * double(total));
+    uint64_t cum = 0;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+        cum += counts[b];
+        if (cum >= target)
+            return (double(b) + 0.5) * width;
+    }
+    return double(counts.size()) * width;
+}
+
+double
+geoMean(const std::vector<double> &xs, double floor)
+{
+    if (xs.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double x : xs)
+        logSum += std::log(std::max(x, floor));
+    return std::exp(logSum / double(xs.size()));
+}
+
+} // namespace btrace

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Small statistics toolkit used by the analysis layer and benches:
+ * running moments, geometric mean, percentile estimation over sample
+ * vectors, and fixed-bucket histograms for latency CDFs.
+ */
+
+#ifndef BTRACE_COMMON_STATS_H
+#define BTRACE_COMMON_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace btrace {
+
+/** Incremental mean / min / max / count over double samples. */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return n; }
+    double mean() const { return n ? sum / double(n) : 0.0; }
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+    double total() const { return sum; }
+
+    /**
+     * Geometric mean of the samples added via add(). Computed from an
+     * accumulated sum of logs; samples <= 0 are clamped to @p floor.
+     */
+    double geoMean() const;
+
+  private:
+    std::size_t n = 0;
+    double sum = 0.0;
+    double logSum = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * Percentile over an explicit sample set. Samples are stored; call
+ * percentile() after all adds (the first call sorts in place).
+ */
+class SampleSet
+{
+  public:
+    void add(double x) { samples.push_back(x); sorted = false; }
+    void reserve(std::size_t n) { samples.reserve(n); }
+
+    std::size_t count() const { return samples.size(); }
+
+    /** Value at quantile @p q in [0, 1] (nearest-rank). */
+    double percentile(double q);
+
+    double mean() const;
+    double geoMean() const;
+
+    const std::vector<double> &values() const { return samples; }
+
+  private:
+    void ensureSorted();
+
+    std::vector<double> samples;
+    bool sorted = false;
+};
+
+/**
+ * Fixed-width-bucket histogram over [0, limit); values past the limit
+ * land in an overflow bucket. Supports CDF extraction for Fig 11.
+ */
+class Histogram
+{
+  public:
+    Histogram(double limit, std::size_t buckets);
+
+    void add(double x);
+
+    std::size_t count() const { return total; }
+    double bucketWidth() const { return width; }
+    std::size_t bucketCount() const { return counts.size(); }
+    uint64_t bucketHits(std::size_t i) const { return counts.at(i); }
+    uint64_t overflow() const { return past; }
+
+    /** Cumulative fraction of samples <= upper edge of bucket @p i. */
+    double cdfAt(std::size_t i) const;
+
+    /** Approximate value at quantile @p q via linear bucket scan. */
+    double quantile(double q) const;
+
+  private:
+    double width;
+    std::vector<uint64_t> counts;
+    uint64_t past = 0;
+    std::size_t total = 0;
+};
+
+/** Geometric mean of a vector (zeros clamped to @p floor). */
+double geoMean(const std::vector<double> &xs, double floor = 1e-9);
+
+} // namespace btrace
+
+#endif // BTRACE_COMMON_STATS_H

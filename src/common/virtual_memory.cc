@@ -1,0 +1,92 @@
+#include "common/virtual_memory.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/panic.h"
+
+namespace btrace {
+
+std::size_t
+VirtualSpan::pageSize()
+{
+    static const std::size_t sz =
+        static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    return sz;
+}
+
+VirtualSpan::VirtualSpan(std::size_t max_bytes)
+{
+    reserved = alignUp(max_bytes, pageSize());
+    BTRACE_ASSERT(reserved > 0, "empty span");
+    void *p = ::mmap(nullptr, reserved, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (p == MAP_FAILED)
+        BTRACE_FATAL("mmap failed reserving trace buffer");
+    base = static_cast<uint8_t *>(p);
+}
+
+VirtualSpan::~VirtualSpan()
+{
+    if (base)
+        ::munmap(base, reserved);
+}
+
+VirtualSpan::VirtualSpan(VirtualSpan &&other) noexcept
+    : base(std::exchange(other.base, nullptr)),
+      reserved(std::exchange(other.reserved, 0))
+{
+}
+
+VirtualSpan &
+VirtualSpan::operator=(VirtualSpan &&other) noexcept
+{
+    if (this != &other) {
+        if (base)
+            ::munmap(base, reserved);
+        base = std::exchange(other.base, nullptr);
+        reserved = std::exchange(other.reserved, 0);
+    }
+    return *this;
+}
+
+void
+VirtualSpan::commit(std::size_t offset, std::size_t len)
+{
+    BTRACE_ASSERT(offset + len <= reserved, "commit out of range");
+    if (len)
+        ::madvise(base + offset, len, MADV_WILLNEED);
+}
+
+void
+VirtualSpan::decommit(std::size_t offset, std::size_t len)
+{
+    BTRACE_ASSERT(offset + len <= reserved, "decommit out of range");
+    BTRACE_ASSERT(offset % pageSize() == 0 && len % pageSize() == 0,
+                  "decommit must be page-aligned");
+    if (len) {
+        const int rc = ::madvise(base + offset, len, MADV_DONTNEED);
+        BTRACE_ASSERT(rc == 0, "madvise(MADV_DONTNEED) failed");
+    }
+}
+
+std::size_t
+VirtualSpan::residentBytes() const
+{
+    const std::size_t pages = reserved / pageSize();
+    std::vector<unsigned char> vec(pages);
+    if (::mincore(base, reserved, vec.data()) != 0)
+        return 0;
+    std::size_t resident = 0;
+    for (unsigned char flag : vec)
+        if (flag & 1)
+            ++resident;
+    return resident * pageSize();
+}
+
+} // namespace btrace

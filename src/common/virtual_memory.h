@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reserved virtual-address span with explicit physical commit and
+ * decommit, backing BTrace's runtime buffer resizing (§4.4).
+ *
+ * The paper keeps the virtual address of the trace buffer fixed at its
+ * maximum size and maps/unmaps physical memory underneath. We realize
+ * this with one anonymous mmap of the maximum size and
+ * madvise(MADV_DONTNEED) for decommit: the mapping stays valid for the
+ * whole lifetime, so a racing stale reader can never fault — it merely
+ * observes zero pages — while the kernel reclaims the physical pages
+ * immediately.
+ */
+
+#ifndef BTRACE_COMMON_VIRTUAL_MEMORY_H
+#define BTRACE_COMMON_VIRTUAL_MEMORY_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace btrace {
+
+/** RAII wrapper over a reserved, resizable anonymous memory span. */
+class VirtualSpan
+{
+  public:
+    /** Reserve @p max_bytes of virtual address space (page-rounded). */
+    explicit VirtualSpan(std::size_t max_bytes);
+    ~VirtualSpan();
+
+    VirtualSpan(const VirtualSpan &) = delete;
+    VirtualSpan &operator=(const VirtualSpan &) = delete;
+    VirtualSpan(VirtualSpan &&other) noexcept;
+    VirtualSpan &operator=(VirtualSpan &&other) noexcept;
+
+    /** Base address of the span. */
+    uint8_t *data() const { return base; }
+
+    /** Reserved (maximum) size in bytes. */
+    std::size_t maxSize() const { return reserved; }
+
+    /**
+     * Hint the kernel that [offset, offset+len) will be used. Pages
+     * are faulted in lazily either way; this is advisory.
+     */
+    void commit(std::size_t offset, std::size_t len);
+
+    /**
+     * Release the physical pages behind [offset, offset+len). The
+     * virtual range stays mapped and readable (as zeros).
+     */
+    void decommit(std::size_t offset, std::size_t len);
+
+    /** Resident-set size of the span in bytes (via mincore). */
+    std::size_t residentBytes() const;
+
+    /** System page size. */
+    static std::size_t pageSize();
+
+  private:
+    uint8_t *base = nullptr;
+    std::size_t reserved = 0;
+};
+
+} // namespace btrace
+
+#endif // BTRACE_COMMON_VIRTUAL_MEMORY_H

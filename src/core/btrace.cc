@@ -1,0 +1,332 @@
+#include "core/btrace.h"
+
+#include <algorithm>
+
+namespace btrace {
+
+BTrace::BTrace(const BTraceConfig &config, const CostModel &model)
+    : Tracer(model), cfg(config), cap(config.blockSize),
+      numActive(config.activeBlocks), maxN(config.effectiveMaxBlocks()),
+      span(config.effectiveMaxBlocks() * config.blockSize),
+      meta(config.activeBlocks), coreLocal(config.cores)
+{
+    cfg.validate();
+
+    const auto ratio = static_cast<uint32_t>(cfg.ratio());
+    BTRACE_ASSERT(ratio <= RatioPos::maxRatio, "ratio exceeds packing");
+
+    // Round 0 is a synthetic, already-complete round: Confirmed.pos ==
+    // capacity everywhere, so the first advancement per metadata block
+    // locks round >= 1 with no special cases.
+    for (auto &m : meta) {
+        m.allocated.store(RndPos::pack(0, uint32_t(cap)),
+                          std::memory_order_relaxed);
+        m.confirmed.store(RndPos::pack(0, uint32_t(cap)),
+                          std::memory_order_relaxed);
+    }
+
+    ratioLog.stage(0, ratio);
+    ratioLog.publish();
+
+    // Cores start parked on distinct round-0 positions; their first
+    // allocation overshoots and takes the advancement path.
+    for (unsigned c = 0; c < cfg.cores; ++c)
+        coreLocal[c]->store(RatioPos::pack(ratio, false, c),
+                            std::memory_order_relaxed);
+    global->store(RatioPos::pack(ratio, false, numActive),
+                  std::memory_order_release);
+
+    span.commit(0, cfg.numBlocks * cap);
+}
+
+uint8_t *
+BTrace::blockData(uint64_t phys)
+{
+    BTRACE_DASSERT(phys < maxN, "physical block out of range");
+    return span.data() + phys * cap;
+}
+
+const uint8_t *
+BTrace::blockData(uint64_t phys) const
+{
+    BTRACE_DASSERT(phys < maxN, "physical block out of range");
+    return span.data() + phys * cap;
+}
+
+uint64_t
+BTrace::physicalOf(uint64_t pos) const
+{
+    const uint64_t n = numActive * ratioLog.ratioAt(pos);
+    return pos % n;
+}
+
+std::size_t
+BTrace::capacityBytes() const
+{
+    return numBlocks() * cap;
+}
+
+std::size_t
+BTrace::numBlocks() const
+{
+    const auto g = RatioPos::unpack(
+        global->load(std::memory_order_acquire));
+    return numActive * g.ratio;
+}
+
+WriteTicket
+BTrace::allocate(uint16_t core, uint32_t thread, uint32_t payload_len)
+{
+    BTRACE_DASSERT(core < cfg.cores, "core id out of range");
+    const auto need = static_cast<uint32_t>(
+        EntryLayout::normalSize(payload_len));
+    BTRACE_DASSERT(need <= cap - EntryLayout::blockHeaderBytes,
+                   "entry larger than a data block");
+
+    WriteTicket ticket;
+    ticket.core = core;
+    ticket.thread = thread;
+    ticket.cost = costs.tscRead + costs.setupOverhead;
+
+    // Bounded safety valve: with every metadata block held by a
+    // preempted writer the advancement loop cannot make progress;
+    // report Retry so the caller can reschedule (§3.4).
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        const uint64_t local_word =
+            coreLocal[core]->load(std::memory_order_acquire);
+        const RatioPos local = RatioPos::unpack(local_word);
+        const std::size_t meta_idx = local.pos % numActive;
+        const auto exp_rnd = static_cast<uint32_t>(local.pos / numActive);
+        MetadataBlock &m = meta[meta_idx];
+
+        // Guard the fetch_add with a plain load of the same (hot)
+        // line: on an exhausted or stolen block an unconditional add
+        // would create avoidable dummy obligations and, if producers
+        // spin here, pump Pos towards a 32-bit overflow.
+        const RndPos pre = m.loadAllocated(std::memory_order_relaxed);
+        if (pre.rnd != exp_rnd || pre.pos >= cap) {
+            if (coreLocal[core]->load(std::memory_order_acquire) ==
+                local_word) {
+                const AdvanceResult res =
+                    tryAdvance(core, local_word, ticket.cost);
+                if (res == AdvanceResult::WouldBlock) {
+                    ticket.status = AllocStatus::Retry;
+                    ctrs.wouldBlock.fetch_add(1,
+                                              std::memory_order_relaxed);
+                    return ticket;
+                }
+            }
+            continue;
+        }
+
+        const RndPos old = RndPos::unpack(m.allocated.fetch_add(
+            need, std::memory_order_acq_rel));
+        ticket.cost += costs.atomicLocal;
+
+        if (old.rnd == exp_rnd) {
+            if (old.pos + need <= cap) {
+                // Fast path (§4.1): space granted in our core's block.
+                const uint64_t phys =
+                    local.pos % (numActive * local.ratio);
+                ticket.dst = blockData(phys) + old.pos;
+                ticket.entrySize = need;
+                ticket.cookie = meta_idx;
+                ticket.status = AllocStatus::Ok;
+                ctrs.fastAllocs.fetch_add(1, std::memory_order_relaxed);
+                return ticket;
+            }
+
+            if (old.pos < cap) {
+                // Insufficient tail: fill it with a dummy entry and
+                // confirm it (§4.1, Fig 8c), then advance.
+                const uint64_t phys =
+                    local.pos % (numActive * local.ratio);
+                const auto gap = static_cast<uint32_t>(cap - old.pos);
+                writeDummy(blockData(phys) + old.pos, gap);
+                m.confirmed.fetch_add(gap, std::memory_order_acq_rel);
+                ctrs.boundaryFills.fetch_add(1, std::memory_order_relaxed);
+                ctrs.dummyBytes.fetch_add(gap, std::memory_order_relaxed);
+                ticket.cost += costs.atomicLocal + costs.copy(8);
+            }
+
+            // Block exhausted: advance to a fresh one (§4.2).
+            const AdvanceResult res =
+                tryAdvance(core, local_word, ticket.cost);
+            if (res == AdvanceResult::WouldBlock) {
+                ticket.status = AllocStatus::Retry;
+                ctrs.wouldBlock.fetch_add(1, std::memory_order_relaxed);
+                return ticket;
+            }
+            continue;
+        }
+
+        BTRACE_DASSERT(old.rnd > exp_rnd,
+                       "allocation round ran behind the core-local view");
+
+        // Stale reservation: the metadata was re-locked for a newer
+        // round between our core-local read and the fetch_add. This
+        // happens when our core's lagging block was closed and stolen
+        // by a wrap-around producer (§3.2). We own [old.pos,
+        // old.pos+need) of the *new* round's block; fill it with a
+        // dummy and confirm so that block still completes.
+        ctrs.staleAllocs.fetch_add(1, std::memory_order_relaxed);
+        if (old.pos < cap) {
+            const auto claim = static_cast<uint32_t>(
+                std::min<uint64_t>(need, cap - old.pos));
+            const uint64_t stale_pos =
+                uint64_t(old.rnd) * numActive + meta_idx;
+            writeDummy(blockData(physicalOf(stale_pos)) + old.pos, claim);
+            m.confirmed.fetch_add(claim, std::memory_order_acq_rel);
+            ctrs.dummyBytes.fetch_add(claim, std::memory_order_relaxed);
+            ticket.cost += costs.atomicLocal + costs.copy(8);
+        }
+
+        // If no other thread of this core has installed a fresh block
+        // in the meantime, it is on us to advance; otherwise just
+        // re-read the updated core-local word.
+        if (coreLocal[core]->load(std::memory_order_acquire) ==
+            local_word) {
+            const AdvanceResult res =
+                tryAdvance(core, local_word, ticket.cost);
+            if (res == AdvanceResult::WouldBlock) {
+                ticket.status = AllocStatus::Retry;
+                ctrs.wouldBlock.fetch_add(1, std::memory_order_relaxed);
+                return ticket;
+            }
+        }
+    }
+
+    ticket.status = AllocStatus::Retry;
+    ctrs.wouldBlock.fetch_add(1, std::memory_order_relaxed);
+    return ticket;
+}
+
+void
+BTrace::confirm(WriteTicket &ticket)
+{
+    BTRACE_DASSERT(ticket.status == AllocStatus::Ok, "confirm without Ok");
+    MetadataBlock &m = meta[ticket.cookie];
+    m.confirmed.fetch_add(ticket.entrySize, std::memory_order_acq_rel);
+    ticket.cost += costs.atomicLocal;
+}
+
+void
+BTrace::closeRound(std::size_t meta_idx, uint32_t rnd, double &cost)
+{
+    MetadataBlock &m = meta[meta_idx];
+    for (;;) {
+        uint64_t aw = m.allocated.load(std::memory_order_acquire);
+        const RndPos a = RndPos::unpack(aw);
+        if (a.rnd != rnd || a.pos >= cap)
+            return;  // moved on, or nothing left to claim
+        if (!m.allocated.compare_exchange_weak(
+                aw, RndPos::pack(rnd, uint32_t(cap)),
+                std::memory_order_acq_rel, std::memory_order_relaxed)) {
+            cost += costs.retryBackoff;
+            continue;
+        }
+        // We claimed [a.pos, cap): fill with one dummy entry, confirm.
+        const auto gap = static_cast<uint32_t>(cap - a.pos);
+        const uint64_t pos = uint64_t(rnd) * numActive + meta_idx;
+        writeDummy(blockData(physicalOf(pos)) + a.pos, gap);
+        m.confirmed.fetch_add(gap, std::memory_order_acq_rel);
+        ctrs.closes.fetch_add(1, std::memory_order_relaxed);
+        ctrs.dummyBytes.fetch_add(gap, std::memory_order_relaxed);
+        cost += costs.atomicShared * 2 + costs.copy(8);
+        return;
+    }
+}
+
+BTrace::AdvanceResult
+BTrace::tryAdvance(uint16_t core, uint64_t local_word, double &cost)
+{
+    const auto max_skips = 2 * numActive;
+    std::size_t skips_in_a_row = 0;
+
+    for (;;) {
+        const RatioPos g = RatioPos::unpack(global->fetch_add(
+            1, std::memory_order_acq_rel));
+        cost += costs.atomicShared;
+
+        if (g.frozen)
+            return AdvanceResult::WouldBlock;  // resize in flight
+
+        const uint64_t cand = g.pos;
+        const uint64_t n = numActive * g.ratio;
+        const std::size_t meta_idx = cand % numActive;
+        const auto cand_rnd = static_cast<uint32_t>(cand / numActive);
+        MetadataBlock &m = meta[meta_idx];
+
+        uint64_t cw = m.confirmed.load(std::memory_order_acquire);
+        RndPos conf = RndPos::unpack(cw);
+        if (conf.rnd >= cand_rnd)
+            continue;  // a later candidate already took this metadata
+
+        if (conf.pos != cap) {
+            // Previous round still incomplete: close the lagging block
+            // (§3.2), then re-check; if a preempted writer still holds
+            // unconfirmed space, sacrifice the candidate (§3.4).
+            closeRound(meta_idx, conf.rnd, cost);
+            cw = m.confirmed.load(std::memory_order_acquire);
+            conf = RndPos::unpack(cw);
+            if (conf.rnd < cand_rnd && conf.pos != cap) {
+                writeSkipMarker(blockData(cand % n), cand);
+                ctrs.skips.fetch_add(1, std::memory_order_relaxed);
+                cost += costs.copy(16);
+                if (++skips_in_a_row > max_skips)
+                    return AdvanceResult::WouldBlock;
+                continue;
+            }
+            if (conf.rnd >= cand_rnd)
+                continue;
+        }
+        skips_in_a_row = 0;
+
+        // Lock the block for our round (§4.2 step 4): Confirmed goes
+        // from (old round, capacity) to (cand_rnd, 0).
+        if (!m.confirmed.compare_exchange_strong(
+                cw, RndPos::pack(cand_rnd, 0),
+                std::memory_order_acq_rel, std::memory_order_acquire)) {
+            ctrs.lockRaces.fetch_add(1, std::memory_order_relaxed);
+            cost += costs.retryBackoff;
+            continue;
+        }
+
+        // Step 5: stamp the block header before any data write.
+        uint8_t *blk = blockData(cand % n);
+        writeBlockHeader(blk, cand);
+        cost += costs.copy(16);
+
+        // Step 6: reset Allocated for the new round. Stale fetch_adds
+        // from other producers keep mutating the word, so loop.
+        uint64_t aw = m.allocated.load(std::memory_order_acquire);
+        while (!m.allocated.compare_exchange_weak(
+                   aw, RndPos::pack(cand_rnd,
+                                    EntryLayout::blockHeaderBytes),
+                   std::memory_order_acq_rel, std::memory_order_acquire)) {
+            cost += costs.retryBackoff;
+        }
+
+        // Step 7: confirm the header bytes.
+        m.confirmed.fetch_add(EntryLayout::blockHeaderBytes,
+                              std::memory_order_acq_rel);
+        cost += costs.atomicLocal;
+
+        // Step 8: hand the block to our core.
+        uint64_t expected = local_word;
+        if (!coreLocal[core]->compare_exchange_strong(
+                expected, RatioPos::pack(g.ratio, false, cand),
+                std::memory_order_acq_rel, std::memory_order_acquire)) {
+            // Another thread on this core already installed a block;
+            // release ours by closing it and use theirs (§4.2, end).
+            ctrs.coreRaces.fetch_add(1, std::memory_order_relaxed);
+            closeRound(meta_idx, cand_rnd, cost);
+            return AdvanceResult::LostRace;
+        }
+
+        ctrs.advances.fetch_add(1, std::memory_order_relaxed);
+        return AdvanceResult::Advanced;
+    }
+}
+
+} // namespace btrace

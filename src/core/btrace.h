@@ -1,0 +1,157 @@
+/**
+ * @file
+ * BTrace: the block-based mobile tracer (the paper's contribution).
+ *
+ * One global buffer is statically partitioned into N equally sized
+ * data blocks; A metadata blocks (the *active blocks*, §3.2) are
+ * mapped onto them with ratio N/A (§3.3). Each core owns one data
+ * block at a time (core-local ratio_and_pos); producers on that core
+ * reserve space with a single fetch_add on the block's Allocated word
+ * and publish with a fetch_add on Confirmed (out-of-order confirmation,
+ * §3.4/§4.1). When a block fills, the producer advances via a
+ * fetch_add on the global ratio_and_pos, closing the lagging block of
+ * the target metadata and skipping blocks held by preempted writers
+ * (§4.2). Consumers read speculatively and re-validate (§4.3).
+ * Resizing swings the Ratio after an implicit-reclamation quiesce
+ * (§4.4).
+ *
+ * Position arithmetic: global position p (monotonic) maps to metadata
+ * index p mod A, metadata round p / A, and data block p mod N, where
+ * N = A * Ratio at the time p was handed out (RatioLog).
+ */
+
+#ifndef BTRACE_CORE_BTRACE_H
+#define BTRACE_CORE_BTRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/virtual_memory.h"
+#include "core/config.h"
+#include "core/epoch.h"
+#include "core/metadata.h"
+#include "core/ratio_log.h"
+#include "trace/tracer.h"
+
+namespace btrace {
+
+/** Internal event counters (all relaxed; for tests and reports). */
+struct BTraceCounters
+{
+    std::atomic<uint64_t> fastAllocs{0};     //!< fast-path successes
+    std::atomic<uint64_t> boundaryFills{0};  //!< §4.1 Fig 8c tail dummies
+    std::atomic<uint64_t> staleAllocs{0};    //!< FAA landed in newer round
+    std::atomic<uint64_t> advances{0};       //!< block advancements
+    std::atomic<uint64_t> skips{0};          //!< §3.4 skipped blocks
+    std::atomic<uint64_t> closes{0};         //!< §3.2 closed lagging blocks
+    std::atomic<uint64_t> lockRaces{0};      //!< lost Confirmed lock CAS
+    std::atomic<uint64_t> coreRaces{0};      //!< lost core-local install
+    std::atomic<uint64_t> wouldBlock{0};     //!< Retry returned to caller
+    std::atomic<uint64_t> dummyBytes{0};     //!< space lost to dummies
+    std::atomic<uint64_t> resizes{0};
+};
+
+/** Implementation of the Tracer interface per §3-§4 of the paper. */
+class BTrace : public Tracer
+{
+  public:
+    explicit BTrace(const BTraceConfig &config,
+                    const CostModel &model = CostModel::def());
+
+    std::string name() const override { return "BTrace"; }
+    std::size_t capacityBytes() const override;
+
+    WriteTicket allocate(uint16_t core, uint32_t thread,
+                         uint32_t payload_len) override;
+    void confirm(WriteTicket &ticket) override;
+    Dump dump() override;
+
+    /**
+     * Incremental consumer read (§4.3, daemon-collector mode): return
+     * the blocks completed at positions >= @p cursor, advancing
+     * @p cursor past everything read. A cursor that fell behind the
+     * overwrite frontier snaps forward to the last-N window (the
+     * skipped span is data the producer already overwrote).
+     *
+     * With @p close_active, non-filled blocks whose writes are all
+     * confirmed are read too and then *closed* by filling their
+     * remaining space with dummy data, exactly as the paper's
+     * consumer does — producers move on to fresh blocks. Blocks with
+     * unconfirmed in-flight writes are always skipped.
+     */
+    Dump dumpSince(uint64_t &cursor, bool close_active = false);
+
+    /**
+     * Resize the buffer to @p new_num_blocks data blocks (a multiple
+     * of A, within [A, maxBlocks]). Blocking maintenance operation:
+     * quiesces all active blocks, swings the ratio, and for shrinks
+     * waits for consumer epochs before releasing physical memory
+     * (§4.4). Producers keep running; only in-flight advancement backs
+     * off briefly (see DESIGN.md §3).
+     */
+    void resize(std::size_t new_num_blocks);
+
+    /** Current number of data blocks (N). */
+    std::size_t numBlocks() const;
+
+    const BTraceConfig &config() const { return cfg; }
+    const BTraceCounters &counters() const { return ctrs; }
+
+    /** Resident physical memory of the data area, in bytes. */
+    std::size_t residentBytes() const { return span.residentBytes(); }
+
+  private:
+    friend class BTraceInspector;  //!< white-box test access
+
+    enum class AdvanceResult { Advanced, LostRace, WouldBlock };
+
+    /** Data area of physical block @p phys. */
+    uint8_t *blockData(uint64_t phys);
+    const uint8_t *blockData(uint64_t phys) const;
+
+    /** Physical block of global position @p pos (via the RatioLog). */
+    uint64_t physicalOf(uint64_t pos) const;
+
+    /**
+     * Close the block of round @p rnd on metadata @p meta_idx: claim
+     * the remaining space, fill it with a dummy entry, and confirm it
+     * (§3.2). No-op if the metadata has moved past @p rnd or the block
+     * is already fully allocated.
+     */
+    void closeRound(std::size_t meta_idx, uint32_t rnd, double &cost);
+
+    /**
+     * Find, lock, and install a fresh data block for @p core (§4.2).
+     * @p local_word is the core-local snapshot the caller acted on.
+     */
+    AdvanceResult tryAdvance(uint16_t core, uint64_t local_word,
+                             double &cost);
+
+    /** Speculative consumer read of one physical block (§4.3). */
+    void readBlock(uint64_t phys, uint64_t window_start,
+                   uint64_t window_end, std::vector<uint8_t> &scratch,
+                   Dump &out);
+
+    BTraceConfig cfg;
+    std::size_t cap;           //!< block capacity bytes (= cfg.blockSize)
+    std::size_t numActive;     //!< A
+    std::size_t maxN;          //!< resize ceiling in blocks
+
+    VirtualSpan span;
+    std::vector<MetadataBlock> meta;
+    CacheAligned<std::atomic<uint64_t>> global;  //!< RatioPos packed
+    std::vector<CacheAligned<std::atomic<uint64_t>>> coreLocal;
+
+    RatioLog ratioLog;
+    std::mutex resizeMutex;
+    EpochRegistry consumers;
+    BTraceCounters ctrs;
+};
+
+} // namespace btrace
+
+#endif // BTRACE_CORE_BTRACE_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Static configuration of a BTrace instance.
+ */
+
+#ifndef BTRACE_CORE_CONFIG_H
+#define BTRACE_CORE_CONFIG_H
+
+#include <cstddef>
+
+#include "common/cacheline.h"
+#include "common/panic.h"
+#include "trace/event.h"
+
+namespace btrace {
+
+/**
+ * Geometry of a BTrace buffer (§3.1-§3.3).
+ *
+ * The paper's production defaults: 4 KB data blocks, A = 16 x cores
+ * active blocks, a 12-core asymmetric SoC. numBlocks must be a
+ * multiple of activeBlocks (the metadata mapping ratio N : A must be
+ * integral), and activeBlocks must be >= cores (§3.2).
+ */
+struct BTraceConfig
+{
+    std::size_t blockSize = 4096;   //!< data block bytes (>= 64, mult. of 8)
+    std::size_t numBlocks = 3072;   //!< initial N; capacity = N * blockSize
+    std::size_t activeBlocks = 192; //!< A; also the metadata block count
+    std::size_t maxBlocks = 0;      //!< resize ceiling; 0 means numBlocks
+    unsigned cores = 12;            //!< producer cores
+
+    std::size_t ratio() const { return numBlocks / activeBlocks; }
+    std::size_t capacityBytes() const { return numBlocks * blockSize; }
+    std::size_t effectiveMaxBlocks() const
+    {
+        return maxBlocks ? maxBlocks : numBlocks;
+    }
+
+    /** Abort with a diagnostic if the configuration is inconsistent. */
+    void
+    validate() const
+    {
+        BTRACE_ASSERT(blockSize >= 64 && blockSize % 8 == 0,
+                      "blockSize must be >= 64 and 8-byte aligned");
+        BTRACE_ASSERT(activeBlocks >= cores,
+                      "activeBlocks (A) must be >= cores (§3.2)");
+        BTRACE_ASSERT(numBlocks >= activeBlocks &&
+                      numBlocks % activeBlocks == 0,
+                      "numBlocks must be a positive multiple of A");
+        BTRACE_ASSERT(effectiveMaxBlocks() >= numBlocks &&
+                      effectiveMaxBlocks() % activeBlocks == 0,
+                      "maxBlocks must be a multiple of A and >= numBlocks");
+        BTRACE_ASSERT(cores >= 1, "need at least one core");
+    }
+
+    /** Largest normal-entry payload this geometry can store. */
+    std::size_t
+    maxPayloadBytes() const
+    {
+        return blockSize - EntryLayout::blockHeaderBytes -
+               EntryLayout::normalHeaderBytes;
+    }
+};
+
+} // namespace btrace
+
+#endif // BTRACE_CORE_CONFIG_H

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Speculative consumer (§4.3): copy a block optimistically with
+ * relaxed atomic word loads, then re-validate the block header and the
+ * metadata; abandon the block on any sign of concurrent overwrite.
+ */
+
+#include <algorithm>
+#include <atomic>
+
+#include "core/btrace.h"
+
+namespace btrace {
+
+namespace {
+
+uint64_t
+loadSharedWord(const uint8_t *src)
+{
+    return std::atomic_ref<const uint64_t>(
+               *reinterpret_cast<const uint64_t *>(src))
+        .load(std::memory_order_relaxed);
+}
+
+} // namespace
+
+void
+BTrace::readBlock(uint64_t phys, uint64_t window_start,
+                  uint64_t window_end, std::vector<uint8_t> &scratch,
+                  Dump &out)
+{
+    const uint8_t *src = blockData(phys);
+
+    const uint64_t word0 = loadSharedWord(src);
+    if (!Descriptor::validMagic(word0))
+        return;  // never used (or decommitted to zeros)
+    const Descriptor desc = Descriptor::unpack(word0);
+
+    if (desc.type == EntryType::Skip) {
+        const uint64_t pos = loadSharedWord(src + 8);
+        if (pos >= window_start && pos < window_end)
+            ++out.skippedBlocks;
+        return;
+    }
+    if (desc.type != EntryType::BlockHeader)
+        return;  // stale interior bytes; not a block start
+
+    const uint64_t q = loadSharedWord(src + 8);
+    if (q < window_start || q >= window_end)
+        return;  // ancient round; outside the last-N window
+
+    const std::size_t meta_idx = q % numActive;
+    const auto rnd = static_cast<uint32_t>(q / numActive);
+    const MetadataBlock &m = meta[meta_idx];
+
+    const RndPos conf = m.loadConfirmed();
+    std::size_t readable = 0;
+    if (conf.rnd == rnd) {
+        if (conf.pos == cap) {
+            readable = cap;  // complete current-round block
+        } else {
+            // Active block: readable only when every reservation has
+            // been confirmed (Allocated.pos == Confirmed.pos, §4.1).
+            const RndPos alloc = m.loadAllocated();
+            if (alloc.rnd == rnd && alloc.pos == conf.pos) {
+                readable = conf.pos;
+            } else {
+                ++out.unreadableBlocks;
+                return;
+            }
+        }
+    } else if (conf.rnd > rnd) {
+        // Older round of this metadata: considered filled (§3.3). The
+        // physical block may since have been re-locked; the post-copy
+        // header re-check below catches that.
+        readable = cap;
+    } else {
+        return;  // torn header claiming a future round
+    }
+
+    if (scratch.size() < readable)
+        scratch.resize(readable);
+    for (std::size_t w = 0; w < readable; w += 8) {
+        const uint64_t word = loadSharedWord(src + w);
+        std::memcpy(scratch.data() + w, &word, 8);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+
+    // Re-validate: same header, and for current-round blocks the same
+    // confirmation state (a change means writers touched the block
+    // mid-copy).
+    const uint64_t word0b = loadSharedWord(src);
+    const uint64_t qb = loadSharedWord(src + 8);
+    bool valid = word0b == word0 && qb == q;
+    if (valid && conf.rnd == rnd) {
+        const RndPos conf2 = m.loadConfirmed();
+        valid = conf2 == conf ||
+                (conf.pos == cap && conf2.rnd == rnd);
+        if (valid && readable < cap) {
+            const RndPos alloc2 = m.loadAllocated();
+            valid = alloc2.rnd == rnd && alloc2.pos == conf.pos;
+        }
+    }
+    if (!valid) {
+        ++out.abandonedBlocks;
+        return;
+    }
+
+    // Parse the copy; discard the whole block if the tiling is broken
+    // (conservative: a torn block must never contaminate the dump).
+    EntryCursor cursor(scratch.data() + EntryLayout::blockHeaderBytes,
+                       readable - EntryLayout::blockHeaderBytes);
+    std::vector<DumpEntry> parsed;
+    EntryView view;
+    while (cursor.next(view)) {
+        if (view.type != EntryType::Normal)
+            continue;
+        DumpEntry e;
+        e.stamp = view.stamp;
+        e.size = view.size;
+        e.core = view.core;
+        e.thread = view.thread;
+        e.category = view.category;
+        e.payloadOk = view.payloadOk;
+        parsed.push_back(e);
+    }
+    if (cursor.malformed()) {
+        ++out.abandonedBlocks;
+        return;
+    }
+    out.entries.insert(out.entries.end(), parsed.begin(), parsed.end());
+}
+
+Dump
+BTrace::dump()
+{
+    Dump out;
+    EpochRegistry::Guard guard(consumers);
+
+    const RatioPos g =
+        RatioPos::unpack(global->load(std::memory_order_acquire));
+    const uint64_t n = numActive * g.ratio;
+    const uint64_t window_end = g.pos;
+    const uint64_t window_start = window_end > n ? window_end - n : 0;
+
+    std::vector<uint8_t> scratch(cap);
+    for (uint64_t phys = 0; phys < n; ++phys)
+        readBlock(phys, window_start, window_end, scratch, out);
+    return out;
+}
+
+Dump
+BTrace::dumpSince(uint64_t &cursor, bool close_active)
+{
+    Dump out;
+    EpochRegistry::Guard guard(consumers);
+
+    const RatioPos g =
+        RatioPos::unpack(global->load(std::memory_order_acquire));
+    const uint64_t n = numActive * g.ratio;
+    const uint64_t window_end = g.pos;
+    const uint64_t window_start = window_end > n ? window_end - n : 0;
+
+    // Catch up to the overwrite frontier (§4.3): positions the
+    // producers already lapped are gone.
+    uint64_t q = std::max(cursor, window_start);
+
+    std::vector<uint8_t> scratch(cap);
+    double close_cost = 0.0;
+    for (; q < window_end; ++q) {
+        const std::size_t meta_idx = q % numActive;
+        const auto rnd = static_cast<uint32_t>(q / numActive);
+        const MetadataBlock &m = meta[meta_idx];
+        const RndPos conf = m.loadConfirmed();
+
+        if (conf.rnd == rnd && conf.pos < cap) {
+            // Current-round block, still being filled. With
+            // close_active we shut it (§4.3 non-filled handling) so
+            // its contents can be returned now and producers move to
+            // a fresh block; otherwise stop here — consuming a
+            // partial block would lose its later entries.
+            if (close_active) {
+                const RndPos alloc = m.loadAllocated();
+                if (alloc.rnd == rnd && alloc.pos == conf.pos)
+                    closeRound(meta_idx, rnd, close_cost);
+                // An in-flight writer keeps the block incomplete;
+                // fall through — readBlock will classify it.
+            } else {
+                break;
+            }
+        } else if (conf.rnd < rnd) {
+            // Metadata has not reached this round: either an
+            // advancement in flight (worth waiting for near the
+            // frontier) or a permanently orphaned candidate.
+            if (window_end - q <= 2 * numActive)
+                break;
+            continue;
+        }
+
+        readBlock(physicalOf(q), q, q + 1, scratch, out);
+    }
+    cursor = q;
+    return out;
+}
+
+} // namespace btrace

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Epoch-based reclamation for consumers (§4.4).
+ *
+ * Producers need no epochs — block completion is their implicit epoch
+ * boundary (§3.3). Consumers, being off the critical path, use a
+ * conventional EBR: a consumer holds an odd epoch value while reading;
+ * the shrinker snapshots all slots and waits until every slot is even
+ * or has moved on before decommitting memory.
+ */
+
+#ifndef BTRACE_CORE_EPOCH_H
+#define BTRACE_CORE_EPOCH_H
+
+#include <array>
+#include <atomic>
+#include <thread>
+
+#include "common/cacheline.h"
+#include "common/panic.h"
+
+namespace btrace {
+
+/** Registry of consumer epochs with a bounded number of slots. */
+class EpochRegistry
+{
+  public:
+    static constexpr std::size_t slotCount = 16;
+
+    /** RAII read-side critical section. */
+    class Guard
+    {
+      public:
+        explicit Guard(EpochRegistry &reg) : registry(reg)
+        {
+            slot = registry.claimSlot();
+            registry.epochs[slot]->fetch_add(1, std::memory_order_acq_rel);
+        }
+
+        ~Guard()
+        {
+            registry.epochs[slot]->fetch_add(1, std::memory_order_acq_rel);
+            registry.releaseSlot(slot);
+        }
+
+        Guard(const Guard &) = delete;
+        Guard &operator=(const Guard &) = delete;
+
+      private:
+        EpochRegistry &registry;
+        std::size_t slot;
+    };
+
+    /** Block until every reader active at call time has exited. */
+    void
+    synchronize()
+    {
+        std::array<uint64_t, slotCount> snap;
+        for (std::size_t i = 0; i < slotCount; ++i)
+            snap[i] = epochs[i]->load(std::memory_order_acquire);
+        for (std::size_t i = 0; i < slotCount; ++i) {
+            if (snap[i] % 2 == 0)
+                continue;  // quiescent at snapshot time
+            while (epochs[i]->load(std::memory_order_acquire) == snap[i])
+                std::this_thread::yield();
+        }
+    }
+
+  private:
+    std::size_t
+    claimSlot()
+    {
+        for (;;) {
+            for (std::size_t i = 0; i < slotCount; ++i) {
+                bool expected = false;
+                if (occupied[i]->compare_exchange_strong(
+                        expected, true, std::memory_order_acq_rel))
+                    return i;
+            }
+            std::this_thread::yield();
+        }
+    }
+
+    void
+    releaseSlot(std::size_t slot)
+    {
+        occupied[slot]->store(false, std::memory_order_release);
+    }
+
+    std::array<CacheAligned<std::atomic<uint64_t>>, slotCount> epochs{};
+    std::array<CacheAligned<std::atomic<bool>>, slotCount> occupied{};
+};
+
+} // namespace btrace
+
+#endif // BTRACE_CORE_EPOCH_H

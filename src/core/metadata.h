@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The per-active-block metadata record (§3.3, §4.1).
+ *
+ * Each of the A metadata blocks holds two packed RndPos words:
+ * Allocated (bumped by producers reserving space) and Confirmed (a
+ * *count* of confirmed bytes, enabling out-of-order confirmation,
+ * §3.4). The paper sizes metadata blocks at 128 bytes; we reserve the
+ * same so two metadata blocks never share a cache line.
+ *
+ * Key invariant (see DESIGN.md §3): every byte of a block's capacity
+ * is confirmed exactly once — by its writer, by a boundary dummy fill,
+ * or by a closing fill — so `Confirmed.pos == capacity` iff the block
+ * is complete, and the round-advancing CAS on Confirmed can only
+ * succeed on complete blocks. That is what makes the unconditional
+ * confirm fetch_add safe across rounds.
+ */
+
+#ifndef BTRACE_CORE_METADATA_H
+#define BTRACE_CORE_METADATA_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/packed64.h"
+
+namespace btrace {
+
+/** Metadata for one active block slot; 128 bytes, cache-aligned. */
+struct alignas(128) MetadataBlock
+{
+    /** [Rnd | Pos]: reservation high-water mark (may overshoot). */
+    std::atomic<uint64_t> allocated{0};
+    /** [Rnd | Pos]: count of confirmed bytes in the current round. */
+    std::atomic<uint64_t> confirmed{0};
+
+    uint8_t pad[128 - 2 * sizeof(std::atomic<uint64_t>)] = {};
+
+    /** Snapshot helpers. */
+    RndPos
+    loadAllocated(std::memory_order mo = std::memory_order_acquire) const
+    {
+        return RndPos::unpack(allocated.load(mo));
+    }
+
+    RndPos
+    loadConfirmed(std::memory_order mo = std::memory_order_acquire) const
+    {
+        return RndPos::unpack(confirmed.load(mo));
+    }
+};
+
+static_assert(sizeof(MetadataBlock) == 128,
+              "metadata block must match the paper's 128-byte footprint");
+
+} // namespace btrace
+
+#endif // BTRACE_CORE_METADATA_H

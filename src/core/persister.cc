@@ -1,0 +1,124 @@
+#include "core/persister.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+namespace btrace {
+
+namespace {
+
+constexpr uint64_t fileMagic = 0x31765052'54425442ull;  // "BTBTRPv1"
+
+/** Fixed 24-byte on-disk record. */
+struct DiskRecord
+{
+    uint64_t stamp;
+    uint32_t size;
+    uint16_t core;
+    uint16_t category;
+    uint32_t thread;
+    uint32_t flags;  // bit 0: payloadOk
+};
+
+static_assert(sizeof(DiskRecord) == 24, "disk record must be packed");
+
+} // namespace
+
+TracePersister::TracePersister(BTrace &tracer_, const std::string &path_,
+                               const PersisterOptions &options)
+    : tracer(tracer_), opt(options), path(path_)
+{
+    fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd < 0)
+        BTRACE_FATAL("cannot open persistence file");
+    if (::write(fd, &fileMagic, sizeof(fileMagic)) !=
+        ssize_t(sizeof(fileMagic)))
+        BTRACE_FATAL("cannot write persistence header");
+    worker = std::thread([this]() { run(); });
+}
+
+TracePersister::~TracePersister()
+{
+    stop();
+}
+
+void
+TracePersister::run()
+{
+    const auto interval = std::chrono::duration<double>(
+        opt.pollIntervalSec);
+    while (!stopping.load(std::memory_order_acquire)) {
+        const Dump d = tracer.dumpSince(cursor, opt.closeActive);
+        append(d.entries);
+        std::this_thread::sleep_for(interval);
+    }
+}
+
+void
+TracePersister::append(const std::vector<DumpEntry> &entries)
+{
+    if (entries.empty())
+        return;
+    std::vector<DiskRecord> records;
+    records.reserve(entries.size());
+    for (const DumpEntry &e : entries) {
+        records.push_back(DiskRecord{e.stamp, e.size, e.core,
+                                     e.category, e.thread,
+                                     e.payloadOk ? 1u : 0u});
+    }
+    const auto bytes = records.size() * sizeof(DiskRecord);
+    if (::write(fd, records.data(), bytes) != ssize_t(bytes))
+        BTRACE_FATAL("short write to persistence file");
+    persisted.fetch_add(entries.size(), std::memory_order_acq_rel);
+}
+
+void
+TracePersister::stop()
+{
+    if (fd < 0)
+        return;
+    stopping.store(true, std::memory_order_release);
+    if (worker.joinable())
+        worker.join();
+    // Final poll with close-on-read so the newest entries land too.
+    const Dump d = tracer.dumpSince(cursor, true);
+    append(d.entries);
+    ::close(fd);
+    fd = -1;
+}
+
+std::vector<DumpEntry>
+TracePersister::load(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        BTRACE_FATAL("cannot open persisted trace");
+    uint64_t magic = 0;
+    if (::read(fd, &magic, sizeof(magic)) != ssize_t(sizeof(magic)) ||
+        magic != fileMagic) {
+        ::close(fd);
+        BTRACE_FATAL("not a btrace persistence file");
+    }
+
+    std::vector<DumpEntry> out;
+    DiskRecord rec;
+    for (;;) {
+        const ssize_t got = ::read(fd, &rec, sizeof(rec));
+        if (got == 0)
+            break;
+        if (got != ssize_t(sizeof(rec))) {
+            ::close(fd);
+            BTRACE_FATAL("truncated persistence record");
+        }
+        out.push_back(DumpEntry{rec.stamp, rec.size, rec.core,
+                                rec.thread, rec.category,
+                                (rec.flags & 1u) != 0});
+    }
+    ::close(fd);
+    return out;
+}
+
+} // namespace btrace

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Asynchronous trace persistence (§2.1 "Persist vs. In-memory").
+ *
+ * Most smartphone tracing stays in memory, but userspace tracers also
+ * support persisting via an asynchronous reader. TracePersister is
+ * that reader: a background thread polls the incremental consumer
+ * (BTrace::dumpSince) and appends the decoded entries to a compact
+ * binary file that load() reads back. Producers never block on
+ * storage — exactly the decoupling the paper describes for
+ * LTTng-style persist mode.
+ */
+
+#ifndef BTRACE_CORE_PERSISTER_H
+#define BTRACE_CORE_PERSISTER_H
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/btrace.h"
+
+namespace btrace {
+
+/** Knobs of the background persister. */
+struct PersisterOptions
+{
+    /** Poll period of the reader thread. */
+    double pollIntervalSec = 0.005;
+    /**
+     * Close partially filled blocks on each poll (§4.3). Without it
+     * only completed blocks are persisted and the newest entries wait
+     * in their active blocks.
+     */
+    bool closeActive = false;
+};
+
+/** Background reader persisting a BTrace buffer to a file. */
+class TracePersister
+{
+  public:
+    /** Start persisting @p tracer into @p path (truncates). */
+    TracePersister(BTrace &tracer, const std::string &path,
+                   const PersisterOptions &options = {});
+
+    /** Stops and flushes if still running. */
+    ~TracePersister();
+
+    TracePersister(const TracePersister &) = delete;
+    TracePersister &operator=(const TracePersister &) = delete;
+
+    /**
+     * Stop the reader: one final poll (with close-on-read so the tail
+     * is captured), flush, close. Idempotent.
+     */
+    void stop();
+
+    /** Entries persisted so far. */
+    uint64_t persistedEntries() const
+    {
+        return persisted.load(std::memory_order_acquire);
+    }
+
+    /** Read a persisted file back; fatal on a malformed file. */
+    static std::vector<DumpEntry> load(const std::string &path);
+
+  private:
+    void run();
+    void append(const std::vector<DumpEntry> &entries);
+
+    BTrace &tracer;
+    PersisterOptions opt;
+    std::string path;
+    std::atomic<bool> stopping{false};
+    std::atomic<uint64_t> persisted{0};
+    uint64_t cursor = 0;
+    int fd = -1;
+    std::thread worker;
+};
+
+} // namespace btrace
+
+#endif // BTRACE_CORE_PERSISTER_H

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Append-only history of (position threshold, ratio) pairs.
+ *
+ * Resizing changes the Ratio and therefore the position → physical
+ * block mapping (§3.3). Cold paths that must locate the data block of
+ * a *past* round — closing a lagging block, filling the dummy
+ * obligation after a stale fetch_add — need the ratio that was in
+ * force when that round's position was handed out. The log is written
+ * only under the resize mutex and published with a release store of
+ * the entry count, so lock-free readers see complete entries.
+ */
+
+#ifndef BTRACE_CORE_RATIO_LOG_H
+#define BTRACE_CORE_RATIO_LOG_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "common/panic.h"
+
+namespace btrace {
+
+/** Bounded history of ratio changes (entry 0 is the initial ratio). */
+class RatioLog
+{
+  public:
+    static constexpr std::size_t maxEntries = 256;
+
+    /**
+     * Stage an entry (writer side, under the resize mutex). Call
+     * publish() once the change is committed to the global word.
+     */
+    void
+    stage(uint64_t from_pos, uint32_t ratio)
+    {
+        const std::size_t n = count.load(std::memory_order_relaxed);
+        BTRACE_ASSERT(n < maxEntries, "too many resizes for the log");
+        entries[n].fromPos = from_pos;
+        entries[n].ratio = ratio;
+    }
+
+    /** Re-stage the same ratio with an updated threshold (CAS retry). */
+    void
+    restage(uint64_t from_pos)
+    {
+        const std::size_t n = count.load(std::memory_order_relaxed);
+        entries[n].fromPos = from_pos;
+    }
+
+    /** Make the staged entry visible to readers. */
+    void
+    publish()
+    {
+        count.fetch_add(1, std::memory_order_release);
+    }
+
+    /** Ratio in force for global position @p pos. */
+    uint32_t
+    ratioAt(uint64_t pos) const
+    {
+        const std::size_t n = count.load(std::memory_order_acquire);
+        BTRACE_DASSERT(n > 0, "ratio log empty");
+        for (std::size_t i = n; i-- > 0;) {
+            if (entries[i].fromPos <= pos)
+                return entries[i].ratio;
+        }
+        return entries[0].ratio;
+    }
+
+    std::size_t size() const
+    {
+        return count.load(std::memory_order_acquire);
+    }
+
+  private:
+    struct Entry
+    {
+        uint64_t fromPos = 0;
+        uint32_t ratio = 1;
+    };
+
+    std::array<Entry, maxEntries> entries{};
+    std::atomic<std::size_t> count{0};
+};
+
+} // namespace btrace
+
+#endif // BTRACE_CORE_RATIO_LOG_H

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Runtime buffer resizing via implicit reclamation (§3.3, §4.4).
+ *
+ * The data area lives in a virtual span reserved at the maximum size;
+ * resizing only changes the Ratio in the global ratio_and_pos and the
+ * physical commitment. Producers are quiesced implicitly: a block that
+ * reached Confirmed.pos == capacity is, by construction, no longer
+ * accessed by any producer in this round (the end-of-epoch semantic of
+ * §3.3), so once every metadata block is complete the whole data area
+ * is producer-free. Consumers are flushed with conventional EBR.
+ */
+
+#include <thread>
+
+#include "core/btrace.h"
+
+namespace btrace {
+
+void
+BTrace::resize(std::size_t new_num_blocks)
+{
+    std::scoped_lock lock(resizeMutex);
+
+    BTRACE_ASSERT(new_num_blocks >= numActive &&
+                  new_num_blocks % numActive == 0 &&
+                  new_num_blocks <= maxN,
+                  "resize target must be a multiple of A within "
+                  "[A, maxBlocks]");
+    const auto new_ratio =
+        static_cast<uint32_t>(new_num_blocks / numActive);
+
+    // Park block advancement (slow path only; the fast path never
+    // reads the global word) while the mapping changes.
+    const uint64_t frozen_word =
+        global->fetch_or(RatioPos::frozenBit, std::memory_order_acq_rel);
+    const RatioPos g = RatioPos::unpack(frozen_word);
+    BTRACE_ASSERT(!g.frozen, "resize while already frozen");
+    const uint32_t old_ratio = g.ratio;
+
+    if (new_ratio == old_ratio) {
+        global->fetch_and(~RatioPos::frozenBit,
+                          std::memory_order_acq_rel);
+        return;
+    }
+
+    const std::size_t old_n = numActive * old_ratio;
+    const std::size_t new_n = numActive * new_ratio;
+    if (new_n > old_n)
+        span.commit(old_n * cap, (new_n - old_n) * cap);
+
+    // Quiesce: close every active block and wait for outstanding
+    // confirmations. New reservations overshoot into the advancement
+    // path, which is parked — so no new activity can appear.
+    double cost = 0.0;
+    for (std::size_t m = 0; m < numActive; ++m) {
+        for (;;) {
+            const RndPos conf = meta[m].loadConfirmed();
+            if (conf.pos == cap)
+                break;
+            closeRound(m, conf.rnd, cost);
+            if (meta[m].loadConfirmed().pos == cap)
+                break;
+            std::this_thread::yield();  // a preempted writer owes bytes
+        }
+    }
+
+    // Swing the ratio, keeping the monotonic position (frozen
+    // advancement attempts still consume positions, hence the CAS
+    // loop). The RatioLog entry becomes visible together with the
+    // unfrozen global word.
+    uint64_t cur = global->load(std::memory_order_acquire);
+    bool staged = false;
+    for (;;) {
+        const RatioPos c = RatioPos::unpack(cur);
+        if (!staged) {
+            ratioLog.stage(c.pos, new_ratio);
+            staged = true;
+        } else {
+            ratioLog.restage(c.pos);
+        }
+        const uint64_t desired = RatioPos::pack(new_ratio, false, c.pos);
+        if (global->compare_exchange_strong(cur, desired,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire))
+            break;
+    }
+    ratioLog.publish();
+    ctrs.resizes.fetch_add(1, std::memory_order_relaxed);
+
+    if (new_n < old_n) {
+        // Make sure no consumer still reads the shrunk tail, then
+        // release the physical pages (the virtual range stays mapped,
+        // so stale pointers read zeros instead of faulting). With
+        // sub-page block sizes the shrunk byte range is rounded
+        // *inward* to page boundaries; edge pages shared with live
+        // blocks stay resident.
+        consumers.synchronize();
+        const std::size_t page = VirtualSpan::pageSize();
+        const std::size_t lo = alignUp(new_n * cap, page);
+        const std::size_t hi = (old_n * cap) / page * page;
+        if (lo < hi)
+            span.decommit(lo, hi - lo);
+    }
+}
+
+} // namespace btrace

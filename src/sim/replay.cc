@@ -1,0 +1,397 @@
+#include "sim/replay.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "baselines/bbq.h"
+#include "baselines/ftrace_like.h"
+#include "baselines/lttng_like.h"
+#include "baselines/vtrace_like.h"
+#include "common/prng.h"
+#include "core/btrace.h"
+
+namespace btrace {
+
+namespace {
+
+/** Per-core piecewise-constant burst modulation of the arrival rate. */
+class BurstProfile
+{
+  public:
+    BurstProfile(const Workload &wl, double duration, uint64_t seed)
+        : bucketSec(0.5)
+    {
+        Prng rng(seed * 6364136223846793005ull + wl.seed + 99);
+        const auto buckets =
+            static_cast<std::size_t>(duration / bucketSec) + 2;
+        factors.resize(kCores);
+        for (unsigned c = 0; c < kCores; ++c) {
+            factors[c].resize(buckets);
+            for (auto &f : factors[c]) {
+                f = rng.chance(wl.burstiness) ? wl.burstLowFactor : 1.0;
+            }
+        }
+    }
+
+    double
+    factorAt(uint16_t core, double t) const
+    {
+        const auto b = static_cast<std::size_t>(t / bucketSec);
+        const auto &f = factors[core];
+        return f[std::min(b, f.size() - 1)];
+    }
+
+  private:
+    double bucketSec;
+    std::vector<std::vector<double>> factors;
+};
+
+/** Discrete simulation event. */
+struct SimEv
+{
+    enum Kind { Arrival, Poke, Confirm };
+
+    double t = 0.0;
+    uint64_t seq = 0;       //!< deterministic tie-break
+    Kind kind = Arrival;
+    uint16_t core = 0;
+    uint32_t thread = 0;
+    uint64_t stamp = 0;
+    uint32_t payload = 0;
+    double cost = 0.0;      //!< ns accumulated across attempts
+    double arrivalT = 0.0;  //!< when the producer asked to record
+    int attempts = 0;
+    WriteTicket ticket;     //!< valid for Confirm only
+};
+
+struct EvLater
+{
+    bool
+    operator()(const SimEv &a, const SimEv &b) const
+    {
+        return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+};
+
+} // namespace
+
+ReplayResult
+replay(Tracer &tracer, const Workload &wl, const ReplayOptions &opt)
+{
+    ReplayResult res;
+    res.tracerName = tracer.name();
+    res.workloadName = wl.name;
+    res.capacityBytes = tracer.capacityBytes();
+
+    const double duration =
+        opt.durationSec > 0 ? opt.durationSec : wl.durationSec;
+    // The paper's replay joins every producer thread before dumping,
+    // so in-flight writes get to finish: allow stalled confirms a
+    // generous flush window past the end of event generation.
+    const double grace = duration + 2.0;
+
+    Prng rng(opt.seed * 0x9e3779b97f4a7c15ull ^ (wl.seed << 17));
+    const SliceSchedule schedule = SliceSchedule::build(
+        wl, opt.mode, duration, opt.seed, opt.sliceMeanSec);
+    const BurstProfile bursts(wl, duration, opt.seed);
+    const CostModel &model = tracer.model();
+
+    std::priority_queue<SimEv, std::vector<SimEv>, EvLater> heap;
+    uint64_t seq = 0;
+    uint64_t stamp_counter = 0;
+
+    const double expected = wl.expectedBytes() * opt.rateScale /
+                            (double(EntryLayout::normalHeaderBytes) +
+                             wl.meanPayloadBytes());
+    if (opt.keepProducedLog)
+        res.produced.reserve(static_cast<std::size_t>(expected * 1.1) + 64);
+
+    auto sample_payload = [&]() {
+        return static_cast<uint32_t>(
+            rng.heavyTail(wl.payloadLo, wl.payloadHi, wl.payloadShape));
+    };
+
+    auto push_arrival = [&](uint16_t core, double after) {
+        const double rate = wl.ratePerSec[core] * opt.rateScale *
+                            bursts.factorAt(core, after);
+        if (rate <= 0.0)
+            return;
+        const double t = after + rng.exponential(1.0 / rate);
+        if (t >= duration)
+            return;
+        SimEv ev;
+        ev.t = t;
+        ev.seq = ++seq;
+        ev.kind = SimEv::Arrival;
+        ev.core = core;
+        heap.push(ev);
+    };
+
+    // The ground-truth log gains one entry per *arrival* (stamps stay
+    // contiguous even for events still in flight at dump time); the
+    // dropped flag is set later if the tracer sheds the event.
+    auto log_produced = [&](uint64_t stamp, uint32_t bytes, double t,
+                            uint16_t core, uint32_t thread) {
+        res.producedBytes += double(bytes);
+        if (opt.keepProducedLog) {
+            res.produced.push_back(ProducedEvent{
+                stamp, bytes, float(t), core, thread, false});
+        }
+    };
+
+    auto mark_dropped = [&](uint64_t stamp) {
+        ++res.drops;
+        if (opt.keepProducedLog)
+            res.produced[stamp - 1].dropped = true;
+    };
+
+    // Global FIFO of events waiting behind a Retry. Both tracers that
+    // can return Retry (BBQ behind an unfinished block, BTrace with
+    // every metadata block held) block *globally*, and the paper's
+    // replay is closed-loop: stalled producers resume in arrival
+    // order. An open-loop retry heap (or per-core queues) would
+    // reorder or core-segregate the thundering herd and shred the
+    // stamp space at overwrite boundaries.
+    std::deque<SimEv> backlog;
+
+    enum class WriteStatus { Done, Blocked };
+
+    // One write attempt: allocate, and on success write + (possibly
+    // deferred) confirm.
+    auto attempt_write = [&](SimEv &ev) {
+        WriteTicket ticket =
+            tracer.allocate(ev.core, ev.thread, ev.payload);
+        double cost = ev.cost + ticket.cost;
+
+        if (ticket.status == AllocStatus::Drop) {
+            mark_dropped(ev.stamp);
+            return WriteStatus::Done;
+        }
+        if (ticket.status == AllocStatus::Retry) {
+            ++res.retries;
+            ev.cost = cost + model.retryBackoff;
+            ev.attempts += 1;
+            return WriteStatus::Blocked;
+        }
+
+        writeNormal(ticket.dst, ev.stamp, ev.core, ev.thread,
+                    opt.category, ev.payload);
+        const double copy_cost = model.copy(ticket.entrySize);
+        cost += copy_cost;
+        // A producer stalled behind a blocked tracer experiences the
+        // wait as recording latency (the paper measures wall time and
+        // tames the outliers with the geometric mean).
+        cost += (ev.t - ev.arrivalT) * 1e9;
+
+        // Mid-write preemption: does the write window survive the
+        // thread's scheduling slice? Backlog-delayed events are
+        // exempt: a whole drained burst shares one service instant,
+        // and flagging every burst write that lands near a slice end
+        // would manufacture preemption cascades out of the time
+        // collapse.
+        if (opt.mode == ReplayMode::ThreadLevel &&
+            ev.t == ev.arrivalT &&
+            !tracer.disablesPreemption()) {
+            const SliceSchedule::Running run =
+                schedule.runningAt(ev.core, ev.t);
+            const double window = (ticket.cost + copy_cost) * 1e-9 *
+                                  opt.preemptionWindowBoost;
+            if (run.thread == ev.thread && ev.t + window > run.sliceEnd) {
+                ++res.preemptedWrites;
+                // A thread preempted mid-write stays *runnable*; the
+                // scheduler gets back to it within tens of ms even if
+                // the sampled working set would not pick it for a
+                // while, so the resume delay is capped — except for
+                // the heavy tail of genuine stalls (page faults,
+                // compaction, throttling).
+                double resume = schedule.nextRunAfter(
+                    ev.core, ev.thread, run.sliceEnd);
+                resume = std::min(resume,
+                                  run.sliceEnd + opt.stragglerResumeSec);
+                if (rng.chance(opt.longStallProb))
+                    resume += rng.exponential(opt.longStallMeanSec);
+                if (resume > grace) {
+                    ++res.unconfirmed;  // run ends before it resumes
+                    return WriteStatus::Done;
+                }
+                SimEv conf;
+                conf.t = resume;
+                conf.seq = ++seq;
+                conf.kind = SimEv::Confirm;
+                conf.core = ev.core;
+                conf.thread = ev.thread;
+                conf.stamp = ev.stamp;
+                conf.cost = cost;
+                conf.ticket = ticket;
+                heap.push(conf);
+                return WriteStatus::Done;
+            }
+        }
+
+        ticket.cost = 0.0;
+        tracer.confirm(ticket);
+        cost += ticket.cost;
+        if (opt.keepLatencySamples)
+            res.latencyNs.add(cost);
+        return WriteStatus::Done;
+    };
+
+    // Drain the backlog in FIFO order until it blocks again (then
+    // schedule a poke) or empties.
+    double blocked_since = -1.0;
+    auto service = [&](double now) {
+        res.maxBacklog = std::max(res.maxBacklog, backlog.size());
+        while (!backlog.empty()) {
+            SimEv &head = backlog.front();
+            head.t = now;
+            if (head.attempts > 20000) {
+                // Livelock guard: the tracer never unblocked; shed the
+                // event so the run terminates.
+                mark_dropped(head.stamp);
+                backlog.pop_front();
+                continue;
+            }
+            if (attempt_write(head) == WriteStatus::Blocked) {
+                // Exponential-ish backoff bounds the poke rate while
+                // the queue stays blocked.
+                const double backoff = std::min(
+                    opt.retryDelaySec * double(1 + head.attempts / 4),
+                    1e-3);
+                SimEv poke;
+                poke.t = now + backoff;
+                poke.seq = ++seq;
+                poke.kind = SimEv::Poke;
+                heap.push(poke);
+                if (blocked_since < 0)
+                    blocked_since = now;
+                return;
+            }
+            backlog.pop_front();
+        }
+        if (blocked_since >= 0) {
+            res.blockedSec += now - blocked_since;
+            blocked_since = -1.0;
+        }
+    };
+
+    for (unsigned c = 0; c < kCores; ++c)
+        push_arrival(uint16_t(c), 0.0);
+
+    while (!heap.empty()) {
+        SimEv ev = heap.top();
+        heap.pop();
+
+        switch (ev.kind) {
+          case SimEv::Arrival: {
+            push_arrival(ev.core, ev.t);
+            const SliceSchedule::Running run =
+                schedule.runningAt(ev.core, ev.t);
+            ev.thread = run.thread;
+            ev.stamp = ++stamp_counter;
+            ev.arrivalT = ev.t;
+            ev.payload = sample_payload();
+            log_produced(ev.stamp,
+                         uint32_t(EntryLayout::normalSize(ev.payload)),
+                         ev.t, ev.core, ev.thread);
+            const bool idle = backlog.empty();
+            backlog.push_back(ev);
+            if (idle)
+                service(ev.t);
+            // Otherwise a poke for the blocked head is already
+            // pending; this event waits its turn in FIFO order.
+            break;
+          }
+          case SimEv::Poke: {
+            service(ev.t);
+            break;
+          }
+          case SimEv::Confirm: {
+            ev.ticket.cost = 0.0;
+            tracer.confirm(ev.ticket);
+            if (opt.keepLatencySamples)
+                res.latencyNs.add(ev.cost + ev.ticket.cost);
+            break;
+          }
+        }
+    }
+
+    res.dump = tracer.dump();
+    return res;
+}
+
+std::unique_ptr<Tracer>
+makeTracer(TracerKind kind, const TracerFactoryOptions &opt)
+{
+    const CostModel &model = opt.cost ? *opt.cost : CostModel::def();
+    switch (kind) {
+      case TracerKind::BTrace: {
+        BTraceConfig cfg;
+        cfg.blockSize = opt.blockSize;
+        cfg.cores = opt.cores;
+        cfg.activeBlocks =
+            opt.activeBlocks ? opt.activeBlocks : 16 * opt.cores;
+        // Round to the nearest multiple of A so small capacities do
+        // not silently lose a large fraction of the request.
+        const std::size_t raw = opt.capacityBytes / opt.blockSize;
+        const std::size_t a = cfg.activeBlocks;
+        cfg.numBlocks = std::max(a, (raw + a / 2) / a * a);
+        if (opt.maxBlocks) {
+            cfg.maxBlocks = std::max(cfg.numBlocks,
+                                     opt.maxBlocks - opt.maxBlocks % a);
+        }
+        return std::make_unique<BTrace>(cfg, model);
+      }
+      case TracerKind::Bbq: {
+        BbqConfig cfg;
+        cfg.blockSize = opt.blockSize;
+        cfg.numBlocks = opt.capacityBytes / opt.blockSize;
+        cfg.cores = opt.cores;
+        return std::make_unique<Bbq>(cfg, model);
+      }
+      case TracerKind::Ftrace: {
+        FtraceConfig cfg;
+        cfg.capacityBytes = opt.capacityBytes;
+        cfg.cores = opt.cores;
+        return std::make_unique<FtraceLike>(cfg, model);
+      }
+      case TracerKind::Lttng: {
+        LttngConfig cfg;
+        cfg.capacityBytes = opt.capacityBytes;
+        cfg.cores = opt.cores;
+        cfg.subBuffers = opt.subBuffers;
+        return std::make_unique<LttngLike>(cfg, model);
+      }
+      case TracerKind::Vtrace: {
+        VtraceConfig cfg;
+        cfg.capacityBytes = opt.capacityBytes;
+        cfg.expectedThreads = opt.expectedThreads;
+        return std::make_unique<VtraceLike>(cfg, model);
+      }
+    }
+    BTRACE_PANIC("unknown tracer kind");
+}
+
+const std::vector<TracerKind> &
+allTracerKinds()
+{
+    static const std::vector<TracerKind> kinds = {
+        TracerKind::BTrace, TracerKind::Bbq, TracerKind::Ftrace,
+        TracerKind::Lttng, TracerKind::Vtrace};
+    return kinds;
+}
+
+std::string
+tracerKindName(TracerKind kind)
+{
+    switch (kind) {
+      case TracerKind::BTrace: return "BTrace";
+      case TracerKind::Bbq: return "BBQ";
+      case TracerKind::Ftrace: return "ftrace";
+      case TracerKind::Lttng: return "LTTng";
+      case TracerKind::Vtrace: return "VTrace";
+    }
+    return "?";
+}
+
+} // namespace btrace

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Deterministic trace-replay engine (§5 "Replaying setup").
+ *
+ * Drives any Tracer with a synthetic Workload on virtual time: events
+ * arrive per core as a modulated Poisson process, are attributed to
+ * the thread the SliceSchedule has running, and are written through
+ * the two-phase allocate/confirm interface. A write whose modeled
+ * duration crosses the end of the thread's slice is *preempted
+ * mid-write*: its confirm is deferred until the thread's next slice —
+ * reproducing the oversubscription stress of §2.2 that causes BBQ to
+ * block, LTTng to drop, and BTrace to skip.
+ *
+ * Every event carries a unique monotonically increasing logic stamp
+ * (as in the paper) so the analysis layer can identify exactly which
+ * events were retained, overwritten, or dropped.
+ *
+ * The engine runs on one real thread regardless of the number of
+ * virtual cores, which makes every run bit-for-bit reproducible;
+ * real-thread concurrency is exercised separately by the stress tests
+ * and wall-clock microbenches.
+ */
+
+#ifndef BTRACE_SIM_REPLAY_H
+#define BTRACE_SIM_REPLAY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/schedule.h"
+#include "trace/tracer.h"
+#include "workloads/workload.h"
+
+namespace btrace {
+
+/** Knobs of one replay run. */
+struct ReplayOptions
+{
+    ReplayMode mode = ReplayMode::ThreadLevel;
+    double durationSec = 0.0;     //!< 0 = workload default
+    double rateScale = 1.0;       //!< scales all per-core rates
+    uint64_t seed = 1;
+    double sliceMeanSec = 1e-3;   //!< scheduler timeslice mean
+    /**
+     * Widens the mid-write preemption window beyond the pure write
+     * cost: a write also stays open across IRQs, page faults, and
+     * cache misses, which the ns-level cost model does not include.
+     */
+    double preemptionWindowBoost = 10.0;
+    double retryDelaySec = 1e-6;  //!< spin-retry interval after Retry
+    /**
+     * Upper bound on how long a *runnable* preempted mid-write thread
+     * stays off CPU: the scheduler cycles ~30 runnable threads per
+     * core at millisecond slices (Fig 6), so ~100 ms even when the
+     * sampled working set would not pick the thread for much longer.
+     */
+    double stragglerResumeSec = 0.12;
+    /**
+     * Heavy tail of mid-write stalls: occasionally the preempted
+     * writer is not merely descheduled but stuck for hundreds of ms
+     * (page fault on a compressed/zram page, memory-compaction stall,
+     * cgroup throttling — everyday events on loaded phones). These
+     * long holds are what force LTTng to drop the newest data and BBQ
+     * to block (§2.2); BTrace skips past them (§3.4).
+     */
+    double longStallProb = 0.10;
+    double longStallMeanSec = 0.3;
+    uint16_t category = 0;        //!< category tag stored in entries
+    bool keepLatencySamples = true;
+    bool keepProducedLog = true;
+};
+
+/** Ground-truth record of one produced (attempted) event. */
+struct ProducedEvent
+{
+    uint64_t stamp;
+    uint32_t bytes;    //!< full entry size
+    float time;        //!< virtual seconds
+    uint16_t core;
+    uint32_t thread;
+    bool dropped;      //!< shed by the tracer (never written)
+};
+
+/** Everything a bench needs from one replay run. */
+struct ReplayResult
+{
+    std::string tracerName;
+    std::string workloadName;
+    std::vector<ProducedEvent> produced;
+    Dump dump;
+    SampleSet latencyNs;          //!< per successful record, model ns
+    uint64_t drops = 0;
+    uint64_t retries = 0;
+    uint64_t preemptedWrites = 0;
+    uint64_t unconfirmed = 0;     //!< writes whose thread never resumed
+    double producedBytes = 0.0;
+    std::size_t capacityBytes = 0;
+    double blockedSec = 0.0;      //!< virtual time with a stalled queue
+    std::size_t maxBacklog = 0;   //!< worst stalled-producer queue
+};
+
+/** Replay @p wl against @p tracer and collect the results. */
+ReplayResult replay(Tracer &tracer, const Workload &wl,
+                    const ReplayOptions &opt = {});
+
+/** The five tracers of the evaluation. */
+enum class TracerKind
+{
+    BTrace,
+    Bbq,
+    Ftrace,
+    Lttng,
+    Vtrace,
+};
+
+/** Construction parameters shared across tracer kinds. */
+struct TracerFactoryOptions
+{
+    std::size_t capacityBytes = 12u << 20;  //!< §5: 12 MB per tracer
+    unsigned cores = kCores;
+    std::size_t blockSize = 4096;           //!< §5: one page per block
+    std::size_t activeBlocks = 0;           //!< 0 = 16 x cores (§5.1)
+    std::size_t maxBlocks = 0;              //!< BTrace resize ceiling
+    unsigned expectedThreads = 4000;        //!< VTrace provisioning
+    unsigned subBuffers = 8;                //!< LTTng sub-buffers/core
+    const CostModel *cost = nullptr;        //!< null = CostModel::def()
+};
+
+/** Instantiate a tracer with the shared evaluation geometry. */
+std::unique_ptr<Tracer> makeTracer(TracerKind kind,
+                                   const TracerFactoryOptions &opt = {});
+
+/** All kinds, Table 2 row order (BTrace first). */
+const std::vector<TracerKind> &allTracerKinds();
+
+/** Display name ("BTrace", "BBQ", "ftrace", "LTTng", "VTrace"). */
+std::string tracerKindName(TracerKind kind);
+
+} // namespace btrace
+
+#endif // BTRACE_SIM_REPLAY_H

@@ -1,0 +1,103 @@
+#include "sim/schedule.h"
+
+#include <algorithm>
+
+#include "common/panic.h"
+
+namespace btrace {
+
+SliceSchedule
+SliceSchedule::build(const Workload &wl, ReplayMode mode, double duration,
+                     uint64_t seed, double slice_mean_sec)
+{
+    SliceSchedule s;
+    s.perCore.resize(kCores);
+    s.starts.resize(kCores);
+    s.cursor.assign(kCores, 0);
+
+    for (unsigned c = 0; c < kCores; ++c) {
+        auto &slices = s.perCore[c];
+        auto &idx = s.starts[c];
+
+        if (mode == ReplayMode::CoreLevel) {
+            const uint32_t tid = globalThreadId(uint16_t(c), 0);
+            slices.push_back(Slice{0.0, duration * 2.0 + 1.0, tid});
+            idx[tid].push_back(0.0);
+            continue;
+        }
+
+        Prng rng(seed * 1000003ull + c * 7919ull + wl.seed);
+        const uint32_t total = std::max<uint32_t>(1, wl.totalThreads[c]);
+        const uint32_t active =
+            std::max<uint32_t>(1, std::min(wl.activeThreads[c], total));
+
+        // Working set of runnable threads, resampled every second.
+        std::vector<uint32_t> working;
+        double window_end = 0.0;
+        auto resample = [&]() {
+            working.clear();
+            for (uint32_t k = 0; k < active; ++k) {
+                // Distinctness is not essential for the model; a rare
+                // duplicate only means a thread runs twice as often.
+                working.push_back(uint32_t(rng.nextBounded(total)));
+            }
+            window_end += 1.0;
+        };
+        resample();
+
+        double t = 0.0;
+        while (t < duration) {
+            if (t >= window_end)
+                resample();
+            double len = rng.exponential(slice_mean_sec);
+            len = std::clamp(len, slice_mean_sec * 0.1,
+                             slice_mean_sec * 10.0);
+            const uint32_t local =
+                working[rng.nextBounded(working.size())];
+            const uint32_t tid = globalThreadId(uint16_t(c), local);
+            const double end = std::min(t + len, duration * 2.0 + 1.0);
+            slices.push_back(Slice{t, end, tid});
+            idx[tid].push_back(t);
+            t = end;
+        }
+        // Terminal slice so queries at the very end stay valid.
+        if (!slices.empty()) {
+            slices.back().end =
+                std::max(slices.back().end, duration * 2.0 + 1.0);
+        }
+    }
+    return s;
+}
+
+SliceSchedule::Running
+SliceSchedule::runningAt(uint16_t core, double t) const
+{
+    const auto &slices = perCore.at(core);
+    std::size_t &i = cursor[core];
+    if (i >= slices.size() || slices[i].start > t)
+        i = 0;  // non-monotonic query; restart the scan
+    while (i + 1 < slices.size() && slices[i].end <= t)
+        ++i;
+    const Slice &s = slices[i];
+    return Running{s.thread, s.end};
+}
+
+double
+SliceSchedule::nextRunAfter(uint16_t core, uint32_t thread, double t) const
+{
+    const auto &idx = starts.at(core);
+    const auto it = idx.find(thread);
+    if (it == idx.end())
+        return never;
+    const auto &ts = it->second;
+    const auto pos = std::upper_bound(ts.begin(), ts.end(), t);
+    return pos == ts.end() ? never : *pos;
+}
+
+std::size_t
+SliceSchedule::distinctThreads(uint16_t core) const
+{
+    return starts.at(core).size();
+}
+
+} // namespace btrace

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic virtual-time CPU schedule for replay.
+ *
+ * The paper replays traces in two modes (§5): *core-level* (one
+ * producing thread pinned per core) and *thread-level* (as many
+ * threads per core as the recorded trace shows, §2.2 Observation 2).
+ * This module materializes a per-core timeline of scheduling slices:
+ * which thread runs when, for how long. The replay engine uses it to
+ * attribute events to threads and — crucially — to model a thread
+ * being preempted *between* reserving trace space and confirming it.
+ *
+ * Thread-level schedules model the working-set churn of Fig 6: each
+ * one-second window samples a set of `activeThreads` runnable threads
+ * out of `totalThreads` distinct ones, and slices round among them
+ * with exponentially distributed lengths.
+ */
+
+#ifndef BTRACE_SIM_SCHEDULE_H
+#define BTRACE_SIM_SCHEDULE_H
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/prng.h"
+#include "workloads/workload.h"
+
+namespace btrace {
+
+/** Replay granularity (§5, "Replaying setup"). */
+enum class ReplayMode
+{
+    CoreLevel,   //!< one producer thread per core; no preemption
+    ThreadLevel, //!< full thread pools with context switches
+};
+
+/** Virtual-time slice timeline for all cores of one replay. */
+class SliceSchedule
+{
+  public:
+    /** The thread running on a core at some instant. */
+    struct Running
+    {
+        uint32_t thread;   //!< globally unique thread id
+        double sliceEnd;   //!< when its current slice expires
+    };
+
+    static constexpr double never = std::numeric_limits<double>::infinity();
+
+    /** Build the schedule for @p wl over @p duration seconds. */
+    static SliceSchedule build(const Workload &wl, ReplayMode mode,
+                               double duration, uint64_t seed,
+                               double slice_mean_sec = 1e-3);
+
+    /**
+     * Thread running on @p core at time @p t. Queries must be
+     * monotonically non-decreasing per core (amortized O(1)).
+     */
+    Running runningAt(uint16_t core, double t) const;
+
+    /** Start of @p thread's next slice strictly after @p t (or never). */
+    double nextRunAfter(uint16_t core, uint32_t thread, double t) const;
+
+    /** Number of distinct threads that ever run on @p core. */
+    std::size_t distinctThreads(uint16_t core) const;
+
+    /** Globally unique id of local thread @p local on @p core. */
+    static uint32_t
+    globalThreadId(uint16_t core, uint32_t local)
+    {
+        return uint32_t(core) * 100000u + local;
+    }
+
+  private:
+    struct Slice
+    {
+        double start;
+        double end;
+        uint32_t thread;
+    };
+
+    std::vector<std::vector<Slice>> perCore;
+    std::vector<std::unordered_map<uint32_t, std::vector<double>>> starts;
+    mutable std::vector<std::size_t> cursor;  //!< monotonic query index
+};
+
+} // namespace btrace
+
+#endif // BTRACE_SIM_SCHEDULE_H

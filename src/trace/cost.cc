@@ -1,0 +1,23 @@
+#include "trace/cost.h"
+
+#include <algorithm>
+
+namespace btrace {
+
+const CostModel &
+CostModel::def()
+{
+    static const CostModel model;
+    return model;
+}
+
+double
+CostModel::contention(std::size_t contenders) const
+{
+    // Cache-line ping-pong grows roughly linearly with the number of
+    // concurrent writers until the interconnect saturates; cap at 16.
+    const auto capped = std::min<std::size_t>(contenders, 16);
+    return contentionPenalty * double(capped);
+}
+
+} // namespace btrace

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Wire format of trace entries, shared by BTrace and all baseline
+ * tracers so dumps can be analyzed uniformly.
+ *
+ * Entries are 8-byte aligned and start with a 64-bit descriptor word:
+ *
+ *     [ magic:8 | type:8 | category:16 | size:32 ]
+ *
+ * where size is the total entry size in bytes (a multiple of 8,
+ * including the descriptor). Four entry types exist:
+ *
+ *  - Normal:      descriptor, stamp word, origin word, payload bytes.
+ *  - Dummy:       descriptor only; fills unusable space (§4.1).
+ *  - BlockHeader: descriptor + global block position (§4.2, step 5).
+ *  - Skip:        descriptor + skipped position; marks a sacrificed
+ *                 block (§3.4).
+ *
+ * Normal payload bytes follow a deterministic pattern derived from the
+ * stamp so that consumers can detect torn or corrupted entries.
+ */
+
+#ifndef BTRACE_TRACE_EVENT_H
+#define BTRACE_TRACE_EVENT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/cacheline.h"
+#include "common/panic.h"
+
+namespace btrace {
+
+/** Entry type tags stored in the descriptor word. */
+enum class EntryType : uint8_t
+{
+    Normal = 1,
+    Dummy = 2,
+    BlockHeader = 3,
+    Skip = 4,
+};
+
+/** Entry geometry constants. */
+struct EntryLayout
+{
+    static constexpr uint8_t magic = 0xB7;
+    static constexpr std::size_t align = 8;
+    static constexpr std::size_t normalHeaderBytes = 24;
+    static constexpr std::size_t dummyMinBytes = 8;
+    static constexpr std::size_t blockHeaderBytes = 16;
+    static constexpr std::size_t skipBytes = 16;
+
+    /** Total size of a normal entry for @p payload_len payload bytes. */
+    static constexpr std::size_t
+    normalSize(std::size_t payload_len)
+    {
+        return normalHeaderBytes + alignUp(payload_len, align);
+    }
+};
+
+/** Pack / unpack the descriptor word. */
+struct Descriptor
+{
+    EntryType type = EntryType::Dummy;
+    uint16_t category = 0;
+    uint32_t size = 0;
+
+    static constexpr uint64_t
+    pack(EntryType type, uint16_t category, uint32_t size)
+    {
+        return (uint64_t(EntryLayout::magic) << 56) |
+               (uint64_t(static_cast<uint8_t>(type)) << 48) |
+               (uint64_t(category) << 32) | size;
+    }
+
+    static constexpr Descriptor
+    unpack(uint64_t word)
+    {
+        return {static_cast<EntryType>((word >> 48) & 0xff),
+                uint16_t((word >> 32) & 0xffff),
+                uint32_t(word & 0xffffffffu)};
+    }
+
+    static constexpr bool
+    validMagic(uint64_t word)
+    {
+        return (word >> 56) == EntryLayout::magic;
+    }
+};
+
+/** Origin word packing for normal entries. */
+struct Origin
+{
+    uint16_t core = 0;
+    uint32_t thread = 0;
+
+    static constexpr uint64_t
+    pack(uint16_t core, uint32_t thread)
+    {
+        return (uint64_t(core) << 32) | thread;
+    }
+
+    static constexpr Origin
+    unpack(uint64_t word)
+    {
+        return {uint16_t((word >> 32) & 0xffff), uint32_t(word)};
+    }
+};
+
+/** Deterministic payload byte pattern for entry @p stamp. */
+inline uint8_t
+payloadByte(uint64_t stamp, std::size_t index)
+{
+    return static_cast<uint8_t>(stamp * 31 + index * 7 + 0x5a);
+}
+
+/** Write a normal entry of normalSize(payload_len) bytes at @p dst. */
+void writeNormal(uint8_t *dst, uint64_t stamp, uint16_t core,
+                 uint32_t thread, uint16_t category,
+                 std::size_t payload_len);
+
+/** Write a dummy entry spanning exactly @p len bytes (len >= 8). */
+void writeDummy(uint8_t *dst, std::size_t len);
+
+/** Write a block-header entry carrying global position @p pos. */
+void writeBlockHeader(uint8_t *dst, uint64_t pos);
+
+/** Write a skip marker carrying the skipped position @p pos. */
+void writeSkipMarker(uint8_t *dst, uint64_t pos);
+
+/** Decoded view of one entry, produced by EntryCursor. */
+struct EntryView
+{
+    EntryType type;
+    uint16_t category;
+    uint32_t size;          //!< total entry bytes
+    uint64_t stamp;         //!< Normal: logic stamp; Header/Skip: position
+    uint16_t core;
+    uint32_t thread;
+    bool payloadOk;         //!< Normal: payload pattern verified
+};
+
+/**
+ * Sequential decoder over a byte range holding packed entries.
+ * Returns false from next() at end of range or on malformed data
+ * (malformed() tells which).
+ */
+class EntryCursor
+{
+  public:
+    EntryCursor(const uint8_t *data, std::size_t len)
+        : cur(data), end(data + len) {}
+
+    /** Decode the next entry into @p out; false at end / on damage. */
+    bool next(EntryView &out);
+
+    /** True iff decoding stopped because of malformed bytes. */
+    bool malformed() const { return damaged; }
+
+    /** Bytes not yet consumed. */
+    std::size_t remaining() const { return std::size_t(end - cur); }
+
+  private:
+    const uint8_t *cur;
+    const uint8_t *end;
+    bool damaged = false;
+};
+
+} // namespace btrace
+
+#endif // BTRACE_TRACE_EVENT_H

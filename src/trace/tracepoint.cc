@@ -1,0 +1,72 @@
+#include "trace/tracepoint.h"
+
+#include "common/panic.h"
+
+namespace btrace {
+
+uint16_t
+TracepointRegistry::registerTracepoint(const std::string &name, int level,
+                                       const std::string &description)
+{
+    BTRACE_ASSERT(!name.empty(), "tracepoint name must be non-empty");
+    BTRACE_ASSERT(level >= 1 && level <= 3, "tracepoint level is 1..3");
+    std::scoped_lock guard(lock);
+    const auto it = byName.find(name);
+    if (it != byName.end())
+        return it->second;
+    BTRACE_ASSERT(points.size() <= 0xffff, "tracepoint id space full");
+    const auto id = static_cast<uint16_t>(points.size());
+    points.push_back(Tracepoint{id, name, level, description});
+    byName.emplace(name, id);
+    return id;
+}
+
+const Tracepoint &
+TracepointRegistry::byId(uint16_t id) const
+{
+    std::scoped_lock guard(lock);
+    return id < points.size() ? points[id] : points[0];
+}
+
+uint16_t
+TracepointRegistry::idOf(const std::string &name) const
+{
+    std::scoped_lock guard(lock);
+    const auto it = byName.find(name);
+    return it == byName.end() ? 0 : it->second;
+}
+
+std::vector<Tracepoint>
+TracepointRegistry::all() const
+{
+    std::scoped_lock guard(lock);
+    return points;
+}
+
+std::vector<uint16_t>
+TracepointRegistry::idsUpToLevel(int level) const
+{
+    std::scoped_lock guard(lock);
+    std::vector<uint16_t> ids;
+    for (const Tracepoint &tp : points) {
+        if (tp.id != 0 && tp.level <= level)
+            ids.push_back(tp.id);
+    }
+    return ids;
+}
+
+std::size_t
+TracepointRegistry::size() const
+{
+    std::scoped_lock guard(lock);
+    return points.size();
+}
+
+TracepointRegistry &
+TracepointRegistry::global()
+{
+    static TracepointRegistry registry;
+    return registry;
+}
+
+} // namespace btrace

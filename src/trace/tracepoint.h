@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Named tracepoint registry.
+ *
+ * Entries on the wire carry only a 16-bit category id (see event.h);
+ * this registry gives ids stable names, levels (the Fig 3 grouping),
+ * and human-readable descriptions, so consumers and exporters can
+ * label dumps the way atrace categories label Android traces. The
+ * catalog of modeled atrace categories (workloads/categories.h) can
+ * be imported wholesale.
+ */
+
+#ifndef BTRACE_TRACE_TRACEPOINT_H
+#define BTRACE_TRACE_TRACEPOINT_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace btrace {
+
+/** Static description of one tracepoint (category id). */
+struct Tracepoint
+{
+    uint16_t id = 0;
+    std::string name;
+    int level = 3;           //!< detail level, 1..3 (Fig 3)
+    std::string description;
+};
+
+/**
+ * Thread-safe id <-> name registry. Ids are dense and start at 1;
+ * id 0 is reserved for "uncategorized".
+ */
+class TracepointRegistry
+{
+  public:
+    /**
+     * Register a tracepoint; returns its id. Re-registering the same
+     * name returns the existing id (idempotent).
+     */
+    uint16_t registerTracepoint(const std::string &name, int level = 3,
+                                const std::string &description = "");
+
+    /** Lookup by id; returns the reserved entry 0 for unknown ids. */
+    const Tracepoint &byId(uint16_t id) const;
+
+    /** Lookup by name; returns 0 if not registered. */
+    uint16_t idOf(const std::string &name) const;
+
+    /** All registered tracepoints, id order (including entry 0). */
+    std::vector<Tracepoint> all() const;
+
+    /** Ids with level <= @p level (the cumulative Fig 3 sets). */
+    std::vector<uint16_t> idsUpToLevel(int level) const;
+
+    std::size_t size() const;
+
+    /** Process-wide default registry. */
+    static TracepointRegistry &global();
+
+  private:
+    mutable std::mutex lock;
+    std::vector<Tracepoint> points{
+        Tracepoint{0, "uncategorized", 3, "events without a category"}};
+    std::unordered_map<std::string, uint16_t> byName;
+};
+
+} // namespace btrace
+
+#endif // BTRACE_TRACE_TRACEPOINT_H

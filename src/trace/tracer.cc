@@ -1,0 +1,32 @@
+#include "trace/tracer.h"
+
+#include <thread>
+
+namespace btrace {
+
+bool
+Tracer::record(uint16_t core, uint32_t thread, uint64_t stamp,
+               uint32_t payload_len, uint16_t category, double *cost_out)
+{
+    WriteTicket ticket;
+    for (;;) {
+        ticket = allocate(core, thread, payload_len);
+        if (ticket.status == AllocStatus::Ok)
+            break;
+        if (ticket.status == AllocStatus::Drop) {
+            if (cost_out)
+                *cost_out = ticket.cost;
+            return false;
+        }
+        std::this_thread::yield();
+    }
+
+    writeNormal(ticket.dst, stamp, core, thread, category, payload_len);
+    ticket.cost += costs.copy(ticket.entrySize);
+    confirm(ticket);
+    if (cost_out)
+        *cost_out = ticket.cost;
+    return true;
+}
+
+} // namespace btrace

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Common tracer interface implemented by BTrace and all baselines.
+ *
+ * The write path is split into allocate() and confirm() so that the
+ * replay engine can model a thread being preempted *between* the two
+ * (the core oversubscription problem of §2.2, Observation 2). The
+ * caller writes the entry via writeNormal() into the ticket's buffer
+ * between the two calls.
+ *
+ * allocate() never blocks: it returns Ok with a buffer, Retry when the
+ * design would block (BBQ behind a preempted writer, BTrace with every
+ * metadata block in flight), or Drop when the design sheds the event
+ * (LTTng-style drop-newest). Costs in nanoseconds, per the CostModel,
+ * accumulate in the ticket.
+ */
+
+#ifndef BTRACE_TRACE_TRACER_H
+#define BTRACE_TRACE_TRACER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/cost.h"
+#include "trace/event.h"
+
+namespace btrace {
+
+/** Outcome of an allocate() call. */
+enum class AllocStatus
+{
+    Ok,     //!< space granted; write then confirm()
+    Retry,  //!< would block; try again later (caller decides when)
+    Drop,   //!< event shed by design; never retried
+};
+
+/** State handed from allocate() to confirm(). */
+struct WriteTicket
+{
+    AllocStatus status = AllocStatus::Retry;
+    uint8_t *dst = nullptr;    //!< where to write the entry
+    uint32_t entrySize = 0;    //!< total entry bytes granted
+    uint16_t core = 0;
+    uint32_t thread = 0;
+    double cost = 0.0;         //!< ns accumulated so far
+    uint64_t cookie = 0;       //!< tracer-private
+    uint64_t cookie2 = 0;      //!< tracer-private
+};
+
+/** One decoded entry of a dump, ready for continuity analysis. */
+struct DumpEntry
+{
+    uint64_t stamp = 0;
+    uint32_t size = 0;         //!< total entry bytes
+    uint16_t core = 0;
+    uint32_t thread = 0;
+    uint16_t category = 0;
+    bool payloadOk = true;
+};
+
+/** A consumer snapshot plus bookkeeping about what was readable. */
+struct Dump
+{
+    std::vector<DumpEntry> entries;
+    uint64_t skippedBlocks = 0;    //!< blocks lost to SKP markers
+    uint64_t abandonedBlocks = 0;  //!< speculative reads that failed
+    uint64_t unreadableBlocks = 0; //!< unconfirmed / in-flight blocks
+};
+
+/**
+ * Abstract tracer. Implementations: core/BTrace, baselines/Bbq,
+ * baselines/FtraceLike, baselines/LttngLike, baselines/VtraceLike.
+ */
+class Tracer
+{
+  public:
+    explicit Tracer(const CostModel &model = CostModel::def())
+        : costs(model) {}
+    virtual ~Tracer() = default;
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** Short identifier used in reports ("BTrace", "ftrace", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * True iff the design disables preemption around the write path
+     * (ftrace in the kernel). The replay engine then never models a
+     * context switch between allocate() and confirm() — at the cost
+     * charged by the tracer. Infeasible for userspace tracers (§2.2).
+     */
+    virtual bool disablesPreemption() const { return false; }
+
+    /** Total data-buffer capacity in bytes. */
+    virtual std::size_t capacityBytes() const = 0;
+
+    /**
+     * Reserve space for a normal entry with @p payload_len payload
+     * bytes, to be produced by @p thread running on @p core.
+     */
+    virtual WriteTicket allocate(uint16_t core, uint32_t thread,
+                                 uint32_t payload_len) = 0;
+
+    /** Publish a previously allocated entry; adds cost to the ticket. */
+    virtual void confirm(WriteTicket &ticket) = 0;
+
+    /** Non-destructive consumer snapshot of the retained entries. */
+    virtual Dump dump() = 0;
+
+    /**
+     * Convenience blocking write: allocate (spinning on Retry), fill,
+     * confirm. Returns false iff the event was dropped by design.
+     * Total charged cost is returned through @p cost_out if non-null.
+     */
+    bool record(uint16_t core, uint32_t thread, uint64_t stamp,
+                uint32_t payload_len, uint16_t category = 0,
+                double *cost_out = nullptr);
+
+    const CostModel &model() const { return costs; }
+
+  protected:
+    const CostModel &costs;
+};
+
+} // namespace btrace
+
+#endif // BTRACE_TRACE_TRACER_H

@@ -1,0 +1,118 @@
+#include "workloads/catalog.h"
+
+#include "common/panic.h"
+#include "common/prng.h"
+
+namespace btrace {
+
+namespace {
+
+/**
+ * Build a workload from per-core-class parameters. Rates are in
+ * thousands of entries per second (the unit of Fig 4); thread counts
+ * follow Fig 6 ("total" over 30 s, "active" within a second). A
+ * deterministic +/-15 % per-core jitter keeps cores of one class from
+ * being identical.
+ */
+Workload
+make(const std::string &name, uint64_t seed,
+     double little_k, double mid_k, double big_k,
+     uint32_t little_total, uint32_t mid_total, uint32_t big_total,
+     uint32_t little_active, uint32_t mid_active, uint32_t big_active,
+     double burstiness)
+{
+    Workload w;
+    w.name = name;
+    w.seed = seed;
+    w.burstiness = burstiness;
+
+    Prng jitter(seed * 0x9e3779b97f4a7c15ull + 17);
+    for (unsigned c = 0; c < kCores; ++c) {
+        double rate_k = 0.0;
+        uint32_t total = 0;
+        uint32_t active = 0;
+        switch (coreClassOf(c)) {
+          case CoreClass::Little:
+            rate_k = little_k;
+            total = little_total;
+            active = little_active;
+            break;
+          case CoreClass::Middle:
+            rate_k = mid_k;
+            total = mid_total;
+            active = mid_active;
+            break;
+          case CoreClass::Big:
+            rate_k = big_k;
+            total = big_total;
+            active = big_active;
+            break;
+        }
+        const double factor = 0.85 + 0.3 * jitter.nextDouble();
+        w.ratePerSec[c] = rate_k * 1000.0 * factor;
+        w.totalThreads[c] = std::max<uint32_t>(
+            1, uint32_t(double(total) * factor));
+        w.activeThreads[c] = std::max<uint32_t>(
+            1, std::min(w.totalThreads[c],
+                        uint32_t(double(active) * factor)));
+    }
+    return w;
+}
+
+std::vector<Workload>
+buildCatalog()
+{
+    std::vector<Workload> all;
+    //                 name       seed  l-k   m-k   b-k  l-tot m-tot b-tot l-act m-act b-act burst
+    all.push_back(make("Desktop",  11,  4.0,  2.5,  1.5,  300,  250,  150,  25,  20,  12, 0.30));
+    all.push_back(make("Browser",  12,  8.0,  5.0,  2.0,  420,  350,  200,  35,  28,  15, 0.35));
+    all.push_back(make("Camera",   13,  6.0,  7.0,  4.0,  350,  380,  220,  30,  32,  18, 0.25));
+    all.push_back(make("eShop-1",  14, 10.0,  5.0,  1.5,  450,  380,  200,  38,  30,  15, 0.40));
+    all.push_back(make("eShop-2",  15, 12.0,  7.0,  2.0,  600,  500,  300,  50,  42,  25, 0.45));
+    all.push_back(make("Game-1",   16,  5.0,  9.0,  8.0,  380,  420,  260,  30,  36,  22, 0.20));
+    all.push_back(make("Game-2",   17,  6.0, 10.0,  9.0,  400,  450,  280,  32,  38,  24, 0.20));
+    all.push_back(make("IM",       18,  3.5,  3.2,  3.0,  260,  240,  200,  22,  20,  17, 0.30));
+    all.push_back(make("LockScr",  19,  1.8,  0.12, 0.05, 120,   25,    8,  12,   3,   2, 0.50));
+    all.push_back(make("Map",      20,  7.0,  6.0,  3.0,  380,  350,  210,  32,  29,  17, 0.30));
+    all.push_back(make("Music",    21,  2.5,  1.2,  0.4,  180,  120,   60,  15,  10,   6, 0.40));
+    all.push_back(make("News",     22,  5.0,  3.0,  1.2,  320,  260,  140,  27,  22,  12, 0.35));
+    all.push_back(make("Photo",    23,  4.5,  5.0,  2.5,  300,  320,  180,  25,  27,  15, 0.30));
+    all.push_back(make("Reader",   24,  3.0,  1.8,  0.8,  220,  170,   90,  18,  14,   8, 0.40));
+    all.push_back(make("Social",   25,  7.5,  4.5,  2.0,  420,  350,  200,  35,  29,  16, 0.35));
+    all.push_back(make("Video-1",  26, 14.0,  6.0,  0.6,  400,  300,  100,  34,  25,   8, 0.30));
+    all.push_back(make("Video-2",  27, 11.0,  7.0,  1.5,  380,  320,  140,  32,  27,  11, 0.30));
+    all.push_back(make("Video-3",  28, 16.0, 11.0,  5.0,  500,  450,  280,  42,  38,  22, 0.25));
+    all.push_back(make("CPUTest",  29,  9.0, 12.0, 11.0,  200,  220,  160,  16,  18,  14, 0.10));
+    all.push_back(make("MemTest",  30, 10.0, 10.0,  9.0,  180,  190,  150,  15,  16,  13, 0.10));
+    all.push_back(make("SysBench", 31, 12.0, 13.0, 12.0,  260,  280,  210,  21,  23,  18, 0.15));
+    return all;
+}
+
+} // namespace
+
+const std::vector<Workload> &
+workloadCatalog()
+{
+    static const std::vector<Workload> catalog = buildCatalog();
+    return catalog;
+}
+
+const Workload &
+workloadByName(const std::string &name)
+{
+    for (const Workload &w : workloadCatalog()) {
+        if (w.name == name)
+            return w;
+    }
+    BTRACE_FATAL("unknown workload name");
+}
+
+std::vector<Workload>
+fig4Workloads()
+{
+    return {workloadByName("Desktop"), workloadByName("Video-1"),
+            workloadByName("Video-2"), workloadByName("eShop-1"),
+            workloadByName("LockScr"), workloadByName("IM")};
+}
+
+} // namespace btrace

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The 21 named workloads of the evaluation (Table 2 columns): top app
+ * store applications and games, developer benchmark tools, and typical
+ * usage scenarios (lock screen, desktop) — §5 "Workloads".
+ */
+
+#ifndef BTRACE_WORKLOADS_CATALOG_H
+#define BTRACE_WORKLOADS_CATALOG_H
+
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace btrace {
+
+/** All 21 workloads, in Table 2 column order. */
+const std::vector<Workload> &workloadCatalog();
+
+/** Lookup by name; fatal if unknown. */
+const Workload &workloadByName(const std::string &name);
+
+/** The six workloads highlighted in Fig 4. */
+std::vector<Workload> fig4Workloads();
+
+} // namespace btrace
+
+#endif // BTRACE_WORKLOADS_CATALOG_H

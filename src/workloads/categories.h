@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Atrace-style tracepoint categories with production rates (Fig 2)
+ * and the level-1/2/3 grouping used for Fig 3.
+ *
+ * Rates follow the relative proportions of Fig 2 but are calibrated so
+ * the level-3 aggregate reaches ~450 MB over 30 s on 12 cores, which
+ * is the axis of Fig 3 (our scale substitution is noted in
+ * EXPERIMENTS.md).
+ */
+
+#ifndef BTRACE_WORKLOADS_CATEGORIES_H
+#define BTRACE_WORKLOADS_CATEGORIES_H
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace btrace {
+
+/** One tracepoint category (an atrace tag or a custom tracepoint). */
+struct TraceCategory
+{
+    std::string name;
+    double mbPerCoreMin;  //!< mean production rate, MB per core per min
+    int level;            //!< 1, 2, or 3 (Fig 3 grouping)
+    uint16_t id;          //!< category id stored in entries
+};
+
+/** All modeled categories, Fig 2 order. */
+const std::vector<TraceCategory> &categoryCatalog();
+
+/** Cumulative production rate of all categories with level <= @p l. */
+double levelRateMbPerCoreMin(int l);
+
+/**
+ * Composite workload producing all categories up to @p level across
+ * @p cores cores, for the Fig 3 experiment. Rates are uniform across
+ * cores (the figure aggregates system-wide volume).
+ */
+Workload levelWorkload(int level, unsigned cores = kCores);
+
+} // namespace btrace
+
+#endif // BTRACE_WORKLOADS_CATEGORIES_H

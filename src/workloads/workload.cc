@@ -1,0 +1,55 @@
+#include "workloads/workload.h"
+
+#include <cmath>
+
+#include "trace/event.h"
+
+namespace btrace {
+
+double
+Workload::totalRatePerSec() const
+{
+    double sum = 0.0;
+    for (double r : ratePerSec)
+        sum += r;
+    return sum;
+}
+
+double
+Workload::meanPayloadBytes() const
+{
+    // Mean of a bounded Pareto on [lo, hi] with shape a != 1:
+    //   E[X] = (lo^a / (1 - (lo/hi)^a)) * (a / (a-1))
+    //          * (1/lo^(a-1) - 1/hi^(a-1))
+    const double a = payloadShape;
+    const double lo = payloadLo;
+    const double hi = payloadHi;
+    if (std::abs(a - 1.0) < 1e-9) {
+        return lo * hi / (hi - lo) * std::log(hi / lo);
+    }
+    const double la = std::pow(lo, a);
+    const double ratio = 1.0 - std::pow(lo / hi, a);
+    return la / ratio * (a / (a - 1.0)) *
+           (1.0 / std::pow(lo, a - 1.0) - 1.0 / std::pow(hi, a - 1.0));
+}
+
+double
+Workload::expectedBytes() const
+{
+    const double burst_scale =
+        (1.0 - burstiness) + burstiness * burstLowFactor;
+    const double entry_bytes =
+        double(EntryLayout::normalHeaderBytes) + meanPayloadBytes();
+    return totalRatePerSec() * burst_scale * durationSec * entry_bytes;
+}
+
+Workload
+Workload::scaled(double factor) const
+{
+    Workload w = *this;
+    for (double &r : w.ratePerSec)
+        r *= factor;
+    return w;
+}
+
+} // namespace btrace

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Synthetic smartphone workload model.
+ *
+ * The paper replays 20 traces recorded on a 12-core production phone
+ * (4 little + 6 middle + 2 big cores). We do not have those traces;
+ * instead each workload is described by the distributions the paper
+ * reports: per-core mean production rates (Fig 4), per-core thread
+ * counts — total over 30 s and concurrently active per second (Fig 6),
+ * a heavy-tailed entry-size distribution, and bursty rate modulation.
+ * See DESIGN.md §2 for why this preserves the evaluated behaviour.
+ */
+
+#ifndef BTRACE_WORKLOADS_WORKLOAD_H
+#define BTRACE_WORKLOADS_WORKLOAD_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace btrace {
+
+/** The paper's evaluation machine: a 12-core asymmetric SoC. */
+constexpr unsigned kCores = 12;
+
+/** Core class of the asymmetric SoC (cores 0-3 / 4-9 / 10-11). */
+enum class CoreClass { Little, Middle, Big };
+
+/** Class of core @p c on the modeled SoC. */
+constexpr CoreClass
+coreClassOf(unsigned c)
+{
+    return c < 4 ? CoreClass::Little
+                 : (c < 10 ? CoreClass::Middle : CoreClass::Big);
+}
+
+/** One replayable scenario (a Table 2 column). */
+struct Workload
+{
+    std::string name;
+
+    /** Mean trace production rate per core, entries per second. */
+    std::array<double, kCores> ratePerSec{};
+
+    /** Distinct producing threads per core over the whole run (Fig 6
+     *  "Total"). */
+    std::array<uint32_t, kCores> totalThreads{};
+
+    /** Concurrently active producing threads per core within one
+     *  second (Fig 6 "Per Sec."). */
+    std::array<uint32_t, kCores> activeThreads{};
+
+    /** Bounded-Pareto payload size distribution, bytes. */
+    double payloadLo = 16.0;
+    double payloadHi = 512.0;
+    double payloadShape = 1.1;
+
+    /** Fraction of time spent in low-rate troughs, and the factor. */
+    double burstiness = 0.3;
+    double burstLowFactor = 0.2;
+
+    double durationSec = 30.0;
+    uint64_t seed = 1;
+
+    /** Mean total production rate across all cores, entries/s. */
+    double totalRatePerSec() const;
+
+    /** Mean payload size of the bounded-Pareto distribution. */
+    double meanPayloadBytes() const;
+
+    /** Expected produced bytes over the full duration. */
+    double expectedBytes() const;
+
+    /** Scale every core's rate by @p factor (for bench --scale). */
+    Workload scaled(double factor) const;
+};
+
+} // namespace btrace
+
+#endif // BTRACE_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,141 @@
+/** @file Unit tests for the logic-stamp continuity analysis. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/continuity.h"
+
+namespace btrace {
+namespace {
+
+std::vector<ProducedEvent>
+produce(uint64_t n, uint32_t bytes = 100)
+{
+    std::vector<ProducedEvent> out;
+    for (uint64_t s = 1; s <= n; ++s)
+        out.push_back(ProducedEvent{s, bytes, float(s) * 0.001f,
+                                    uint16_t(s % 4), uint32_t(s % 3),
+                                    false});
+    return out;
+}
+
+Dump
+retain(std::initializer_list<uint64_t> stamps, uint32_t bytes = 100)
+{
+    Dump d;
+    for (uint64_t s : stamps)
+        d.entries.push_back(DumpEntry{s, bytes, 0, 0, 0, true});
+    return d;
+}
+
+TEST(Continuity, EmptyDump)
+{
+    const auto rep = analyzeContinuity(produce(10), Dump{}, 1000);
+    EXPECT_EQ(rep.producedCount, 10u);
+    EXPECT_EQ(rep.retainedCount, 0u);
+    EXPECT_EQ(rep.latestFragmentBytes, 0.0);
+    EXPECT_EQ(rep.fragments, 0u);
+}
+
+TEST(Continuity, FullRetention)
+{
+    const auto rep = analyzeContinuity(
+        produce(5), retain({1, 2, 3, 4, 5}), 1000);
+    EXPECT_EQ(rep.retainedCount, 5u);
+    EXPECT_EQ(rep.fragments, 1u);
+    EXPECT_DOUBLE_EQ(rep.lossRate, 0.0);
+    EXPECT_DOUBLE_EQ(rep.latestFragmentBytes, 500.0);
+    EXPECT_EQ(rep.latestFragmentCount, 5u);
+    EXPECT_DOUBLE_EQ(rep.effectivityRatio, 0.5);
+}
+
+TEST(Continuity, SuffixRetention)
+{
+    const auto rep = analyzeContinuity(
+        produce(10), retain({7, 8, 9, 10}), 400);
+    EXPECT_EQ(rep.fragments, 1u);
+    EXPECT_DOUBLE_EQ(rep.lossRate, 0.0);  // contiguous collected range
+    EXPECT_DOUBLE_EQ(rep.latestFragmentBytes, 400.0);
+    EXPECT_DOUBLE_EQ(rep.effectivityRatio, 1.0);
+}
+
+TEST(Continuity, HoleSplitsFragmentsAndRaisesLoss)
+{
+    const auto rep = analyzeContinuity(
+        produce(10), retain({3, 4, 7, 8, 9}), 1000);
+    EXPECT_EQ(rep.fragments, 2u);
+    // Range 3..9 = 7 stamps, 5 retained.
+    EXPECT_NEAR(rep.lossRate, 2.0 / 7.0, 1e-9);
+    // Latest fragment = {7,8,9}.
+    EXPECT_EQ(rep.latestFragmentCount, 3u);
+    EXPECT_DOUBLE_EQ(rep.latestFragmentBytes, 300.0);
+}
+
+TEST(Continuity, IsolatedNewestGivesTinyLatestFragment)
+{
+    // The LTTng pathology: the newest retained event sits alone after
+    // a drop gap.
+    const auto rep = analyzeContinuity(
+        produce(10), retain({1, 2, 3, 4, 10}), 1000);
+    EXPECT_EQ(rep.latestFragmentCount, 1u);
+    EXPECT_EQ(rep.fragments, 2u);
+    EXPECT_NEAR(rep.lossRate, 0.5, 1e-9);
+}
+
+TEST(Continuity, DroppedEventsCountAgainstLoss)
+{
+    auto produced = produce(10);
+    produced[4].dropped = true;  // stamp 5 shed by the tracer
+    const auto rep = analyzeContinuity(
+        produced, retain({4, 6, 7, 8, 9, 10}), 1000);
+    EXPECT_EQ(rep.droppedByDesign, 1u);
+    EXPECT_EQ(rep.fragments, 2u);
+    EXPECT_NEAR(rep.lossRate, 1.0 / 7.0, 1e-9);
+}
+
+TEST(Continuity, ResurfacedDropFlagged)
+{
+    auto produced = produce(5);
+    produced[2].dropped = true;
+    const auto rep =
+        analyzeContinuity(produced, retain({3}), 1000);
+    EXPECT_EQ(rep.resurfacedDrops, 1u);
+}
+
+TEST(Continuity, DuplicateStampsFlagged)
+{
+    const auto rep = analyzeContinuity(
+        produce(5), retain({2, 2, 3}), 1000);
+    EXPECT_EQ(rep.duplicateStamps, 1u);
+    EXPECT_EQ(rep.retainedCount, 2u);
+}
+
+TEST(Continuity, UnknownStampsFlagged)
+{
+    const auto rep = analyzeContinuity(
+        produce(5), retain({3, 77}), 1000);
+    EXPECT_EQ(rep.unknownStamps, 1u);
+    EXPECT_EQ(rep.retainedCount, 1u);
+}
+
+TEST(Continuity, CorruptPayloadFlagged)
+{
+    Dump d = retain({1, 2});
+    d.entries[1].payloadOk = false;
+    const auto rep = analyzeContinuity(produce(2), d, 1000);
+    EXPECT_EQ(rep.corruptPayloads, 1u);
+}
+
+TEST(Continuity, BytesUseProducedSizes)
+{
+    std::vector<ProducedEvent> produced;
+    produced.push_back(ProducedEvent{1, 10, 0.0f, 0, 0, false});
+    produced.push_back(ProducedEvent{2, 30, 0.0f, 0, 0, false});
+    const auto rep =
+        analyzeContinuity(produced, retain({1, 2}), 100);
+    EXPECT_DOUBLE_EQ(rep.retainedBytes, 40.0);
+    EXPECT_DOUBLE_EQ(rep.latestFragmentBytes, 40.0);
+    EXPECT_DOUBLE_EQ(rep.effectivityRatio, 0.4);
+}
+
+} // namespace
+} // namespace btrace

@@ -1,0 +1,142 @@
+/** @file Unit tests for the §6 defect-signature detectors. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/defects.h"
+
+namespace btrace {
+namespace {
+
+constexpr uint16_t kIdle = 1;
+constexpr uint16_t kSched = 2;
+constexpr uint16_t kMigrate = 3;
+constexpr uint16_t kBusy = 4;
+constexpr uint16_t kDownscale = 5;
+constexpr uint16_t kNoise = 9;
+
+DumpEntry
+entry(uint64_t stamp, uint16_t cat, uint16_t core = 0,
+      uint32_t thread = 0)
+{
+    return DumpEntry{stamp, 40, core, thread, cat, true};
+}
+
+TEST(MigrationStorm, DetectsTripleOnOneCore)
+{
+    std::vector<DumpEntry> es = {
+        entry(10, kIdle, 2), entry(12, kNoise, 2),
+        entry(14, kSched, 2), entry(20, kMigrate, 2),
+    };
+    const DefectReport rep =
+        detectMigrationStorm(es, kIdle, kSched, kMigrate, 64);
+    ASSERT_EQ(rep.occurrences.size(), 1u);
+    EXPECT_EQ(rep.occurrences[0].firstStamp, 10u);
+    EXPECT_EQ(rep.occurrences[0].lastStamp, 20u);
+    EXPECT_EQ(rep.occurrences[0].core, 2u);
+}
+
+TEST(MigrationStorm, CrossCoreEventsDoNotMatch)
+{
+    std::vector<DumpEntry> es = {
+        entry(10, kIdle, 0), entry(14, kSched, 1),
+        entry(20, kMigrate, 0),
+    };
+    const DefectReport rep =
+        detectMigrationStorm(es, kIdle, kSched, kMigrate, 64);
+    EXPECT_TRUE(rep.occurrences.empty());
+}
+
+TEST(MigrationStorm, SpanDeadlineExpires)
+{
+    std::vector<DumpEntry> es = {
+        entry(10, kIdle, 0), entry(200, kSched, 0),
+        entry(210, kMigrate, 0),
+    };
+    const DefectReport rep =
+        detectMigrationStorm(es, kIdle, kSched, kMigrate, 64);
+    EXPECT_TRUE(rep.occurrences.empty());
+}
+
+TEST(MigrationStorm, CountsRepeatedOccurrences)
+{
+    std::vector<DumpEntry> es;
+    for (uint64_t k = 0; k < 5; ++k) {
+        const uint64_t base = 1000 * (k + 1);
+        es.push_back(entry(base, kIdle, 3));
+        es.push_back(entry(base + 5, kSched, 3));
+        es.push_back(entry(base + 9, kMigrate, 3));
+    }
+    const DefectReport rep =
+        detectMigrationStorm(es, kIdle, kSched, kMigrate, 64);
+    EXPECT_EQ(rep.occurrences.size(), 5u);
+    EXPECT_GT(rep.ratePerMEvents(), 0.0);
+}
+
+TEST(ThermalBusyLoop, BurstThenDownscaleMatches)
+{
+    std::vector<DumpEntry> es;
+    for (uint64_t s = 100; s < 110; ++s)
+        es.push_back(entry(s, kBusy, 1, 42));
+    es.push_back(entry(500, kDownscale, 0));
+    const DefectReport rep =
+        detectThermalBusyLoop(es, kBusy, kDownscale, 8, 256, 1000);
+    ASSERT_EQ(rep.occurrences.size(), 1u);
+    EXPECT_EQ(rep.occurrences[0].firstStamp, 100u);
+    EXPECT_EQ(rep.occurrences[0].lastStamp, 500u);
+}
+
+TEST(ThermalBusyLoop, ShortBurstIgnored)
+{
+    std::vector<DumpEntry> es = {
+        entry(100, kBusy, 1, 42), entry(101, kBusy, 1, 42),
+        entry(500, kDownscale, 0),
+    };
+    const DefectReport rep =
+        detectThermalBusyLoop(es, kBusy, kDownscale, 8, 256, 1000);
+    EXPECT_TRUE(rep.occurrences.empty());
+}
+
+TEST(ThermalBusyLoop, DownscaleTooLateIgnored)
+{
+    std::vector<DumpEntry> es;
+    for (uint64_t s = 100; s < 110; ++s)
+        es.push_back(entry(s, kBusy, 1, 42));
+    es.push_back(entry(900000, kDownscale, 0));
+    const DefectReport rep =
+        detectThermalBusyLoop(es, kBusy, kDownscale, 8, 256, 1000);
+    EXPECT_TRUE(rep.occurrences.empty());
+}
+
+TEST(ThermalBusyLoop, BurstsArePerThread)
+{
+    // 10 busy events interleaved across 5 threads: no single thread
+    // reaches the burst threshold.
+    std::vector<DumpEntry> es;
+    for (uint64_t s = 0; s < 10; ++s)
+        es.push_back(entry(100 + s, kBusy, 1, uint32_t(s % 5)));
+    es.push_back(entry(500, kDownscale, 0));
+    const DefectReport rep =
+        detectThermalBusyLoop(es, kBusy, kDownscale, 8, 256, 1000);
+    EXPECT_TRUE(rep.occurrences.empty());
+}
+
+TEST(RootCause, FoundWhenFarEnoughBeforeNewest)
+{
+    std::vector<DumpEntry> es = {
+        entry(100, kBusy), entry(50000, kNoise),
+    };
+    es[0].category = 7;
+    EXPECT_TRUE(rootCauseWithinWindow(es, 7, 10000));
+    EXPECT_FALSE(rootCauseWithinWindow(es, 7, 60000));
+    EXPECT_FALSE(rootCauseWithinWindow(es, 8, 1));
+}
+
+TEST(Detectors, EmptyInputSafe)
+{
+    EXPECT_TRUE(detectMigrationStorm({}, 1, 2, 3).occurrences.empty());
+    EXPECT_TRUE(detectThermalBusyLoop({}, 1, 2).occurrences.empty());
+    EXPECT_FALSE(rootCauseWithinWindow({}, 1, 1));
+}
+
+} // namespace
+} // namespace btrace

@@ -1,0 +1,97 @@
+/** @file Unit tests for the trace exporters. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/export.h"
+
+namespace btrace {
+namespace {
+
+std::vector<DumpEntry>
+sampleEntries()
+{
+    return {
+        DumpEntry{3, 40, 1, 11, 2, true},
+        DumpEntry{1, 48, 0, 10, 1, true},
+        DumpEntry{2, 56, 0, 12, 0, true},
+    };
+}
+
+TEST(ExportChromeJson, WellFormedAndSorted)
+{
+    TracepointRegistry reg;
+    reg.registerTracepoint("sched");   // id 1
+    reg.registerTracepoint("freq");    // id 2
+    ExportOptions opt;
+    opt.registry = &reg;
+    const std::string json = exportChromeJson(sampleEntries(), opt);
+
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"sched\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"freq\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"uncategorized\""), std::string::npos);
+    // Sorted: stamp 1 appears before stamp 3.
+    EXPECT_LT(json.find("\"stamp\":1"), json.find("\"stamp\":3"));
+    // Cores become pids.
+    EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+}
+
+TEST(ExportChromeJson, EmptyInput)
+{
+    EXPECT_EQ(exportChromeJson({}), "{\"traceEvents\":[]}");
+}
+
+TEST(ExportCsv, HeaderAndRows)
+{
+    TracepointRegistry reg;
+    reg.registerTracepoint("sched");
+    ExportOptions opt;
+    opt.registry = &reg;
+    const std::string csv = exportCsv(sampleEntries(), opt);
+
+    EXPECT_EQ(csv.find("stamp,core,thread,category,category_name,size"),
+              0u);
+    EXPECT_NE(csv.find("1,0,10,1,sched,48"), std::string::npos);
+    EXPECT_NE(csv.find("2,0,12,0,uncategorized,56"), std::string::npos);
+    // 1 header + 3 rows.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+}
+
+TEST(ExportCsv, UnsortedWhenRequested)
+{
+    ExportOptions opt;
+    opt.sortByStamp = false;
+    const std::string csv = exportCsv(sampleEntries(), opt);
+    EXPECT_LT(csv.find("3,1,"), csv.find("1,0,"));
+}
+
+TEST(SummarizeDump, RollsUpCoresAndCategories)
+{
+    TracepointRegistry reg;
+    reg.registerTracepoint("sched");
+    reg.registerTracepoint("freq");
+    Dump dump;
+    dump.entries = sampleEntries();
+    dump.skippedBlocks = 2;
+    ExportOptions opt;
+    opt.registry = &reg;
+    const std::string text = summarizeDump(dump, opt);
+
+    EXPECT_NE(text.find("3 entries"), std::string::npos);
+    EXPECT_NE(text.find("stamps 1..3"), std::string::npos);
+    EXPECT_NE(text.find("2 skipped"), std::string::npos);
+    EXPECT_NE(text.find("per core:"), std::string::npos);
+    EXPECT_NE(text.find("per category:"), std::string::npos);
+    EXPECT_NE(text.find("sched"), std::string::npos);
+}
+
+TEST(SummarizeDump, EmptyDumpSafe)
+{
+    const std::string text = summarizeDump(Dump{});
+    EXPECT_NE(text.find("0 entries"), std::string::npos);
+}
+
+} // namespace
+} // namespace btrace

@@ -1,0 +1,98 @@
+/** @file Unit tests for gap classification. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/gaps.h"
+
+namespace btrace {
+namespace {
+
+std::vector<ProducedEvent>
+produce(uint64_t n, uint32_t bytes = 100)
+{
+    std::vector<ProducedEvent> out;
+    for (uint64_t s = 1; s <= n; ++s)
+        out.push_back(ProducedEvent{s, bytes, float(s), 0, 0, false});
+    return out;
+}
+
+Dump
+retain(std::initializer_list<uint64_t> stamps)
+{
+    Dump d;
+    for (uint64_t s : stamps)
+        d.entries.push_back(DumpEntry{s, 100, 0, 0, 0, true});
+    return d;
+}
+
+TEST(Gaps, NoGapsWhenContiguous)
+{
+    const auto rep = analyzeGaps(produce(10), retain({4, 5, 6, 7}));
+    EXPECT_TRUE(rep.gaps.empty());
+    EXPECT_EQ(rep.maxGapLength(), 0u);
+}
+
+TEST(Gaps, SingleSmallGap)
+{
+    const auto rep =
+        analyzeGaps(produce(10), retain({2, 3, 5, 6}), 4);
+    ASSERT_EQ(rep.gaps.size(), 1u);
+    EXPECT_EQ(rep.gaps[0].firstStamp, 4u);
+    EXPECT_EQ(rep.gaps[0].lastStamp, 4u);
+    EXPECT_EQ(rep.smallGaps, 1u);
+    EXPECT_EQ(rep.largeGaps, 0u);
+    EXPECT_DOUBLE_EQ(rep.smallGapBytes, 100.0);
+}
+
+TEST(Gaps, ClassifiesByThreshold)
+{
+    // Gaps: {3..4} (len 2) and {8..12} (len 5); threshold 2.
+    const auto rep = analyzeGaps(
+        produce(20), retain({2, 5, 6, 7, 13, 14}), 2);
+    ASSERT_EQ(rep.gaps.size(), 2u);
+    EXPECT_EQ(rep.smallGaps, 1u);
+    EXPECT_EQ(rep.largeGaps, 1u);
+    EXPECT_EQ(rep.maxGapLength(), 5u);
+    EXPECT_DOUBLE_EQ(rep.largeGapBytes, 500.0);
+}
+
+TEST(Gaps, OutsideCollectedRangeIgnored)
+{
+    // Stamps 1 and 20 were never retained: not gaps, just the range.
+    const auto rep = analyzeGaps(produce(20), retain({10, 11}), 4);
+    EXPECT_TRUE(rep.gaps.empty());
+}
+
+TEST(Gaps, EmptyInputsSafe)
+{
+    const auto rep1 = analyzeGaps({}, Dump{});
+    EXPECT_TRUE(rep1.gaps.empty());
+    const auto rep2 = analyzeGaps(produce(5), Dump{});
+    EXPECT_TRUE(rep2.gaps.empty());
+}
+
+TEST(Gaps, DescribeMentionsCounts)
+{
+    const auto rep = analyzeGaps(
+        produce(20), retain({2, 5, 6, 7, 13, 14}), 2);
+    const std::string text = describeGaps(rep);
+    EXPECT_NE(text.find("2 gaps"), std::string::npos);
+    EXPECT_NE(text.find("1 small"), std::string::npos);
+    EXPECT_NE(text.find("1 large"), std::string::npos);
+    EXPECT_NE(text.find("max 5"), std::string::npos);
+}
+
+TEST(Gaps, BytesAccumulatePerGap)
+{
+    std::vector<ProducedEvent> produced;
+    for (uint64_t s = 1; s <= 6; ++s)
+        produced.push_back(
+            ProducedEvent{s, uint32_t(10 * s), float(s), 0, 0, false});
+    // Retain 1 and 6; gap = {2..5} with bytes 20+30+40+50.
+    const auto rep = analyzeGaps(produced, retain({1, 6}), 1);
+    ASSERT_EQ(rep.gaps.size(), 1u);
+    EXPECT_DOUBLE_EQ(rep.gaps[0].bytes, 140.0);
+}
+
+} // namespace
+} // namespace btrace

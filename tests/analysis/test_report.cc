@@ -1,0 +1,82 @@
+/** @file Unit tests for the Table 2 report assembly. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/report.h"
+
+namespace btrace {
+namespace {
+
+TEST(Report, AppendMetricsExtractsFields)
+{
+    TracerMetrics row;
+    row.tracer = "X";
+    ContinuityReport rep;
+    rep.latestFragmentBytes = 2.0 * 1024 * 1024;
+    rep.lossRate = 0.25;
+    rep.fragments = 123;
+    appendMetrics(row, rep, 55.0);
+    ASSERT_EQ(row.latestFragmentMb.size(), 1u);
+    EXPECT_DOUBLE_EQ(row.latestFragmentMb[0], 2.0);
+    EXPECT_DOUBLE_EQ(row.lossRate[0], 0.25);
+    EXPECT_DOUBLE_EQ(row.fragments[0], 123.0);
+    EXPECT_DOUBLE_EQ(row.latencyGeoNs[0], 55.0);
+}
+
+TEST(Report, RenderContainsAllSectionsAndCells)
+{
+    TracerMetrics a;
+    a.tracer = "BTrace";
+    a.latestFragmentMb = {10.8, 11.0};
+    a.lossRate = {0.0, 0.01};
+    a.fragments = {65, 80};
+    a.latencyGeoNs = {53, 50};
+    TracerMetrics b;
+    b.tracer = "ftrace";
+    b.latestFragmentMb = {5.4, 5.0};
+    b.lossRate = {0.81, 0.8};
+    b.fragments = {20000, 15000};
+    b.latencyGeoNs = {63, 66};
+
+    const std::string out =
+        renderTable2({"Desktop", "Browser"}, {a, b});
+    EXPECT_NE(out.find("Latest continuous entries"), std::string::npos);
+    EXPECT_NE(out.find("Loss rate"), std::string::npos);
+    EXPECT_NE(out.find("Number of fragments"), std::string::npos);
+    EXPECT_NE(out.find("Recording latency"), std::string::npos);
+    EXPECT_NE(out.find("BTrace"), std::string::npos);
+    EXPECT_NE(out.find("ftrace"), std::string::npos);
+    EXPECT_NE(out.find("Desktop"), std::string::npos);
+    EXPECT_NE(out.find("G.M."), std::string::npos);
+    EXPECT_NE(out.find("2e4"), std::string::npos);  // compact fragments
+}
+
+TEST(Report, GeoMeanColumnIsGeometric)
+{
+    TracerMetrics a;
+    a.tracer = "T";
+    a.latestFragmentMb = {1.0, 100.0};
+    a.lossRate = {0.0, 0.0};
+    a.fragments = {1, 1};
+    a.latencyGeoNs = {10, 1000};
+    const std::string out = renderTable2({"W1", "W2"}, {a});
+    // G.M. of {1,100} = 10.0; of {10,1000} = 100.
+    EXPECT_NE(out.find("10.0"), std::string::npos);
+    EXPECT_NE(out.find("100"), std::string::npos);
+}
+
+using ReportDeath = ::testing::Test;
+
+TEST(ReportDeath, MismatchedVectorLengthsAreFatal)
+{
+    TracerMetrics a;
+    a.tracer = "T";
+    a.latestFragmentMb = {1.0};
+    a.lossRate = {0.0};
+    a.fragments = {1};
+    a.latencyGeoNs = {10};
+    EXPECT_DEATH(renderTable2({"W1", "W2"}, {a}), "metric vector");
+}
+
+} // namespace
+} // namespace btrace

@@ -1,0 +1,93 @@
+/** @file Unit tests for the Fig 1 retained-interval timelines. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/timeline.h"
+
+namespace btrace {
+namespace {
+
+ReplayResult
+makeResult(uint64_t produced, std::initializer_list<uint64_t> retained,
+           std::size_t capacity, uint32_t bytes = 100)
+{
+    ReplayResult res;
+    res.capacityBytes = capacity;
+    for (uint64_t s = 1; s <= produced; ++s)
+        res.produced.push_back(
+            ProducedEvent{s, bytes, float(s), 0, 0, false});
+    for (uint64_t s : retained)
+        res.dump.entries.push_back(DumpEntry{s, bytes, 0, 0, 0, true});
+    return res;
+}
+
+TEST(Timeline, WindowCoversCapacityWorthOfNewestEvents)
+{
+    // 100-byte events, 1000-byte capacity → window = last 10 events.
+    const auto res = makeResult(100, {}, 1000);
+    const Timeline tl = buildTimeline(res);
+    EXPECT_EQ(tl.windowEnd, 100u);
+    EXPECT_EQ(tl.windowEvents(), 10u);
+}
+
+TEST(Timeline, FullCoverage)
+{
+    const auto res =
+        makeResult(20, {11, 12, 13, 14, 15, 16, 17, 18, 19, 20}, 1000);
+    const Timeline tl = buildTimeline(res);
+    EXPECT_NEAR(tl.coverage(), 1.0, 1e-9);
+    ASSERT_EQ(tl.retainedRuns.size(), 1u);
+    const std::string band = renderTimeline(tl, 10);
+    EXPECT_EQ(band, std::string(10, '#'));
+}
+
+TEST(Timeline, EmptyCoverage)
+{
+    const auto res = makeResult(20, {1, 2}, 1000);  // outside window
+    const Timeline tl = buildTimeline(res);
+    EXPECT_EQ(tl.coverage(), 0.0);
+    EXPECT_EQ(renderTimeline(tl, 10), std::string(10, '.'));
+}
+
+TEST(Timeline, GapShowsAsDots)
+{
+    // Window 11..20; retain 11-14 and 19-20, gap 15-18.
+    const auto res = makeResult(20, {11, 12, 13, 14, 19, 20}, 1000);
+    const Timeline tl = buildTimeline(res);
+    ASSERT_EQ(tl.retainedRuns.size(), 2u);
+    const std::string band = renderTimeline(tl, 10);
+    EXPECT_EQ(band.substr(0, 4), "####");
+    EXPECT_EQ(band.substr(4, 4), "....");
+    EXPECT_EQ(band.substr(8, 2), "##");
+    EXPECT_NEAR(tl.coverage(), 0.6, 1e-9);
+}
+
+TEST(Timeline, PartialBucketRendersPlus)
+{
+    // 10 window events into 5 buckets: retain one of each pair.
+    const auto res = makeResult(20, {11, 13, 15, 17, 19}, 1000);
+    const Timeline tl = buildTimeline(res);
+    const std::string band = renderTimeline(tl, 5);
+    EXPECT_EQ(band, "+++++");
+}
+
+TEST(Timeline, EmptyProducedSafe)
+{
+    ReplayResult res;
+    res.capacityBytes = 1000;
+    const Timeline tl = buildTimeline(res);
+    EXPECT_EQ(tl.windowEvents(), 0u);
+    EXPECT_EQ(renderTimeline(tl, 12), std::string(12, '.'));
+}
+
+TEST(Timeline, SmallProductionWindowIsWholeRun)
+{
+    const auto res = makeResult(5, {1, 2, 3, 4, 5}, 100000);
+    const Timeline tl = buildTimeline(res);
+    EXPECT_EQ(tl.windowStart, 1u);
+    EXPECT_EQ(tl.windowEnd, 5u);
+    EXPECT_NEAR(tl.coverage(), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace btrace

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the BBQ-style global-buffer baseline: near-perfect
+ * retention, blocking behind unfinished blocks, and contention-aware
+ * costs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "baselines/bbq.h"
+
+namespace btrace {
+namespace {
+
+BbqConfig
+smallConfig(std::size_t block = 256, std::size_t blocks = 32)
+{
+    BbqConfig cfg;
+    cfg.blockSize = block;
+    cfg.numBlocks = blocks;
+    cfg.cores = 4;
+    return cfg;
+}
+
+TEST(Bbq, SingleWriterRoundTrips)
+{
+    Bbq q(smallConfig());
+    for (uint64_t s = 1; s <= 10; ++s)
+        ASSERT_TRUE(q.record(0, 1, s, 16));
+    const Dump d = q.dump();
+    ASSERT_EQ(d.entries.size(), 10u);
+    for (const DumpEntry &e : d.entries)
+        EXPECT_TRUE(e.payloadOk);
+}
+
+TEST(Bbq, RetainsNewestAcrossWraps)
+{
+    Bbq q(smallConfig());
+    const uint64_t total = 3000;
+    for (uint64_t s = 1; s <= total; ++s)
+        ASSERT_TRUE(q.record(uint16_t(s % 4), 1, s, 16));
+    const Dump d = q.dump();
+    uint64_t newest = 0, oldest = ~0ull;
+    std::set<uint64_t> stamps;
+    for (const DumpEntry &e : d.entries) {
+        EXPECT_TRUE(stamps.insert(e.stamp).second);
+        newest = std::max(newest, e.stamp);
+        oldest = std::min(oldest, e.stamp);
+    }
+    EXPECT_EQ(newest, total);
+    // Global FIFO: retained stamps are a contiguous suffix.
+    EXPECT_EQ(stamps.size(), newest - oldest + 1);
+}
+
+TEST(Bbq, NearFullUtilization)
+{
+    // Unlike per-core buffers, one producer can use ~everything.
+    Bbq q(smallConfig());
+    for (uint64_t s = 1; s <= 2000; ++s)
+        ASSERT_TRUE(q.record(0, 1, s, 16));
+    const Dump d = q.dump();
+    double bytes = 0;
+    for (const DumpEntry &e : d.entries)
+        bytes += e.size;
+    EXPECT_GT(bytes, 0.85 * double(q.capacityBytes()));
+}
+
+TEST(Bbq, BlocksBehindUnconfirmedWriter)
+{
+    Bbq q(smallConfig(256, 4));  // tiny ring wraps fast
+    WriteTicket held = q.allocate(1, 9, 16);
+    ASSERT_EQ(held.status, AllocStatus::Ok);
+
+    // Fill the remaining blocks; the wrap must hit the held block and
+    // report Retry (blocking), never Drop and never a hang.
+    bool saw_retry = false;
+    for (int i = 0; i < 200 && !saw_retry; ++i) {
+        WriteTicket t = q.allocate(0, 1, 16);
+        if (t.status == AllocStatus::Retry) {
+            saw_retry = true;
+            break;
+        }
+        ASSERT_EQ(t.status, AllocStatus::Ok);
+        writeNormal(t.dst, uint64_t(i + 1), 0, 1, 0, 16);
+        q.confirm(t);
+    }
+    EXPECT_TRUE(saw_retry);
+    EXPECT_GT(q.blockedCount(), 0u);
+
+    // Confirming the held write unblocks the queue.
+    writeNormal(held.dst, 999, 1, 9, 0, 16);
+    q.confirm(held);
+    EXPECT_TRUE(q.record(0, 1, 1000, 16));
+}
+
+TEST(Bbq, SharedLineCostExceedsCoreLocalCost)
+{
+    Bbq q(smallConfig());
+    ASSERT_TRUE(q.record(0, 1, 1, 16));
+    WriteTicket t = q.allocate(0, 1, 16);
+    ASSERT_EQ(t.status, AllocStatus::Ok);
+    const CostModel &m = CostModel::def();
+    EXPECT_GE(t.cost, m.tscRead + m.atomicShared);
+    writeNormal(t.dst, 2, 0, 1, 0, 16);
+    q.confirm(t);
+}
+
+TEST(Bbq, ContentionChargedWithWritersInFlight)
+{
+    Bbq q(smallConfig());
+    // Open several unconfirmed writes, then measure a new allocate.
+    std::vector<WriteTicket> open;
+    for (int i = 0; i < 6; ++i) {
+        WriteTicket t = q.allocate(uint16_t(i % 4), uint32_t(i), 16);
+        ASSERT_EQ(t.status, AllocStatus::Ok);
+        open.push_back(t);
+    }
+    WriteTicket probe = q.allocate(3, 99, 16);
+    ASSERT_EQ(probe.status, AllocStatus::Ok);
+
+    Bbq quiet(smallConfig());
+    ASSERT_TRUE(quiet.record(0, 1, 1, 16));
+    WriteTicket probe2 = quiet.allocate(0, 1, 16);
+    EXPECT_GT(probe.cost, probe2.cost);
+
+    for (std::size_t i = 0; i < open.size(); ++i) {
+        writeNormal(open[i].dst, 100 + i, open[i].core,
+                    open[i].thread, 0, 16);
+        q.confirm(open[i]);
+    }
+    writeNormal(probe.dst, 990, 3, 99, 0, 16);
+    q.confirm(probe);
+    writeNormal(probe2.dst, 2, 0, 1, 0, 16);
+    quiet.confirm(probe2);
+}
+
+TEST(Bbq, ConcurrentProducersIntegrity)
+{
+    Bbq q(smallConfig(1024, 64));
+    std::atomic<uint64_t> stamp{0};
+    std::vector<std::thread> workers;
+    for (unsigned c = 0; c < 4; ++c) {
+        workers.emplace_back([&, c]() {
+            for (int i = 0; i < 10000; ++i) {
+                const uint64_t s =
+                    stamp.fetch_add(1, std::memory_order_relaxed) + 1;
+                q.record(uint16_t(c), c, s, 48);
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    const Dump d = q.dump();
+    std::set<uint64_t> stamps;
+    for (const DumpEntry &e : d.entries) {
+        ASSERT_TRUE(e.payloadOk);
+        ASSERT_TRUE(stamps.insert(e.stamp).second);
+        ASSERT_LE(e.stamp, stamp.load());
+    }
+}
+
+} // namespace
+} // namespace btrace

@@ -1,0 +1,101 @@
+/** @file Unit tests for the overwrite-oldest byte ring. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/byte_ring.h"
+
+namespace btrace {
+namespace {
+
+void
+put(ByteRing &ring, uint64_t stamp, std::size_t payload)
+{
+    uint8_t *dst = ring.reserve(EntryLayout::normalSize(payload));
+    writeNormal(dst, stamp, 0, 0, 0, payload);
+}
+
+std::vector<DumpEntry>
+entries(const ByteRing &ring)
+{
+    std::vector<DumpEntry> out;
+    ring.collect(out);
+    return out;
+}
+
+TEST(ByteRing, EmptyCollectsNothing)
+{
+    ByteRing ring(1024);
+    EXPECT_TRUE(entries(ring).empty());
+    EXPECT_EQ(ring.usedBytes(), 0u);
+}
+
+TEST(ByteRing, SingleEntryRoundTrips)
+{
+    ByteRing ring(1024);
+    put(ring, 7, 16);
+    const auto es = entries(ring);
+    ASSERT_EQ(es.size(), 1u);
+    EXPECT_EQ(es[0].stamp, 7u);
+    EXPECT_TRUE(es[0].payloadOk);
+}
+
+TEST(ByteRing, OverwritesOldestWhenFull)
+{
+    ByteRing ring(256);  // fits 6 x 40-byte entries
+    for (uint64_t s = 1; s <= 20; ++s)
+        put(ring, s, 16);
+    const auto es = entries(ring);
+    ASSERT_FALSE(es.empty());
+    // The newest entry must be present; the oldest must be gone.
+    EXPECT_EQ(es.back().stamp, 20u);
+    EXPECT_GT(es.front().stamp, 1u);
+    // Entries are in order with no holes.
+    for (std::size_t i = 1; i < es.size(); ++i)
+        EXPECT_EQ(es[i].stamp, es[i - 1].stamp + 1);
+}
+
+TEST(ByteRing, PadsWrapPointWithDummy)
+{
+    ByteRing ring(256);
+    // 40-byte entries: 6 fit, the 7th wraps; retained entries must
+    // still parse cleanly across many wraps.
+    for (uint64_t s = 1; s <= 1000; ++s)
+        put(ring, s, 16);
+    const auto es = entries(ring);
+    for (std::size_t i = 1; i < es.size(); ++i)
+        EXPECT_EQ(es[i].stamp, es[i - 1].stamp + 1);
+    EXPECT_EQ(es.back().stamp, 1000u);
+}
+
+TEST(ByteRing, MixedSizesKeepTiling)
+{
+    ByteRing ring(1024);
+    for (uint64_t s = 1; s <= 500; ++s)
+        put(ring, s, (s * 13) % 200);
+    const auto es = entries(ring);
+    ASSERT_FALSE(es.empty());
+    EXPECT_EQ(es.back().stamp, 500u);
+    for (const DumpEntry &e : es)
+        EXPECT_TRUE(e.payloadOk);
+}
+
+TEST(ByteRing, UsedBytesNeverExceedCapacity)
+{
+    ByteRing ring(512);
+    for (uint64_t s = 1; s <= 300; ++s) {
+        put(ring, s, (s * 7) % 100);
+        ASSERT_LE(ring.usedBytes(), ring.capacity());
+    }
+}
+
+TEST(ByteRing, FullCapacityEntry)
+{
+    ByteRing ring(256);
+    put(ring, 1, 256 - EntryLayout::normalHeaderBytes);
+    const auto es = entries(ring);
+    ASSERT_EQ(es.size(), 1u);
+    EXPECT_EQ(es[0].size, 256u);
+}
+
+} // namespace
+} // namespace btrace

@@ -1,0 +1,51 @@
+/** @file Unit tests for alignment helpers and CacheAligned. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/cacheline.h"
+
+namespace btrace {
+namespace {
+
+TEST(AlignUp, RoundsToBoundary)
+{
+    EXPECT_EQ(alignUp(0, 8), 0u);
+    EXPECT_EQ(alignUp(1, 8), 8u);
+    EXPECT_EQ(alignUp(8, 8), 8u);
+    EXPECT_EQ(alignUp(9, 8), 16u);
+    EXPECT_EQ(alignUp(4095, 4096), 4096u);
+    EXPECT_EQ(alignUp(4097, 4096), 8192u);
+}
+
+TEST(IsPowerOfTwo, Classifies)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(4096));
+    EXPECT_FALSE(isPowerOfTwo(4097));
+}
+
+TEST(CacheAligned, InstancesDoNotShareLines)
+{
+    std::vector<CacheAligned<std::atomic<uint64_t>>> words(4);
+    for (std::size_t i = 1; i < words.size(); ++i) {
+        const auto a = reinterpret_cast<uintptr_t>(&words[i - 1]);
+        const auto b = reinterpret_cast<uintptr_t>(&words[i]);
+        EXPECT_GE(b - a, cacheLineSize);
+    }
+}
+
+TEST(CacheAligned, AccessorsWork)
+{
+    CacheAligned<std::atomic<uint64_t>> word;
+    word->store(42);
+    EXPECT_EQ((*word).load(), 42u);
+}
+
+} // namespace
+} // namespace btrace

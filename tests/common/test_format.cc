@@ -1,0 +1,67 @@
+/** @file Unit tests for output formatting helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/format.h"
+
+namespace btrace {
+namespace {
+
+TEST(HumanBytes, Scales)
+{
+    EXPECT_EQ(humanBytes(512), "512 B");
+    EXPECT_EQ(humanBytes(2048), "2.0 KB");
+    EXPECT_EQ(humanBytes(12.0 * 1024 * 1024), "12.0 MB");
+    EXPECT_EQ(humanBytes(1.5 * 1024 * 1024 * 1024), "1.5 GB");
+}
+
+TEST(FmtDouble, Precision)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(3.0, 0), "3");
+}
+
+TEST(FmtCompact, SmallValuesPlain)
+{
+    EXPECT_EQ(fmtCompact(0), "0");
+    EXPECT_EQ(fmtCompact(7), "7.0");
+    EXPECT_EQ(fmtCompact(65), "65");
+    EXPECT_EQ(fmtCompact(999), "999");
+}
+
+TEST(FmtCompact, LargeValuesScientific)
+{
+    EXPECT_EQ(fmtCompact(20000), "2e4");
+    EXPECT_EQ(fmtCompact(70000), "7e4");
+    EXPECT_EQ(fmtCompact(1234), "1e3");
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t;
+    t.header({"A", "Blah"});
+    t.row({"longer", "x"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| A      | Blah |"), std::string::npos);
+    EXPECT_NE(out.find("| longer | x    |"), std::string::npos);
+    EXPECT_NE(out.find("|--------|------|"), std::string::npos);
+}
+
+TEST(TextTable, HandlesRaggedRows)
+{
+    TextTable t;
+    t.header({"A", "B", "C"});
+    t.row({"1"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| 1 |"), std::string::npos);
+}
+
+TEST(TextTable, NoHeaderStillRenders)
+{
+    TextTable t;
+    t.row({"x", "y"});
+    EXPECT_NE(t.render().find("| x | y |"), std::string::npos);
+}
+
+} // namespace
+} // namespace btrace

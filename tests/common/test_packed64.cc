@@ -1,0 +1,113 @@
+/** @file Unit tests for the packed 64-bit metadata word layouts. */
+
+#include <gtest/gtest.h>
+
+#include "common/packed64.h"
+
+namespace btrace {
+namespace {
+
+TEST(RndPos, RoundTripsArbitraryValues)
+{
+    const RndPos rp = RndPos::unpack(RndPos::pack(7, 4096));
+    EXPECT_EQ(rp.rnd, 7u);
+    EXPECT_EQ(rp.pos, 4096u);
+}
+
+TEST(RndPos, ZeroIsZero)
+{
+    EXPECT_EQ(RndPos::pack(0, 0), 0u);
+    const RndPos rp = RndPos::unpack(0);
+    EXPECT_EQ(rp.rnd, 0u);
+    EXPECT_EQ(rp.pos, 0u);
+}
+
+TEST(RndPos, MaxFieldsDoNotBleed)
+{
+    const RndPos rp =
+        RndPos::unpack(RndPos::pack(0xffffffffu, 0xffffffffu));
+    EXPECT_EQ(rp.rnd, 0xffffffffu);
+    EXPECT_EQ(rp.pos, 0xffffffffu);
+}
+
+TEST(RndPos, AdditionOnPackedWordAdvancesPosOnly)
+{
+    // The fast path relies on fetch_add(size) touching only Pos.
+    uint64_t word = RndPos::pack(3, 100);
+    word += 24;
+    const RndPos rp = RndPos::unpack(word);
+    EXPECT_EQ(rp.rnd, 3u);
+    EXPECT_EQ(rp.pos, 124u);
+}
+
+TEST(RndPos, PosOverflowWouldTakeFourBillionBytes)
+{
+    // Documented safety margin: Pos has 32 bits.
+    uint64_t word = RndPos::pack(1, 0xfffffff0u);
+    word += 0x10;  // crosses into Rnd
+    const RndPos rp = RndPos::unpack(word);
+    EXPECT_EQ(rp.rnd, 2u);  // the documented wrap behaviour
+    EXPECT_EQ(rp.pos, 0u);
+}
+
+TEST(RndPos, Equality)
+{
+    EXPECT_EQ((RndPos{1, 2}), (RndPos{1, 2}));
+    EXPECT_NE((RndPos{1, 2}), (RndPos{2, 2}));
+    EXPECT_NE((RndPos{1, 2}), (RndPos{1, 3}));
+}
+
+TEST(RatioPos, RoundTripsArbitraryValues)
+{
+    const RatioPos rp =
+        RatioPos::unpack(RatioPos::pack(16, false, 123456789));
+    EXPECT_EQ(rp.ratio, 16u);
+    EXPECT_FALSE(rp.frozen);
+    EXPECT_EQ(rp.pos, 123456789u);
+}
+
+TEST(RatioPos, FrozenBitRoundTrips)
+{
+    const RatioPos rp = RatioPos::unpack(RatioPos::pack(3, true, 42));
+    EXPECT_EQ(rp.ratio, 3u);
+    EXPECT_TRUE(rp.frozen);
+    EXPECT_EQ(rp.pos, 42u);
+}
+
+TEST(RatioPos, FetchOrOfFrozenBitPreservesFields)
+{
+    uint64_t word = RatioPos::pack(9, false, 777);
+    word |= RatioPos::frozenBit;
+    const RatioPos rp = RatioPos::unpack(word);
+    EXPECT_EQ(rp.ratio, 9u);
+    EXPECT_TRUE(rp.frozen);
+    EXPECT_EQ(rp.pos, 777u);
+}
+
+TEST(RatioPos, IncrementAdvancesPosOnly)
+{
+    uint64_t word = RatioPos::pack(12, false, 1000);
+    word += 1;
+    const RatioPos rp = RatioPos::unpack(word);
+    EXPECT_EQ(rp.ratio, 12u);
+    EXPECT_FALSE(rp.frozen);
+    EXPECT_EQ(rp.pos, 1001u);
+}
+
+TEST(RatioPos, MaxRatioFits)
+{
+    const RatioPos rp = RatioPos::unpack(
+        RatioPos::pack(RatioPos::maxRatio, true, RatioPos::posMask));
+    EXPECT_EQ(rp.ratio, RatioPos::maxRatio);
+    EXPECT_TRUE(rp.frozen);
+    EXPECT_EQ(rp.pos, RatioPos::posMask);
+}
+
+TEST(RatioPos, PosHas48Bits)
+{
+    EXPECT_EQ(RatioPos::posBits, 48);
+    EXPECT_EQ(RatioPos::posMask, (uint64_t(1) << 48) - 1);
+}
+
+} // namespace
+} // namespace btrace

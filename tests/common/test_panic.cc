@@ -1,0 +1,48 @@
+/** @file Death tests for the error-handling primitives. */
+
+#include <gtest/gtest.h>
+
+#include "common/panic.h"
+
+namespace btrace {
+namespace {
+
+TEST(PanicDeath, PanicAborts)
+{
+    EXPECT_DEATH(BTRACE_PANIC("boom"), "btrace panic.*boom");
+}
+
+TEST(PanicDeath, FatalExits)
+{
+    EXPECT_EXIT(BTRACE_FATAL("bad config"),
+                ::testing::ExitedWithCode(1), "btrace fatal.*bad config");
+}
+
+TEST(PanicDeath, AssertFiresWithMessage)
+{
+    const int x = 1;
+    EXPECT_DEATH(BTRACE_ASSERT(x == 2, "x must be two"),
+                 "assertion failed.*x must be two");
+}
+
+TEST(Panic, AssertPassesSilently)
+{
+    BTRACE_ASSERT(1 + 1 == 2, "arithmetic works");
+    SUCCEED();
+}
+
+TEST(Panic, DassertCompiledPerBuildType)
+{
+#ifdef NDEBUG
+    // Release: the check must vanish (condition not evaluated).
+    int calls = 0;
+    auto sideEffect = [&]() { ++calls; return false; };
+    BTRACE_DASSERT(sideEffect(), "never evaluated in release");
+    EXPECT_EQ(calls, 0);
+#else
+    EXPECT_DEATH(BTRACE_DASSERT(false, "debug check"), "debug check");
+#endif
+}
+
+} // namespace
+} // namespace btrace

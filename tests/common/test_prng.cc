@@ -1,0 +1,138 @@
+/** @file Unit tests for the deterministic PRNG and its distributions. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/prng.h"
+
+namespace btrace {
+namespace {
+
+TEST(Prng, DeterministicAcrossInstances)
+{
+    Prng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiverge)
+{
+    Prng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Prng, ReseedRestartsSequence)
+{
+    Prng a(7);
+    const uint64_t first = a.next();
+    a.next();
+    a.reseed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Prng, BoundedStaysInRange)
+{
+    Prng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Prng, BoundedCoversRange)
+{
+    Prng rng(4);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Prng, DoubleInUnitInterval)
+{
+    Prng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+    }
+}
+
+TEST(Prng, UniformInclusiveBounds)
+{
+    Prng rng(6);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const uint64_t v = rng.uniform(10, 13);
+        ASSERT_GE(v, 10u);
+        ASSERT_LE(v, 13u);
+        saw_lo |= v == 10;
+        saw_hi |= v == 13;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, ExponentialMeanConverges)
+{
+    Prng rng(7);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(2.5);
+    EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Prng, ExponentialIsPositive)
+{
+    Prng rng(8);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(Prng, ChanceExtremes)
+{
+    Prng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_FALSE(rng.chance(0.0));
+        ASSERT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Prng, ChanceFrequency)
+{
+    Prng rng(10);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+TEST(Prng, HeavyTailStaysInBounds)
+{
+    Prng rng(11);
+    for (int i = 0; i < 20000; ++i) {
+        const double v = rng.heavyTail(16.0, 512.0, 1.1);
+        ASSERT_GE(v, 16.0 * 0.999);
+        ASSERT_LE(v, 512.0 * 1.001);
+    }
+}
+
+TEST(Prng, HeavyTailIsSkewedTowardsLow)
+{
+    Prng rng(12);
+    int low = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        low += rng.heavyTail(16.0, 512.0, 1.1) < 64.0;
+    // A bounded Pareto with shape 1.1 puts the bulk of the mass near
+    // the lower bound.
+    EXPECT_GT(double(low) / n, 0.6);
+}
+
+} // namespace
+} // namespace btrace

@@ -1,0 +1,142 @@
+/** @file Unit tests for the statistics toolkit. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace btrace {
+namespace {
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+    EXPECT_EQ(s.geoMean(), 0.0);
+}
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 6.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+    EXPECT_DOUBLE_EQ(s.total(), 12.0);
+}
+
+TEST(RunningStat, GeoMeanOfPowers)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.add(100.0);
+    EXPECT_NEAR(s.geoMean(), 10.0, 1e-9);
+}
+
+TEST(RunningStat, SingleNegativeHandledViaClamp)
+{
+    RunningStat s;
+    s.add(-5.0);
+    EXPECT_DOUBLE_EQ(s.min(), -5.0);
+    EXPECT_GT(s.geoMean(), 0.0);  // clamped, not NaN
+}
+
+TEST(SampleSet, PercentileNearestRank)
+{
+    SampleSet s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(double(i));
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+    EXPECT_NEAR(s.percentile(0.5), 50.0, 1.0);
+    EXPECT_NEAR(s.percentile(0.99), 99.0, 1.0);
+}
+
+TEST(SampleSet, PercentileAfterMoreAddsResorts)
+{
+    SampleSet s;
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 5.0);
+    s.add(50.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 50.0);
+}
+
+TEST(SampleSet, MeanAndGeoMean)
+{
+    SampleSet s;
+    s.add(1.0);
+    s.add(4.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_NEAR(s.geoMean(), 2.0, 1e-9);
+}
+
+TEST(SampleSet, EmptyIsZero)
+{
+    SampleSet s;
+    EXPECT_EQ(s.percentile(0.5), 0.0);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, CountsAndOverflow)
+{
+    Histogram h(100.0, 10);
+    h.add(5.0);    // bucket 0
+    h.add(15.0);   // bucket 1
+    h.add(95.0);   // bucket 9
+    h.add(150.0);  // overflow
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bucketHits(0), 1u);
+    EXPECT_EQ(h.bucketHits(1), 1u);
+    EXPECT_EQ(h.bucketHits(9), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, NegativeClampsToZeroBucket)
+{
+    Histogram h(10.0, 10);
+    h.add(-3.0);
+    EXPECT_EQ(h.bucketHits(0), 1u);
+}
+
+TEST(Histogram, CdfMonotonic)
+{
+    Histogram h(100.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.add(double(i));
+    double prev = 0.0;
+    for (std::size_t b = 0; b < h.bucketCount(); ++b) {
+        const double c = h.cdfAt(b);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+    EXPECT_NEAR(h.cdfAt(9), 1.0, 1e-9);
+}
+
+TEST(Histogram, QuantileApproximatesMedian)
+{
+    Histogram h(100.0, 100);
+    for (int i = 0; i < 1000; ++i)
+        h.add(double(i % 100));
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+}
+
+TEST(GeoMeanVector, MatchesClosedForm)
+{
+    EXPECT_NEAR(geoMean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+    EXPECT_EQ(geoMean({}), 0.0);
+}
+
+TEST(GeoMeanVector, ZeroClampedByFloor)
+{
+    const double g = geoMean({0.0, 100.0}, 1.0);
+    EXPECT_NEAR(g, 10.0, 1e-9);
+}
+
+} // namespace
+} // namespace btrace

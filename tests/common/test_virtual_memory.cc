@@ -1,0 +1,78 @@
+/** @file Unit tests for the reserved/resizable virtual span. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/virtual_memory.h"
+
+namespace btrace {
+namespace {
+
+TEST(VirtualSpan, ReservesRoundedToPages)
+{
+    VirtualSpan span(100);
+    EXPECT_EQ(span.maxSize() % VirtualSpan::pageSize(), 0u);
+    EXPECT_GE(span.maxSize(), 100u);
+    EXPECT_NE(span.data(), nullptr);
+}
+
+TEST(VirtualSpan, WritableAcrossWholeReservation)
+{
+    const std::size_t bytes = 1u << 20;
+    VirtualSpan span(bytes);
+    std::memset(span.data(), 0xAB, bytes);
+    EXPECT_EQ(span.data()[0], 0xAB);
+    EXPECT_EQ(span.data()[bytes - 1], 0xAB);
+}
+
+TEST(VirtualSpan, DecommitZeroesAndStaysMapped)
+{
+    const std::size_t page = VirtualSpan::pageSize();
+    VirtualSpan span(4 * page);
+    std::memset(span.data(), 0xCD, 4 * page);
+    span.decommit(2 * page, 2 * page);
+    // The decommitted range must still be readable — as zeros.
+    EXPECT_EQ(span.data()[2 * page], 0);
+    EXPECT_EQ(span.data()[4 * page - 1], 0);
+    // The kept range is untouched.
+    EXPECT_EQ(span.data()[0], 0xCD);
+    EXPECT_EQ(span.data()[2 * page - 1], 0xCD);
+}
+
+TEST(VirtualSpan, DecommitReleasesResidentMemory)
+{
+    const std::size_t page = VirtualSpan::pageSize();
+    const std::size_t pages = 256;
+    VirtualSpan span(pages * page);
+    std::memset(span.data(), 1, pages * page);
+    const std::size_t before = span.residentBytes();
+    EXPECT_GE(before, pages * page / 2);
+    span.decommit(0, pages * page);
+    const std::size_t after = span.residentBytes();
+    EXPECT_LT(after, before / 4);
+}
+
+TEST(VirtualSpan, MoveTransfersOwnership)
+{
+    VirtualSpan a(1u << 16);
+    uint8_t *base = a.data();
+    VirtualSpan b(std::move(a));
+    EXPECT_EQ(b.data(), base);
+    EXPECT_EQ(a.data(), nullptr);
+
+    VirtualSpan c(1u << 12);
+    c = std::move(b);
+    EXPECT_EQ(c.data(), base);
+}
+
+TEST(VirtualSpan, CommitIsAdvisoryAndSafe)
+{
+    VirtualSpan span(1u << 16);
+    span.commit(0, 1u << 16);
+    span.data()[0] = 7;
+    EXPECT_EQ(span.data()[0], 7);
+}
+
+} // namespace
+} // namespace btrace

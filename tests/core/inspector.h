@@ -1,0 +1,55 @@
+/** @file White-box access to BTrace internals for unit tests. */
+
+#ifndef BTRACE_TESTS_CORE_INSPECTOR_H
+#define BTRACE_TESTS_CORE_INSPECTOR_H
+
+#include "core/btrace.h"
+
+namespace btrace {
+
+/** Declared a friend of BTrace; exposes internal state read-only. */
+class BTraceInspector
+{
+  public:
+    explicit BTraceInspector(BTrace &t) : bt(t) {}
+
+    RndPos allocated(std::size_t meta_idx) const
+    {
+        return bt.meta[meta_idx].loadAllocated();
+    }
+
+    RndPos confirmed(std::size_t meta_idx) const
+    {
+        return bt.meta[meta_idx].loadConfirmed();
+    }
+
+    RatioPos globalWord() const
+    {
+        return RatioPos::unpack(
+            bt.global->load(std::memory_order_acquire));
+    }
+
+    RatioPos coreWord(unsigned core) const
+    {
+        return RatioPos::unpack(
+            bt.coreLocal[core]->load(std::memory_order_acquire));
+    }
+
+    std::size_t activeBlocks() const { return bt.numActive; }
+
+    uint64_t physicalOf(uint64_t pos) const { return bt.physicalOf(pos); }
+
+    const uint8_t *blockData(uint64_t phys) const
+    {
+        return bt.blockData(phys);
+    }
+
+    std::size_t ratioLogSize() const { return bt.ratioLog.size(); }
+
+  private:
+    BTrace &bt;
+};
+
+} // namespace btrace
+
+#endif // BTRACE_TESTS_CORE_INSPECTOR_H

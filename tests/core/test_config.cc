@@ -1,0 +1,79 @@
+/** @file Unit tests for BTraceConfig validation and derived values. */
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+
+namespace btrace {
+namespace {
+
+BTraceConfig
+smallConfig()
+{
+    BTraceConfig cfg;
+    cfg.blockSize = 256;
+    cfg.numBlocks = 32;
+    cfg.activeBlocks = 8;
+    cfg.cores = 4;
+    return cfg;
+}
+
+TEST(BTraceConfig, DefaultsMatchPaperProduction)
+{
+    const BTraceConfig cfg;
+    EXPECT_EQ(cfg.blockSize, 4096u);       // one page (§5)
+    EXPECT_EQ(cfg.activeBlocks, 16u * 12); // A = 16 x C (§5.1)
+    EXPECT_EQ(cfg.cores, 12u);             // 12-core phone (§5)
+    EXPECT_EQ(cfg.capacityBytes(), 12u << 20);  // 12 MB buffer (§5)
+    cfg.validate();
+}
+
+TEST(BTraceConfig, DerivedValues)
+{
+    const BTraceConfig cfg = smallConfig();
+    EXPECT_EQ(cfg.ratio(), 4u);
+    EXPECT_EQ(cfg.capacityBytes(), 32u * 256);
+    EXPECT_EQ(cfg.effectiveMaxBlocks(), 32u);
+    EXPECT_EQ(cfg.maxPayloadBytes(), 256u - 16 - 24);
+}
+
+TEST(BTraceConfig, MaxBlocksOverridesCeiling)
+{
+    BTraceConfig cfg = smallConfig();
+    cfg.maxBlocks = 64;
+    EXPECT_EQ(cfg.effectiveMaxBlocks(), 64u);
+    cfg.validate();
+}
+
+using BTraceConfigDeath = ::testing::Test;
+
+TEST(BTraceConfigDeath, RejectsNonMultipleBlocks)
+{
+    BTraceConfig cfg = smallConfig();
+    cfg.numBlocks = 33;
+    EXPECT_DEATH(cfg.validate(), "multiple of A");
+}
+
+TEST(BTraceConfigDeath, RejectsTooFewActiveBlocks)
+{
+    BTraceConfig cfg = smallConfig();
+    cfg.activeBlocks = 2;  // fewer than cores
+    EXPECT_DEATH(cfg.validate(), "cores");
+}
+
+TEST(BTraceConfigDeath, RejectsMisalignedBlockSize)
+{
+    BTraceConfig cfg = smallConfig();
+    cfg.blockSize = 100;
+    EXPECT_DEATH(cfg.validate(), "blockSize");
+}
+
+TEST(BTraceConfigDeath, RejectsBadMaxBlocks)
+{
+    BTraceConfig cfg = smallConfig();
+    cfg.maxBlocks = 33;  // not a multiple of A
+    EXPECT_DEATH(cfg.validate(), "maxBlocks");
+}
+
+} // namespace
+} // namespace btrace

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Property-style parameterized tests: invariants that must hold for
+ * every buffer geometry (block size, block count, active blocks,
+ * cores) and load pattern.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "core/btrace.h"
+
+namespace btrace {
+namespace {
+
+// (blockSize, numBlocks, activeBlocks, cores)
+using Geometry = std::tuple<std::size_t, std::size_t, std::size_t,
+                            unsigned>;
+
+class GeometryProperty : public ::testing::TestWithParam<Geometry>
+{
+  protected:
+    BTraceConfig
+    config() const
+    {
+        const auto [block, blocks, active, cores] = GetParam();
+        BTraceConfig cfg;
+        cfg.blockSize = block;
+        cfg.numBlocks = blocks;
+        cfg.activeBlocks = active;
+        cfg.cores = cores;
+        return cfg;
+    }
+};
+
+TEST_P(GeometryProperty, RoundRobinWritesKeepAllInvariants)
+{
+    const BTraceConfig cfg = config();
+    BTrace bt(cfg);
+    // Write ~4x the capacity in entries.
+    const std::size_t entry = EntryLayout::normalSize(16);
+    const uint64_t total = 4 * cfg.capacityBytes() / entry;
+    for (uint64_t s = 1; s <= total; ++s)
+        ASSERT_TRUE(bt.record(uint16_t(s % cfg.cores), 1, s, 16));
+
+    const Dump d = bt.dump();
+    ASSERT_FALSE(d.entries.empty());
+
+    std::set<uint64_t> stamps;
+    double bytes = 0;
+    uint64_t newest = 0;
+    for (const DumpEntry &e : d.entries) {
+        // 1. Every retained entry was produced, intact, exactly once.
+        ASSERT_GE(e.stamp, 1u);
+        ASSERT_LE(e.stamp, total);
+        ASSERT_TRUE(e.payloadOk);
+        ASSERT_TRUE(stamps.insert(e.stamp).second);
+        bytes += e.size;
+        newest = std::max(newest, e.stamp);
+    }
+    // 2. The newest event is never lost.
+    EXPECT_EQ(newest, total);
+    // 3. Retained volume never exceeds capacity.
+    EXPECT_LE(bytes, double(cfg.capacityBytes()));
+    // 4. Retained volume is a healthy share of capacity (headers,
+    //    dummies, and the window edge eat some).
+    EXPECT_GT(bytes, 0.5 * double(cfg.capacityBytes()));
+    // 5. No speculative reads should fail in a quiescent dump.
+    EXPECT_EQ(d.abandonedBlocks, 0u);
+}
+
+TEST_P(GeometryProperty, InteriorContiguousWithoutPreemption)
+{
+    // Without preempted writers there are no skips, so gaps can only
+    // appear where the last-N window cuts across the strided per-core
+    // blocks (the oldest edge) and at the in-flight tail. The
+    // *interior* of the retained stamp range must be gap-free.
+    const BTraceConfig cfg = config();
+    BTrace bt(cfg);
+    const std::size_t entry = EntryLayout::normalSize(16);
+    const uint64_t total = 4 * cfg.capacityBytes() / entry;
+    for (uint64_t s = 1; s <= total; ++s)
+        ASSERT_TRUE(bt.record(uint16_t(s % cfg.cores), 1, s, 16));
+
+    const Dump d = bt.dump();
+    std::vector<uint8_t> retained(total + 1, 0);
+    uint64_t oldest = total, newest = 0;
+    for (const DumpEntry &e : d.entries) {
+        retained[e.stamp] = 1;
+        oldest = std::min(oldest, e.stamp);
+        newest = std::max(newest, e.stamp);
+    }
+    ASSERT_LT(oldest, newest);
+
+    // Edge allowance: the window boundary can shred up to ~one round
+    // of per-core blocks' worth of strided stamps.
+    const uint64_t per_block = cfg.blockSize / entry;
+    const uint64_t edge = 2 * cfg.cores * per_block;
+    const uint64_t lo = oldest + edge;
+    const uint64_t hi = newest > edge ? newest - edge : oldest;
+    uint64_t interior_gaps = 0;
+    for (uint64_t s = lo; s > 0 && s <= hi; ++s)
+        interior_gaps += !retained[s];
+    EXPECT_EQ(interior_gaps, 0u)
+        << "interior [" << lo << ", " << hi << "] has holes";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometryProperty,
+    ::testing::Values(
+        Geometry{256, 32, 8, 4},        // tiny blocks, tiny buffer
+        Geometry{256, 64, 8, 1},        // single core
+        Geometry{256, 64, 64, 16},      // ratio 1 (N == A)
+        Geometry{512, 128, 16, 8},      // mid geometry
+        Geometry{4096, 192, 96, 12},    // page blocks, ratio 2
+        Geometry{4096, 768, 192, 12},   // paper geometry, scaled N
+        Geometry{128, 1024, 32, 2},     // many small blocks
+        Geometry{8192, 64, 16, 4}));    // large blocks
+
+class SkewProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SkewProperty, SingleHotCoreStillFillsMostOfTheBuffer)
+{
+    // The §3.1 claim: unlike per-core buffers (utilization 1/C), one
+    // hot core can use nearly the whole global buffer. Worst case
+    // utilization is 1 - (C-1)/N; with closing, the effectivity bound
+    // is ~1 - A/N. Assert a conservative 70 % of that bound.
+    const unsigned cores = GetParam();
+    BTraceConfig cfg;
+    cfg.blockSize = 256;
+    cfg.numBlocks = 128;
+    cfg.activeBlocks = 16;
+    cfg.cores = cores;
+    BTrace bt(cfg);
+
+    // Touch every core once (they park on active blocks), then let
+    // core 0 flood.
+    for (unsigned c = 0; c < cores; ++c)
+        ASSERT_TRUE(bt.record(uint16_t(c), 1, 1000000u + c, 16));
+    const std::size_t entry = EntryLayout::normalSize(16);
+    const uint64_t total = 6 * cfg.capacityBytes() / entry;
+    for (uint64_t s = 1; s <= total; ++s)
+        ASSERT_TRUE(bt.record(0, 1, s, 16));
+
+    const Dump d = bt.dump();
+    double bytes = 0;
+    for (const DumpEntry &e : d.entries)
+        bytes += e.size;
+    const double bound =
+        1.0 - double(cfg.activeBlocks) / double(cfg.numBlocks);
+    EXPECT_GT(bytes, 0.7 * bound * double(cfg.capacityBytes()))
+        << "cores=" << cores;
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, SkewProperty,
+                         ::testing::Values(1, 2, 4, 8, 12, 16));
+
+class PayloadProperty : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(PayloadProperty, AnyPayloadSizeRoundTrips)
+{
+    BTraceConfig cfg;
+    cfg.blockSize = 4096;
+    cfg.numBlocks = 32;
+    cfg.activeBlocks = 8;
+    cfg.cores = 2;
+    BTrace bt(cfg);
+    const uint32_t payload = GetParam();
+    for (uint64_t s = 1; s <= 500; ++s)
+        ASSERT_TRUE(bt.record(uint16_t(s % 2), 1, s, payload));
+    const Dump d = bt.dump();
+    ASSERT_FALSE(d.entries.empty());
+    for (const DumpEntry &e : d.entries) {
+        EXPECT_EQ(e.size, EntryLayout::normalSize(payload));
+        EXPECT_TRUE(e.payloadOk);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PayloadSizes, PayloadProperty,
+                         ::testing::Values(0, 1, 7, 8, 16, 100, 512,
+                                           1000, 4000));
+
+} // namespace
+} // namespace btrace

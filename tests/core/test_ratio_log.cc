@@ -1,0 +1,96 @@
+/** @file Unit tests for the ratio-change history (resizing support). */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/ratio_log.h"
+
+namespace btrace {
+namespace {
+
+TEST(RatioLog, InitialEntryAppliesEverywhere)
+{
+    RatioLog log;
+    log.stage(0, 16);
+    log.publish();
+    EXPECT_EQ(log.ratioAt(0), 16u);
+    EXPECT_EQ(log.ratioAt(123456789), 16u);
+    EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(RatioLog, ThresholdsSelectTheRightRatio)
+{
+    RatioLog log;
+    log.stage(0, 16);
+    log.publish();
+    log.stage(1000, 4);
+    log.publish();
+    log.stage(5000, 32);
+    log.publish();
+
+    EXPECT_EQ(log.ratioAt(0), 16u);
+    EXPECT_EQ(log.ratioAt(999), 16u);
+    EXPECT_EQ(log.ratioAt(1000), 4u);
+    EXPECT_EQ(log.ratioAt(4999), 4u);
+    EXPECT_EQ(log.ratioAt(5000), 32u);
+    EXPECT_EQ(log.ratioAt(~0ull >> 16), 32u);
+}
+
+TEST(RatioLog, RestageAdjustsThresholdBeforePublish)
+{
+    RatioLog log;
+    log.stage(0, 8);
+    log.publish();
+    log.stage(100, 2);
+    log.restage(200);  // CAS on the global word moved the position
+    log.publish();
+    EXPECT_EQ(log.ratioAt(150), 8u);
+    EXPECT_EQ(log.ratioAt(200), 2u);
+}
+
+TEST(RatioLog, UnpublishedEntryInvisible)
+{
+    RatioLog log;
+    log.stage(0, 8);
+    log.publish();
+    log.stage(50, 2);  // staged but never published
+    EXPECT_EQ(log.ratioAt(60), 8u);
+    EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(RatioLog, ConcurrentReadersSeeConsistentValues)
+{
+    RatioLog log;
+    log.stage(0, 16);
+    log.publish();
+
+    std::atomic<bool> stop{false};
+    std::thread reader([&]() {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const uint32_t r = log.ratioAt(10'000'000);
+            // Readers must only ever see fully published ratios.
+            ASSERT_TRUE(r == 16u || r == 8u || r == 4u) << r;
+        }
+    });
+    for (uint32_t ratio : {8u, 4u}) {
+        log.stage(20'000 * ratio, ratio);
+        log.publish();
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    stop.store(true);
+    reader.join();
+}
+
+TEST(RatioLogDeath, OverflowIsFatal)
+{
+    RatioLog log;
+    for (std::size_t i = 0; i < RatioLog::maxEntries; ++i) {
+        log.stage(i * 100, 1);
+        log.publish();
+    }
+    EXPECT_DEATH(log.stage(999999, 1), "too many resizes");
+}
+
+} // namespace
+} // namespace btrace

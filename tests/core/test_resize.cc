@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for runtime buffer resizing (§3.3, §4.4): ratio swings,
+ * data retention across resizes, physical-memory release, and
+ * producer correctness after grow/shrink.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/btrace.h"
+#include "inspector.h"
+
+namespace btrace {
+namespace {
+
+BTraceConfig
+resizableConfig()
+{
+    BTraceConfig cfg;
+    cfg.blockSize = 4096;  // page-sized so decommit is page-aligned
+    cfg.numBlocks = 64;
+    cfg.activeBlocks = 8;
+    cfg.maxBlocks = 256;
+    cfg.cores = 4;
+    return cfg;
+}
+
+TEST(Resize, ShrinkChangesGeometry)
+{
+    BTrace bt(resizableConfig());
+    EXPECT_EQ(bt.numBlocks(), 64u);
+    bt.resize(16);
+    EXPECT_EQ(bt.numBlocks(), 16u);
+    EXPECT_EQ(bt.capacityBytes(), 16u * 4096);
+    EXPECT_EQ(bt.counters().resizes.load(), 1u);
+}
+
+TEST(Resize, GrowChangesGeometry)
+{
+    BTrace bt(resizableConfig());
+    bt.resize(256);
+    EXPECT_EQ(bt.numBlocks(), 256u);
+    EXPECT_EQ(bt.capacityBytes(), 256u * 4096);
+}
+
+TEST(Resize, NoOpResizeIsCheap)
+{
+    BTrace bt(resizableConfig());
+    bt.resize(64);
+    EXPECT_EQ(bt.numBlocks(), 64u);
+    EXPECT_EQ(bt.counters().resizes.load(), 0u);
+}
+
+TEST(Resize, WritesWorkAfterShrink)
+{
+    BTrace bt(resizableConfig());
+    for (uint64_t s = 1; s <= 1000; ++s)
+        ASSERT_TRUE(bt.record(uint16_t(s % 4), 1, s, 64));
+    bt.resize(16);
+    for (uint64_t s = 1001; s <= 2000; ++s)
+        ASSERT_TRUE(bt.record(uint16_t(s % 4), 1, s, 64));
+    const Dump d = bt.dump();
+    uint64_t newest = 0;
+    for (const DumpEntry &e : d.entries) {
+        EXPECT_TRUE(e.payloadOk);
+        newest = std::max(newest, e.stamp);
+    }
+    EXPECT_EQ(newest, 2000u);
+}
+
+TEST(Resize, WritesWorkAfterGrow)
+{
+    BTrace bt(resizableConfig());
+    for (uint64_t s = 1; s <= 500; ++s)
+        ASSERT_TRUE(bt.record(uint16_t(s % 4), 1, s, 64));
+    bt.resize(256);
+    for (uint64_t s = 501; s <= 4000; ++s)
+        ASSERT_TRUE(bt.record(uint16_t(s % 4), 1, s, 64));
+    const Dump d = bt.dump();
+    uint64_t newest = 0;
+    for (const DumpEntry &e : d.entries)
+        newest = std::max(newest, e.stamp);
+    EXPECT_EQ(newest, 4000u);
+}
+
+TEST(Resize, GrowRetainsRecentData)
+{
+    BTrace bt(resizableConfig());
+    for (uint64_t s = 1; s <= 100; ++s)
+        ASSERT_TRUE(bt.record(0, 1, s, 64));
+    bt.resize(128);
+    const Dump d = bt.dump();
+    uint64_t count = 0;
+    for (const DumpEntry &e : d.entries)
+        count += e.stamp >= 1 && e.stamp <= 100;
+    // The resize quiesce closes blocks but must not destroy them.
+    EXPECT_GT(count, 90u);
+}
+
+TEST(Resize, ShrinkReleasesPhysicalMemory)
+{
+    BTrace bt(resizableConfig());
+    bt.resize(256);
+    for (uint64_t s = 1; s <= 20000; ++s)
+        ASSERT_TRUE(bt.record(uint16_t(s % 4), 1, s, 128));
+    const std::size_t before = bt.residentBytes();
+    bt.resize(16);
+    const std::size_t after = bt.residentBytes();
+    EXPECT_LT(after, before / 2);
+    EXPECT_LE(after, 40u * 4096);  // ~16 blocks + metadata slack
+}
+
+TEST(Resize, SequenceOfResizesKeepsConsistency)
+{
+    BTrace bt(resizableConfig());
+    BTraceInspector insp(bt);
+    uint64_t stamp = 0;
+    const std::size_t sizes[] = {64, 16, 128, 8, 256, 64};
+    for (const std::size_t n : sizes) {
+        bt.resize(n);
+        EXPECT_EQ(bt.numBlocks(), n);
+        for (int i = 0; i < 500; ++i)
+            ASSERT_TRUE(bt.record(uint16_t(stamp % 4), 1, ++stamp, 64));
+        const Dump d = bt.dump();
+        uint64_t newest = 0;
+        for (const DumpEntry &e : d.entries) {
+            EXPECT_TRUE(e.payloadOk);
+            newest = std::max(newest, e.stamp);
+        }
+        EXPECT_EQ(newest, stamp);
+    }
+    EXPECT_GE(insp.ratioLogSize(), 6u);
+}
+
+TEST(Resize, ConcurrentProducersSurviveResizes)
+{
+    // Real threads hammer the tracer while the main thread resizes.
+    BTrace bt(resizableConfig());
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> stamp{0};
+    std::vector<std::thread> workers;
+    for (unsigned c = 0; c < 4; ++c) {
+        workers.emplace_back([&, c]() {
+            while (!stop.load(std::memory_order_relaxed)) {
+                const uint64_t s =
+                    stamp.fetch_add(1, std::memory_order_relaxed) + 1;
+                bt.record(uint16_t(c), c, s, 48);
+            }
+        });
+    }
+    for (int i = 0; i < 6; ++i) {
+        bt.resize(i % 2 == 0 ? 16 : 128);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    stop.store(true);
+    for (auto &w : workers)
+        w.join();
+
+    const Dump d = bt.dump();
+    for (const DumpEntry &e : d.entries) {
+        EXPECT_TRUE(e.payloadOk);
+        EXPECT_LE(e.stamp, stamp.load());
+    }
+    EXPECT_EQ(bt.counters().resizes.load(), 6u);
+}
+
+using ResizeDeath = ::testing::Test;
+
+TEST(ResizeDeath, RejectsNonMultipleTarget)
+{
+    BTrace bt(resizableConfig());
+    EXPECT_DEATH(bt.resize(12), "multiple of A");
+}
+
+TEST(ResizeDeath, RejectsBeyondMaxBlocks)
+{
+    BTrace bt(resizableConfig());
+    EXPECT_DEATH(bt.resize(512), "multiple of A");
+}
+
+} // namespace
+} // namespace btrace

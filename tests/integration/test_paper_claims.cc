@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Integration tests asserting the paper's headline *shape* claims at
+ * reduced scale (shorter runs, smaller buffers). The full-scale
+ * reproduction lives in bench/; these tests keep the shapes from
+ * regressing:
+ *
+ *  - §5.2: BTrace's latest fragment beats the per-core and per-thread
+ *    tracers by a wide margin and approaches BBQ's.
+ *  - §5.2: loss rate ~0 for BTrace/BBQ, large for the others.
+ *  - §5.2: fragments: BTrace orders of magnitude below ftrace/LTTng.
+ *  - §5.2: latency: BTrace < ftrace < LTTng < VTrace, BBQ worst under
+ *    oversubscription.
+ *  - §3.1: utilization ~1-(C-1)/N vs 1/C for per-core buffers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/continuity.h"
+#include "sim/replay.h"
+#include "workloads/catalog.h"
+
+namespace btrace {
+namespace {
+
+struct Outcome
+{
+    ContinuityReport rep;
+    double latencyGeo;
+    uint64_t retries;
+};
+
+const std::map<TracerKind, Outcome> &
+runAll(const char *workload)
+{
+    static std::map<std::string, std::map<TracerKind, Outcome>> cache;
+    auto &slot = cache[workload];
+    if (!slot.empty())
+        return slot;
+    for (const TracerKind kind : allTracerKinds()) {
+        TracerFactoryOptions fo;
+        fo.capacityBytes = 6u << 20;
+        auto tracer = makeTracer(kind, fo);
+        ReplayOptions opt;
+        opt.durationSec = 5.0;
+        opt.rateScale = 0.6;
+        ReplayResult res = replay(*tracer, workloadByName(workload), opt);
+        slot[kind] = Outcome{analyzeContinuity(res),
+                             res.latencyNs.geoMean(), res.retries};
+    }
+    return slot;
+}
+
+TEST(PaperClaims, LatestFragmentOrderingOnSkewedWorkload)
+{
+    const auto &r = runAll("Video-1");
+    const double btrace = r.at(TracerKind::BTrace).rep.latestFragmentBytes;
+    const double bbq = r.at(TracerKind::Bbq).rep.latestFragmentBytes;
+    const double ftrace = r.at(TracerKind::Ftrace).rep.latestFragmentBytes;
+    const double vtrace = r.at(TracerKind::Vtrace).rep.latestFragmentBytes;
+
+    // §5.2: ftrace ~55 % below BTrace; we assert a conservative 1.5x.
+    EXPECT_GT(btrace, 1.5 * ftrace);
+    // VTrace worst by far.
+    EXPECT_GT(btrace, 5.0 * vtrace);
+    // BTrace within ~25 % of the (blocking) global buffer.
+    EXPECT_GT(btrace, 0.75 * bbq);
+}
+
+TEST(PaperClaims, LatestFragmentOrderingOnLockScreen)
+{
+    // Fig 1a: idle big/middle cores waste per-core buffers. The
+    // lock-screen volume is low, so use a buffer small enough that
+    // the busy little cores wrap their 1/C slices (as on the phone).
+    auto measure = [](TracerKind kind) {
+        TracerFactoryOptions fo;
+        fo.capacityBytes = 1536u << 10;
+        auto tracer = makeTracer(kind, fo);
+        ReplayOptions opt;
+        opt.durationSec = 8.0;
+        ReplayResult res =
+            replay(*tracer, workloadByName("LockScr"), opt);
+        return analyzeContinuity(res).latestFragmentBytes;
+    };
+    EXPECT_GT(measure(TracerKind::BTrace),
+              1.5 * measure(TracerKind::Ftrace));
+}
+
+TEST(PaperClaims, LossRateNearZeroForBTraceAndBbq)
+{
+    const auto &r = runAll("Video-1");
+    EXPECT_LT(r.at(TracerKind::BTrace).rep.lossRate, 0.05);
+    EXPECT_LT(r.at(TracerKind::Bbq).rep.lossRate, 0.05);
+    // Distributed buffers lose the majority of a heavy workload.
+    EXPECT_GT(r.at(TracerKind::Ftrace).rep.lossRate, 0.4);
+    EXPECT_GT(r.at(TracerKind::Vtrace).rep.lossRate, 0.4);
+}
+
+TEST(PaperClaims, FragmentCountsOrdersOfMagnitudeApart)
+{
+    const auto &r = runAll("Video-1");
+    const auto btrace = r.at(TracerKind::BTrace).rep.fragments;
+    const auto ftrace = r.at(TracerKind::Ftrace).rep.fragments;
+    const auto vtrace = r.at(TracerKind::Vtrace).rep.fragments;
+    EXPECT_GT(ftrace, 20 * btrace);
+    EXPECT_GT(vtrace, ftrace);
+}
+
+TEST(PaperClaims, LatencyOrderingMatchesTable2)
+{
+    const auto &r = runAll("eShop-2");
+    const double btrace = r.at(TracerKind::BTrace).latencyGeo;
+    const double ftrace = r.at(TracerKind::Ftrace).latencyGeo;
+    const double lttng = r.at(TracerKind::Lttng).latencyGeo;
+    const double vtrace = r.at(TracerKind::Vtrace).latencyGeo;
+    const double bbq = r.at(TracerKind::Bbq).latencyGeo;
+
+    EXPECT_LT(btrace, ftrace);   // ~20 % in the paper
+    EXPECT_LT(ftrace, lttng);    // kernel vs userspace framework
+    EXPECT_LT(lttng, vtrace);
+    EXPECT_GT(bbq, 2.0 * btrace);  // contended global line
+}
+
+TEST(PaperClaims, BbqSuffersUnderOversubscription)
+{
+    // Table 2: BBQ's latency blows up on eShop-2 relative to calm
+    // workloads; BTrace stays flat.
+    const double bbq_calm = runAll("Music").at(TracerKind::Bbq).latencyGeo;
+    const double bbq_hot = runAll("eShop-2").at(TracerKind::Bbq).latencyGeo;
+    EXPECT_GT(bbq_hot, 1.3 * bbq_calm);
+
+    const double bt_calm =
+        runAll("Music").at(TracerKind::BTrace).latencyGeo;
+    const double bt_hot =
+        runAll("eShop-2").at(TracerKind::BTrace).latencyGeo;
+    EXPECT_LT(bt_hot, 1.3 * bt_calm);
+}
+
+TEST(PaperClaims, UtilizationFormulaSingleHotCore)
+{
+    // Table 1: per-core buffers waste (C-1)/C of the capacity when one
+    // core produces; BTrace wastes at most ~A/N plus active blocks.
+    TracerFactoryOptions fo;
+    fo.capacityBytes = 6u << 20;
+
+    Workload solo = workloadByName("IM");
+    for (unsigned c = 1; c < kCores; ++c)
+        solo.ratePerSec[c] = 0.0;
+    solo.ratePerSec[0] = 12000.0;
+    solo.name = "solo";
+
+    ReplayOptions opt;
+    opt.durationSec = 8.0;
+    opt.mode = ReplayMode::CoreLevel;
+
+    auto bt = makeTracer(TracerKind::BTrace, fo);
+    const auto bt_rep = analyzeContinuity(replay(*bt, solo, opt));
+    auto ft = makeTracer(TracerKind::Ftrace, fo);
+    const auto ft_rep = analyzeContinuity(replay(*ft, solo, opt));
+
+    // ftrace retains at most one core's slice.
+    EXPECT_LT(ft_rep.retainedBytes, 1.1 * double(6u << 20) / kCores);
+    // BTrace retains the bulk of the global buffer.
+    EXPECT_GT(bt_rep.retainedBytes, 0.6 * double(6u << 20));
+    EXPECT_GT(bt_rep.retainedBytes, 5.0 * ft_rep.retainedBytes);
+}
+
+TEST(PaperClaims, BTraceSkipsInsteadOfBlockingOrDropping)
+{
+    const auto &r = runAll("eShop-2");
+    // BTrace never sheds events; BBQ resolves contention by waiting,
+    // with at least as many blocked retries as BTrace's bounded
+    // skipping produces.
+    EXPECT_EQ(r.at(TracerKind::BTrace).rep.droppedByDesign, 0u);
+    EXPECT_GE(r.at(TracerKind::Bbq).retries,
+              r.at(TracerKind::BTrace).retries);
+
+    // LTTng drops the newest data by design when a stalled writer
+    // poisons a sub-buffer for longer than the ring cycle; provoke it
+    // at full production rate with a tight buffer (drop counts scale
+    // with rate x stall tail, §2.2 Obs. 2).
+    TracerFactoryOptions fo;
+    fo.capacityBytes = 3u << 20;
+    auto lttng = makeTracer(TracerKind::Lttng, fo);
+    ReplayOptions opt;
+    opt.durationSec = 6.0;
+    ReplayResult res = replay(*lttng, workloadByName("Video-3"), opt);
+    EXPECT_GT(res.drops, 0u);
+}
+
+} // namespace
+} // namespace btrace

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Integration tests: every tracer driven by the full replay pipeline
+ * on real catalog workloads, checking cross-module invariants that no
+ * unit test covers alone.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+
+#include "analysis/continuity.h"
+#include "analysis/timeline.h"
+#include "core/btrace.h"
+#include "sim/replay.h"
+#include "workloads/catalog.h"
+
+namespace btrace {
+namespace {
+
+struct Combo
+{
+    TracerKind kind;
+    const char *workload;
+};
+
+class TracerWorkload : public ::testing::TestWithParam<Combo>
+{
+};
+
+TEST_P(TracerWorkload, FullPipelineInvariants)
+{
+    const Combo combo = GetParam();
+    TracerFactoryOptions fo;
+    fo.capacityBytes = 4u << 20;
+    auto tracer = makeTracer(combo.kind, fo);
+
+    ReplayOptions opt;
+    opt.durationSec = 4.0;
+    opt.rateScale = 0.5;
+    const ReplayResult res =
+        replay(*tracer, workloadByName(combo.workload), opt);
+
+    ASSERT_GT(res.produced.size(), 1000u);
+    const ContinuityReport rep = analyzeContinuity(res);
+
+    // Ground-truth integrity for every tracer and workload.
+    EXPECT_EQ(rep.unknownStamps, 0u);
+    EXPECT_EQ(rep.duplicateStamps, 0u);
+    EXPECT_EQ(rep.corruptPayloads, 0u);
+    EXPECT_EQ(rep.resurfacedDrops, 0u);
+
+    // Retention is positive and bounded by both capacity and volume.
+    EXPECT_GT(rep.retainedCount, 0u);
+    EXPECT_LE(rep.retainedBytes, 1.05 * double(res.capacityBytes));
+    EXPECT_LE(rep.retainedCount, rep.producedCount);
+    EXPECT_LE(rep.latestFragmentBytes, rep.retainedBytes + 1.0);
+
+    // The timeline is consistent with the continuity report.
+    const Timeline tl = buildTimeline(res);
+    EXPECT_GT(tl.coverage(), 0.0);
+    EXPECT_LE(tl.coverage(), 1.0);
+
+    // The analysis and the engine agree on design drops.
+    EXPECT_EQ(rep.droppedByDesign, res.drops);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTracersKeyWorkloads, TracerWorkload,
+    ::testing::Values(
+        Combo{TracerKind::BTrace, "LockScr"},
+        Combo{TracerKind::BTrace, "Video-1"},
+        Combo{TracerKind::BTrace, "eShop-2"},
+        Combo{TracerKind::Bbq, "LockScr"},
+        Combo{TracerKind::Bbq, "eShop-2"},
+        Combo{TracerKind::Ftrace, "LockScr"},
+        Combo{TracerKind::Ftrace, "Video-1"},
+        Combo{TracerKind::Lttng, "Video-1"},
+        Combo{TracerKind::Lttng, "eShop-2"},
+        Combo{TracerKind::Vtrace, "Desktop"},
+        Combo{TracerKind::Vtrace, "eShop-2"}),
+    [](const ::testing::TestParamInfo<Combo> &param_info) {
+        std::string name = tracerKindName(param_info.param.kind);
+        name += "_";
+        for (const char *p = param_info.param.workload; *p; ++p)
+            name += (std::isalnum(*p) ? *p : '_');
+        return name;
+    });
+
+TEST(ReplayIntegration, ResizeMidWorkloadKeepsIntegrity)
+{
+    // Drive BTrace through a grow and a shrink between replay phases,
+    // mimicking the in-production cold-start scenario (§2.2 Obs. 3).
+    TracerFactoryOptions fo;
+    fo.capacityBytes = 4u << 20;
+    fo.maxBlocks = 20 * 192;  // 15 MB ceiling (multiple of A = 192)
+    auto tracer = makeTracer(TracerKind::BTrace, fo);
+    auto *bt = dynamic_cast<BTrace *>(tracer.get());
+    ASSERT_NE(bt, nullptr);
+
+    ReplayOptions opt;
+    opt.durationSec = 2.0;
+    opt.rateScale = 0.3;
+    const ReplayResult phase1 =
+        replay(*tracer, workloadByName("Desktop"), opt);
+    const ContinuityReport rep1 = analyzeContinuity(phase1);
+    EXPECT_EQ(rep1.duplicateStamps, 0u);
+
+    bt->resize(20 * 192);  // grow for the critical phase
+    opt.seed = 2;
+    const ReplayResult phase2 =
+        replay(*tracer, workloadByName("eShop-1"), opt);
+    const ContinuityReport rep2 = analyzeContinuity(phase2);
+    EXPECT_EQ(rep2.corruptPayloads, 0u);
+    EXPECT_GT(rep2.retainedCount, rep1.retainedCount);
+
+    bt->resize(bt->config().activeBlocks);  // shrink to minimum
+    opt.seed = 3;
+    const ReplayResult phase3 =
+        replay(*tracer, workloadByName("Desktop"), opt);
+    const ContinuityReport rep3 = analyzeContinuity(phase3);
+    EXPECT_EQ(rep3.corruptPayloads, 0u);
+    EXPECT_GT(rep3.retainedCount, 0u);
+}
+
+} // namespace
+} // namespace btrace

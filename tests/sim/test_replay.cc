@@ -1,0 +1,178 @@
+/** @file Unit tests for the deterministic replay engine. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/continuity.h"
+#include "core/btrace.h"
+#include "sim/replay.h"
+#include "workloads/catalog.h"
+
+namespace btrace {
+namespace {
+
+ReplayOptions
+quick(ReplayMode mode = ReplayMode::ThreadLevel)
+{
+    ReplayOptions opt;
+    opt.mode = mode;
+    opt.durationSec = 3.0;
+    opt.rateScale = 0.3;
+    return opt;
+}
+
+TracerFactoryOptions
+smallFactory()
+{
+    TracerFactoryOptions fo;
+    fo.capacityBytes = 2u << 20;
+    return fo;
+}
+
+TEST(Replay, StampsAreContiguousFromOne)
+{
+    auto tracer = makeTracer(TracerKind::BTrace, smallFactory());
+    const ReplayResult res =
+        replay(*tracer, workloadByName("IM"), quick());
+    ASSERT_FALSE(res.produced.empty());
+    for (std::size_t i = 0; i < res.produced.size(); ++i)
+        ASSERT_EQ(res.produced[i].stamp, i + 1);
+}
+
+TEST(Replay, ProducedVolumeTracksWorkloadRate)
+{
+    auto tracer = makeTracer(TracerKind::BTrace, smallFactory());
+    ReplayOptions opt = quick();
+    const Workload &wl = workloadByName("IM");
+    const ReplayResult res = replay(*tracer, wl, opt);
+    const double expected = wl.expectedBytes() * opt.rateScale *
+                            (opt.durationSec / wl.durationSec);
+    EXPECT_NEAR(res.producedBytes, expected, expected * 0.25);
+}
+
+TEST(Replay, DeterministicForSameSeed)
+{
+    const Workload &wl = workloadByName("Video-1");
+    auto t1 = makeTracer(TracerKind::BTrace, smallFactory());
+    auto t2 = makeTracer(TracerKind::BTrace, smallFactory());
+    const ReplayResult a = replay(*t1, wl, quick());
+    const ReplayResult b = replay(*t2, wl, quick());
+    ASSERT_EQ(a.produced.size(), b.produced.size());
+    EXPECT_EQ(a.dump.entries.size(), b.dump.entries.size());
+    EXPECT_EQ(a.preemptedWrites, b.preemptedWrites);
+    EXPECT_DOUBLE_EQ(a.latencyNs.mean(), b.latencyNs.mean());
+}
+
+TEST(Replay, DifferentSeedsProduceDifferentSchedules)
+{
+    const Workload &wl = workloadByName("Video-1");
+    auto t1 = makeTracer(TracerKind::BTrace, smallFactory());
+    auto t2 = makeTracer(TracerKind::BTrace, smallFactory());
+    ReplayOptions o1 = quick(), o2 = quick();
+    o2.seed = 99;
+    const ReplayResult a = replay(*t1, wl, o1);
+    const ReplayResult b = replay(*t2, wl, o2);
+    EXPECT_NE(a.produced.size(), b.produced.size());
+}
+
+TEST(Replay, CoreLevelNeverPreemptsWrites)
+{
+    auto tracer = makeTracer(TracerKind::BTrace, smallFactory());
+    const ReplayResult res = replay(
+        *tracer, workloadByName("eShop-2"), quick(ReplayMode::CoreLevel));
+    EXPECT_EQ(res.preemptedWrites, 0u);
+    EXPECT_EQ(res.unconfirmed, 0u);
+}
+
+TEST(Replay, ThreadLevelPreemptsSomeWrites)
+{
+    auto tracer = makeTracer(TracerKind::BTrace, smallFactory());
+    const ReplayResult res =
+        replay(*tracer, workloadByName("eShop-2"), quick());
+    EXPECT_GT(res.preemptedWrites, 0u);
+}
+
+TEST(Replay, FtracePreemptionExemptByDesign)
+{
+    auto tracer = makeTracer(TracerKind::Ftrace, smallFactory());
+    const ReplayResult res =
+        replay(*tracer, workloadByName("eShop-2"), quick());
+    EXPECT_EQ(res.preemptedWrites, 0u);
+}
+
+TEST(Replay, EventsAttributedToScheduledThreads)
+{
+    auto tracer = makeTracer(TracerKind::BTrace, smallFactory());
+    const ReplayResult res =
+        replay(*tracer, workloadByName("Desktop"), quick());
+    for (const ProducedEvent &e : res.produced) {
+        ASSERT_LT(e.core, kCores);
+        // Global thread ids encode the core.
+        ASSERT_EQ(e.thread / 100000u, e.core);
+    }
+}
+
+TEST(Replay, LatencySamplesPlausible)
+{
+    auto tracer = makeTracer(TracerKind::BTrace, smallFactory());
+    ReplayResult res = replay(*tracer, workloadByName("IM"), quick());
+    ASSERT_GT(res.latencyNs.count(), 1000u);
+    EXPECT_GT(res.latencyNs.geoMean(), 10.0);
+    EXPECT_LT(res.latencyNs.geoMean(), 2000.0);
+    EXPECT_GE(res.latencyNs.percentile(0.99),
+              res.latencyNs.percentile(0.50));
+}
+
+TEST(Replay, DumpRetainsNewestForEveryTracer)
+{
+    for (const TracerKind kind : allTracerKinds()) {
+        auto tracer = makeTracer(kind, smallFactory());
+        const ReplayResult res =
+            replay(*tracer, workloadByName("Desktop"), quick());
+        const ContinuityReport rep = analyzeContinuity(res);
+        EXPECT_EQ(rep.unknownStamps, 0u) << res.tracerName;
+        EXPECT_EQ(rep.duplicateStamps, 0u) << res.tracerName;
+        EXPECT_EQ(rep.corruptPayloads, 0u) << res.tracerName;
+        EXPECT_EQ(rep.resurfacedDrops, 0u) << res.tracerName;
+        EXPECT_GT(rep.retainedCount, 0u) << res.tracerName;
+    }
+}
+
+TEST(Replay, RateScaleScalesVolume)
+{
+    const Workload &wl = workloadByName("IM");
+    auto t1 = makeTracer(TracerKind::BTrace, smallFactory());
+    auto t2 = makeTracer(TracerKind::BTrace, smallFactory());
+    ReplayOptions lo = quick();
+    lo.rateScale = 0.2;
+    ReplayOptions hi = quick();
+    hi.rateScale = 0.4;
+    const auto a = replay(*t1, wl, lo);
+    const auto b = replay(*t2, wl, hi);
+    EXPECT_NEAR(double(b.produced.size()),
+                2.0 * double(a.produced.size()),
+                0.3 * double(b.produced.size()));
+}
+
+TEST(MakeTracer, NamesAndCapacities)
+{
+    for (const TracerKind kind : allTracerKinds()) {
+        auto tracer = makeTracer(kind, smallFactory());
+        EXPECT_EQ(tracer->name(), tracerKindName(kind));
+        // All tracers get the same capacity within a block's rounding.
+        EXPECT_NEAR(double(tracer->capacityBytes()), double(2u << 20),
+                    double(2u << 20) * 0.15)
+            << tracer->name();
+    }
+}
+
+TEST(MakeTracer, BTraceActiveBlocksDefaultsTo16xCores)
+{
+    TracerFactoryOptions fo = smallFactory();
+    auto tracer = makeTracer(TracerKind::BTrace, fo);
+    auto *bt = dynamic_cast<BTrace *>(tracer.get());
+    ASSERT_NE(bt, nullptr);
+    EXPECT_EQ(bt->config().activeBlocks, 16u * fo.cores);
+}
+
+} // namespace
+} // namespace btrace

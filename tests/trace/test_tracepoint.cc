@@ -1,0 +1,101 @@
+/** @file Unit tests for the tracepoint registry. */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "trace/tracepoint.h"
+
+namespace btrace {
+namespace {
+
+TEST(TracepointRegistry, ReservedEntryZero)
+{
+    TracepointRegistry reg;
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_EQ(reg.byId(0).name, "uncategorized");
+    EXPECT_EQ(reg.byId(999).name, "uncategorized");  // unknown -> 0
+}
+
+TEST(TracepointRegistry, RegisterAssignsDenseIds)
+{
+    TracepointRegistry reg;
+    const uint16_t a = reg.registerTracepoint("sched", 2);
+    const uint16_t b = reg.registerTracepoint("freq", 2);
+    EXPECT_EQ(a, 1u);
+    EXPECT_EQ(b, 2u);
+    EXPECT_EQ(reg.byId(a).name, "sched");
+    EXPECT_EQ(reg.byId(b).level, 2);
+}
+
+TEST(TracepointRegistry, ReRegisterIsIdempotent)
+{
+    TracepointRegistry reg;
+    const uint16_t a = reg.registerTracepoint("binder", 1, "ipc");
+    const uint16_t b = reg.registerTracepoint("binder", 3, "ignored");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(reg.byId(a).level, 1);
+    EXPECT_EQ(reg.byId(a).description, "ipc");
+    EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(TracepointRegistry, IdOfUnknownIsZero)
+{
+    TracepointRegistry reg;
+    EXPECT_EQ(reg.idOf("nope"), 0u);
+    reg.registerTracepoint("yes");
+    EXPECT_EQ(reg.idOf("yes"), 1u);
+}
+
+TEST(TracepointRegistry, LevelFiltering)
+{
+    TracepointRegistry reg;
+    reg.registerTracepoint("binder", 1);
+    reg.registerTracepoint("sched", 2);
+    reg.registerTracepoint("energy", 3);
+    EXPECT_EQ(reg.idsUpToLevel(1).size(), 1u);
+    EXPECT_EQ(reg.idsUpToLevel(2).size(), 2u);
+    EXPECT_EQ(reg.idsUpToLevel(3).size(), 3u);
+}
+
+TEST(TracepointRegistry, AllIncludesReserved)
+{
+    TracepointRegistry reg;
+    reg.registerTracepoint("x");
+    const auto all = reg.all();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0].id, 0u);
+    EXPECT_EQ(all[1].name, "x");
+}
+
+TEST(TracepointRegistry, ConcurrentRegistration)
+{
+    TracepointRegistry reg;
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 4; ++w) {
+        workers.emplace_back([&, w]() {
+            for (int i = 0; i < 100; ++i) {
+                reg.registerTracepoint("tp" + std::to_string(i));
+                (void)w;
+            }
+        });
+    }
+    for (auto &t : workers)
+        t.join();
+    EXPECT_EQ(reg.size(), 101u);  // 100 distinct + reserved
+}
+
+TEST(TracepointRegistryDeath, EmptyNameFatal)
+{
+    TracepointRegistry reg;
+    EXPECT_DEATH(reg.registerTracepoint(""), "non-empty");
+}
+
+TEST(TracepointRegistry, GlobalSingleton)
+{
+    EXPECT_EQ(&TracepointRegistry::global(),
+              &TracepointRegistry::global());
+}
+
+} // namespace
+} // namespace btrace

@@ -1,0 +1,143 @@
+/** @file Unit tests for the 21-workload catalog (§5 "Workloads"). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/catalog.h"
+
+namespace btrace {
+namespace {
+
+TEST(Catalog, Has21Workloads)
+{
+    EXPECT_EQ(workloadCatalog().size(), 21u);
+}
+
+TEST(Catalog, NamesAreUniqueAndNonEmpty)
+{
+    std::set<std::string> names;
+    for (const Workload &w : workloadCatalog()) {
+        EXPECT_FALSE(w.name.empty());
+        EXPECT_TRUE(names.insert(w.name).second);
+    }
+}
+
+TEST(Catalog, LookupByNameRoundTrips)
+{
+    for (const Workload &w : workloadCatalog())
+        EXPECT_EQ(workloadByName(w.name).name, w.name);
+}
+
+TEST(CatalogDeath, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(workloadByName("NoSuchWorkload"), "unknown workload");
+}
+
+TEST(Catalog, RatesWithinFig4Envelope)
+{
+    // Fig 4's y-axis tops out at 18k entries/s per core.
+    for (const Workload &w : workloadCatalog()) {
+        for (unsigned c = 0; c < kCores; ++c) {
+            EXPECT_GE(w.ratePerSec[c], 0.0);
+            EXPECT_LE(w.ratePerSec[c], 19000.0) << w.name;
+        }
+    }
+}
+
+TEST(Catalog, LockScreenIdlesBigAndMiddleCores)
+{
+    // Fig 1a / Fig 4: at lock screen, big and middle cores are idle.
+    const Workload &w = workloadByName("LockScr");
+    double little = 0, mid = 0, big = 0;
+    for (unsigned c = 0; c < kCores; ++c) {
+        switch (coreClassOf(c)) {
+          case CoreClass::Little: little += w.ratePerSec[c]; break;
+          case CoreClass::Middle: mid += w.ratePerSec[c]; break;
+          case CoreClass::Big: big += w.ratePerSec[c]; break;
+        }
+    }
+    EXPECT_GT(little / 4, 10 * (mid / 6));
+    EXPECT_GT(little / 4, 10 * (big / 2));
+}
+
+TEST(Catalog, Video1IsHighlySkewedTowardsLittleCores)
+{
+    const Workload &w = workloadByName("Video-1");
+    const double little = w.ratePerSec[0];
+    const double big = w.ratePerSec[10];
+    EXPECT_GT(little, 5 * big);
+}
+
+TEST(Catalog, ImIsRoughlyUniform)
+{
+    const Workload &w = workloadByName("IM");
+    double lo = 1e18, hi = 0;
+    for (unsigned c = 0; c < kCores; ++c) {
+        lo = std::min(lo, w.ratePerSec[c]);
+        hi = std::max(hi, w.ratePerSec[c]);
+    }
+    EXPECT_LT(hi / lo, 2.0);
+}
+
+TEST(Catalog, ThreadCountsMatchFig6Scale)
+{
+    // Fig 6: up to ~400 distinct threads per core over 30 s, ~30
+    // active per second under load.
+    for (const Workload &w : workloadCatalog()) {
+        for (unsigned c = 0; c < kCores; ++c) {
+            EXPECT_GE(w.totalThreads[c], 1u);
+            EXPECT_LE(w.totalThreads[c], 800u) << w.name;
+            EXPECT_LE(w.activeThreads[c], w.totalThreads[c]) << w.name;
+        }
+    }
+    const Workload &heavy = workloadByName("eShop-2");
+    EXPECT_GT(heavy.totalThreads[0], 300u);
+    EXPECT_GT(heavy.activeThreads[0], 25u);
+}
+
+TEST(Catalog, EShop2HeaviestOversubscription)
+{
+    // The paper singles out eShop-2 for BBQ's latency blow-up.
+    uint32_t eshop2 = workloadByName("eShop-2").activeThreads[0];
+    for (const Workload &w : workloadCatalog())
+        EXPECT_LE(w.activeThreads[0], eshop2) << w.name;
+}
+
+TEST(Catalog, Fig4SelectionPresent)
+{
+    const auto ws = fig4Workloads();
+    EXPECT_EQ(ws.size(), 6u);
+    EXPECT_EQ(ws[0].name, "Desktop");
+    EXPECT_EQ(ws[4].name, "LockScr");
+}
+
+TEST(Catalog, ProducedVolumeExceedsTable2Buffer)
+{
+    // Heavy workloads must overflow the 12 MB buffer over 30 s several
+    // times, otherwise retention metrics are trivial. LockScr is the
+    // intentional exception (mostly-idle phone, Fig 1a): it must still
+    // overflow the *per-core* 1/C slices so per-core tracers wrap.
+    for (const Workload &w : workloadCatalog()) {
+        if (w.name == "LockScr") {
+            const double little_bytes =
+                w.ratePerSec[0] *
+                ((1.0 - w.burstiness) + w.burstiness * w.burstLowFactor) *
+                w.durationSec * (24.0 + w.meanPayloadBytes());
+            EXPECT_GT(little_bytes, 2.0 * (12u << 20) / kCores);
+            continue;
+        }
+        EXPECT_GT(w.expectedBytes(), 2.0 * (12u << 20)) << w.name;
+    }
+}
+
+TEST(Catalog, DeterministicConstruction)
+{
+    const Workload &a = workloadByName("Browser");
+    const Workload &b = workloadByName("Browser");
+    for (unsigned c = 0; c < kCores; ++c)
+        EXPECT_DOUBLE_EQ(a.ratePerSec[c], b.ratePerSec[c]);
+}
+
+} // namespace
+} // namespace btrace

@@ -1,0 +1,105 @@
+/** @file Unit tests for the atrace category catalog (Fig 2 / Fig 3). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/categories.h"
+
+namespace btrace {
+namespace {
+
+TEST(Categories, NonEmptyWithUniqueNamesAndIds)
+{
+    const auto &cats = categoryCatalog();
+    EXPECT_GE(cats.size(), 15u);
+    std::set<std::string> names;
+    std::set<uint16_t> ids;
+    for (const TraceCategory &c : cats) {
+        EXPECT_TRUE(names.insert(c.name).second);
+        EXPECT_TRUE(ids.insert(c.id).second);
+        EXPECT_GT(c.mbPerCoreMin, 0.0);
+        EXPECT_GE(c.level, 1);
+        EXPECT_LE(c.level, 3);
+    }
+}
+
+TEST(Categories, LevelsAreCumulative)
+{
+    const double l1 = levelRateMbPerCoreMin(1);
+    const double l2 = levelRateMbPerCoreMin(2);
+    const double l3 = levelRateMbPerCoreMin(3);
+    EXPECT_GT(l1, 0.0);
+    EXPECT_GT(l2, l1);
+    EXPECT_GT(l3, l2);
+}
+
+TEST(Categories, Level3MatchesFig3Volume)
+{
+    // Fig 3: level-3 production reaches ~450 MB over 30 s on 12 cores,
+    // i.e. ~75 MB/core/min.
+    const double l3 = levelRateMbPerCoreMin(3);
+    EXPECT_NEAR(l3, 75.0, 10.0);
+    const double total30s_mb = l3 * 12 / 2.0;
+    EXPECT_NEAR(total30s_mb, 450.0, 60.0);
+}
+
+TEST(Categories, BinderCategoriesAreLevel1)
+{
+    for (const TraceCategory &c : categoryCatalog()) {
+        if (c.name.rfind("binder", 0) == 0) {
+            EXPECT_EQ(c.level, 1) << c.name;
+        }
+    }
+}
+
+TEST(Categories, SchedAndIrqAreLevel2)
+{
+    int found = 0;
+    for (const TraceCategory &c : categoryCatalog()) {
+        if (c.name == "sched" || c.name == "irq") {
+            EXPECT_EQ(c.level, 2) << c.name;
+            ++found;
+        }
+    }
+    EXPECT_EQ(found, 2);
+}
+
+TEST(LevelWorkload, AggregateRateMatchesLevelVolume)
+{
+    for (int level = 1; level <= 3; ++level) {
+        const Workload w = levelWorkload(level);
+        const double entry_bytes = 24.0 + w.meanPayloadBytes();
+        const double bytes_per_sec = w.totalRatePerSec() * entry_bytes;
+        const double mb_per_core_min =
+            bytes_per_sec * 60 / (1024.0 * 1024.0) / kCores;
+        EXPECT_NEAR(mb_per_core_min, levelRateMbPerCoreMin(level),
+                    levelRateMbPerCoreMin(level) * 0.01)
+            << "level " << level;
+    }
+}
+
+TEST(LevelWorkload, SkewMatchesFig4Classes)
+{
+    const Workload w = levelWorkload(3);
+    EXPECT_GT(w.ratePerSec[0], 3.0 * w.ratePerSec[4]);   // little >> mid
+    EXPECT_GT(w.ratePerSec[4], 2.0 * w.ratePerSec[10]);  // mid >> big
+}
+
+TEST(LevelWorkload, CoreCountRespected)
+{
+    const Workload w = levelWorkload(2, 4);
+    for (unsigned c = 0; c < 4; ++c)
+        EXPECT_GT(w.ratePerSec[c], 0.0);
+    for (unsigned c = 4; c < kCores; ++c)
+        EXPECT_EQ(w.ratePerSec[c], 0.0);
+}
+
+TEST(LevelWorkloadDeath, RejectsBadLevel)
+{
+    EXPECT_DEATH(levelWorkload(0), "level");
+    EXPECT_DEATH(levelWorkload(4), "level");
+}
+
+} // namespace
+} // namespace btrace

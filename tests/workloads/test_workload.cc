@@ -1,0 +1,98 @@
+/** @file Unit tests for the Workload model arithmetic. */
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "workloads/workload.h"
+
+namespace btrace {
+namespace {
+
+TEST(CoreClassOf, MatchesPaperTopology)
+{
+    // 4 little + 6 middle + 2 big (Fig 4).
+    for (unsigned c = 0; c < 4; ++c)
+        EXPECT_EQ(coreClassOf(c), CoreClass::Little);
+    for (unsigned c = 4; c < 10; ++c)
+        EXPECT_EQ(coreClassOf(c), CoreClass::Middle);
+    for (unsigned c = 10; c < 12; ++c)
+        EXPECT_EQ(coreClassOf(c), CoreClass::Big);
+}
+
+TEST(Workload, TotalRateSumsCores)
+{
+    Workload w;
+    for (unsigned c = 0; c < kCores; ++c)
+        w.ratePerSec[c] = 100.0;
+    EXPECT_DOUBLE_EQ(w.totalRatePerSec(), 1200.0);
+}
+
+TEST(Workload, MeanPayloadMatchesEmpiricalSample)
+{
+    Workload w;
+    w.payloadLo = 16.0;
+    w.payloadHi = 512.0;
+    w.payloadShape = 1.1;
+    const double analytic = w.meanPayloadBytes();
+
+    Prng rng(123);
+    double sum = 0.0;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.heavyTail(w.payloadLo, w.payloadHi, w.payloadShape);
+    EXPECT_NEAR(analytic, sum / n, analytic * 0.03);
+}
+
+TEST(Workload, MeanPayloadShapeOneSpecialCase)
+{
+    Workload w;
+    w.payloadLo = 10.0;
+    w.payloadHi = 100.0;
+    w.payloadShape = 1.0;
+    const double m = w.meanPayloadBytes();
+    EXPECT_GT(m, w.payloadLo);
+    EXPECT_LT(m, w.payloadHi);
+}
+
+TEST(Workload, ExpectedBytesScalesWithRateAndDuration)
+{
+    Workload w;
+    w.ratePerSec[0] = 1000.0;
+    w.burstiness = 0.0;
+    w.durationSec = 30.0;
+    const double base = w.expectedBytes();
+
+    Workload w2 = w;
+    w2.durationSec = 60.0;
+    EXPECT_NEAR(w2.expectedBytes(), 2 * base, base * 1e-9);
+
+    const Workload w3 = w.scaled(2.0);
+    EXPECT_NEAR(w3.expectedBytes(), 2 * base, base * 1e-9);
+}
+
+TEST(Workload, BurstinessReducesExpectedBytes)
+{
+    Workload w;
+    w.ratePerSec[0] = 1000.0;
+    w.burstiness = 0.0;
+    const double full = w.expectedBytes();
+    w.burstiness = 0.5;
+    w.burstLowFactor = 0.2;
+    EXPECT_LT(w.expectedBytes(), full);
+    EXPECT_NEAR(w.expectedBytes(), full * 0.6, full * 1e-9);
+}
+
+TEST(Workload, ScaledCopiesEverythingElse)
+{
+    Workload w;
+    w.name = "X";
+    w.ratePerSec[3] = 50.0;
+    w.totalThreads[3] = 7;
+    const Workload s = w.scaled(3.0);
+    EXPECT_EQ(s.name, "X");
+    EXPECT_DOUBLE_EQ(s.ratePerSec[3], 150.0);
+    EXPECT_EQ(s.totalThreads[3], 7u);
+}
+
+} // namespace
+} // namespace btrace

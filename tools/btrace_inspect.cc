@@ -1,0 +1,114 @@
+/**
+ * @file
+ * btrace_inspect — command-line viewer for persisted traces.
+ *
+ *   btrace_inspect <trace.bin> [--json FILE] [--csv FILE]
+ *                  [--head N] [--gaps]
+ *
+ * Prints the per-core/per-category summary of a file written by
+ * TracePersister, optionally exports it for Perfetto/chrome://tracing
+ * or spreadsheets, shows the first N entries, and reports continuity
+ * gaps in the stamp sequence.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "analysis/export.h"
+#include "core/persister.h"
+
+using namespace btrace;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: btrace_inspect <trace.bin> [--json FILE] "
+                 "[--csv FILE] [--head N] [--gaps]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string input = argv[1];
+    std::string json_path, csv_path;
+    long head = 0;
+    bool show_gaps = false;
+
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+            csv_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--head") == 0 && i + 1 < argc) {
+            head = std::atol(argv[++i]);
+        } else if (std::strcmp(argv[i], "--gaps") == 0) {
+            show_gaps = true;
+        } else {
+            return usage();
+        }
+    }
+
+    const auto entries = TracePersister::load(input);
+    Dump dump;
+    dump.entries = entries;
+    std::printf("%s\n", summarizeDump(dump).c_str());
+
+    if (head > 0) {
+        std::printf("first %ld entries:\n", head);
+        std::printf("%12s %5s %8s %5s %6s\n", "stamp", "core", "thread",
+                    "cat", "size");
+        long shown = 0;
+        for (const DumpEntry &e : entries) {
+            if (shown++ >= head)
+                break;
+            std::printf("%12llu %5u %8u %5u %6u\n",
+                        static_cast<unsigned long long>(e.stamp),
+                        e.core, e.thread, e.category, e.size);
+        }
+    }
+
+    if (show_gaps && !entries.empty()) {
+        // Continuity over the persisted stamp sequence itself.
+        std::vector<DumpEntry> sorted_entries = entries;
+        std::sort(sorted_entries.begin(), sorted_entries.end(),
+                  [](const DumpEntry &a, const DumpEntry &b) {
+                      return a.stamp < b.stamp;
+                  });
+        uint64_t gaps = 0, missing = 0, largest = 0;
+        for (std::size_t i = 1; i < sorted_entries.size(); ++i) {
+            const uint64_t prev = sorted_entries[i - 1].stamp;
+            const uint64_t cur = sorted_entries[i].stamp;
+            if (cur > prev + 1) {
+                ++gaps;
+                missing += cur - prev - 1;
+                largest = std::max(largest, cur - prev - 1);
+            }
+        }
+        std::printf("stamp continuity: %llu gaps, %llu missing stamps, "
+                    "largest gap %llu\n",
+                    static_cast<unsigned long long>(gaps),
+                    static_cast<unsigned long long>(missing),
+                    static_cast<unsigned long long>(largest));
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream(json_path) << exportChromeJson(entries);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+    if (!csv_path.empty()) {
+        std::ofstream(csv_path) << exportCsv(entries);
+        std::printf("wrote %s\n", csv_path.c_str());
+    }
+    return 0;
+}
