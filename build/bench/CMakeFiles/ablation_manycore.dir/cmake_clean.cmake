@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_manycore.dir/ablation_manycore.cc.o"
+  "CMakeFiles/ablation_manycore.dir/ablation_manycore.cc.o.d"
+  "ablation_manycore"
+  "ablation_manycore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_manycore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

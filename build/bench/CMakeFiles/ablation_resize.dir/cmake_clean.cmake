@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_resize.dir/ablation_resize.cc.o"
+  "CMakeFiles/ablation_resize.dir/ablation_resize.cc.o.d"
+  "ablation_resize"
+  "ablation_resize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_resize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_userspace.dir/ablation_userspace.cc.o"
+  "CMakeFiles/ablation_userspace.dir/ablation_userspace.cc.o.d"
+  "ablation_userspace"
+  "ablation_userspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_userspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

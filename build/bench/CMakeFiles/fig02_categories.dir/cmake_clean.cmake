@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_categories.dir/fig02_categories.cc.o"
+  "CMakeFiles/fig02_categories.dir/fig02_categories.cc.o.d"
+  "fig02_categories"
+  "fig02_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

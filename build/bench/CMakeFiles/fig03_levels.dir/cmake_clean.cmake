@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_levels.dir/fig03_levels.cc.o"
+  "CMakeFiles/fig03_levels.dir/fig03_levels.cc.o.d"
+  "fig03_levels"
+  "fig03_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

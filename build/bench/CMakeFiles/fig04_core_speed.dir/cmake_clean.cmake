@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_core_speed.dir/fig04_core_speed.cc.o"
+  "CMakeFiles/fig04_core_speed.dir/fig04_core_speed.cc.o.d"
+  "fig04_core_speed"
+  "fig04_core_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_core_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

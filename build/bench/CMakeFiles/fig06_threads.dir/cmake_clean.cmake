@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_threads.dir/fig06_threads.cc.o"
+  "CMakeFiles/fig06_threads.dir/fig06_threads.cc.o.d"
+  "fig06_threads"
+  "fig06_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

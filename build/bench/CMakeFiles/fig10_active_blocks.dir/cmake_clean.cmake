@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_active_blocks.dir/fig10_active_blocks.cc.o"
+  "CMakeFiles/fig10_active_blocks.dir/fig10_active_blocks.cc.o.d"
+  "fig10_active_blocks"
+  "fig10_active_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_active_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_model.cc" "bench/CMakeFiles/table1_model.dir/table1_model.cc.o" "gcc" "bench/CMakeFiles/table1_model.dir/table1_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/btrace_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

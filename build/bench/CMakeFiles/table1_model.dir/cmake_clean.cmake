@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_model.dir/table1_model.cc.o"
+  "CMakeFiles/table1_model.dir/table1_model.cc.o.d"
+  "table1_model"
+  "table1_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

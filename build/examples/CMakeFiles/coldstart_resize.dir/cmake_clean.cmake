@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coldstart_resize.dir/coldstart_resize.cpp.o"
+  "CMakeFiles/coldstart_resize.dir/coldstart_resize.cpp.o.d"
+  "coldstart_resize"
+  "coldstart_resize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coldstart_resize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_trace.dir/export_trace.cpp.o"
+  "CMakeFiles/export_trace.dir/export_trace.cpp.o.d"
+  "export_trace"
+  "export_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

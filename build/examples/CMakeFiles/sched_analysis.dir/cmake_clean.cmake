@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_analysis.dir/sched_analysis.cpp.o"
+  "CMakeFiles/sched_analysis.dir/sched_analysis.cpp.o.d"
+  "sched_analysis"
+  "sched_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

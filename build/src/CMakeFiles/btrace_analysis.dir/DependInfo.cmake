@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/continuity.cc" "src/CMakeFiles/btrace_analysis.dir/analysis/continuity.cc.o" "gcc" "src/CMakeFiles/btrace_analysis.dir/analysis/continuity.cc.o.d"
+  "/root/repo/src/analysis/defects.cc" "src/CMakeFiles/btrace_analysis.dir/analysis/defects.cc.o" "gcc" "src/CMakeFiles/btrace_analysis.dir/analysis/defects.cc.o.d"
+  "/root/repo/src/analysis/export.cc" "src/CMakeFiles/btrace_analysis.dir/analysis/export.cc.o" "gcc" "src/CMakeFiles/btrace_analysis.dir/analysis/export.cc.o.d"
+  "/root/repo/src/analysis/gaps.cc" "src/CMakeFiles/btrace_analysis.dir/analysis/gaps.cc.o" "gcc" "src/CMakeFiles/btrace_analysis.dir/analysis/gaps.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/CMakeFiles/btrace_analysis.dir/analysis/report.cc.o" "gcc" "src/CMakeFiles/btrace_analysis.dir/analysis/report.cc.o.d"
+  "/root/repo/src/analysis/timeline.cc" "src/CMakeFiles/btrace_analysis.dir/analysis/timeline.cc.o" "gcc" "src/CMakeFiles/btrace_analysis.dir/analysis/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/btrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

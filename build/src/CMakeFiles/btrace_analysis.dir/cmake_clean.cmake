@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btrace_analysis.dir/analysis/continuity.cc.o"
+  "CMakeFiles/btrace_analysis.dir/analysis/continuity.cc.o.d"
+  "CMakeFiles/btrace_analysis.dir/analysis/defects.cc.o"
+  "CMakeFiles/btrace_analysis.dir/analysis/defects.cc.o.d"
+  "CMakeFiles/btrace_analysis.dir/analysis/export.cc.o"
+  "CMakeFiles/btrace_analysis.dir/analysis/export.cc.o.d"
+  "CMakeFiles/btrace_analysis.dir/analysis/gaps.cc.o"
+  "CMakeFiles/btrace_analysis.dir/analysis/gaps.cc.o.d"
+  "CMakeFiles/btrace_analysis.dir/analysis/report.cc.o"
+  "CMakeFiles/btrace_analysis.dir/analysis/report.cc.o.d"
+  "CMakeFiles/btrace_analysis.dir/analysis/timeline.cc.o"
+  "CMakeFiles/btrace_analysis.dir/analysis/timeline.cc.o.d"
+  "libbtrace_analysis.a"
+  "libbtrace_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btrace_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

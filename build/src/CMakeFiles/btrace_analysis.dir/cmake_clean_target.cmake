@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbtrace_analysis.a"
+)

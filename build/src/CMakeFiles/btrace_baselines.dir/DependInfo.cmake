@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bbq.cc" "src/CMakeFiles/btrace_baselines.dir/baselines/bbq.cc.o" "gcc" "src/CMakeFiles/btrace_baselines.dir/baselines/bbq.cc.o.d"
+  "/root/repo/src/baselines/ftrace_like.cc" "src/CMakeFiles/btrace_baselines.dir/baselines/ftrace_like.cc.o" "gcc" "src/CMakeFiles/btrace_baselines.dir/baselines/ftrace_like.cc.o.d"
+  "/root/repo/src/baselines/lttng_like.cc" "src/CMakeFiles/btrace_baselines.dir/baselines/lttng_like.cc.o" "gcc" "src/CMakeFiles/btrace_baselines.dir/baselines/lttng_like.cc.o.d"
+  "/root/repo/src/baselines/vtrace_like.cc" "src/CMakeFiles/btrace_baselines.dir/baselines/vtrace_like.cc.o" "gcc" "src/CMakeFiles/btrace_baselines.dir/baselines/vtrace_like.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/btrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

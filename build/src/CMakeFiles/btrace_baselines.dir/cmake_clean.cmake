@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btrace_baselines.dir/baselines/bbq.cc.o"
+  "CMakeFiles/btrace_baselines.dir/baselines/bbq.cc.o.d"
+  "CMakeFiles/btrace_baselines.dir/baselines/ftrace_like.cc.o"
+  "CMakeFiles/btrace_baselines.dir/baselines/ftrace_like.cc.o.d"
+  "CMakeFiles/btrace_baselines.dir/baselines/lttng_like.cc.o"
+  "CMakeFiles/btrace_baselines.dir/baselines/lttng_like.cc.o.d"
+  "CMakeFiles/btrace_baselines.dir/baselines/vtrace_like.cc.o"
+  "CMakeFiles/btrace_baselines.dir/baselines/vtrace_like.cc.o.d"
+  "libbtrace_baselines.a"
+  "libbtrace_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btrace_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btrace_common.dir/common/format.cc.o"
+  "CMakeFiles/btrace_common.dir/common/format.cc.o.d"
+  "CMakeFiles/btrace_common.dir/common/prng.cc.o"
+  "CMakeFiles/btrace_common.dir/common/prng.cc.o.d"
+  "CMakeFiles/btrace_common.dir/common/stats.cc.o"
+  "CMakeFiles/btrace_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/btrace_common.dir/common/virtual_memory.cc.o"
+  "CMakeFiles/btrace_common.dir/common/virtual_memory.cc.o.d"
+  "libbtrace_common.a"
+  "libbtrace_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btrace_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/btrace.cc" "src/CMakeFiles/btrace_core.dir/core/btrace.cc.o" "gcc" "src/CMakeFiles/btrace_core.dir/core/btrace.cc.o.d"
+  "/root/repo/src/core/consumer.cc" "src/CMakeFiles/btrace_core.dir/core/consumer.cc.o" "gcc" "src/CMakeFiles/btrace_core.dir/core/consumer.cc.o.d"
+  "/root/repo/src/core/persister.cc" "src/CMakeFiles/btrace_core.dir/core/persister.cc.o" "gcc" "src/CMakeFiles/btrace_core.dir/core/persister.cc.o.d"
+  "/root/repo/src/core/resizer.cc" "src/CMakeFiles/btrace_core.dir/core/resizer.cc.o" "gcc" "src/CMakeFiles/btrace_core.dir/core/resizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/btrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btrace_core.dir/core/btrace.cc.o"
+  "CMakeFiles/btrace_core.dir/core/btrace.cc.o.d"
+  "CMakeFiles/btrace_core.dir/core/consumer.cc.o"
+  "CMakeFiles/btrace_core.dir/core/consumer.cc.o.d"
+  "CMakeFiles/btrace_core.dir/core/persister.cc.o"
+  "CMakeFiles/btrace_core.dir/core/persister.cc.o.d"
+  "CMakeFiles/btrace_core.dir/core/resizer.cc.o"
+  "CMakeFiles/btrace_core.dir/core/resizer.cc.o.d"
+  "libbtrace_core.a"
+  "libbtrace_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btrace_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

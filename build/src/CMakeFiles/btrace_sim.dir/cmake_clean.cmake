@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btrace_sim.dir/sim/replay.cc.o"
+  "CMakeFiles/btrace_sim.dir/sim/replay.cc.o.d"
+  "CMakeFiles/btrace_sim.dir/sim/schedule.cc.o"
+  "CMakeFiles/btrace_sim.dir/sim/schedule.cc.o.d"
+  "libbtrace_sim.a"
+  "libbtrace_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btrace_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btrace_trace.dir/trace/cost.cc.o"
+  "CMakeFiles/btrace_trace.dir/trace/cost.cc.o.d"
+  "CMakeFiles/btrace_trace.dir/trace/event.cc.o"
+  "CMakeFiles/btrace_trace.dir/trace/event.cc.o.d"
+  "CMakeFiles/btrace_trace.dir/trace/tracepoint.cc.o"
+  "CMakeFiles/btrace_trace.dir/trace/tracepoint.cc.o.d"
+  "CMakeFiles/btrace_trace.dir/trace/tracer.cc.o"
+  "CMakeFiles/btrace_trace.dir/trace/tracer.cc.o.d"
+  "libbtrace_trace.a"
+  "libbtrace_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btrace_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

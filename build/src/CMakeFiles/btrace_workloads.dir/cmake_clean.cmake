@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btrace_workloads.dir/workloads/catalog.cc.o"
+  "CMakeFiles/btrace_workloads.dir/workloads/catalog.cc.o.d"
+  "CMakeFiles/btrace_workloads.dir/workloads/categories.cc.o"
+  "CMakeFiles/btrace_workloads.dir/workloads/categories.cc.o.d"
+  "CMakeFiles/btrace_workloads.dir/workloads/workload.cc.o"
+  "CMakeFiles/btrace_workloads.dir/workloads/workload.cc.o.d"
+  "libbtrace_workloads.a"
+  "libbtrace_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btrace_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/test_continuity.cc" "tests/CMakeFiles/test_analysis.dir/analysis/test_continuity.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_continuity.cc.o.d"
+  "/root/repo/tests/analysis/test_defects.cc" "tests/CMakeFiles/test_analysis.dir/analysis/test_defects.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_defects.cc.o.d"
+  "/root/repo/tests/analysis/test_export.cc" "tests/CMakeFiles/test_analysis.dir/analysis/test_export.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_export.cc.o.d"
+  "/root/repo/tests/analysis/test_gaps.cc" "tests/CMakeFiles/test_analysis.dir/analysis/test_gaps.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_gaps.cc.o.d"
+  "/root/repo/tests/analysis/test_report.cc" "tests/CMakeFiles/test_analysis.dir/analysis/test_report.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_report.cc.o.d"
+  "/root/repo/tests/analysis/test_timeline.cc" "tests/CMakeFiles/test_analysis.dir/analysis/test_timeline.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/btrace_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

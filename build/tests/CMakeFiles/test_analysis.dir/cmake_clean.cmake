@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/test_continuity.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_continuity.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_defects.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_defects.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_export.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_export.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_gaps.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_gaps.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_report.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_report.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_timeline.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_timeline.cc.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines.dir/baselines/test_bbq.cc.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_bbq.cc.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_byte_ring.cc.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_byte_ring.cc.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_ftrace_like.cc.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_ftrace_like.cc.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_lttng_like.cc.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_lttng_like.cc.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_vtrace_like.cc.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_vtrace_like.cc.o.d"
+  "test_baselines"
+  "test_baselines.pdb"
+  "test_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_cacheline.cc" "tests/CMakeFiles/test_common.dir/common/test_cacheline.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_cacheline.cc.o.d"
+  "/root/repo/tests/common/test_format.cc" "tests/CMakeFiles/test_common.dir/common/test_format.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_format.cc.o.d"
+  "/root/repo/tests/common/test_packed64.cc" "tests/CMakeFiles/test_common.dir/common/test_packed64.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_packed64.cc.o.d"
+  "/root/repo/tests/common/test_panic.cc" "tests/CMakeFiles/test_common.dir/common/test_panic.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_panic.cc.o.d"
+  "/root/repo/tests/common/test_prng.cc" "tests/CMakeFiles/test_common.dir/common/test_prng.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_prng.cc.o.d"
+  "/root/repo/tests/common/test_stats.cc" "tests/CMakeFiles/test_common.dir/common/test_stats.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stats.cc.o.d"
+  "/root/repo/tests/common/test_virtual_memory.cc" "tests/CMakeFiles/test_common.dir/common/test_virtual_memory.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_virtual_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/btrace_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_cacheline.cc.o"
+  "CMakeFiles/test_common.dir/common/test_cacheline.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_format.cc.o"
+  "CMakeFiles/test_common.dir/common/test_format.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_packed64.cc.o"
+  "CMakeFiles/test_common.dir/common/test_packed64.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_panic.cc.o"
+  "CMakeFiles/test_common.dir/common/test_panic.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_prng.cc.o"
+  "CMakeFiles/test_common.dir/common/test_prng.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_stats.cc.o"
+  "CMakeFiles/test_common.dir/common/test_stats.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_virtual_memory.cc.o"
+  "CMakeFiles/test_common.dir/common/test_virtual_memory.cc.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

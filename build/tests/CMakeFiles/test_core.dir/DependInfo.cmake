@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_advancement.cc" "tests/CMakeFiles/test_core.dir/core/test_advancement.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_advancement.cc.o.d"
+  "/root/repo/tests/core/test_config.cc" "tests/CMakeFiles/test_core.dir/core/test_config.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_config.cc.o.d"
+  "/root/repo/tests/core/test_consumer.cc" "tests/CMakeFiles/test_core.dir/core/test_consumer.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_consumer.cc.o.d"
+  "/root/repo/tests/core/test_epoch.cc" "tests/CMakeFiles/test_core.dir/core/test_epoch.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_epoch.cc.o.d"
+  "/root/repo/tests/core/test_fastpath.cc" "tests/CMakeFiles/test_core.dir/core/test_fastpath.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_fastpath.cc.o.d"
+  "/root/repo/tests/core/test_fuzz.cc" "tests/CMakeFiles/test_core.dir/core/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_fuzz.cc.o.d"
+  "/root/repo/tests/core/test_persister.cc" "tests/CMakeFiles/test_core.dir/core/test_persister.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_persister.cc.o.d"
+  "/root/repo/tests/core/test_properties.cc" "tests/CMakeFiles/test_core.dir/core/test_properties.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_properties.cc.o.d"
+  "/root/repo/tests/core/test_ratio_log.cc" "tests/CMakeFiles/test_core.dir/core/test_ratio_log.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ratio_log.cc.o.d"
+  "/root/repo/tests/core/test_resize.cc" "tests/CMakeFiles/test_core.dir/core/test_resize.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_resize.cc.o.d"
+  "/root/repo/tests/core/test_stream_reader.cc" "tests/CMakeFiles/test_core.dir/core/test_stream_reader.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_stream_reader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/btrace_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/btrace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

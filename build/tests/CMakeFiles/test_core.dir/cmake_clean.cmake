@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_advancement.cc.o"
+  "CMakeFiles/test_core.dir/core/test_advancement.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_config.cc.o"
+  "CMakeFiles/test_core.dir/core/test_config.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_consumer.cc.o"
+  "CMakeFiles/test_core.dir/core/test_consumer.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_epoch.cc.o"
+  "CMakeFiles/test_core.dir/core/test_epoch.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_fastpath.cc.o"
+  "CMakeFiles/test_core.dir/core/test_fastpath.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_fuzz.cc.o"
+  "CMakeFiles/test_core.dir/core/test_fuzz.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_persister.cc.o"
+  "CMakeFiles/test_core.dir/core/test_persister.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_properties.cc.o"
+  "CMakeFiles/test_core.dir/core/test_properties.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_ratio_log.cc.o"
+  "CMakeFiles/test_core.dir/core/test_ratio_log.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_resize.cc.o"
+  "CMakeFiles/test_core.dir/core/test_resize.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_stream_reader.cc.o"
+  "CMakeFiles/test_core.dir/core/test_stream_reader.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_concurrent.dir/core/test_concurrent.cc.o"
+  "CMakeFiles/test_core_concurrent.dir/core/test_concurrent.cc.o.d"
+  "test_core_concurrent"
+  "test_core_concurrent.pdb"
+  "test_core_concurrent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

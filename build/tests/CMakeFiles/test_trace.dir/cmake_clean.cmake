@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/test_cost.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_cost.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_event.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_event.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_tracepoint.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_tracepoint.cc.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

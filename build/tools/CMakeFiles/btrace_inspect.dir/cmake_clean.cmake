@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btrace_inspect.dir/btrace_inspect.cc.o"
+  "CMakeFiles/btrace_inspect.dir/btrace_inspect.cc.o.d"
+  "btrace_inspect"
+  "btrace_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btrace_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
