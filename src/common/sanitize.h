@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Sanitizer detection and annotation shims.
+ *
+ * BTrace's speculative consumer (§4.3) is a seqlock: it copies block
+ * data with relaxed atomic word loads while producers keep writing,
+ * then re-validates the header and metadata and abandons the copy on
+ * any sign of concurrent modification. Every access to shared block
+ * bytes goes through `std::atomic_ref`, so the design is race-free in
+ * the C++ memory model and ThreadSanitizer sees only atomic accesses.
+ *
+ * These shims exist for the few places where that is not enough:
+ *
+ *  - BTRACE_NO_SANITIZE_THREAD marks a function whose accesses are
+ *    *intentionally* racy-but-validated and must not be instrumented
+ *    (each use site carries its own justification comment).
+ *  - btrace::tsanAcquire / tsanRelease expose the __tsan_acquire /
+ *    __tsan_release annotations for teaching TSan about happens-before
+ *    edges it cannot infer (e.g. ones established through validated
+ *    speculative copies). No-ops outside TSan builds.
+ */
+
+#ifndef BTRACE_COMMON_SANITIZE_H
+#define BTRACE_COMMON_SANITIZE_H
+
+// --- Detection -------------------------------------------------------
+
+#if defined(__SANITIZE_THREAD__)
+#define BTRACE_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define BTRACE_TSAN_ENABLED 1
+#endif
+#endif
+#ifndef BTRACE_TSAN_ENABLED
+#define BTRACE_TSAN_ENABLED 0
+#endif
+
+#if defined(__SANITIZE_ADDRESS__)
+#define BTRACE_ASAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define BTRACE_ASAN_ENABLED 1
+#endif
+#endif
+#ifndef BTRACE_ASAN_ENABLED
+#define BTRACE_ASAN_ENABLED 0
+#endif
+
+// --- Attributes ------------------------------------------------------
+
+#if BTRACE_TSAN_ENABLED
+#define BTRACE_NO_SANITIZE_THREAD __attribute__((no_sanitize_thread))
+#else
+#define BTRACE_NO_SANITIZE_THREAD
+#endif
+
+#if BTRACE_ASAN_ENABLED
+#define BTRACE_NO_SANITIZE_ADDRESS __attribute__((no_sanitize_address))
+#else
+#define BTRACE_NO_SANITIZE_ADDRESS
+#endif
+
+// --- Happens-before annotations --------------------------------------
+
+#if BTRACE_TSAN_ENABLED
+extern "C" void __tsan_acquire(void *addr);
+extern "C" void __tsan_release(void *addr);
+#endif
+
+namespace btrace {
+
+/** Teach TSan that an acquire edge on @p addr happened here. */
+inline void
+tsanAcquire([[maybe_unused]] void *addr)
+{
+#if BTRACE_TSAN_ENABLED
+    __tsan_acquire(addr);
+#endif
+}
+
+/** Teach TSan that a release edge on @p addr happened here. */
+inline void
+tsanRelease([[maybe_unused]] void *addr)
+{
+#if BTRACE_TSAN_ENABLED
+    __tsan_release(addr);
+#endif
+}
+
+} // namespace btrace
+
+#endif // BTRACE_COMMON_SANITIZE_H

@@ -1,0 +1,294 @@
+#include "core/auditor.h"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_set>
+
+#include "trace/event.h"
+
+namespace btrace {
+
+namespace {
+
+uint64_t
+loadWord(const uint8_t *src)
+{
+    return std::atomic_ref<const uint64_t>(
+               *reinterpret_cast<const uint64_t *>(src))
+        .load(std::memory_order_relaxed);
+}
+
+__attribute__((format(printf, 2, 3))) void
+addViolation(std::vector<std::string> &out, const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    out.emplace_back(buf);
+}
+
+} // namespace
+
+std::string
+AuditReport::summary() const
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "audit: %s, %zu violation(s); confirmed=%" PRIu64
+        " tiled(header=%" PRIu64 " normal=%" PRIu64 " dummy=%" PRIu64
+        "); blocks complete=%" PRIu64 " partial=%" PRIu64
+        " sacrificed=%" PRIu64 " reclaimed=%" PRIu64,
+        ok() ? "ok" : "FAILED", violations.size(), totals.confirmedBytes,
+        totals.headerBytes, totals.normalBytes, totals.dummyBytes,
+        totals.completeBlocks, totals.partialBlocks,
+        totals.sacrificedBlocks, totals.reclaimedBlocks);
+    std::string s(buf);
+    for (const std::string &v : violations) {
+        s += "\n  - ";
+        s += v;
+    }
+    return s;
+}
+
+AuditReport
+BTraceAuditor::audit() const
+{
+    AuditReport rep;
+    auto &bad = rep.violations;
+    AuditTotals &tot = rep.totals;
+
+    const RatioPos g =
+        RatioPos::unpack(bt.global->load(std::memory_order_acquire));
+    const std::size_t A = bt.numActive;
+    const std::size_t cap = bt.cap;
+
+    if (g.frozen)
+        addViolation(bad, "global word frozen outside a resize");
+    if (g.pos < A)
+        addViolation(bad, "global position %" PRIu64
+                          " below the %zu construction candidates",
+                     g.pos, A);
+
+    // --- Per-metadata accounting and data-block tiling ---------------
+    for (std::size_t m = 0; m < A; ++m) {
+        const RndPos alloc = bt.meta[m].loadAllocated();
+        const RndPos conf = bt.meta[m].loadConfirmed();
+
+        if (alloc.rnd != conf.rnd) {
+            addViolation(bad,
+                         "meta %zu: Allocated round %u != Confirmed "
+                         "round %u on a quiesced tracer",
+                         m, alloc.rnd, conf.rnd);
+            continue;
+        }
+        if (conf.pos > cap) {
+            addViolation(bad, "meta %zu: confirmed %u bytes > capacity %zu",
+                         m, conf.pos, cap);
+            continue;
+        }
+        // Completeness: quiesced means every reservation that fits the
+        // block has been confirmed (writer, boundary fill, or close).
+        const auto reserved =
+            static_cast<uint32_t>(std::min<uint64_t>(alloc.pos, cap));
+        if (conf.pos != reserved) {
+            addViolation(bad,
+                         "meta %zu round %u: %u bytes reserved within "
+                         "capacity but only %u confirmed",
+                         m, conf.rnd, reserved, conf.pos);
+        }
+        tot.confirmedBytes += conf.pos;
+        if (conf.pos == cap)
+            ++tot.completeBlocks;
+        else
+            ++tot.partialBlocks;
+
+        if (conf.rnd == 0)
+            continue;  // synthetic construction round; no data written
+
+        // Round monotonicity: the round's candidate position must have
+        // been handed out by the global counter already.
+        const uint64_t pos = uint64_t(conf.rnd) * A + m;
+        if (pos >= g.pos) {
+            addViolation(bad,
+                         "meta %zu: round %u implies position %" PRIu64
+                         " >= global position %" PRIu64,
+                         m, conf.rnd, pos, g.pos);
+            continue;
+        }
+        if (conf.pos < EntryLayout::blockHeaderBytes) {
+            addViolation(bad,
+                         "meta %zu round %u: confirmed %u bytes, less "
+                         "than the block header",
+                         m, conf.rnd, conf.pos);
+            continue;
+        }
+
+        // Tile the managed data block against the confirmed count.
+        const uint8_t *blk = bt.blockData(bt.physicalOf(pos));
+        const uint64_t word0 = loadWord(blk);
+        if (!Descriptor::validMagic(word0)) {
+            // A shrink decommits the physical pages of rounds mapped
+            // under an older ratio; those reads return zeros. Only an
+            // old-geometry round may legitimately be zeroed.
+            if (bt.ratioLog.ratioAt(pos) != g.ratio) {
+                ++tot.reclaimedBlocks;
+                continue;
+            }
+            addViolation(bad,
+                         "meta %zu round %u: current-geometry block "
+                         "lost its header (word 0x%016" PRIx64 ")",
+                         m, conf.rnd, word0);
+            continue;
+        }
+        const Descriptor desc = Descriptor::unpack(word0);
+        if (desc.type == EntryType::Skip) {
+            // A wrap-around advancer sacrificed this block (§3.4) by
+            // scribbling a SKP marker over its header; its remaining
+            // contents are intentionally unreachable.
+            ++tot.sacrificedBlocks;
+            continue;
+        }
+        if (desc.type != EntryType::BlockHeader) {
+            addViolation(bad,
+                         "meta %zu round %u: block starts with entry "
+                         "type %u, not a header",
+                         m, conf.rnd, unsigned(desc.type));
+            continue;
+        }
+        const uint64_t hdr_pos = loadWord(blk + 8);
+        if (hdr_pos != pos) {
+            addViolation(bad,
+                         "meta %zu round %u: header position %" PRIu64
+                         " != metadata position %" PRIu64,
+                         m, conf.rnd, hdr_pos, pos);
+            continue;
+        }
+
+        uint64_t tiled = EntryLayout::blockHeaderBytes;
+        uint64_t normal = 0, dummy = 0;
+        EntryCursor cursor(blk + EntryLayout::blockHeaderBytes,
+                           conf.pos - EntryLayout::blockHeaderBytes);
+        EntryView view;
+        bool interior_ok = true;
+        while (cursor.next(view)) {
+            tiled += view.size;
+            if (view.type == EntryType::Normal) {
+                normal += view.size;
+            } else if (view.type == EntryType::Dummy) {
+                dummy += view.size;
+            } else {
+                addViolation(bad,
+                             "meta %zu round %u: interior entry of "
+                             "type %u at offset %" PRIu64,
+                             m, conf.rnd, unsigned(view.type),
+                             tiled - view.size);
+                interior_ok = false;
+                break;
+            }
+        }
+        if (!interior_ok)
+            continue;
+        if (cursor.malformed()) {
+            addViolation(bad,
+                         "meta %zu round %u: malformed entry tiling "
+                         "after %" PRIu64 " bytes",
+                         m, conf.rnd, tiled);
+            continue;
+        }
+        if (tiled != conf.pos) {
+            addViolation(bad,
+                         "meta %zu round %u: confirmed %u bytes but "
+                         "tiling covers %" PRIu64
+                         " (header 16 + normal %" PRIu64
+                         " + dummy %" PRIu64 ")",
+                         m, conf.rnd, conf.pos, tiled, normal, dummy);
+            continue;
+        }
+        tot.headerBytes += EntryLayout::blockHeaderBytes;
+        tot.normalBytes += normal;
+        tot.dummyBytes += dummy;
+    }
+
+    // --- Window-wide header uniqueness -------------------------------
+    const uint64_t n = A * g.ratio;
+    std::unordered_set<uint64_t> positions;
+    uint64_t visible_skips = 0;
+    for (uint64_t phys = 0; phys < n; ++phys) {
+        const uint8_t *blk = bt.blockData(phys);
+        const uint64_t word0 = loadWord(blk);
+        if (!Descriptor::validMagic(word0))
+            continue;
+        const Descriptor desc = Descriptor::unpack(word0);
+        if (desc.type == EntryType::Skip) {
+            ++visible_skips;
+            continue;
+        }
+        if (desc.type != EntryType::BlockHeader)
+            continue;
+        const uint64_t pos = loadWord(blk + 8);
+        if (pos >= g.pos) {
+            addViolation(bad,
+                         "phys %" PRIu64 ": header position %" PRIu64
+                         " was never handed out (global %" PRIu64 ")",
+                         phys, pos, g.pos);
+            continue;
+        }
+        // Map the position through the ratio in force when it was
+        // handed out; pre-resize leftovers legitimately live at their
+        // old-geometry slot.
+        const uint64_t owner =
+            pos % (uint64_t(A) * bt.ratioLog.ratioAt(pos));
+        if (owner != phys) {
+            addViolation(bad,
+                         "phys %" PRIu64 ": header position %" PRIu64
+                         " belongs to physical block %" PRIu64,
+                         phys, pos, owner);
+            continue;
+        }
+        if (!positions.insert(pos).second) {
+            addViolation(bad,
+                         "duplicate block position %" PRIu64
+                         " (also at phys %" PRIu64 ")",
+                         pos, phys);
+        }
+    }
+
+    // --- Counter consistency -----------------------------------------
+    const BTraceCounters &c = bt.ctrs;
+    if (c.dummyBytes.load() % EntryLayout::align != 0)
+        addViolation(bad, "dummyBytes counter %" PRIu64 " not 8-aligned",
+                     c.dummyBytes.load());
+    if (tot.dummyBytes > c.dummyBytes.load()) {
+        addViolation(bad,
+                     "tiled dummy bytes %" PRIu64
+                     " exceed cumulative counter %" PRIu64,
+                     tot.dummyBytes, c.dummyBytes.load());
+    }
+    if (visible_skips > c.skips.load()) {
+        addViolation(bad,
+                     "%" PRIu64 " visible skip markers exceed skip "
+                     "counter %" PRIu64,
+                     visible_skips, c.skips.load());
+    }
+    // Every advancement-loop outcome consumed one candidate position;
+    // frozen backoffs and re-checked candidates consume more, so the
+    // counted outcomes bound the consumed positions from below.
+    const uint64_t consumed = g.pos - std::min<uint64_t>(g.pos, A);
+    const uint64_t outcomes = c.advances.load() + c.skips.load() +
+                              c.lockRaces.load() + c.coreRaces.load();
+    if (outcomes > consumed) {
+        addViolation(bad,
+                     "advancement outcomes %" PRIu64
+                     " exceed consumed candidates %" PRIu64,
+                     outcomes, consumed);
+    }
+
+    return rep;
+}
+
+} // namespace btrace

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Post-quiesce invariant checker for BTrace's lock-free accounting.
+ *
+ * The completeness invariant (DESIGN.md §3) says every byte of a
+ * block's capacity is confirmed exactly once — by its writer, by a
+ * boundary dummy fill, or by a closing fill. The auditor validates
+ * that and its consequences against the actual buffer contents:
+ *
+ *  - per metadata block: Allocated/Confirmed rounds agree, every
+ *    reservation within capacity is confirmed, and the confirmed
+ *    byte count equals the exact entry tiling of the managed data
+ *    block (header + normal + dummy bytes);
+ *  - round monotonicity: no metadata claims a round whose candidate
+ *    position was never handed out by the global counter;
+ *  - window consistency: no two physical blocks carry the same global
+ *    position, and every header maps back to its own physical block;
+ *  - counter consistency: event counters cannot exceed what the
+ *    consumed candidate positions could have produced, and visible
+ *    dummy/skip artifacts cannot exceed their cumulative counters.
+ *
+ * The tracer must be quiescent (no in-flight producers, consumers, or
+ * resizes) when audit() runs: the checker reads metadata and block
+ * bytes non-atomically and treats every transient intermediate state
+ * as a violation.
+ */
+
+#ifndef BTRACE_CORE_AUDITOR_H
+#define BTRACE_CORE_AUDITOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/btrace.h"
+
+namespace btrace {
+
+/** Byte accounting aggregated over the currently live rounds. */
+struct AuditTotals
+{
+    uint64_t confirmedBytes = 0;   //!< sum of Confirmed.pos over metadata
+    uint64_t headerBytes = 0;      //!< block-header bytes tiled
+    uint64_t normalBytes = 0;      //!< normal-entry bytes tiled
+    uint64_t dummyBytes = 0;       //!< dummy-entry bytes tiled
+    uint64_t completeBlocks = 0;   //!< live rounds with Confirmed == cap
+    uint64_t partialBlocks = 0;    //!< live rounds still open
+    uint64_t sacrificedBlocks = 0; //!< live rounds scribbled by SKP (§3.4)
+    uint64_t reclaimedBlocks = 0;  //!< live rounds decommitted by a shrink
+};
+
+/** Outcome of one audit pass. */
+struct AuditReport
+{
+    std::vector<std::string> violations;
+    AuditTotals totals;
+
+    bool ok() const { return violations.empty(); }
+
+    /** Human-readable multi-line digest (for test failure output). */
+    std::string summary() const;
+};
+
+/** Validates global accounting of a quiesced BTrace instance. */
+class BTraceAuditor
+{
+  public:
+    explicit BTraceAuditor(BTrace &tracer) : bt(tracer) {}
+
+    /** Run every check; the tracer must be quiescent. */
+    AuditReport audit() const;
+
+  private:
+    BTrace &bt;
+};
+
+} // namespace btrace
+
+#endif // BTRACE_CORE_AUDITOR_H

@@ -2,7 +2,29 @@
 
 #include <algorithm>
 
+#include "common/test_hooks.h"
+
 namespace btrace {
+
+namespace {
+
+/**
+ * Rounds are 32-bit (packed64.h); a global position past 2^32 rounds
+ * of one metadata block would silently alias older rounds and corrupt
+ * every round comparison. That is ~10^13 events with the default
+ * geometry — unreachable in practice, but it must fail loudly, not
+ * wrap: an aliased round re-locks a block that still has live data.
+ */
+inline uint32_t
+checkedRound(uint64_t pos, std::size_t num_active)
+{
+    const uint64_t rnd = pos / num_active;
+    BTRACE_ASSERT(rnd <= 0xffffffffull,
+                  "32-bit metadata round overflow at this position");
+    return static_cast<uint32_t>(rnd);
+}
+
+} // namespace
 
 BTrace::BTrace(const BTraceConfig &config, const CostModel &model)
     : Tracer(model), cfg(config), cap(config.blockSize),
@@ -96,7 +118,7 @@ BTrace::allocate(uint16_t core, uint32_t thread, uint32_t payload_len)
             coreLocal[core]->load(std::memory_order_acquire);
         const RatioPos local = RatioPos::unpack(local_word);
         const std::size_t meta_idx = local.pos % numActive;
-        const auto exp_rnd = static_cast<uint32_t>(local.pos / numActive);
+        const uint32_t exp_rnd = checkedRound(local.pos, numActive);
         MetadataBlock &m = meta[meta_idx];
 
         // Guard the fetch_add with a plain load of the same (hot)
@@ -118,6 +140,11 @@ BTrace::allocate(uint16_t core, uint32_t thread, uint32_t payload_len)
             }
             continue;
         }
+
+        // Critical window: the metadata can be re-locked for a newer
+        // round between the core-local read above and this fetch_add,
+        // turning the reservation stale (§3.2).
+        BTRACE_TEST_YIELD(AllocPreReserve);
 
         const RndPos old = RndPos::unpack(m.allocated.fetch_add(
             need, std::memory_order_acq_rel));
@@ -143,6 +170,10 @@ BTrace::allocate(uint16_t core, uint32_t thread, uint32_t payload_len)
                     local.pos % (numActive * local.ratio);
                 const auto gap = static_cast<uint32_t>(cap - old.pos);
                 writeDummy(blockData(phys) + old.pos, gap);
+                // Critical window: the tail dummy is written but not
+                // yet confirmed; the block stays incomplete and must
+                // be skipped, never re-locked, until the confirm.
+                BTRACE_TEST_YIELD(AllocPreBoundaryConfirm);
                 m.confirmed.fetch_add(gap, std::memory_order_acq_rel);
                 ctrs.boundaryFills.fetch_add(1, std::memory_order_relaxed);
                 ctrs.dummyBytes.fetch_add(gap, std::memory_order_relaxed);
@@ -176,6 +207,10 @@ BTrace::allocate(uint16_t core, uint32_t thread, uint32_t payload_len)
             const uint64_t stale_pos =
                 uint64_t(old.rnd) * numActive + meta_idx;
             writeDummy(blockData(physicalOf(stale_pos)) + old.pos, claim);
+            // Critical window: the stale-round dummy obligation is
+            // written but unconfirmed; the new round's block cannot
+            // complete until this confirm lands.
+            BTRACE_TEST_YIELD(AllocPreStaleConfirm);
             m.confirmed.fetch_add(claim, std::memory_order_acq_rel);
             ctrs.dummyBytes.fetch_add(claim, std::memory_order_relaxed);
             ticket.cost += costs.atomicLocal + costs.copy(8);
@@ -219,6 +254,9 @@ BTrace::closeRound(std::size_t meta_idx, uint32_t rnd, double &cost)
         const RndPos a = RndPos::unpack(aw);
         if (a.rnd != rnd || a.pos >= cap)
             return;  // moved on, or nothing left to claim
+        // Critical window: a concurrent reservation or a competing
+        // closer can move Allocated between the load and this claim.
+        BTRACE_TEST_YIELD(ClosePreClaim);
         if (!m.allocated.compare_exchange_weak(
                 aw, RndPos::pack(rnd, uint32_t(cap)),
                 std::memory_order_acq_rel, std::memory_order_relaxed)) {
@@ -251,10 +289,15 @@ BTrace::tryAdvance(uint16_t core, uint64_t local_word, double &cost)
         if (g.frozen)
             return AdvanceResult::WouldBlock;  // resize in flight
 
+        // Critical window: the candidate is claimed but nothing is
+        // locked yet; later candidates for the same metadata can race
+        // ahead of this one.
+        BTRACE_TEST_YIELD(AdvancePostClaim);
+
         const uint64_t cand = g.pos;
         const uint64_t n = numActive * g.ratio;
         const std::size_t meta_idx = cand % numActive;
-        const auto cand_rnd = static_cast<uint32_t>(cand / numActive);
+        const uint32_t cand_rnd = checkedRound(cand, numActive);
         MetadataBlock &m = meta[meta_idx];
 
         uint64_t cw = m.confirmed.load(std::memory_order_acquire);
@@ -282,6 +325,11 @@ BTrace::tryAdvance(uint16_t core, uint64_t local_word, double &cost)
         }
         skips_in_a_row = 0;
 
+        // Critical window: the block looked complete, but a later
+        // candidate of the same metadata can lock it first — this CAS
+        // must then fail, never double-lock.
+        BTRACE_TEST_YIELD(AdvancePreLock);
+
         // Lock the block for our round (§4.2 step 4): Confirmed goes
         // from (old round, capacity) to (cand_rnd, 0).
         if (!m.confirmed.compare_exchange_strong(
@@ -291,6 +339,11 @@ BTrace::tryAdvance(uint16_t core, uint64_t local_word, double &cost)
             cost += costs.retryBackoff;
             continue;
         }
+
+        // Critical window: Confirmed is locked for the new round but
+        // Allocated still shows the old one; reservations landing here
+        // become stale and owe dummy obligations (§3.2).
+        BTRACE_TEST_YIELD(AdvancePreReset);
 
         // Step 5: stamp the block header before any data write.
         uint8_t *blk = blockData(cand % n);
@@ -311,6 +364,11 @@ BTrace::tryAdvance(uint16_t core, uint64_t local_word, double &cost)
         m.confirmed.fetch_add(EntryLayout::blockHeaderBytes,
                               std::memory_order_acq_rel);
         cost += costs.atomicLocal;
+
+        // Critical window: the block is locked and initialized but not
+        // yet installed; another thread of this core can install its
+        // own block first, and ours must then be closed, not leaked.
+        BTRACE_TEST_YIELD(AdvancePreInstall);
 
         // Step 8: hand the block to our core.
         uint64_t expected = local_word;

@@ -106,6 +106,7 @@ class BTrace : public Tracer
 
   private:
     friend class BTraceInspector;  //!< white-box test access
+    friend class BTraceAuditor;    //!< post-quiesce invariant checker
 
     enum class AdvanceResult { Advanced, LostRace, WouldBlock };
 

@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/sanitize.h"
+#include "common/test_hooks.h"
 #include "core/btrace.h"
 
 namespace btrace {
@@ -78,13 +80,26 @@ BTrace::readBlock(uint64_t phys, uint64_t window_start,
         return;  // torn header claiming a future round
     }
 
-    if (scratch.size() < readable)
-        scratch.resize(readable);
-    for (std::size_t w = 0; w < readable; w += 8) {
+    // readable is a sum of 8-byte-aligned entry sizes in any healthy
+    // state; a torn or corrupted metadata word must degrade to a short
+    // read, never to the word-copy loop writing past scratch's end.
+    const std::size_t copy_len = readable & ~std::size_t(7);
+    if (copy_len < EntryLayout::blockHeaderBytes) {
+        ++out.unreadableBlocks;  // corrupt state; nothing parseable
+        return;
+    }
+    if (scratch.size() < copy_len)
+        scratch.resize(copy_len);
+    for (std::size_t w = 0; w < copy_len; w += 8) {
         const uint64_t word = loadSharedWord(src + w);
         std::memcpy(scratch.data() + w, &word, 8);
     }
     std::atomic_thread_fence(std::memory_order_acquire);
+
+    // Critical window: the speculative copy is complete but not yet
+    // validated; any concurrent write to this block must now be
+    // detected and the copy abandoned (§4.3).
+    BTRACE_TEST_YIELD(ReadPostCopy);
 
     // Re-validate: same header, and for current-round blocks the same
     // confirmation state (a change means writers touched the block
@@ -109,7 +124,7 @@ BTrace::readBlock(uint64_t phys, uint64_t window_start,
     // Parse the copy; discard the whole block if the tiling is broken
     // (conservative: a torn block must never contaminate the dump).
     EntryCursor cursor(scratch.data() + EntryLayout::blockHeaderBytes,
-                       readable - EntryLayout::blockHeaderBytes);
+                       copy_len - EntryLayout::blockHeaderBytes);
     std::vector<DumpEntry> parsed;
     EntryView view;
     while (cursor.next(view)) {
@@ -162,7 +177,10 @@ BTrace::dumpSince(uint64_t &cursor, bool close_active)
     const uint64_t window_start = window_end > n ? window_end - n : 0;
 
     // Catch up to the overwrite frontier (§4.3): positions the
-    // producers already lapped are gone.
+    // producers already lapped are gone. Report how many, so the
+    // caller sees the data loss instead of a silent cursor jump.
+    if (window_start > cursor)
+        out.overwrittenPositions = window_start - cursor;
     uint64_t q = std::max(cursor, window_start);
 
     std::vector<uint8_t> scratch(cap);

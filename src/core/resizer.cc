@@ -13,6 +13,7 @@
 
 #include <thread>
 
+#include "common/test_hooks.h"
 #include "core/btrace.h"
 
 namespace btrace {
@@ -48,6 +49,10 @@ BTrace::resize(std::size_t new_num_blocks)
     const std::size_t new_n = numActive * new_ratio;
     if (new_n > old_n)
         span.commit(old_n * cap, (new_n - old_n) * cap);
+
+    // Critical window: advancement is frozen but blocks are not yet
+    // quiesced; producers may still be confirming in-flight writes.
+    BTRACE_TEST_YIELD(ResizePostFreeze);
 
     // Quiesce: close every active block and wait for outstanding
     // confirmations. New reservations overshoot into the advancement
@@ -96,6 +101,10 @@ BTrace::resize(std::size_t new_num_blocks)
         // *inward* to page boundaries; edge pages shared with live
         // blocks stay resident.
         consumers.synchronize();
+        // Critical window: every consumer epoch has been flushed; any
+        // reader starting now sees the new geometry, so decommit can
+        // only zero pages no guarded reader still trusts.
+        BTRACE_TEST_YIELD(ResizePreDecommit);
         const std::size_t page = VirtualSpan::pageSize();
         const std::size_t lo = alignUp(new_n * cap, page);
         const std::size_t hi = (old_n * cap) / page * page;

@@ -1,6 +1,7 @@
 #include "sim/schedule.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "common/panic.h"
 
@@ -98,6 +99,139 @@ std::size_t
 SliceSchedule::distinctThreads(uint16_t core) const
 {
     return starts.at(core).size();
+}
+
+// --- PreemptionInjector ----------------------------------------------
+
+namespace {
+
+inline uint32_t
+pointBit(hooks::YieldPoint p)
+{
+    return 1u << static_cast<int>(p);
+}
+
+// splitmix64 finalizer: cheap, stateless-per-call decorrelation of the
+// shared counter so concurrent arrivals get independent decisions.
+inline uint64_t
+mix64(uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
+PreemptionInjector::PreemptionInjector()
+{
+    BTRACE_ASSERT(!hooks::hookInstalled(),
+                  "only one PreemptionInjector may be active");
+    hooks::setHook(&PreemptionInjector::trampoline, this);
+}
+
+PreemptionInjector::~PreemptionInjector()
+{
+    hooks::setHook(nullptr, nullptr);
+    // Releasing a still-parked thread here would destroy state it is
+    // about to touch; insist the test joined (or released) first.
+    std::lock_guard lock(mu);
+    for (const PointState &pt : points)
+        BTRACE_ASSERT(!pt.parked,
+                      "PreemptionInjector destroyed with a parked thread");
+}
+
+void
+PreemptionInjector::armPark(hooks::YieldPoint point)
+{
+    std::lock_guard lock(mu);
+    points[static_cast<int>(point)].armed = true;
+    armedMask.fetch_or(pointBit(point), std::memory_order_release);
+}
+
+void
+PreemptionInjector::disarm(hooks::YieldPoint point)
+{
+    std::lock_guard lock(mu);
+    points[static_cast<int>(point)].armed = false;
+    armedMask.fetch_and(~pointBit(point), std::memory_order_release);
+}
+
+bool
+PreemptionInjector::awaitParked(hooks::YieldPoint point,
+                                std::chrono::milliseconds timeout)
+{
+    std::unique_lock lock(mu);
+    return cv.wait_for(lock, timeout, [&] {
+        return points[static_cast<int>(point)].parked;
+    });
+}
+
+void
+PreemptionInjector::release(hooks::YieldPoint point)
+{
+    std::lock_guard lock(mu);
+    points[static_cast<int>(point)].releaseRequested = true;
+    cv.notify_all();
+}
+
+void
+PreemptionInjector::setRandomYield(uint64_t seed, uint32_t one_in)
+{
+    rngState.store(seed, std::memory_order_relaxed);
+    yieldOneIn.store(one_in, std::memory_order_release);
+}
+
+uint64_t
+PreemptionInjector::hits(hooks::YieldPoint point) const
+{
+    return hitCounts[static_cast<int>(point)].load(
+        std::memory_order_relaxed);
+}
+
+void
+PreemptionInjector::trampoline(hooks::YieldPoint point, void *self)
+{
+    static_cast<PreemptionInjector *>(self)->onHit(point);
+}
+
+void
+PreemptionInjector::onHit(hooks::YieldPoint point)
+{
+    hitCounts[static_cast<int>(point)].fetch_add(
+        1, std::memory_order_relaxed);
+
+    if (armedMask.load(std::memory_order_acquire) & pointBit(point))
+        parkSlow(point);
+
+    const uint32_t one_in = yieldOneIn.load(std::memory_order_acquire);
+    if (one_in) {
+        const uint64_t tick =
+            rngState.fetch_add(0x9e3779b97f4a7c15ull,
+                               std::memory_order_relaxed);
+        if (mix64(tick ^ uint64_t(static_cast<int>(point))) % one_in == 0)
+            std::this_thread::yield();
+    }
+}
+
+void
+PreemptionInjector::parkSlow(hooks::YieldPoint point)
+{
+    PointState &pt = points[static_cast<int>(point)];
+    std::unique_lock lock(mu);
+    if (!pt.armed)
+        return;  // trap consumed between the atomic check and here
+    pt.armed = false;
+    armedMask.fetch_and(~pointBit(point), std::memory_order_release);
+    pt.parked = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return pt.releaseRequested; });
+    pt.releaseRequested = false;
+    pt.parked = false;
+    cv.notify_all();
 }
 
 } // namespace btrace

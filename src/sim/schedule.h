@@ -19,12 +19,18 @@
 #ifndef BTRACE_SIM_SCHEDULE_H
 #define BTRACE_SIM_SCHEDULE_H
 
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <limits>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/prng.h"
+#include "common/test_hooks.h"
 #include "workloads/workload.h"
 
 namespace btrace {
@@ -84,6 +90,81 @@ class SliceSchedule
     std::vector<std::vector<Slice>> perCore;
     std::vector<std::unordered_map<uint32_t, std::vector<double>>> starts;
     mutable std::vector<std::size_t> cursor;  //!< monotonic query index
+};
+
+/**
+ * Drives the BTRACE_TEST_YIELD hook points (common/test_hooks.h) to
+ * force specific interleavings of BTrace's lock-free algorithms.
+ *
+ * Two modes, freely combined:
+ *
+ *  - **Targeted parking.** armPark(point) makes the *next* thread that
+ *    reaches the point block inside the hook; the test observes it via
+ *    awaitParked(), mutates shared state from other threads to build
+ *    the adversarial interleaving, then release()s it. One-shot: later
+ *    arrivals pass through, so helper threads never trip over a
+ *    consumed trap.
+ *
+ *  - **Seeded random yields.** setRandomYield(seed, one_in) makes
+ *    every hook arrival call std::this_thread::yield() with
+ *    probability 1/one_in, driven by a deterministic per-arrival hash.
+ *    This concentrates scheduler churn exactly on the critical
+ *    windows — far more effective than uniform preemption and
+ *    reproducible across runs of the same build.
+ *
+ * The constructor installs the process-global hook and the destructor
+ * removes it; create the injector before spawning tracer threads and
+ * destroy it after joining them. Only one instance may exist at a
+ * time.
+ */
+class PreemptionInjector
+{
+  public:
+    PreemptionInjector();
+    ~PreemptionInjector();
+
+    PreemptionInjector(const PreemptionInjector &) = delete;
+    PreemptionInjector &operator=(const PreemptionInjector &) = delete;
+
+    /** Trap the next arrival at @p point (one-shot). */
+    void armPark(hooks::YieldPoint point);
+
+    /** Cancel a not-yet-sprung trap; no-op if already consumed. */
+    void disarm(hooks::YieldPoint point);
+
+    /** Wait until a thread is parked at @p point; false on timeout. */
+    bool awaitParked(hooks::YieldPoint point,
+                     std::chrono::milliseconds timeout =
+                         std::chrono::milliseconds(10000));
+
+    /** Let the thread parked at @p point continue. */
+    void release(hooks::YieldPoint point);
+
+    /** Yield with probability 1/@p one_in at every hook (0 = off). */
+    void setRandomYield(uint64_t seed, uint32_t one_in);
+
+    /** Number of times any thread reached @p point. */
+    uint64_t hits(hooks::YieldPoint point) const;
+
+  private:
+    static void trampoline(hooks::YieldPoint point, void *self);
+    void onHit(hooks::YieldPoint point);
+    void parkSlow(hooks::YieldPoint point);
+
+    struct PointState
+    {
+        bool armed = false;
+        bool parked = false;
+        bool releaseRequested = false;
+    };
+
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::array<PointState, hooks::yieldPointCount> points{};
+    std::array<std::atomic<uint64_t>, hooks::yieldPointCount> hitCounts{};
+    std::atomic<uint32_t> armedMask{0};
+    std::atomic<uint32_t> yieldOneIn{0};
+    std::atomic<uint64_t> rngState{0};
 };
 
 } // namespace btrace

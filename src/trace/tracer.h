@@ -66,6 +66,14 @@ struct Dump
     uint64_t skippedBlocks = 0;    //!< blocks lost to SKP markers
     uint64_t abandonedBlocks = 0;  //!< speculative reads that failed
     uint64_t unreadableBlocks = 0; //!< unconfirmed / in-flight blocks
+    /**
+     * Incremental reads only (BTrace::dumpSince): number of global
+     * block positions between the caller's cursor and the overwrite
+     * frontier that producers lapped before this read — data that is
+     * permanently gone, not merely unreadable right now. Zero when the
+     * consumer kept up.
+     */
+    uint64_t overwrittenPositions = 0;
 };
 
 /**

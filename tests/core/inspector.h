@@ -46,6 +46,46 @@ class BTraceInspector
 
     std::size_t ratioLogSize() const { return bt.ratioLog.size(); }
 
+    // --- State seeding (white-box; callers own consistency) ----------
+
+    /** Overwrite one metadata block's Allocated/Confirmed words. */
+    void
+    seedMetadata(std::size_t meta_idx, RndPos alloc, RndPos conf)
+    {
+        bt.meta[meta_idx].allocated.store(alloc.packed(),
+                                          std::memory_order_release);
+        bt.meta[meta_idx].confirmed.store(conf.packed(),
+                                          std::memory_order_release);
+    }
+
+    /** Overwrite the global ratio_and_pos word. */
+    void
+    seedGlobal(RatioPos word)
+    {
+        bt.global->store(word.packed(), std::memory_order_release);
+    }
+
+    /** Overwrite one core-local ratio_and_pos word. */
+    void
+    seedCoreWord(unsigned core, RatioPos word)
+    {
+        bt.coreLocal[core]->store(word.packed(),
+                                  std::memory_order_release);
+    }
+
+    /**
+     * Direct call into the private speculative reader, with a caller-
+     * controlled scratch buffer (regression surface for the scratch
+     * sizing contract).
+     */
+    void
+    readBlockRaw(uint64_t phys, uint64_t window_start,
+                 uint64_t window_end, std::vector<uint8_t> &scratch,
+                 Dump &out)
+    {
+        bt.readBlock(phys, window_start, window_end, scratch, out);
+    }
+
   private:
     BTrace &bt;
 };

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/auditor.h"
 #include "core/btrace.h"
 
 namespace btrace {
@@ -64,6 +65,9 @@ TEST(Concurrent, OneProducerThreadPerCore)
     ASSERT_FALSE(d.entries.empty());
     checkDumpIntegrity(d, stamp.load());
     EXPECT_EQ(d.unreadableBlocks, 0u);
+
+    const AuditReport rep = BTraceAuditor(bt).audit();
+    EXPECT_TRUE(rep.ok()) << rep.summary();
 }
 
 TEST(Concurrent, OversubscribedCores)
@@ -226,6 +230,9 @@ TEST(Concurrent, CountersAreConsistentAfterStress)
     const uint64_t opened = ctrs.advances.load() + ctrs.skips.load() +
                             ctrs.coreRaces.load() + 8;
     EXPECT_LE(ctrs.dummyBytes.load(), opened * 1024);
+
+    const AuditReport rep = BTraceAuditor(bt).audit();
+    EXPECT_TRUE(rep.ok()) << rep.summary();
 }
 
 } // namespace

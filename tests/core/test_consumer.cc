@@ -8,8 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "core/btrace.h"
+
+#include "inspector.h"
 
 namespace btrace {
 namespace {
@@ -132,6 +135,65 @@ TEST(Consumer, RetainedVolumeApproachesCapacityUnderUniformLoad)
     // 64 blocks x 256 B = 16 KB capacity; expect > 60 % retained as
     // entry payload (headers/dummies eat some).
     EXPECT_GT(bytes, 0.6 * 16384);
+}
+
+TEST(Consumer, DumpSinceReportsOverwrittenPositions)
+{
+    BTrace bt(smallConfig(256, 32, 8, 1));
+    BTraceInspector insp(bt);
+    const uint64_t n = 32;  // last-N window = numBlocks
+
+    for (uint64_t s = 1; s <= 5000; ++s)
+        ASSERT_TRUE(bt.record(0, 1, s, 16));
+
+    // A cursor at 0 lost everything before the overwrite frontier.
+    uint64_t cursor = 0;
+    const uint64_t frontier1 = insp.globalWord().pos - n;
+    const Dump d1 = bt.dumpSince(cursor);
+    EXPECT_EQ(d1.overwrittenPositions, frontier1 - 0);
+    EXPECT_FALSE(d1.entries.empty());
+
+    // A consumer that kept up loses nothing.
+    const Dump d2 = bt.dumpSince(cursor);
+    EXPECT_EQ(d2.overwrittenPositions, 0u);
+
+    // Fall behind again: the loss is exactly cursor-to-frontier.
+    const uint64_t lagging = cursor;
+    for (uint64_t s = 5001; s <= 10000; ++s)
+        ASSERT_TRUE(bt.record(0, 1, s, 16));
+    const uint64_t frontier2 = insp.globalWord().pos - n;
+    ASSERT_GT(frontier2, lagging);
+    const Dump d3 = bt.dumpSince(cursor);
+    EXPECT_EQ(d3.overwrittenPositions, frontier2 - lagging);
+}
+
+TEST(Consumer, TornConfirmedCountNeverOverrunsScratch)
+{
+    // Regression: a non-8-multiple Confirmed count (torn or corrupted
+    // metadata word) must degrade to a short read; the word-copy loop
+    // used to resize scratch to the odd length and then copy past its
+    // end in whole words.
+    BTrace bt(smallConfig());
+    ASSERT_TRUE(bt.record(0, 1, 1, 16));
+
+    BTraceInspector insp(bt);
+    const uint64_t pos = insp.coreWord(0).pos;
+    const std::size_t m = pos % insp.activeBlocks();
+    const RndPos conf = insp.confirmed(m);
+    ASSERT_EQ(conf.pos % 8, 0u);
+
+    const RndPos odd{conf.rnd, conf.pos - 4};
+    insp.seedMetadata(m, odd, odd);  // alloc == conf: looks readable
+
+    std::vector<uint8_t> scratch;  // empty: forces the exact-size resize
+    Dump out;
+    insp.readBlockRaw(insp.physicalOf(pos), pos, pos + 1, scratch, out);
+
+    // The truncated copy cannot parse into whole entries; the block
+    // must be discarded, not returned torn (and not overrun scratch —
+    // ASan enforces that part).
+    EXPECT_TRUE(out.entries.empty());
+    EXPECT_EQ(out.abandonedBlocks + out.unreadableBlocks, 1u);
 }
 
 TEST(Consumer, ManyConcurrentDumpGuardsAllowed)

@@ -7,9 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "core/btrace.h"
+#include "sim/schedule.h"
+
 #include "inspector.h"
 
 namespace btrace {
@@ -165,6 +169,50 @@ TEST(Resize, ConcurrentProducersSurviveResizes)
     }
     EXPECT_EQ(bt.counters().resizes.load(), 6u);
 }
+
+#if defined(BTRACE_ENABLE_TEST_HOOKS)
+
+TEST(Resize, ShrinkWaitsForGuardedConsumerEpoch)
+{
+    // A consumer parked mid-read inside its EpochRegistry::Guard pins
+    // the old geometry: the shrink must not decommit (and hand the
+    // reader zeroed pages) until that epoch retires (§4.4).
+    BTrace bt(resizableConfig());
+    for (uint64_t s = 1; s <= 3000; ++s)
+        ASSERT_TRUE(bt.record(uint16_t(s % 4), 1, s, 64));
+
+    PreemptionInjector inj;
+    inj.armPark(hooks::YieldPoint::ReadPostCopy);
+    Dump d;
+    std::thread reader([&] { d = bt.dump(); });
+    ASSERT_TRUE(inj.awaitParked(hooks::YieldPoint::ReadPostCopy));
+
+    std::atomic<bool> resized{false};
+    std::thread resizer([&] {
+        bt.resize(16);
+        resized.store(true, std::memory_order_release);
+    });
+
+    // The shrink must be blocked on the reader's open epoch.
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    EXPECT_FALSE(resized.load(std::memory_order_acquire));
+
+    inj.release(hooks::YieldPoint::ReadPostCopy);
+    reader.join();
+    resizer.join();
+    EXPECT_TRUE(resized.load(std::memory_order_acquire));
+
+    // Everything the reader returned came from still-committed pages:
+    // decommitted-to-zero blocks can never appear as intact entries.
+    ASSERT_FALSE(d.entries.empty());
+    for (const DumpEntry &e : d.entries) {
+        EXPECT_TRUE(e.payloadOk);
+        EXPECT_GE(e.stamp, 1u);
+        EXPECT_LE(e.stamp, 3000u);
+    }
+}
+
+#endif // BTRACE_ENABLE_TEST_HOOKS
 
 using ResizeDeath = ::testing::Test;
 

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include "sim/schedule.h"
 #include "workloads/catalog.h"
@@ -133,6 +136,72 @@ TEST(Schedule, WorkingSetBoundedByActiveThreads)
     }
     EXPECT_LE(seen.size(), std::size_t(wl.activeThreads[0]) + 1);
 }
+
+#if defined(BTRACE_ENABLE_TEST_HOOKS)
+
+TEST(PreemptionInjector, ParksAndReleasesOneArrival)
+{
+    PreemptionInjector inj;
+    const auto p = hooks::YieldPoint::AllocPreReserve;
+    inj.armPark(p);
+
+    std::atomic<int> phase{0};
+    std::thread t([&] {
+        hooks::maybeYield(p);  // traps here
+        phase.store(1, std::memory_order_release);
+        hooks::maybeYield(p);  // trap consumed: passes through
+        phase.store(2, std::memory_order_release);
+    });
+
+    ASSERT_TRUE(inj.awaitParked(p));
+    EXPECT_EQ(phase.load(std::memory_order_acquire), 0);
+    EXPECT_EQ(inj.hits(p), 1u);
+
+    inj.release(p);
+    t.join();
+    EXPECT_EQ(phase.load(std::memory_order_acquire), 2);
+    EXPECT_EQ(inj.hits(p), 2u);
+}
+
+TEST(PreemptionInjector, DisarmCancelsPendingTrap)
+{
+    PreemptionInjector inj;
+    const auto p = hooks::YieldPoint::AdvancePreLock;
+    inj.armPark(p);
+    inj.disarm(p);
+    hooks::maybeYield(p);  // must not block
+    EXPECT_EQ(inj.hits(p), 1u);
+}
+
+TEST(PreemptionInjector, AwaitParkedTimesOutWhenNobodyArrives)
+{
+    PreemptionInjector inj;
+    const auto p = hooks::YieldPoint::ReadPostCopy;
+    inj.armPark(p);
+    EXPECT_FALSE(inj.awaitParked(p, std::chrono::milliseconds(20)));
+    inj.disarm(p);
+}
+
+TEST(PreemptionInjector, RandomYieldCountsHits)
+{
+    PreemptionInjector inj;
+    inj.setRandomYield(42, 2);
+    const auto p = hooks::YieldPoint::AdvancePostClaim;
+    for (int i = 0; i < 1000; ++i)
+        hooks::maybeYield(p);  // ~half yield; all must return
+    EXPECT_EQ(inj.hits(p), 1000u);
+}
+
+TEST(PreemptionInjector, HooksAreFreeWhenNoInjectorExists)
+{
+    // With no injector the hook pointer is null and maybeYield is a
+    // cheap no-op — the state the tracer runs in outside these tests.
+    EXPECT_FALSE(hooks::hookInstalled());
+    hooks::maybeYield(hooks::YieldPoint::AllocPreReserve);
+    SUCCEED();
+}
+
+#endif // BTRACE_ENABLE_TEST_HOOKS
 
 } // namespace
 } // namespace btrace
