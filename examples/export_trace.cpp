@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "analysis/export.h"
+#include "core/btrace.h"
 #include "core/persister.h"
 
 using namespace btrace;

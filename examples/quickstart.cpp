@@ -27,21 +27,47 @@ main()
     config.cores = 4;
     BTrace tracer(config);
 
-    // 2. Record events. Each producer passes its core id, a thread
-    //    id, a unique stamp, and the payload length; record() is the
-    //    blocking convenience wrapper around allocate()/confirm().
+    // 2. Record events. Even cores use record(), the blocking
+    //    convenience wrapper around allocate()/confirm() — two shared
+    //    RMWs per event. Odd cores batch through a lease: one RMW
+    //    claims a span of 32 entries, each write is then a private
+    //    bump, and one RMW at close() publishes the whole span (§7 of
+    //    DESIGN.md).
     std::atomic<uint64_t> next_stamp{0};
     std::vector<std::thread> producers;
     for (unsigned core = 0; core < config.cores; ++core) {
         producers.emplace_back([&, core]() {
+            Lease lease;
             for (int i = 0; i < 50000; ++i) {
                 const uint64_t stamp =
                     next_stamp.fetch_add(1, std::memory_order_relaxed) +
                     1;
-                tracer.record(uint16_t(core), core, stamp,
-                              /*payload_len=*/48,
-                              /*category=*/uint16_t(core));
+                if (core % 2 == 0) {
+                    tracer.record(uint16_t(core), core, stamp,
+                                  /*payload_len=*/48,
+                                  /*category=*/uint16_t(core));
+                    continue;
+                }
+                for (;;) {
+                    if (lease.closed()) {
+                        lease = tracer.lease(uint16_t(core), core,
+                                             /*payload_hint=*/48,
+                                             /*n=*/32);
+                        if (!lease.ok())
+                            continue;  // tracer busy: retry the claim
+                    }
+                    WriteTicket t = lease.allocate(48);
+                    if (!t.ok()) {
+                        lease.close();  // span exhausted: renew
+                        continue;
+                    }
+                    writeNormal(t.dst, stamp, uint16_t(core), core,
+                                uint16_t(core), 48);
+                    lease.confirm(t);
+                    break;
+                }
             }
+            lease.close();
         });
     }
     for (auto &p : producers)
@@ -75,5 +101,10 @@ main()
                 static_cast<unsigned long long>(c.closes.load()),
                 static_cast<unsigned long long>(c.skips.load()),
                 static_cast<unsigned long long>(c.dummyBytes.load()));
+    std::printf("leases %llu serving %llu entries (%llu shared RMWs "
+                "total)\n",
+                static_cast<unsigned long long>(c.leases.load()),
+                static_cast<unsigned long long>(c.leaseEntries.load()),
+                static_cast<unsigned long long>(c.sharedRmws.load()));
     return 0;
 }

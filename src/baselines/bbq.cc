@@ -117,7 +117,7 @@ Bbq::allocate(uint16_t core, uint32_t thread, uint32_t payload_len)
                               data.size(), "BBQ grant out of range");
                 ticket.dst = blockData(blk_idx) + old.pos;
                 ticket.entrySize = need;
-                ticket.cookie = blk_idx;
+                ticket.handle.slot = static_cast<uint32_t>(blk_idx);
                 ticket.status = AllocStatus::Ok;
                 inflight->fetch_add(1, std::memory_order_relaxed);
                 return ticket;
@@ -154,7 +154,7 @@ void
 Bbq::confirm(WriteTicket &ticket)
 {
     BTRACE_DASSERT(ticket.status == AllocStatus::Ok, "confirm without Ok");
-    meta[ticket.cookie].confirmed.fetch_add(ticket.entrySize,
+    meta[ticket.handle.slot].confirmed.fetch_add(ticket.entrySize,
                                             std::memory_order_acq_rel);
     inflight->fetch_sub(1, std::memory_order_relaxed);
     ticket.cost += costs.atomicShared;

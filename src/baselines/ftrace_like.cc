@@ -40,7 +40,7 @@ FtraceLike::allocate(uint16_t core, uint32_t thread, uint32_t payload_len)
 
     ticket.dst = cr.ring.reserve(need);
     ticket.entrySize = need;
-    ticket.cookie = core;
+    ticket.handle.slot = core;
     ticket.status = AllocStatus::Ok;
     return ticket;
 }
@@ -49,7 +49,7 @@ void
 FtraceLike::confirm(WriteTicket &ticket)
 {
     BTRACE_DASSERT(ticket.status == AllocStatus::Ok, "confirm without Ok");
-    CoreRing &cr = *rings[ticket.cookie];
+    CoreRing &cr = *rings[ticket.handle.slot];
     cr.busy.clear(std::memory_order_release);
     ticket.cost += costs.atomicLocal;  // commit counter update
 }

@@ -71,8 +71,8 @@ LttngLike::allocate(uint16_t core, uint32_t thread, uint32_t payload_len)
                     std::memory_order_acquire)) {
                 ticket.dst = subBase(cs, gen) + r;
                 ticket.entrySize = need;
-                ticket.cookie = core;
-                ticket.cookie2 = gen;
+                ticket.handle.slot = core;
+                ticket.handle.aux = gen;
                 ticket.status = AllocStatus::Ok;
                 ticket.cost += 2 * costs.atomicLocal;
                 return ticket;
@@ -157,8 +157,8 @@ void
 LttngLike::confirm(WriteTicket &ticket)
 {
     BTRACE_DASSERT(ticket.status == AllocStatus::Ok, "confirm without Ok");
-    CoreState &cs = *coresState[ticket.cookie];
-    SubBuf &sub = cs.subs[ticket.cookie2 % cfg.subBuffers];
+    CoreState &cs = *coresState[ticket.handle.slot];
+    SubBuf &sub = cs.subs[ticket.handle.aux % cfg.subBuffers];
     sub.committed.fetch_add(ticket.entrySize, std::memory_order_acq_rel);
     ticket.cost += costs.atomicLocal;
 }

@@ -45,6 +45,8 @@ enum class YieldPoint : int
     ReadPostCopy,             //!< readBlock: copy done, re-validation next
     ResizePostFreeze,         //!< resize: frozen bit set, quiesce next
     ResizePreDecommit,        //!< resize: epochs synchronized, decommit next
+    LeasePreClaim,            //!< lease: core-local read done, span FAA next
+    LeasePreCloseConfirm,     //!< leaseClose: remainder dummied, confirm next
     Count
 };
 

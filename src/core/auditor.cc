@@ -42,11 +42,12 @@ AuditReport::summary() const
         "audit: %s, %zu violation(s); confirmed=%" PRIu64
         " tiled(header=%" PRIu64 " normal=%" PRIu64 " dummy=%" PRIu64
         "); blocks complete=%" PRIu64 " partial=%" PRIu64
-        " sacrificed=%" PRIu64 " reclaimed=%" PRIu64,
+        " sacrificed=%" PRIu64 " reclaimed=%" PRIu64 "; leased=%" PRIu64,
         ok() ? "ok" : "FAILED", violations.size(), totals.confirmedBytes,
         totals.headerBytes, totals.normalBytes, totals.dummyBytes,
         totals.completeBlocks, totals.partialBlocks,
-        totals.sacrificedBlocks, totals.reclaimedBlocks);
+        totals.sacrificedBlocks, totals.reclaimedBlocks,
+        totals.leasedBytes);
     std::string s(buf);
     for (const std::string &v : violations) {
         s += "\n  - ";
@@ -75,6 +76,7 @@ BTraceAuditor::audit() const
                      g.pos, A);
 
     // --- Per-metadata accounting and data-block tiling ---------------
+    uint64_t deficit_total = 0;
     for (std::size_t m = 0; m < A; ++m) {
         const RndPos alloc = bt.meta[m].loadAllocated();
         const RndPos conf = bt.meta[m].loadConfirmed();
@@ -93,19 +95,33 @@ BTraceAuditor::audit() const
         }
         // Completeness: quiesced means every reservation that fits the
         // block has been confirmed (writer, boundary fill, or close).
+        // The one legal exception is the residue of a revoked lease:
+        // slots served but never confirmed stay unpublished forever,
+        // and the tracer accounts them in leasedOutstanding. The
+        // deficits are summed and reconciled against that counter
+        // below, so a deficit with no lease to blame still fails.
         const auto reserved =
             static_cast<uint32_t>(std::min<uint64_t>(alloc.pos, cap));
-        if (conf.pos != reserved) {
+        if (conf.pos > reserved) {
             addViolation(bad,
-                         "meta %zu round %u: %u bytes reserved within "
-                         "capacity but only %u confirmed",
-                         m, conf.rnd, reserved, conf.pos);
+                         "meta %zu round %u: %u bytes confirmed exceed "
+                         "the %u reserved",
+                         m, conf.rnd, conf.pos, reserved);
+            continue;
         }
         tot.confirmedBytes += conf.pos;
         if (conf.pos == cap)
             ++tot.completeBlocks;
         else
             ++tot.partialBlocks;
+        if (conf.pos != reserved) {
+            deficit_total += reserved - conf.pos;
+            tot.leasedBytes += reserved - conf.pos;
+            // Out-of-order confirmation puts the unconfirmed hole
+            // anywhere in the reserved span; a prefix tiling of the
+            // confirmed count is meaningless here.
+            continue;
+        }
 
         if (conf.rnd == 0)
             continue;  // synthetic construction round; no data written
@@ -212,6 +228,19 @@ BTraceAuditor::audit() const
         tot.headerBytes += EntryLayout::blockHeaderBytes;
         tot.normalBytes += normal;
         tot.dummyBytes += dummy;
+    }
+
+    // Every reserved-but-unconfirmed byte must be claimed by a lease:
+    // grants add the span to leasedOutstanding and closes subtract
+    // what they publish, so the counter is exactly the unpublished
+    // residue. With no leases in play it is zero and any deficit is a
+    // lost confirm.
+    if (const uint64_t outstanding = bt.ctrs.leasedOutstanding.load();
+        deficit_total != outstanding) {
+        addViolation(bad,
+                     "reserved-but-unconfirmed bytes %" PRIu64
+                     " != leased-outstanding counter %" PRIu64,
+                     deficit_total, outstanding);
     }
 
     // --- Window-wide header uniqueness -------------------------------

@@ -45,6 +45,8 @@ struct AuditTotals
     uint64_t dummyBytes = 0;       //!< dummy-entry bytes tiled
     uint64_t completeBlocks = 0;   //!< live rounds with Confirmed == cap
     uint64_t partialBlocks = 0;    //!< live rounds still open
+    /** Bytes reserved but unconfirmed, attributable to leases. */
+    uint64_t leasedBytes = 0;
     uint64_t sacrificedBlocks = 0; //!< live rounds scribbled by SKP (§3.4)
     uint64_t reclaimedBlocks = 0;  //!< live rounds decommitted by a shrink
 };

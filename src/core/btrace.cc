@@ -148,6 +148,7 @@ BTrace::allocate(uint16_t core, uint32_t thread, uint32_t payload_len)
 
         const RndPos old = RndPos::unpack(m.allocated.fetch_add(
             need, std::memory_order_acq_rel));
+        ctrs.sharedRmws.fetch_add(1, std::memory_order_relaxed);
         ticket.cost += costs.atomicLocal;
 
         if (old.rnd == exp_rnd) {
@@ -157,7 +158,7 @@ BTrace::allocate(uint16_t core, uint32_t thread, uint32_t payload_len)
                     local.pos % (numActive * local.ratio);
                 ticket.dst = blockData(phys) + old.pos;
                 ticket.entrySize = need;
-                ticket.cookie = meta_idx;
+                ticket.handle.slot = static_cast<uint32_t>(meta_idx);
                 ticket.status = AllocStatus::Ok;
                 ctrs.fastAllocs.fetch_add(1, std::memory_order_relaxed);
                 return ticket;
@@ -175,6 +176,7 @@ BTrace::allocate(uint16_t core, uint32_t thread, uint32_t payload_len)
                 // be skipped, never re-locked, until the confirm.
                 BTRACE_TEST_YIELD(AllocPreBoundaryConfirm);
                 m.confirmed.fetch_add(gap, std::memory_order_acq_rel);
+                ctrs.sharedRmws.fetch_add(1, std::memory_order_relaxed);
                 ctrs.boundaryFills.fetch_add(1, std::memory_order_relaxed);
                 ctrs.dummyBytes.fetch_add(gap, std::memory_order_relaxed);
                 ticket.cost += costs.atomicLocal + costs.copy(8);
@@ -212,6 +214,7 @@ BTrace::allocate(uint16_t core, uint32_t thread, uint32_t payload_len)
             // complete until this confirm lands.
             BTRACE_TEST_YIELD(AllocPreStaleConfirm);
             m.confirmed.fetch_add(claim, std::memory_order_acq_rel);
+            ctrs.sharedRmws.fetch_add(1, std::memory_order_relaxed);
             ctrs.dummyBytes.fetch_add(claim, std::memory_order_relaxed);
             ticket.cost += costs.atomicLocal + costs.copy(8);
         }
@@ -240,9 +243,189 @@ void
 BTrace::confirm(WriteTicket &ticket)
 {
     BTRACE_DASSERT(ticket.status == AllocStatus::Ok, "confirm without Ok");
-    MetadataBlock &m = meta[ticket.cookie];
+    BTRACE_DASSERT(!ticket.leased, "leased tickets confirm via the lease");
+    MetadataBlock &m = meta[ticket.handle.slot];
     m.confirmed.fetch_add(ticket.entrySize, std::memory_order_acq_rel);
+    ctrs.sharedRmws.fetch_add(1, std::memory_order_relaxed);
     ticket.cost += costs.atomicLocal;
+}
+
+void
+BTrace::abandonWrite(WriteTicket &ticket)
+{
+    BTRACE_DASSERT(ticket.status == AllocStatus::Ok, "abandon without Ok");
+    writeDummy(ticket.dst, ticket.entrySize);
+    ctrs.dummyBytes.fetch_add(ticket.entrySize,
+                              std::memory_order_relaxed);
+    ticket.cost += costs.copy(8);
+    confirm(ticket);
+}
+
+Lease
+BTrace::lease(uint16_t core, uint32_t thread, uint32_t payload_hint,
+              uint32_t n)
+{
+    BTRACE_DASSERT(core < cfg.cores, "core id out of range");
+    const auto need = static_cast<uint32_t>(
+        EntryLayout::normalSize(payload_hint));
+    BTRACE_DASSERT(need <= cap - EntryLayout::blockHeaderBytes,
+                   "entry larger than a data block");
+    // A lease never spans blocks: cap the span at what a fresh block
+    // can hold, so a huge n degenerates to one-lease-per-block.
+    const auto want = static_cast<uint32_t>(std::min<uint64_t>(
+        uint64_t(need) * std::max(1u, n),
+        cap - EntryLayout::blockHeaderBytes));
+
+    double cost = costs.tscRead + costs.setupOverhead;
+
+    // Same bounded safety valve as allocate(): with every metadata
+    // block held by a preempted writer the advancement loop cannot
+    // make progress; report Retry so the caller can reschedule (§3.4).
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        const uint64_t local_word =
+            coreLocal[core]->load(std::memory_order_acquire);
+        const RatioPos local = RatioPos::unpack(local_word);
+        const std::size_t meta_idx = local.pos % numActive;
+        const uint32_t exp_rnd = checkedRound(local.pos, numActive);
+        MetadataBlock &m = meta[meta_idx];
+
+        const RndPos pre = m.loadAllocated(std::memory_order_relaxed);
+        if (pre.rnd != exp_rnd || pre.pos >= cap) {
+            if (coreLocal[core]->load(std::memory_order_acquire) ==
+                local_word) {
+                if (tryAdvance(core, local_word, cost) ==
+                    AdvanceResult::WouldBlock) {
+                    ctrs.wouldBlock.fetch_add(1,
+                                              std::memory_order_relaxed);
+                    return deniedLease(AllocStatus::Retry, cost);
+                }
+            }
+            continue;
+        }
+
+        // Critical window: the metadata can be re-locked for a newer
+        // round between the core-local read above and this fetch_add,
+        // turning the whole span reservation stale (§3.2).
+        BTRACE_TEST_YIELD(LeasePreClaim);
+
+        const RndPos old = RndPos::unpack(m.allocated.fetch_add(
+            want, std::memory_order_acq_rel));
+        ctrs.sharedRmws.fetch_add(1, std::memory_order_relaxed);
+        cost += costs.atomicLocal;
+
+        if (old.rnd == exp_rnd) {
+            if (old.pos + need <= cap) {
+                // Span granted (possibly short of want near the block
+                // end); the overshoot beyond capacity, if any, only
+                // marks the block exhausted, exactly like a single-
+                // entry reservation overshoot.
+                const auto grant = static_cast<uint32_t>(
+                    std::min<uint64_t>(want, cap - old.pos));
+                const uint64_t phys =
+                    local.pos % (numActive * local.ratio);
+                ctrs.leases.fetch_add(1, std::memory_order_relaxed);
+                ctrs.leasedOutstanding.fetch_add(
+                    grant, std::memory_order_relaxed);
+                TicketHandle handle;
+                handle.slot = static_cast<uint32_t>(meta_idx);
+                return grantLease(*this, core, thread,
+                                  blockData(phys) + old.pos, grant,
+                                  handle, cost);
+            }
+
+            if (old.pos < cap) {
+                // Tail smaller than one entry: fill it with a dummy
+                // and confirm it (§4.1, Fig 8c), then advance.
+                const uint64_t phys =
+                    local.pos % (numActive * local.ratio);
+                const auto gap = static_cast<uint32_t>(cap - old.pos);
+                writeDummy(blockData(phys) + old.pos, gap);
+                BTRACE_TEST_YIELD(AllocPreBoundaryConfirm);
+                m.confirmed.fetch_add(gap, std::memory_order_acq_rel);
+                ctrs.sharedRmws.fetch_add(1, std::memory_order_relaxed);
+                ctrs.boundaryFills.fetch_add(1,
+                                             std::memory_order_relaxed);
+                ctrs.dummyBytes.fetch_add(gap,
+                                          std::memory_order_relaxed);
+                cost += costs.atomicLocal + costs.copy(8);
+            }
+
+            if (tryAdvance(core, local_word, cost) ==
+                AdvanceResult::WouldBlock) {
+                ctrs.wouldBlock.fetch_add(1, std::memory_order_relaxed);
+                return deniedLease(AllocStatus::Retry, cost);
+            }
+            continue;
+        }
+
+        BTRACE_DASSERT(old.rnd > exp_rnd,
+                       "lease round ran behind the core-local view");
+
+        // Stale span reservation: the metadata was re-locked for a
+        // newer round between our core-local read and the fetch_add.
+        // We own [old.pos, old.pos+want) of the *new* round's block;
+        // fill the in-capacity part with a dummy and confirm so that
+        // block still completes (§3.2).
+        ctrs.staleAllocs.fetch_add(1, std::memory_order_relaxed);
+        if (old.pos < cap) {
+            const auto claim = static_cast<uint32_t>(
+                std::min<uint64_t>(want, cap - old.pos));
+            const uint64_t stale_pos =
+                uint64_t(old.rnd) * numActive + meta_idx;
+            writeDummy(blockData(physicalOf(stale_pos)) + old.pos,
+                       claim);
+            BTRACE_TEST_YIELD(AllocPreStaleConfirm);
+            m.confirmed.fetch_add(claim, std::memory_order_acq_rel);
+            ctrs.sharedRmws.fetch_add(1, std::memory_order_relaxed);
+            ctrs.dummyBytes.fetch_add(claim, std::memory_order_relaxed);
+            cost += costs.atomicLocal + costs.copy(8);
+        }
+
+        if (coreLocal[core]->load(std::memory_order_acquire) ==
+            local_word) {
+            if (tryAdvance(core, local_word, cost) ==
+                AdvanceResult::WouldBlock) {
+                ctrs.wouldBlock.fetch_add(1, std::memory_order_relaxed);
+                return deniedLease(AllocStatus::Retry, cost);
+            }
+        }
+    }
+
+    ctrs.wouldBlock.fetch_add(1, std::memory_order_relaxed);
+    return deniedLease(AllocStatus::Retry, cost);
+}
+
+void
+BTrace::leaseClose(Lease &l)
+{
+    const LeaseView v = viewOf(l);
+    const uint32_t remainder = v.len - v.used;
+    double cost = 0.0;
+    if (remainder > 0) {
+        // Return the unused span as one dummy entry so every leased
+        // byte is confirmed exactly once (DESIGN.md §3).
+        writeDummy(v.base + v.used, remainder);
+        cost += costs.copy(8);
+    }
+    // Critical window: the remainder dummy is written but the bulk
+    // confirm has not landed; the block stays incomplete and must be
+    // skipped, never re-locked, until the fetch_add below.
+    BTRACE_TEST_YIELD(LeasePreCloseConfirm);
+    const uint32_t publish = v.confirmedBytes + remainder;
+    if (publish > 0) {
+        meta[v.handle.slot].confirmed.fetch_add(
+            publish, std::memory_order_acq_rel);
+        ctrs.sharedRmws.fetch_add(1, std::memory_order_relaxed);
+        cost += costs.atomicLocal;
+    }
+    ctrs.leaseEntries.fetch_add(v.served, std::memory_order_relaxed);
+    if (v.dummyBytes + remainder > 0) {
+        ctrs.dummyBytes.fetch_add(v.dummyBytes + remainder,
+                                  std::memory_order_relaxed);
+    }
+    ctrs.leasedOutstanding.fetch_sub(publish,
+                                     std::memory_order_relaxed);
+    chargeLease(l, cost);
 }
 
 void
@@ -257,6 +440,7 @@ BTrace::closeRound(std::size_t meta_idx, uint32_t rnd, double &cost)
         // Critical window: a concurrent reservation or a competing
         // closer can move Allocated between the load and this claim.
         BTRACE_TEST_YIELD(ClosePreClaim);
+        ctrs.sharedRmws.fetch_add(1, std::memory_order_relaxed);
         if (!m.allocated.compare_exchange_weak(
                 aw, RndPos::pack(rnd, uint32_t(cap)),
                 std::memory_order_acq_rel, std::memory_order_relaxed)) {
@@ -268,6 +452,7 @@ BTrace::closeRound(std::size_t meta_idx, uint32_t rnd, double &cost)
         const uint64_t pos = uint64_t(rnd) * numActive + meta_idx;
         writeDummy(blockData(physicalOf(pos)) + a.pos, gap);
         m.confirmed.fetch_add(gap, std::memory_order_acq_rel);
+        ctrs.sharedRmws.fetch_add(1, std::memory_order_relaxed);
         ctrs.closes.fetch_add(1, std::memory_order_relaxed);
         ctrs.dummyBytes.fetch_add(gap, std::memory_order_relaxed);
         cost += costs.atomicShared * 2 + costs.copy(8);
@@ -284,6 +469,7 @@ BTrace::tryAdvance(uint16_t core, uint64_t local_word, double &cost)
     for (;;) {
         const RatioPos g = RatioPos::unpack(global->fetch_add(
             1, std::memory_order_acq_rel));
+        ctrs.sharedRmws.fetch_add(1, std::memory_order_relaxed);
         cost += costs.atomicShared;
 
         if (g.frozen)
@@ -332,6 +518,7 @@ BTrace::tryAdvance(uint16_t core, uint64_t local_word, double &cost)
 
         // Lock the block for our round (§4.2 step 4): Confirmed goes
         // from (old round, capacity) to (cand_rnd, 0).
+        ctrs.sharedRmws.fetch_add(1, std::memory_order_relaxed);
         if (!m.confirmed.compare_exchange_strong(
                 cw, RndPos::pack(cand_rnd, 0),
                 std::memory_order_acq_rel, std::memory_order_acquire)) {
@@ -353,16 +540,19 @@ BTrace::tryAdvance(uint16_t core, uint64_t local_word, double &cost)
         // Step 6: reset Allocated for the new round. Stale fetch_adds
         // from other producers keep mutating the word, so loop.
         uint64_t aw = m.allocated.load(std::memory_order_acquire);
+        ctrs.sharedRmws.fetch_add(1, std::memory_order_relaxed);
         while (!m.allocated.compare_exchange_weak(
                    aw, RndPos::pack(cand_rnd,
                                     EntryLayout::blockHeaderBytes),
                    std::memory_order_acq_rel, std::memory_order_acquire)) {
+            ctrs.sharedRmws.fetch_add(1, std::memory_order_relaxed);
             cost += costs.retryBackoff;
         }
 
         // Step 7: confirm the header bytes.
         m.confirmed.fetch_add(EntryLayout::blockHeaderBytes,
                               std::memory_order_acq_rel);
+        ctrs.sharedRmws.fetch_add(1, std::memory_order_relaxed);
         cost += costs.atomicLocal;
 
         // Critical window: the block is locked and initialized but not
@@ -372,6 +562,7 @@ BTrace::tryAdvance(uint16_t core, uint64_t local_word, double &cost)
 
         // Step 8: hand the block to our core.
         uint64_t expected = local_word;
+        ctrs.sharedRmws.fetch_add(1, std::memory_order_relaxed);
         if (!coreLocal[core]->compare_exchange_strong(
                 expected, RatioPos::pack(g.ratio, false, cand),
                 std::memory_order_acq_rel, std::memory_order_acquire)) {

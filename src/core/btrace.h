@@ -53,6 +53,18 @@ struct BTraceCounters
     std::atomic<uint64_t> wouldBlock{0};     //!< Retry returned to caller
     std::atomic<uint64_t> dummyBytes{0};     //!< space lost to dummies
     std::atomic<uint64_t> resizes{0};
+    /**
+     * RMW instructions issued on shared words (metadata Allocated /
+     * Confirmed, global and core-local ratio_and_pos) by the write
+     * path. The single-entry path costs 2 per event (reserve FAA +
+     * confirm FAA); a lease costs 2 per batch. Tests assert the
+     * amortization on this counter.
+     */
+    std::atomic<uint64_t> sharedRmws{0};
+    std::atomic<uint64_t> leases{0};         //!< batched leases granted
+    std::atomic<uint64_t> leaseEntries{0};   //!< entries served from leases
+    /** Bytes leased but not yet published by a lease close. */
+    std::atomic<uint64_t> leasedOutstanding{0};
 };
 
 /** Implementation of the Tracer interface per §3-§4 of the paper. */
@@ -68,7 +80,25 @@ class BTrace : public Tracer
     WriteTicket allocate(uint16_t core, uint32_t thread,
                          uint32_t payload_len) override;
     void confirm(WriteTicket &ticket) override;
+    void abandonWrite(WriteTicket &ticket) override;
+
+    /**
+     * Batched write claim (§4.1, amortized): one Allocated fetch_add
+     * reserves a span sized for @p n entries of @p payload_hint
+     * bytes; Lease::allocate serves from it with plain bump-pointer
+     * arithmetic and Lease::close publishes everything with one
+     * Confirmed fetch_add. An open lease keeps its block incomplete,
+     * so closing (§3.2) and skipping (§3.4) bound the active set the
+     * same way they do for a preempted single-entry writer; the span
+     * granted never exceeds what is left of the current block.
+     */
+    Lease lease(uint16_t core, uint32_t thread, uint32_t payload_hint,
+                uint32_t n) override;
+
     Dump dump() override;
+
+    /** Positional incremental read; see dumpSince(). */
+    Dump dumpFrom(DumpCursor &cursor, bool close_active = false) override;
 
     /**
      * Incremental consumer read (§4.3, daemon-collector mode): return
@@ -103,6 +133,9 @@ class BTrace : public Tracer
 
     /** Resident physical memory of the data area, in bytes. */
     std::size_t residentBytes() const { return span.residentBytes(); }
+
+  protected:
+    void leaseClose(Lease &l) override;
 
   private:
     friend class BTraceInspector;  //!< white-box test access

@@ -165,6 +165,12 @@ BTrace::dump()
 }
 
 Dump
+BTrace::dumpFrom(DumpCursor &cursor, bool close_active)
+{
+    return dumpSince(cursor.position, close_active);
+}
+
+Dump
 BTrace::dumpSince(uint64_t &cursor, bool close_active)
 {
     Dump out;

@@ -27,7 +27,7 @@ static_assert(sizeof(DiskRecord) == 24, "disk record must be packed");
 
 } // namespace
 
-TracePersister::TracePersister(BTrace &tracer_, const std::string &path_,
+TracePersister::TracePersister(Tracer &tracer_, const std::string &path_,
                                const PersisterOptions &options)
     : tracer(tracer_), opt(options), path(path_)
 {
@@ -51,7 +51,7 @@ TracePersister::run()
     const auto interval = std::chrono::duration<double>(
         opt.pollIntervalSec);
     while (!stopping.load(std::memory_order_acquire)) {
-        const Dump d = tracer.dumpSince(cursor, opt.closeActive);
+        const Dump d = tracer.dumpFrom(cursor, opt.closeActive);
         append(d.entries);
         std::this_thread::sleep_for(interval);
     }
@@ -84,7 +84,7 @@ TracePersister::stop()
     if (worker.joinable())
         worker.join();
     // Final poll with close-on-read so the newest entries land too.
-    const Dump d = tracer.dumpSince(cursor, true);
+    const Dump d = tracer.dumpFrom(cursor, true);
     append(d.entries);
     ::close(fd);
     fd = -1;

@@ -5,10 +5,11 @@
  * Most smartphone tracing stays in memory, but userspace tracers also
  * support persisting via an asynchronous reader. TracePersister is
  * that reader: a background thread polls the incremental consumer
- * (BTrace::dumpSince) and appends the decoded entries to a compact
+ * (Tracer::dumpFrom) and appends the decoded entries to a compact
  * binary file that load() reads back. Producers never block on
  * storage — exactly the decoupling the paper describes for
- * LTTng-style persist mode.
+ * LTTng-style persist mode. Any Tracer works; BTrace's cursor is
+ * genuinely incremental while the baselines snapshot-and-filter.
  */
 
 #ifndef BTRACE_CORE_PERSISTER_H
@@ -19,7 +20,7 @@
 #include <thread>
 #include <vector>
 
-#include "core/btrace.h"
+#include "trace/tracer.h"
 
 namespace btrace {
 
@@ -36,12 +37,12 @@ struct PersisterOptions
     bool closeActive = false;
 };
 
-/** Background reader persisting a BTrace buffer to a file. */
+/** Background reader persisting a tracer's buffer to a file. */
 class TracePersister
 {
   public:
     /** Start persisting @p tracer into @p path (truncates). */
-    TracePersister(BTrace &tracer, const std::string &path,
+    TracePersister(Tracer &tracer, const std::string &path,
                    const PersisterOptions &options = {});
 
     /** Stops and flushes if still running. */
@@ -69,12 +70,12 @@ class TracePersister
     void run();
     void append(const std::vector<DumpEntry> &entries);
 
-    BTrace &tracer;
+    Tracer &tracer;
     PersisterOptions opt;
     std::string path;
     std::atomic<bool> stopping{false};
     std::atomic<uint64_t> persisted{0};
-    uint64_t cursor = 0;
+    DumpCursor cursor;
     int fd = -1;
     std::thread worker;
 };

@@ -50,7 +50,7 @@ class BurstProfile
 /** Discrete simulation event. */
 struct SimEv
 {
-    enum Kind { Arrival, Poke, Confirm };
+    enum Kind { Arrival, Poke, Confirm, LeaseClose };
 
     double t = 0.0;
     uint64_t seq = 0;       //!< deterministic tie-break
@@ -63,6 +63,7 @@ struct SimEv
     double arrivalT = 0.0;  //!< when the producer asked to record
     int attempts = 0;
     WriteTicket ticket;     //!< valid for Confirm only
+    std::size_t leaseIdx = 0;  //!< graveyard slot, LeaseClose only
 };
 
 struct EvLater
@@ -157,9 +158,168 @@ replay(Tracer &tracer, const Workload &wl, const ReplayOptions &opt)
 
     enum class WriteStatus { Done, Blocked };
 
+    // Leased mode: one open lease per core, owned by the thread that
+    // opened it. A thread handover with the lease still open is a
+    // mid-lease preemption: the old owner keeps the close obligation
+    // until its next slice, so the lease moves to a graveyard (stable
+    // addresses — LeaseClose events index into it) and closes when
+    // the owner resumes, or never, for a straggler past the grace
+    // window (the destructor then closes it after the final dump,
+    // exactly like a writer that never returned).
+    struct CoreLeaseSlot
+    {
+        uint32_t owner = 0;
+        Lease lease;
+    };
+    std::vector<CoreLeaseSlot> coreLeases(kCores);
+    std::deque<Lease> graveyard;
+    const auto payload_hint = static_cast<uint32_t>(
+        wl.meanPayloadBytes());
+
+    // Preemption check shared by both write paths: does the write
+    // window survive the thread's scheduling slice? Backlog-delayed
+    // events are exempt (see below). Returns the owner's resume time,
+    // or a negative value when the write completes undisturbed.
+    auto preempted_until = [&](const SimEv &ev, double window_ns) {
+        if (opt.mode != ReplayMode::ThreadLevel ||
+            ev.t != ev.arrivalT || tracer.disablesPreemption())
+            return -1.0;
+        const SliceSchedule::Running run =
+            schedule.runningAt(ev.core, ev.t);
+        const double window =
+            window_ns * 1e-9 * opt.preemptionWindowBoost;
+        if (run.thread != ev.thread || ev.t + window <= run.sliceEnd)
+            return -1.0;
+        double resume =
+            schedule.nextRunAfter(ev.core, ev.thread, run.sliceEnd);
+        resume = std::min(resume, run.sliceEnd + opt.stragglerResumeSec);
+        if (rng.chance(opt.longStallProb))
+            resume += rng.exponential(opt.longStallMeanSec);
+        return resume;
+    };
+
+    // One leased write attempt: renew the core's lease as needed and
+    // serve the entry from it.
+    auto attempt_lease_write = [&](SimEv &ev) {
+        auto &slot = coreLeases[ev.core];
+        if (!slot.lease.closed() && slot.owner != ev.thread) {
+            // The previous owner was descheduled holding the lease.
+            ++res.leasesPreempted;
+            graveyard.push_back(std::move(slot.lease));
+            double resume =
+                schedule.nextRunAfter(ev.core, slot.owner, ev.t);
+            resume = std::min(resume, ev.t + opt.stragglerResumeSec);
+            if (rng.chance(opt.longStallProb))
+                resume += rng.exponential(opt.longStallMeanSec);
+            // The straggler cutoff is relative to when the handover is
+            // noticed, not the absolute grace deadline: a backlog-
+            // dilated clock would otherwise declare *every* preempted
+            // owner a straggler, and each unclosed lease wedges one
+            // metadata block until the tracer deadlocks behind A
+            // incomplete blocks. Only the long-stall tail (page
+            // faults, compaction) may genuinely never return.
+            if (resume <= std::max(grace, ev.t + (grace - duration))) {
+                SimEv cl;
+                cl.t = resume;
+                cl.seq = ++seq;
+                cl.kind = SimEv::LeaseClose;
+                cl.leaseIdx = graveyard.size() - 1;
+                heap.push(cl);
+            }
+        }
+        for (int renewal = 0; renewal < 2; ++renewal) {
+            if (slot.lease.closed() || slot.owner != ev.thread) {
+                Lease l = tracer.lease(ev.core, ev.thread, payload_hint,
+                                       opt.leaseEntries);
+                if (!l.ok()) {
+                    ++res.retries;
+                    ev.cost += l.cost() + model.retryBackoff;
+                    ev.attempts += 1;
+                    return WriteStatus::Blocked;
+                }
+                ++res.leasesOpened;
+                slot.owner = ev.thread;
+                // The opening event pays the claim; followers pay
+                // only the bump (their ticket cost).
+                ev.cost += l.cost();
+                slot.lease = std::move(l);
+            }
+            WriteTicket ticket = slot.lease.allocate(ev.payload);
+            if (ticket.status == AllocStatus::Drop) {
+                mark_dropped(ev.stamp);
+                return WriteStatus::Done;
+            }
+            if (ticket.status == AllocStatus::Retry) {
+                // Span (or fallback budget) exhausted: close, renew
+                // once; a second failure means the tracer itself is
+                // blocked.
+                slot.lease.close();
+                if (renewal == 1)
+                    break;
+                continue;
+            }
+            writeNormal(ticket.dst, ev.stamp, ev.core, ev.thread,
+                        opt.category, ev.payload);
+            const double copy_cost = model.copy(ticket.entrySize);
+            double cost = ev.cost + ticket.cost + copy_cost;
+            cost += (ev.t - ev.arrivalT) * 1e9;
+            const double resume =
+                preempted_until(ev, ticket.cost + copy_cost);
+            if (resume >= 0.0) {
+                ++res.preemptedWrites;
+                if (resume > grace) {
+                    // A straggler that never runs again: its slot stays
+                    // a hole in the leased span (or an unconfirmed
+                    // ticket on the fallback path), the block never
+                    // completes and is sacrificed like one held by a
+                    // preempted writer (§3.4). The auditor reconciles
+                    // the leased deficit against leasedOutstanding.
+                    ++res.unconfirmed;
+                    return WriteStatus::Done;
+                }
+                if (ticket.leased) {
+                    // The owner finishes the interrupted write on its
+                    // next slice, and program order in the owner puts
+                    // that before any close it issues — so the confirm
+                    // always lands inside the lease. Counting it here
+                    // keeps the span hole-free without a deferred
+                    // event racing the graveyard close.
+                    ticket.cost = 0.0;
+                    slot.lease.confirm(ticket);
+                    if (opt.keepLatencySamples)
+                        res.latencyNs.add(cost);
+                    return WriteStatus::Done;
+                }
+                SimEv conf;
+                conf.t = resume;
+                conf.seq = ++seq;
+                conf.kind = SimEv::Confirm;
+                conf.core = ev.core;
+                conf.thread = ev.thread;
+                conf.stamp = ev.stamp;
+                conf.cost = cost;
+                conf.ticket = ticket;
+                heap.push(conf);
+                return WriteStatus::Done;
+            }
+            ticket.cost = 0.0;
+            slot.lease.confirm(ticket);
+            cost += ticket.leased ? 0.0 : ticket.cost;
+            if (opt.keepLatencySamples)
+                res.latencyNs.add(cost);
+            return WriteStatus::Done;
+        }
+        ++res.retries;
+        ev.cost += model.retryBackoff;
+        ev.attempts += 1;
+        return WriteStatus::Blocked;
+    };
+
     // One write attempt: allocate, and on success write + (possibly
     // deferred) confirm.
     auto attempt_write = [&](SimEv &ev) {
+        if (opt.leaseEntries > 0)
+            return attempt_lease_write(ev);
         WriteTicket ticket =
             tracer.allocate(ev.core, ev.thread, ev.payload);
         double cost = ev.cost + ticket.cost;
@@ -189,44 +349,30 @@ replay(Tracer &tracer, const Workload &wl, const ReplayOptions &opt)
         // exempt: a whole drained burst shares one service instant,
         // and flagging every burst write that lands near a slice end
         // would manufacture preemption cascades out of the time
-        // collapse.
-        if (opt.mode == ReplayMode::ThreadLevel &&
-            ev.t == ev.arrivalT &&
-            !tracer.disablesPreemption()) {
-            const SliceSchedule::Running run =
-                schedule.runningAt(ev.core, ev.t);
-            const double window = (ticket.cost + copy_cost) * 1e-9 *
-                                  opt.preemptionWindowBoost;
-            if (run.thread == ev.thread && ev.t + window > run.sliceEnd) {
-                ++res.preemptedWrites;
-                // A thread preempted mid-write stays *runnable*; the
-                // scheduler gets back to it within tens of ms even if
-                // the sampled working set would not pick it for a
-                // while, so the resume delay is capped — except for
-                // the heavy tail of genuine stalls (page faults,
-                // compaction, throttling).
-                double resume = schedule.nextRunAfter(
-                    ev.core, ev.thread, run.sliceEnd);
-                resume = std::min(resume,
-                                  run.sliceEnd + opt.stragglerResumeSec);
-                if (rng.chance(opt.longStallProb))
-                    resume += rng.exponential(opt.longStallMeanSec);
-                if (resume > grace) {
-                    ++res.unconfirmed;  // run ends before it resumes
-                    return WriteStatus::Done;
-                }
-                SimEv conf;
-                conf.t = resume;
-                conf.seq = ++seq;
-                conf.kind = SimEv::Confirm;
-                conf.core = ev.core;
-                conf.thread = ev.thread;
-                conf.stamp = ev.stamp;
-                conf.cost = cost;
-                conf.ticket = ticket;
-                heap.push(conf);
+        // collapse. A thread preempted mid-write stays *runnable*;
+        // the scheduler gets back to it within tens of ms even if
+        // the sampled working set would not pick it for a while, so
+        // the resume delay is capped — except for the heavy tail of
+        // genuine stalls (page faults, compaction, throttling).
+        const double resume =
+            preempted_until(ev, ticket.cost + copy_cost);
+        if (resume >= 0.0) {
+            ++res.preemptedWrites;
+            if (resume > grace) {
+                ++res.unconfirmed;  // run ends before it resumes
                 return WriteStatus::Done;
             }
+            SimEv conf;
+            conf.t = resume;
+            conf.seq = ++seq;
+            conf.kind = SimEv::Confirm;
+            conf.core = ev.core;
+            conf.thread = ev.thread;
+            conf.stamp = ev.stamp;
+            conf.cost = cost;
+            conf.ticket = ticket;
+            heap.push(conf);
+            return WriteStatus::Done;
         }
 
         ticket.cost = 0.0;
@@ -313,8 +459,22 @@ replay(Tracer &tracer, const Workload &wl, const ReplayOptions &opt)
                 res.latencyNs.add(ev.cost + ev.ticket.cost);
             break;
           }
+          case SimEv::LeaseClose: {
+            // The preempted owner got its slice back and returned the
+            // lease it was descheduled with.
+            graveyard[ev.leaseIdx].close();
+            break;
+          }
         }
     }
+
+    // The replay joins every producer before dumping, so threads
+    // still owning their core's lease return it now. Graveyard leases
+    // whose owner never resumed within the grace window stay open
+    // across the dump — their blocks read as in-flight — and are
+    // closed by destruction afterwards.
+    for (CoreLeaseSlot &slot : coreLeases)
+        slot.lease.close();
 
     res.dump = tracer.dump();
     return res;

@@ -70,6 +70,15 @@ struct ReplayOptions
     uint16_t category = 0;        //!< category tag stored in entries
     bool keepLatencySamples = true;
     bool keepProducedLog = true;
+    /**
+     * Entries per thread-local lease (Tracer::lease); 0 replays
+     * through the single-entry allocate/confirm path. With leasing, a
+     * producer preempted while holding an open lease keeps the lease
+     * open until its next slice (or forever, for a straggler that
+     * never resumes) — the mid-lease analogue of a mid-write
+     * preemption, and the case the revocation accounting exists for.
+     */
+    uint32_t leaseEntries = 0;
 };
 
 /** Ground-truth record of one produced (attempted) event. */
@@ -95,6 +104,8 @@ struct ReplayResult
     uint64_t retries = 0;
     uint64_t preemptedWrites = 0;
     uint64_t unconfirmed = 0;     //!< writes whose thread never resumed
+    uint64_t leasesOpened = 0;    //!< leases granted (leaseEntries > 0)
+    uint64_t leasesPreempted = 0; //!< owner descheduled mid-lease
     double producedBytes = 0.0;
     std::size_t capacityBytes = 0;
     double blockedSec = 0.0;      //!< virtual time with a stalled queue

@@ -36,12 +36,26 @@ struct CostModel
     double retryBackoff = 90.0;    //!< one failed acquire + backoff loop
     double lttngFramework = 150.0; //!< CTF serialization, clock sync
     double vtraceFramework = 210.0; //!< OTF encoding, counter sampling
+    double leaseBump = 2.0;        //!< bump-pointer serve from an open lease
 
     /** The default model used by all benches. */
     static const CostModel &def();
 
     /** Cost of copying @p bytes into the buffer. */
     double copy(std::size_t bytes) const { return perByte * double(bytes); }
+
+    /**
+     * Per-entry cost of serving from an @p n entry lease: the open
+     * and close RMWs (one reserve, one publish) amortized across the
+     * batch, plus the bump-pointer arithmetic each entry pays. With
+     * n == 1 this degenerates to the two-RMW single-entry fast path.
+     */
+    double
+    amortizedClaim(std::size_t n) const
+    {
+        const double rmw = 2.0 * atomicLocal;
+        return n ? rmw / double(n) + leaseBump : rmw + leaseBump;
+    }
 
     /**
      * Contention charge for an RMW on a shared line with @p contenders

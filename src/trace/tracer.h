@@ -6,13 +6,22 @@
  * replay engine can model a thread being preempted *between* the two
  * (the core oversubscription problem of §2.2, Observation 2). The
  * caller writes the entry via writeNormal() into the ticket's buffer
- * between the two calls.
+ * between the two calls. ScopedWrite wraps the pair in an RAII guard
+ * that auto-confirms (or, on exception unwind, auto-abandons by
+ * dummy-filling the granted space so the accounting stays complete).
  *
  * allocate() never blocks: it returns Ok with a buffer, Retry when the
  * design would block (BBQ behind a preempted writer, BTrace with every
  * metadata block in flight), or Drop when the design sheds the event
  * (LTTng-style drop-newest). Costs in nanoseconds, per the CostModel,
  * accumulate in the ticket.
+ *
+ * Batch writers use lease(): one claim amortized over up to @c n
+ * entries. BTrace implements it with a single shared RMW per lease
+ * (bump-pointer serves in between, §4.1 amortized); every other
+ * tracer inherits the single-entry fallback, which serves each entry
+ * through its ordinary allocate()/confirm() pair — so cross-tracer
+ * comparisons stay apples-to-apples.
  */
 
 #ifndef BTRACE_TRACE_TRACER_H
@@ -22,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "common/panic.h"
 #include "trace/cost.h"
 #include "trace/event.h"
 
@@ -35,6 +45,17 @@ enum class AllocStatus
     Drop,   //!< event shed by design; never retried
 };
 
+/**
+ * Tracer-private state carried between allocate() and confirm().
+ * Opaque to callers; implementations name their use of each field
+ * instead of multiplexing raw cookie words.
+ */
+struct TicketHandle
+{
+    uint32_t slot = 0;  //!< metadata / block / core index
+    uint32_t aux = 0;   //!< generation, sub-buffer, or round tag
+};
+
 /** State handed from allocate() to confirm(). */
 struct WriteTicket
 {
@@ -44,8 +65,10 @@ struct WriteTicket
     uint16_t core = 0;
     uint32_t thread = 0;
     double cost = 0.0;         //!< ns accumulated so far
-    uint64_t cookie = 0;       //!< tracer-private
-    uint64_t cookie2 = 0;      //!< tracer-private
+    TicketHandle handle;       //!< tracer-private (see TicketHandle)
+    bool leased = false;       //!< served from a Lease; confirm there
+
+    bool ok() const { return status == AllocStatus::Ok; }
 };
 
 /** One decoded entry of a dump, ready for continuity analysis. */
@@ -67,13 +90,151 @@ struct Dump
     uint64_t abandonedBlocks = 0;  //!< speculative reads that failed
     uint64_t unreadableBlocks = 0; //!< unconfirmed / in-flight blocks
     /**
-     * Incremental reads only (BTrace::dumpSince): number of global
-     * block positions between the caller's cursor and the overwrite
-     * frontier that producers lapped before this read — data that is
-     * permanently gone, not merely unreadable right now. Zero when the
-     * consumer kept up.
+     * Incremental reads only (dumpFrom): number of positions between
+     * the caller's cursor and the overwrite frontier that producers
+     * lapped before this read — data that is permanently gone, not
+     * merely unreadable right now. Zero when the consumer kept up.
      */
     uint64_t overwrittenPositions = 0;
+};
+
+/**
+ * Opaque incremental-read position for Tracer::dumpFrom(). Value-
+ * initialize to start from the beginning; the tracer owns the meaning
+ * of the fields (BTrace: a global block position; the baseline
+ * fallback: a stamp high-water mark). Reuse the same cursor across
+ * calls to receive only new data.
+ */
+struct DumpCursor
+{
+    uint64_t position = 0;  //!< tracer-private progress marker
+};
+
+class Tracer;
+
+/**
+ * A claim on up to @c n entry slots, served without per-entry shared
+ * RMWs when the tracer supports batching (BTrace: one Allocated
+ * fetch_add per lease, plain bump-pointer arithmetic in between, one
+ * Confirmed fetch_add at close). Obtained from Tracer::lease().
+ *
+ * Lifecycle: allocate() entries until it reports Retry (span
+ * exhausted), then close() — or let the destructor close. close()
+ * publishes every confirmed entry and dummy-fills the unused
+ * remainder, so the accounting invariant (every byte confirmed
+ * exactly once) holds regardless of how much of the lease was used.
+ * An abandoned-but-destructed lease therefore costs only its unused
+ * bytes; a lease whose owner never returns leaves its block
+ * unconfirmed and the block is sacrificed exactly like one held by a
+ * preempted single-entry writer (§3.4).
+ *
+ * A lease is bound to the (core, thread) it was opened for. A thread
+ * migrating cores should close() and re-lease on the new core; writes
+ * through a stale lease stay correct (the claimed span is private)
+ * but lose core locality.
+ *
+ * Move-only; moving transfers the close obligation.
+ */
+class Lease
+{
+  public:
+    Lease() = default;
+
+    Lease(Lease &&other) noexcept { moveFrom(other); }
+
+    Lease &
+    operator=(Lease &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    Lease(const Lease &) = delete;
+    Lease &operator=(const Lease &) = delete;
+
+    ~Lease() { close(); }
+
+    AllocStatus status() const { return st; }
+    bool ok() const { return st == AllocStatus::Ok; }
+    /** True once close() ran (or the lease was never granted). */
+    bool closed() const { return owner == nullptr; }
+    /** True when served by bump-pointer (no per-entry shared RMWs). */
+    bool batched() const { return base != nullptr; }
+    uint16_t core() const { return coreId; }
+    uint32_t thread() const { return threadId; }
+    uint32_t remainingBytes() const { return len - used; }
+    /** Entries served so far. */
+    uint32_t entries() const { return served; }
+    /** ns charged for open/serve/close so far. */
+    double cost() const { return costNs; }
+
+    /** Cost model of the granting tracer (lease must be open). */
+    const CostModel &model() const;
+
+    /**
+     * Serve one entry of @p payload_len payload bytes from the lease.
+     * Returns a Retry ticket when the remaining span cannot fit the
+     * entry (close() and open a fresh lease) or when the lease itself
+     * was not granted.
+     */
+    WriteTicket allocate(uint32_t payload_len);
+
+    /** Publish an entry served by this lease (no shared RMW). */
+    void confirm(WriteTicket &ticket);
+
+    /**
+     * Give up on an entry served by this lease: dummy-fill its space
+     * and account it confirmed, so the block still completes.
+     */
+    void abandon(WriteTicket &ticket);
+
+    /**
+     * Return the unused span and publish the lease's confirmed bytes
+     * with one shared RMW (batched tracers). Idempotent; the
+     * destructor calls it.
+     */
+    void close();
+
+  private:
+    friend class Tracer;
+
+    void
+    moveFrom(Lease &other) noexcept
+    {
+        owner = other.owner;
+        st = other.st;
+        coreId = other.coreId;
+        threadId = other.threadId;
+        base = other.base;
+        len = other.len;
+        used = other.used;
+        confirmedBytes = other.confirmedBytes;
+        dummyBytes = other.dummyBytes;
+        served = other.served;
+        budget = other.budget;
+        handle = other.handle;
+        costNs = other.costNs;
+        other.owner = nullptr;
+        other.base = nullptr;
+        other.st = AllocStatus::Retry;
+    }
+
+    Tracer *owner = nullptr;       //!< null once closed / never granted
+    AllocStatus st = AllocStatus::Retry;
+    uint16_t coreId = 0;
+    uint32_t threadId = 0;
+    uint8_t *base = nullptr;       //!< leased span; null = fallback mode
+    uint32_t len = 0;              //!< bytes leased (batched mode)
+    uint32_t used = 0;             //!< bytes bump-allocated so far
+    uint32_t confirmedBytes = 0;   //!< bytes confirmed through the lease
+    uint32_t dummyBytes = 0;       //!< abandoned-entry bytes dummy-filled
+    uint32_t served = 0;           //!< entries handed out
+    uint32_t budget = 0;           //!< fallback mode: entries remaining
+    TicketHandle handle;           //!< tracer-private
+    double costNs = 0.0;
 };
 
 /**
@@ -114,13 +275,44 @@ class Tracer
     /** Publish a previously allocated entry; adds cost to the ticket. */
     virtual void confirm(WriteTicket &ticket) = 0;
 
+    /**
+     * Give up on an allocated-but-unwritten ticket: dummy-fill the
+     * granted space and confirm it, so designs with completeness
+     * accounting (BTrace) still close their blocks.
+     */
+    virtual void abandonWrite(WriteTicket &ticket);
+
+    /**
+     * Claim a lease sized for @p n entries of @p payload_hint payload
+     * bytes each, for @p thread on @p core. The span also serves
+     * entries of other sizes while they fit. Tracers without batching
+     * inherit a fallback lease that forwards every entry to
+     * allocate()/confirm() (and reports exhaustion after @p n entries
+     * so renewal-driven callers behave uniformly).
+     */
+    virtual Lease lease(uint16_t core, uint32_t thread,
+                        uint32_t payload_hint, uint32_t n);
+
     /** Non-destructive consumer snapshot of the retained entries. */
     virtual Dump dump() = 0;
 
     /**
-     * Convenience blocking write: allocate (spinning on Retry), fill,
-     * confirm. Returns false iff the event was dropped by design.
-     * Total charged cost is returned through @p cost_out if non-null.
+     * Incremental consumer read: return entries that appeared since
+     * the last call with the same @p cursor, advancing the cursor.
+     * With @p close_active, tracers that support it (BTrace) also
+     * close partially filled blocks so the newest entries are
+     * returned now. The base implementation is a trivial full-
+     * snapshot cursor — dump() filtered to stamps above the cursor's
+     * high-water mark — so callers can stream from any tracer without
+     * special-casing BTrace.
+     */
+    virtual Dump dumpFrom(DumpCursor &cursor, bool close_active = false);
+
+    /**
+     * Convenience blocking write: allocate (spinning on Retry, with
+     * each spin charged at CostModel::retryBackoff), fill, confirm.
+     * Returns false iff the event was dropped by design. Total
+     * charged cost is returned through @p cost_out if non-null.
      */
     bool record(uint16_t core, uint32_t thread, uint64_t stamp,
                 uint32_t payload_len, uint16_t category = 0,
@@ -129,7 +321,215 @@ class Tracer
     const CostModel &model() const { return costs; }
 
   protected:
+    friend class Lease;
+
+    /**
+     * Batched-lease publish hook: return the unused span and confirm
+     * the lease's bytes. Only tracers that grant batched leases (base
+     * != nullptr) need to override.
+     */
+    virtual void leaseClose(Lease &l) { (void)l; }
+
+    /** Build a granted batched lease (implementation helper). */
+    static Lease
+    grantLease(Tracer &t, uint16_t core, uint32_t thread, uint8_t *base,
+               uint32_t len, TicketHandle handle, double cost)
+    {
+        Lease l;
+        l.owner = &t;
+        l.st = AllocStatus::Ok;
+        l.coreId = core;
+        l.threadId = thread;
+        l.base = base;
+        l.len = len;
+        l.handle = handle;
+        l.costNs = cost;
+        return l;
+    }
+
+    /** Build a denied lease carrying @p st and the accrued cost. */
+    static Lease
+    deniedLease(AllocStatus st, double cost)
+    {
+        Lease l;
+        l.st = st;
+        l.costNs = cost;
+        return l;
+    }
+
+    /** Read-only view of a lease for leaseClose() implementations. */
+    struct LeaseView
+    {
+        uint8_t *base;
+        uint32_t len;
+        uint32_t used;
+        uint32_t confirmedBytes;
+        uint32_t dummyBytes;
+        uint32_t served;
+        uint16_t core;
+        TicketHandle handle;
+    };
+
+    static LeaseView
+    viewOf(const Lease &l)
+    {
+        return {l.base, l.len,    l.used, l.confirmedBytes,
+                l.dummyBytes, l.served, l.coreId, l.handle};
+    }
+
+    /** Add @p ns to a lease's accumulated cost (from leaseClose). */
+    static void
+    chargeLease(Lease &l, double ns)
+    {
+        l.costNs += ns;
+    }
+
     const CostModel &costs;
+};
+
+inline const CostModel &
+Lease::model() const
+{
+    BTRACE_DASSERT(owner != nullptr, "model() on a closed lease");
+    return owner->costs;
+}
+
+inline WriteTicket
+Lease::allocate(uint32_t payload_len)
+{
+    WriteTicket ticket;
+    ticket.core = coreId;
+    ticket.thread = threadId;
+    if (st != AllocStatus::Ok || owner == nullptr) {
+        ticket.status = st == AllocStatus::Ok ? AllocStatus::Retry : st;
+        return ticket;
+    }
+    if (base == nullptr) {
+        // Fallback mode: one ordinary allocate per entry. Report
+        // exhaustion after the budgeted entry count so callers renew
+        // on the same cadence as with a batched lease.
+        if (budget == 0) {
+            ticket.status = AllocStatus::Retry;
+            return ticket;
+        }
+        ticket = owner->allocate(coreId, threadId, payload_len);
+        if (ticket.status == AllocStatus::Ok) {
+            --budget;
+            ++served;
+            costNs += ticket.cost;
+        }
+        return ticket;
+    }
+    const auto need = static_cast<uint32_t>(
+        EntryLayout::normalSize(payload_len));
+    if (used + need > len) {
+        ticket.status = AllocStatus::Retry;  // span exhausted; renew
+        return ticket;
+    }
+    // Fast path of the fast path: serve from the leased span with
+    // plain arithmetic — no shared RMW, no CAS, no counter traffic.
+    ticket.dst = base + used;
+    ticket.entrySize = need;
+    ticket.leased = true;
+    ticket.status = AllocStatus::Ok;
+    ticket.cost = owner->costs.tscRead + owner->costs.leaseBump;
+    used += need;
+    ++served;
+    costNs += ticket.cost;
+    return ticket;
+}
+
+inline void
+Lease::confirm(WriteTicket &ticket)
+{
+    BTRACE_DASSERT(ticket.status == AllocStatus::Ok,
+                   "lease confirm without Ok");
+    if (!ticket.leased) {
+        owner->confirm(ticket);
+        costNs += ticket.cost;
+        return;
+    }
+    confirmedBytes += ticket.entrySize;  // published in bulk at close()
+}
+
+inline void
+Lease::abandon(WriteTicket &ticket)
+{
+    BTRACE_DASSERT(ticket.status == AllocStatus::Ok,
+                   "lease abandon without Ok");
+    if (!ticket.leased) {
+        owner->abandonWrite(ticket);
+        costNs += ticket.cost;
+        return;
+    }
+    writeDummy(ticket.dst, ticket.entrySize);
+    confirmedBytes += ticket.entrySize;
+    dummyBytes += ticket.entrySize;
+}
+
+inline void
+Lease::close()
+{
+    if (owner == nullptr)
+        return;
+    if (base != nullptr)
+        owner->leaseClose(*this);
+    owner = nullptr;
+    base = nullptr;
+}
+
+/**
+ * RAII guard over one two-phase write: allocates in the constructor,
+ * auto-confirms when the scope exits normally, and auto-abandons
+ * (dummy-fills the granted space) when the scope unwinds through an
+ * exception — the granted bytes are accounted either way, so a block
+ * is never left incomplete by an early exit.
+ *
+ * Construct from a Tracer (optionally Blocking: spin on Retry with
+ * each spin charged at CostModel::retryBackoff) or from an open
+ * Lease (served by the lease's bump path when batched).
+ */
+class ScopedWrite
+{
+  public:
+    enum Policy
+    {
+        NonBlocking,  //!< surface Retry to the caller
+        Blocking,     //!< spin on Retry (charged per spin)
+    };
+
+    ScopedWrite(Tracer &t, uint16_t core, uint32_t thread,
+                uint32_t payload_len, Policy policy = NonBlocking);
+
+    ScopedWrite(Lease &lease, uint32_t payload_len);
+
+    ScopedWrite(const ScopedWrite &) = delete;
+    ScopedWrite &operator=(const ScopedWrite &) = delete;
+
+    ~ScopedWrite();
+
+    AllocStatus status() const { return ticket.status; }
+    bool ok() const { return ticket.status == AllocStatus::Ok; }
+    uint8_t *data() const { return ticket.dst; }
+    uint32_t size() const { return ticket.entrySize; }
+    double cost() const { return ticket.cost; }
+
+    /** Write a normal entry into the granted space (charges copy). */
+    void fill(uint64_t stamp, uint16_t category = 0);
+
+    /** Confirm now instead of at scope exit. Idempotent. */
+    void commit();
+
+    /** Dummy-fill and confirm the granted space now. Idempotent. */
+    void abandon();
+
+  private:
+    Tracer *tracer = nullptr;
+    Lease *lease = nullptr;
+    WriteTicket ticket;
+    uint32_t payloadLen = 0;
+    bool done = false;
+    int exceptionsOnEntry = 0;
 };
 
 } // namespace btrace

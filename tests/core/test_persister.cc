@@ -7,6 +7,7 @@
 #include <set>
 #include <thread>
 
+#include "core/btrace.h"
 #include "core/persister.h"
 
 namespace btrace {
