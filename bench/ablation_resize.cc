@@ -110,7 +110,7 @@ main(int argc, char **argv)
     std::printf("\nfinal dump after %llu resizes: %zu entries retained, "
                 "%llu corrupt (must be 0)\n",
                 static_cast<unsigned long long>(
-                    bt.counters().resizes.load()),
+                    bt.countersSnapshot().resizes),
                 d.entries.size(),
                 static_cast<unsigned long long>(corrupt));
     std::printf("\nExpected shape: resize cost stays in the millisecond "

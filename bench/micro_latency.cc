@@ -11,7 +11,10 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "sim/replay.h"
 
@@ -64,4 +67,35 @@ BENCHMARK_CAPTURE(benchRecord, BTrace_4T, TracerKind::BTrace)
 BENCHMARK_CAPTURE(benchRecord, BBQ_4T, TracerKind::Bbq)->Threads(4);
 BENCHMARK_CAPTURE(benchRecord, LTTng_4T, TracerKind::Lttng)->Threads(4);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): results always land in
+// BENCH_latency.json (same convention as the other bench binaries)
+// unless the caller passes --benchmark_out explicitly, and the shared
+// --obs-* / --quick flags from run_all.sh are accepted rather than
+// tripping google-benchmark's unrecognized-argument check.
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args;
+    bool has_out = false;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--benchmark_out", 15) == 0)
+            has_out = true;
+        if (i > 0 && (std::strncmp(argv[i], "--obs-", 6) == 0 ||
+                      std::strcmp(argv[i], "--quick") == 0))
+            continue;  // harness-wide flags; no-ops here
+        args.push_back(argv[i]);
+    }
+    std::string out_flag = "--benchmark_out=BENCH_latency.json";
+    std::string fmt_flag = "--benchmark_out_format=json";
+    if (!has_out) {
+        args.push_back(out_flag.data());
+        args.push_back(fmt_flag.data());
+    }
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

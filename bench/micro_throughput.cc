@@ -23,12 +23,16 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/auditor.h"
 #include "core/btrace.h"
+#include "obs/btrace_metrics.h"
+#include "obs/sampler.h"
 
 namespace btrace {
 namespace {
@@ -41,6 +45,8 @@ struct Flags
     uint32_t payload = 48;
     std::string jsonPath = "BENCH_throughput.json";
     bool quick = false;
+    double obsInterval = 0.0;  //!< sampler period; 0 = off
+    std::string obsJson;       //!< obs JSON-lines path; empty = off
 };
 
 Flags
@@ -65,11 +71,16 @@ parseFlags(int argc, char **argv)
             f.payload = uint32_t(std::atoi(v4));
         } else if (const char *v5 = val("--json")) {
             f.jsonPath = v5;
+        } else if (const char *v6 = val("--obs-interval")) {
+            f.obsInterval = std::atof(v6);
+        } else if (const char *v7 = val("--obs-json")) {
+            f.obsJson = v7;
         } else if (std::strcmp(a, "--quick") == 0) {
             f.quick = true;
         } else if (std::strcmp(a, "--help") == 0) {
             std::printf("flags: --threads=N --secs=S --lease=N "
-                        "--payload=B --json=PATH --quick\n");
+                        "--payload=B --json=PATH --obs-interval=SEC "
+                        "--obs-json=PATH --quick\n");
             std::exit(0);
         }
     }
@@ -123,7 +134,7 @@ runMode(BTrace &bt, const Flags &f, PerThread &&perThread)
     std::atomic<unsigned> ready{0};
     std::atomic<bool> go{false};
 
-    const uint64_t rmws0 = bt.counters().sharedRmws.load();
+    const uint64_t rmws0 = bt.countersSnapshot().sharedRmws;
     std::vector<std::thread> producers;
     producers.reserve(f.threads);
     for (unsigned i = 0; i < f.threads; ++i) {
@@ -146,7 +157,7 @@ runMode(BTrace &bt, const Flags &f, PerThread &&perThread)
         t.join();
     r.elapsedSec = std::chrono::duration<double>(Clock::now() - t0)
                        .count();
-    r.sharedRmws = bt.counters().sharedRmws.load() - rmws0;
+    r.sharedRmws = bt.countersSnapshot().sharedRmws - rmws0;
 
     for (uint64_t ops : r.opsPerThread)
         r.totalOps += ops;
@@ -249,27 +260,22 @@ printMode(const char *name, const ModeResult &r)
 }
 
 void
-jsonMode(FILE *fp, const char *name, const ModeResult &r)
+jsonMode(JsonWriter &jw, const char *name, const ModeResult &r)
 {
-    std::fprintf(fp,
-                 "    \"%s\": {\n"
-                 "      \"total_ops\": %llu,\n"
-                 "      \"ops_per_sec\": %.1f,\n"
-                 "      \"p50_ns\": %.1f,\n"
-                 "      \"p99_ns\": %.1f,\n"
-                 "      \"shared_rmws\": %llu,\n"
-                 "      \"rmws_per_op\": %.4f,\n"
-                 "      \"audit_ok\": %s,\n"
-                 "      \"ops_per_thread\": [",
-                 name, static_cast<unsigned long long>(r.totalOps),
-                 r.opsPerSec, r.p50Ns, r.p99Ns,
-                 static_cast<unsigned long long>(r.sharedRmws),
-                 r.rmwsPerOp, r.auditOk ? "true" : "false");
-    for (std::size_t i = 0; i < r.opsPerThread.size(); ++i) {
-        std::fprintf(fp, "%s%llu", i ? ", " : "",
-                     static_cast<unsigned long long>(r.opsPerThread[i]));
-    }
-    std::fprintf(fp, "]\n    }");
+    jw.beginObject(name);
+    jw.field("total_ops", static_cast<unsigned long long>(r.totalOps));
+    jw.field("ops_per_sec", r.opsPerSec);
+    jw.field("p50_ns", r.p50Ns);
+    jw.field("p99_ns", r.p99Ns);
+    jw.field("shared_rmws",
+             static_cast<unsigned long long>(r.sharedRmws));
+    jw.field("rmws_per_op", r.rmwsPerOp);
+    jw.field("audit_ok", r.auditOk);
+    jw.beginArray("ops_per_thread");
+    for (const uint64_t ops : r.opsPerThread)
+        jw.element(static_cast<unsigned long long>(ops));
+    jw.endArray();
+    jw.endObject();
 }
 
 int
@@ -294,13 +300,48 @@ run(int argc, char **argv)
                 "payload %u B, lease %u entries, %.2f s per mode\n",
                 f.threads, cores, f.payload, f.leaseEntries, f.secs);
 
+    // Attach the observability plane around one mode run when asked:
+    // latency histograms via the Tracer-level observer, counter rates
+    // and derived gauges via BTraceObs, streamed to --obs-json (the
+    // second mode appends, so one file carries both labelled runs).
+    bool append = false;
+    const auto withObs = [&](BTrace &bt, const char *mode,
+                             auto &&body) {
+        if (f.obsJson.empty() && f.obsInterval <= 0)
+            return body();
+        TracerObserver observer;
+        bt.attachObserver(&observer);
+        BTraceObs obs(bt, &observer);
+        SamplerOptions so;
+        so.intervalSec = f.obsInterval > 0 ? f.obsInterval : 1.0;
+        so.jsonPath = f.obsJson;
+        so.appendJson = append;
+        so.labels = {{"bench", "micro_throughput"}, {"mode", mode}};
+        append = true;
+        StatsSampler sampler(obs.registry(), so);
+        sampler.setHealthSource([&obs]() { return obs.healthInput(); });
+        if (f.obsInterval > 0)
+            sampler.start();
+        const ModeResult r = body();
+        if (f.obsInterval > 0)
+            sampler.stop();
+        else
+            sampler.sampleOnce();
+        bt.attachObserver(nullptr);
+        return r;
+    };
+
     // Fresh instance per mode so counters and audits are independent.
     BTrace single(make());
-    const ModeResult rs = runSingle(single, f, cores);
+    const ModeResult rs = withObs(single, "single", [&]() {
+        return runSingle(single, f, cores);
+    });
     printMode("single", rs);
 
     BTrace leased(make());
-    const ModeResult rl = runLeased(leased, f, cores);
+    const ModeResult rl = withObs(leased, "leased", [&]() {
+        return runLeased(leased, f, cores);
+    });
     printMode("leased", rl);
 
     const double speedup =
@@ -309,26 +350,27 @@ run(int argc, char **argv)
                 "(RMWs/op %.3f -> %.3f)\n",
                 speedup, rs.rmwsPerOp, rl.rmwsPerOp);
 
-    if (FILE *fp = std::fopen(f.jsonPath.c_str(), "w")) {
-        std::fprintf(fp,
-                     "{\n  \"threads\": %u,\n  \"cores\": %u,\n"
-                     "  \"payload_bytes\": %u,\n"
-                     "  \"lease_entries\": %u,\n"
-                     "  \"seconds_per_mode\": %.3f,\n"
-                     "  \"speedup_leased_over_single\": %.4f,\n"
-                     "  \"modes\": {\n",
-                     f.threads, cores, f.payload, f.leaseEntries,
-                     f.secs, speedup);
-        jsonMode(fp, "single", rs);
-        std::fprintf(fp, ",\n");
-        jsonMode(fp, "leased", rl);
-        std::fprintf(fp, "\n  }\n}\n");
-        std::fclose(fp);
-        std::printf("wrote %s\n", f.jsonPath.c_str());
-    } else {
+    JsonWriter jw(f.jsonPath);
+    if (!jw.ok()) {
         std::fprintf(stderr, "cannot write %s\n", f.jsonPath.c_str());
         return 1;
     }
+    jw.beginObject();
+    jw.field("threads", static_cast<unsigned long long>(f.threads));
+    jw.field("cores", static_cast<unsigned long long>(cores));
+    jw.field("payload_bytes",
+             static_cast<unsigned long long>(f.payload));
+    jw.field("lease_entries",
+             static_cast<unsigned long long>(f.leaseEntries));
+    jw.field("seconds_per_mode", f.secs);
+    jw.field("speedup_leased_over_single", speedup);
+    jw.beginObject("modes");
+    jsonMode(jw, "single", rs);
+    jsonMode(jw, "leased", rl);
+    jw.endObject();
+    jw.endObject();
+    jw.close();
+    std::printf("wrote %s\n", f.jsonPath.c_str());
 
     if (rs.totalOps == 0 || rl.totalOps == 0) {
         std::fprintf(stderr, "FAIL: a mode recorded zero events\n");

@@ -159,7 +159,7 @@ main(int argc, char **argv)
         std::printf("  BTrace: kept writing (%d writes, %llu skips, "
                     "0 drops, no blocking)\n", wrote,
                     static_cast<unsigned long long>(
-                        bt.counters().skips.load()));
+                        bt.countersSnapshot().skips));
         writeNormal(held.dst, 0, 0, 1, 0, 16);
         bt.confirm(held);
     }

@@ -93,18 +93,18 @@ main()
                 double(tracer.capacityBytes()) / 1024.0);
 
     // 4. Internal counters show the mechanisms at work.
-    const BTraceCounters &c = tracer.counters();
+    const BTraceCounters::Snapshot c = tracer.countersSnapshot();
     std::printf("fast-path writes %llu, advancements %llu, closes %llu, "
                 "skips %llu, dummy bytes %llu\n",
-                static_cast<unsigned long long>(c.fastAllocs.load()),
-                static_cast<unsigned long long>(c.advances.load()),
-                static_cast<unsigned long long>(c.closes.load()),
-                static_cast<unsigned long long>(c.skips.load()),
-                static_cast<unsigned long long>(c.dummyBytes.load()));
+                static_cast<unsigned long long>(c.fastAllocs),
+                static_cast<unsigned long long>(c.advances),
+                static_cast<unsigned long long>(c.closes),
+                static_cast<unsigned long long>(c.skips),
+                static_cast<unsigned long long>(c.dummyBytes));
     std::printf("leases %llu serving %llu entries (%llu shared RMWs "
                 "total)\n",
-                static_cast<unsigned long long>(c.leases.load()),
-                static_cast<unsigned long long>(c.leaseEntries.load()),
-                static_cast<unsigned long long>(c.sharedRmws.load()));
+                static_cast<unsigned long long>(c.leases),
+                static_cast<unsigned long long>(c.leaseEntries),
+                static_cast<unsigned long long>(c.sharedRmws));
     return 0;
 }

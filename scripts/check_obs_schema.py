@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Validate a BTrace observability JSON-lines stream (DESIGN.md §8).
+
+Each line is one sample:
+
+    {"seq": N, "t_sec": F, "labels": {..}, "counters": {..},
+     "rates": {..}, "gauges": {..},
+     "histograms": {"name": {"count","p50","p99","p999","max"}},
+     "health": [{"kind","detail"}, ...]}
+
+Checks per line: required keys, types, histogram summary fields, and
+known health kinds. Checks across lines: seq strictly increasing and
+counters / t_sec / histogram counts non-decreasing. A seq of 0 starts
+a new run (bench binaries append one stream per run to the same file),
+which resets the cross-line state.
+
+Usage: check_obs_schema.py FILE [FILE...]   (exit 0 iff all valid)
+"""
+
+import json
+import sys
+
+HIST_FIELDS = ("count", "p50", "p99", "p999", "max")
+HEALTH_KINDS = {
+    "stalled_advancement",
+    "lease_straggler_wedge",
+    "consumer_lag_growth",
+}
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_map(obj, key, value_pred, what):
+    m = obj.get(key)
+    if not isinstance(m, dict):
+        return ["'%s' missing or not an object" % key]
+    return [
+        "%s['%s'] is not %s" % (key, k, what)
+        for k, v in m.items()
+        if not value_pred(v)
+    ]
+
+
+def check_line(obj):
+    errs = []
+    if not isinstance(obj.get("seq"), int) or obj["seq"] < 0:
+        errs.append("'seq' missing or not a non-negative integer")
+    if not is_num(obj.get("t_sec")) or obj["t_sec"] < 0:
+        errs.append("'t_sec' missing or not a non-negative number")
+    errs += check_map(obj, "labels", lambda v: isinstance(v, str), "a string")
+    for key in ("counters", "rates", "gauges"):
+        errs += check_map(obj, key, is_num, "a number")
+    for name, val in obj.get("rates", {}).items():
+        if is_num(val) and val < 0:
+            errs.append("rates['%s'] is negative" % name)
+
+    hists = obj.get("histograms")
+    if not isinstance(hists, dict):
+        errs.append("'histograms' missing or not an object")
+    else:
+        for name, h in hists.items():
+            if not isinstance(h, dict):
+                errs.append("histograms['%s'] is not an object" % name)
+                continue
+            for f in HIST_FIELDS:
+                if not is_num(h.get(f)):
+                    errs.append("histograms['%s'].%s missing" % (name, f))
+
+    health = obj.get("health")
+    if not isinstance(health, list):
+        errs.append("'health' missing or not an array")
+    else:
+        for i, ev in enumerate(health):
+            if not isinstance(ev, dict):
+                errs.append("health[%d] is not an object" % i)
+            elif ev.get("kind") not in HEALTH_KINDS:
+                errs.append("health[%d].kind %r unknown" % (i, ev.get("kind")))
+    return errs
+
+
+def check_file(path):
+    errors = []
+    prev = None  # last sample of the current run
+    lines = 0
+    try:
+        stream = open(path, "r")
+    except OSError as e:
+        return 0, ["%s: %s" % (path, e)]
+    with stream:
+        for lineno, line in enumerate(stream, 1):
+            line = line.strip()
+            if not line:
+                continue
+            lines += 1
+            try:
+                obj = json.loads(line)
+            except ValueError as e:
+                errors.append("%s:%d: invalid JSON: %s" % (path, lineno, e))
+                prev = None
+                continue
+            for err in check_line(obj):
+                errors.append("%s:%d: %s" % (path, lineno, err))
+            if not isinstance(obj.get("seq"), int):
+                prev = None
+                continue
+            if obj["seq"] == 0:
+                prev = obj  # new run
+                continue
+            if prev is not None:
+                if obj["seq"] != prev["seq"] + 1:
+                    errors.append(
+                        "%s:%d: seq %d does not follow %d"
+                        % (path, lineno, obj["seq"], prev["seq"])
+                    )
+                if is_num(obj.get("t_sec")) and is_num(prev.get("t_sec")) \
+                        and obj["t_sec"] < prev["t_sec"]:
+                    errors.append("%s:%d: t_sec went backwards" % (path, lineno))
+                for k, v in prev.get("counters", {}).items():
+                    cur = obj.get("counters", {}).get(k)
+                    if is_num(cur) and is_num(v) and cur < v:
+                        errors.append(
+                            "%s:%d: counter '%s' regressed (%s -> %s)"
+                            % (path, lineno, k, v, cur)
+                        )
+                for name, h in prev.get("histograms", {}).items():
+                    cur = obj.get("histograms", {}).get(name, {})
+                    if isinstance(cur, dict) and is_num(cur.get("count")) \
+                            and is_num(h.get("count")) \
+                            and cur["count"] < h["count"]:
+                        errors.append(
+                            "%s:%d: histogram '%s' count regressed"
+                            % (path, lineno, name)
+                        )
+            prev = obj
+    if lines == 0:
+        errors.append("%s: no samples" % path)
+    return lines, errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.stderr.write(__doc__)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        lines, errors = check_file(path)
+        for err in errors:
+            sys.stderr.write(err + "\n")
+        if errors:
+            failed = True
+        else:
+            print("%s: %d samples OK" % (path, lines))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

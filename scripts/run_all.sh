@@ -1,19 +1,76 @@
 #!/bin/sh
 # Regenerate the full reproduction: build, tests, every experiment.
 # Outputs land in test_output.txt and bench_output.txt at the repo
-# root (the files referenced by EXPERIMENTS.md).
-set -e
+# root (the files referenced by EXPERIMENTS.md); bench binaries also
+# drop their BENCH_*.json next to the working directory.
+#
+# Any --obs-* argument (e.g. --obs-interval=0.5 --obs-json=obs.jsonl)
+# is forwarded to every bench binary, so one invocation produces the
+# observability stream alongside the results; the stream is then
+# schema-checked. A bench exiting nonzero fails the script — loudly,
+# at the end, after every bench has had its chance to run.
+set -eu
 cd "$(dirname "$0")/.."
+
+OBS_FLAGS=
+OBS_JSON=
+for arg in "$@"; do
+    case "$arg" in
+        --obs-json=*)
+            OBS_JSON="${arg#--obs-json=}"
+            OBS_FLAGS="$OBS_FLAGS $arg"
+            ;;
+        --obs-*)
+            OBS_FLAGS="$OBS_FLAGS $arg"
+            ;;
+        *)
+            echo "unknown argument: $arg (only --obs-* is accepted)" >&2
+            exit 2
+            ;;
+    esac
+done
 
 cmake -B build -G Ninja
 cmake --build build
 
+# Plain POSIX sh has no pipefail: the tee would swallow ctest's exit
+# status, so ask ctest itself which tests failed.
 ctest --test-dir build 2>&1 | tee test_output.txt
+if [ -s build/Testing/Temporary/LastTestsFailed.log ]; then
+    echo "FAILED: ctest ($(wc -l < build/Testing/Temporary/LastTestsFailed.log) tests)" >&2
+    exit 1
+fi
 
+# Fresh outputs per invocation; the benches append to them in turn.
 : > bench_output.txt
+[ -n "$OBS_JSON" ] && : > "$OBS_JSON"
+
+failures=
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
-    echo "### $b" | tee -a bench_output.txt
-    "$b" 2>/dev/null | tee -a bench_output.txt
+    echo "### $b $OBS_FLAGS" | tee -a bench_output.txt
+    # Run to a temp file first: a tee pipeline would swallow the exit
+    # status under plain POSIX sh.
+    status=0
+    # shellcheck disable=SC2086  # OBS_FLAGS is intentionally split
+    "$b" $OBS_FLAGS > "$tmp" 2>&1 || status=$?
+    tee -a bench_output.txt < "$tmp"
+    if [ "$status" -ne 0 ]; then
+        echo "FAILED: $b exited $status" | tee -a bench_output.txt >&2
+        failures="$failures $(basename "$b")"
+    fi
     echo | tee -a bench_output.txt
 done
+
+if [ -n "$OBS_JSON" ] && [ -s "$OBS_JSON" ]; then
+    python3 scripts/check_obs_schema.py "$OBS_JSON" ||
+        failures="$failures obs-schema"
+fi
+
+if [ -n "$failures" ]; then
+    echo "FAILED:$failures" >&2
+    exit 1
+fi
+echo "All benches completed."

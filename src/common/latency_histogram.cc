@@ -1,0 +1,159 @@
+#include "common/latency_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <thread>
+
+namespace btrace {
+
+namespace {
+
+/**
+ * Stable small integer id per thread: assigned once on first use, so
+ * a thread keeps hitting the same shard (and the same cache lines)
+ * for its whole lifetime instead of hashing a recycled native id.
+ */
+unsigned
+threadOrdinal()
+{
+    static std::atomic<unsigned> next{0};
+    thread_local const unsigned ordinal =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return ordinal;
+}
+
+} // namespace
+
+uint64_t
+HistogramSnapshot::quantile(double q) const
+{
+    if (total == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Nearest-rank: the smallest bucket whose cumulative count covers
+    // rank ceil(q * total), with rank >= 1.
+    const uint64_t rank = std::max<uint64_t>(
+        1, static_cast<uint64_t>(q * double(total) + 0.5));
+    uint64_t seen = 0;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+        seen += counts[b];
+        if (seen >= rank)
+            return ConcurrentHistogram::bucketLowerBound(b);
+    }
+    return ConcurrentHistogram::bucketLowerBound(counts.size() - 1);
+}
+
+uint64_t
+HistogramSnapshot::maxValue() const
+{
+    for (std::size_t b = counts.size(); b-- > 0;) {
+        if (counts[b] != 0)
+            return ConcurrentHistogram::bucketLowerBound(b);
+    }
+    return 0;
+}
+
+HistogramSnapshot &
+HistogramSnapshot::merge(const HistogramSnapshot &other)
+{
+    if (counts.empty())
+        counts.assign(other.counts.size(), 0);
+    for (std::size_t b = 0;
+         b < counts.size() && b < other.counts.size(); ++b)
+        counts[b] += other.counts[b];
+    total += other.total;
+    return *this;
+}
+
+ConcurrentHistogram::ConcurrentHistogram(unsigned shards)
+{
+    if (shards == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        shards = std::clamp(hw, 2u, 16u);
+    }
+    nShards = shards;
+    this->shards = std::make_unique<Shard[]>(nShards);
+    clear();
+}
+
+std::size_t
+ConcurrentHistogram::bucketOf(uint64_t v)
+{
+    if (v < kSubCount)
+        return static_cast<std::size_t>(v);
+    const unsigned exp = std::bit_width(v) - 1;  // v in [2^exp, 2^exp+1)
+    if (exp > kMaxExp)
+        return kBuckets - 1;  // overflow bucket
+    const uint64_t sub = (v >> (exp - kSubBits)) - kSubCount;
+    return kSubCount +
+           std::size_t(exp - kSubBits) * kSubCount +
+           static_cast<std::size_t>(sub);
+}
+
+uint64_t
+ConcurrentHistogram::bucketLowerBound(std::size_t b)
+{
+    if (b < kSubCount)
+        return b;
+    if (b >= kBuckets - 1)
+        return uint64_t(1) << (kMaxExp + 1);  // overflow representative
+    const std::size_t i = b - kSubCount;
+    const unsigned exp = kSubBits + unsigned(i / kSubCount);
+    const uint64_t sub = i % kSubCount;
+    return (uint64_t(kSubCount) + sub) << (exp - kSubBits);
+}
+
+unsigned
+ConcurrentHistogram::shardFor() const
+{
+    return threadOrdinal() % nShards;
+}
+
+void
+ConcurrentHistogram::add(uint64_t v)
+{
+    addToShard(shardFor(), v);
+}
+
+void
+ConcurrentHistogram::addToShard(unsigned shard, uint64_t v)
+{
+    shards[shard % nShards].counts[bucketOf(v)].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot
+ConcurrentHistogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    snap.counts.assign(kBuckets, 0);
+    for (unsigned s = 0; s < nShards; ++s) {
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+            snap.counts[b] +=
+                shards[s].counts[b].load(std::memory_order_relaxed);
+        }
+    }
+    for (const uint64_t c : snap.counts)
+        snap.total += c;
+    return snap;
+}
+
+uint64_t
+ConcurrentHistogram::count() const
+{
+    uint64_t n = 0;
+    for (unsigned s = 0; s < nShards; ++s)
+        for (std::size_t b = 0; b < kBuckets; ++b)
+            n += shards[s].counts[b].load(std::memory_order_relaxed);
+    return n;
+}
+
+void
+ConcurrentHistogram::clear()
+{
+    for (unsigned s = 0; s < nShards; ++s)
+        for (std::size_t b = 0; b < kBuckets; ++b)
+            shards[s].counts[b].store(0, std::memory_order_relaxed);
+}
+
+} // namespace btrace

@@ -235,7 +235,8 @@ BTraceAuditor::audit() const
     // what they publish, so the counter is exactly the unpublished
     // residue. With no leases in play it is zero and any deficit is a
     // lost confirm.
-    if (const uint64_t outstanding = bt.ctrs.leasedOutstanding.load();
+    if (const uint64_t outstanding =
+            bt.countersSnapshot().leasedOutstanding;
         deficit_total != outstanding) {
         addViolation(bad,
                      "reserved-but-unconfirmed bytes %" PRIu64
@@ -288,28 +289,28 @@ BTraceAuditor::audit() const
     }
 
     // --- Counter consistency -----------------------------------------
-    const BTraceCounters &c = bt.ctrs;
-    if (c.dummyBytes.load() % EntryLayout::align != 0)
+    const BTraceCounters::Snapshot c = bt.countersSnapshot();
+    if (c.dummyBytes % EntryLayout::align != 0)
         addViolation(bad, "dummyBytes counter %" PRIu64 " not 8-aligned",
-                     c.dummyBytes.load());
-    if (tot.dummyBytes > c.dummyBytes.load()) {
+                     c.dummyBytes);
+    if (tot.dummyBytes > c.dummyBytes) {
         addViolation(bad,
                      "tiled dummy bytes %" PRIu64
                      " exceed cumulative counter %" PRIu64,
-                     tot.dummyBytes, c.dummyBytes.load());
+                     tot.dummyBytes, c.dummyBytes);
     }
-    if (visible_skips > c.skips.load()) {
+    if (visible_skips > c.skips) {
         addViolation(bad,
                      "%" PRIu64 " visible skip markers exceed skip "
                      "counter %" PRIu64,
-                     visible_skips, c.skips.load());
+                     visible_skips, c.skips);
     }
     // Every advancement-loop outcome consumed one candidate position;
     // frozen backoffs and re-checked candidates consume more, so the
     // counted outcomes bound the consumed positions from below.
     const uint64_t consumed = g.pos - std::min<uint64_t>(g.pos, A);
-    const uint64_t outcomes = c.advances.load() + c.skips.load() +
-                              c.lockRaces.load() + c.coreRaces.load();
+    const uint64_t outcomes = c.advances + c.skips +
+                              c.lockRaces + c.coreRaces;
     if (outcomes > consumed) {
         addViolation(bad,
                      "advancement outcomes %" PRIu64

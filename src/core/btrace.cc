@@ -26,6 +26,53 @@ checkedRound(uint64_t pos, std::size_t num_active)
 
 } // namespace
 
+BTraceCounters::Snapshot
+BTraceCounters::snapshot() const
+{
+    Snapshot s;
+    const auto ld = [](const std::atomic<uint64_t> &a) {
+        return a.load(std::memory_order_relaxed);
+    };
+    s.fastAllocs = ld(fastAllocs);
+    s.boundaryFills = ld(boundaryFills);
+    s.staleAllocs = ld(staleAllocs);
+    s.advances = ld(advances);
+    s.skips = ld(skips);
+    s.closes = ld(closes);
+    s.lockRaces = ld(lockRaces);
+    s.coreRaces = ld(coreRaces);
+    s.wouldBlock = ld(wouldBlock);
+    s.dummyBytes = ld(dummyBytes);
+    s.resizes = ld(resizes);
+    s.sharedRmws = ld(sharedRmws);
+    s.leases = ld(leases);
+    s.leaseEntries = ld(leaseEntries);
+    s.leasedOutstanding = ld(leasedOutstanding);
+    return s;
+}
+
+BTraceCounters::Snapshot
+BTraceCounters::Snapshot::operator-(const Snapshot &base) const
+{
+    Snapshot d;
+    d.fastAllocs = fastAllocs - base.fastAllocs;
+    d.boundaryFills = boundaryFills - base.boundaryFills;
+    d.staleAllocs = staleAllocs - base.staleAllocs;
+    d.advances = advances - base.advances;
+    d.skips = skips - base.skips;
+    d.closes = closes - base.closes;
+    d.lockRaces = lockRaces - base.lockRaces;
+    d.coreRaces = coreRaces - base.coreRaces;
+    d.wouldBlock = wouldBlock - base.wouldBlock;
+    d.dummyBytes = dummyBytes - base.dummyBytes;
+    d.resizes = resizes - base.resizes;
+    d.sharedRmws = sharedRmws - base.sharedRmws;
+    d.leases = leases - base.leases;
+    d.leaseEntries = leaseEntries - base.leaseEntries;
+    d.leasedOutstanding = leasedOutstanding - base.leasedOutstanding;
+    return d;
+}
+
 BTrace::BTrace(const BTraceConfig &config, const CostModel &model)
     : Tracer(model), cfg(config), cap(config.blockSize),
       numActive(config.activeBlocks), maxN(config.effectiveMaxBlocks()),
@@ -94,6 +141,35 @@ BTrace::numBlocks() const
     const auto g = RatioPos::unpack(
         global->load(std::memory_order_acquire));
     return numActive * g.ratio;
+}
+
+uint64_t
+BTrace::headPosition() const
+{
+    return RatioPos::unpack(global->load(std::memory_order_acquire))
+        .pos;
+}
+
+ActiveBlockOccupancy
+BTrace::occupancy() const
+{
+    // Monitoring-grade scan: each slot read is internally consistent
+    // (one Confirmed load, one Allocated load), the set of slots is
+    // not a linearizable cut. Safe concurrently with producers.
+    ActiveBlockOccupancy occ;
+    for (const MetadataBlock &m : meta) {
+        const RndPos conf = m.loadConfirmed();
+        if (conf.pos >= cap) {
+            ++occ.complete;
+            continue;
+        }
+        const RndPos alloc = m.loadAllocated();
+        if (alloc.rnd == conf.rnd && alloc.pos == conf.pos)
+            ++occ.open;
+        else
+            ++occ.incomplete;
+    }
+    return occ;
 }
 
 WriteTicket

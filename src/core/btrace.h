@@ -39,7 +39,13 @@
 
 namespace btrace {
 
-/** Internal event counters (all relaxed; for tests and reports). */
+/**
+ * Internal event counters (all relaxed). Live atomics are private to
+ * the tracer (and white-box tests); everyone else reads a coherent
+ * value-type Snapshot via BTrace::countersSnapshot() — handing out the
+ * atomic struct invites torn cross-field reads (field A before an
+ * update, field B after it) that look like accounting violations.
+ */
 struct BTraceCounters
 {
     std::atomic<uint64_t> fastAllocs{0};     //!< fast-path successes
@@ -65,6 +71,55 @@ struct BTraceCounters
     std::atomic<uint64_t> leaseEntries{0};   //!< entries served from leases
     /** Bytes leased but not yet published by a lease close. */
     std::atomic<uint64_t> leasedOutstanding{0};
+
+    /**
+     * Value-type copy of the counters. Fields mirror the atomics
+     * one-for-one; all loads are relaxed (each field individually
+     * up-to-date, the set not a linearizable cut — fine for tests,
+     * reports, and monitoring; quiesce first for exact accounting).
+     */
+    struct Snapshot
+    {
+        uint64_t fastAllocs = 0;
+        uint64_t boundaryFills = 0;
+        uint64_t staleAllocs = 0;
+        uint64_t advances = 0;
+        uint64_t skips = 0;
+        uint64_t closes = 0;
+        uint64_t lockRaces = 0;
+        uint64_t coreRaces = 0;
+        uint64_t wouldBlock = 0;
+        uint64_t dummyBytes = 0;
+        uint64_t resizes = 0;
+        uint64_t sharedRmws = 0;
+        uint64_t leases = 0;
+        uint64_t leaseEntries = 0;
+        uint64_t leasedOutstanding = 0;
+
+        /**
+         * Interval diff: this minus @p base, field by field. Counters
+         * are monotonic so diffs of ordered snapshots are exact;
+         * leasedOutstanding is a level, its diff is the (wrapping)
+         * signed change over the interval.
+         */
+        Snapshot operator-(const Snapshot &base) const;
+    };
+
+    Snapshot snapshot() const;
+};
+
+/**
+ * Occupancy of the A metadata slots at one instant (§3.2 terminology):
+ * complete — current round fully confirmed; open — partially filled
+ * with every reservation confirmed (a closer could shut it now);
+ * incomplete — holding unconfirmed reservations (an in-flight writer,
+ * an open lease, or a straggler). complete+open+incomplete == A.
+ */
+struct ActiveBlockOccupancy
+{
+    uint64_t complete = 0;
+    uint64_t open = 0;
+    uint64_t incomplete = 0;
 };
 
 /** Implementation of the Tracer interface per §3-§4 of the paper. */
@@ -129,7 +184,18 @@ class BTrace : public Tracer
     std::size_t numBlocks() const;
 
     const BTraceConfig &config() const { return cfg; }
-    const BTraceCounters &counters() const { return ctrs; }
+
+    /** Coherent value-type copy of the event counters. */
+    BTraceCounters::Snapshot countersSnapshot() const
+    {
+        return ctrs.snapshot();
+    }
+
+    /** Global advancement position (candidates handed out so far). */
+    uint64_t headPosition() const;
+
+    /** Classify every metadata slot (observability plane; relaxed). */
+    ActiveBlockOccupancy occupancy() const;
 
     /** Resident physical memory of the data area, in bytes. */
     std::size_t residentBytes() const { return span.residentBytes(); }
@@ -140,6 +206,13 @@ class BTrace : public Tracer
   private:
     friend class BTraceInspector;  //!< white-box test access
     friend class BTraceAuditor;    //!< post-quiesce invariant checker
+
+    /**
+     * Live atomic counters. Test-only: white-box friends may read the
+     * atomics directly; every other consumer goes through
+     * countersSnapshot() to avoid torn cross-field reads.
+     */
+    const BTraceCounters &counters() const { return ctrs; }
 
     enum class AdvanceResult { Advanced, LostRace, WouldBlock };
 

@@ -1,0 +1,485 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace btrace {
+
+namespace {
+
+/**
+ * Format a metric value the way both wire formats want it: integral
+ * values (the overwhelmingly common case — counters, bucket bounds)
+ * without a fractional tail, everything else with enough digits to
+ * round-trip a rate or ratio.
+ */
+std::string
+formatValue(double v)
+{
+    char buf[40];
+    if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    } else if (std::isnan(v)) {
+        std::snprintf(buf, sizeof(buf), "NaN");
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.10g", v);
+    }
+    return buf;
+}
+
+void
+appendKvs(std::string &out, const char *key,
+          const std::vector<std::pair<std::string, double>> &kvs)
+{
+    out += "\"";
+    out += key;
+    out += "\":{";
+    bool first = true;
+    for (const auto &kv : kvs) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"" + jsonEscape(kv.first) + "\":" + formatValue(kv.second);
+    }
+    out += "}";
+}
+
+/** Render `{label="v",...}`; empty string when there are no labels. */
+std::string
+promLabels(const ObsLabels &labels, const std::string &extra = {})
+{
+    if (labels.empty() && extra.empty()) return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto &kv : labels) {
+        if (!first) out += ",";
+        first = false;
+        out += kv.first + "=\"";
+        // Prometheus label escaping: backslash, quote, newline.
+        for (char c : kv.second) {
+            if (c == '\\') out += "\\\\";
+            else if (c == '"') out += "\\\"";
+            else if (c == '\n') out += "\\n";
+            else out += c;
+        }
+        out += "\"";
+    }
+    if (!extra.empty()) {
+        if (!first) out += ",";
+        out += extra;
+    }
+    out += "}";
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader, scoped to what renderJsonLine() emits: objects,
+// arrays, strings, numbers. No unicode escapes beyond pass-through.
+// ---------------------------------------------------------------------
+
+struct JsonValue
+{
+    enum class Type { Null, Number, String, Object, Array };
+    Type type = Type::Null;
+    double num = 0.0;
+    std::string str;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+    std::vector<JsonValue> arr;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &kv : obj)
+            if (kv.first == key) return &kv.second;
+        return nullptr;
+    }
+};
+
+class JsonReader
+{
+  public:
+    explicit JsonReader(const std::string &text) : s(text) {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!value(out)) return false;
+        skipWs();
+        return pos == s.size();
+    }
+
+    std::string error;
+
+  private:
+    const std::string &s;
+    std::size_t pos = 0;
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    bool
+    fail(const char *why)
+    {
+        if (error.empty()) {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf), "%s at offset %zu", why, pos);
+            error = buf;
+        }
+        return false;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        skipWs();
+        if (pos >= s.size()) return fail("unexpected end");
+        const char c = s[pos];
+        if (c == '{') return object(out);
+        if (c == '[') return array(out);
+        if (c == '"') {
+            out.type = JsonValue::Type::String;
+            return string(out.str);
+        }
+        if (c == '-' || (c >= '0' && c <= '9')) return number(out);
+        if (s.compare(pos, 4, "null") == 0) {
+            pos += 4;
+            out.type = JsonValue::Type::Null;
+            return true;
+        }
+        return fail("unexpected token");
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (s[pos] != '"') return fail("expected string");
+        ++pos;
+        out.clear();
+        while (pos < s.size() && s[pos] != '"') {
+            char c = s[pos++];
+            if (c == '\\') {
+                if (pos >= s.size()) return fail("bad escape");
+                const char e = s[pos++];
+                switch (e) {
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'u':
+                    // Emitted only for control chars; decode latin-1
+                    // range, which is all renderJsonLine() produces.
+                    if (pos + 4 > s.size()) return fail("bad \\u");
+                    out += static_cast<char>(
+                        std::strtoul(s.substr(pos, 4).c_str(), nullptr,
+                                     16));
+                    pos += 4;
+                    break;
+                  default:
+                    return fail("bad escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        if (pos >= s.size()) return fail("unterminated string");
+        ++pos; // closing quote
+        return true;
+    }
+
+    bool
+    number(JsonValue &out)
+    {
+        const char *start = s.c_str() + pos;
+        char *end = nullptr;
+        out.num = std::strtod(start, &end);
+        if (end == start) return fail("bad number");
+        pos += static_cast<std::size_t>(end - start);
+        out.type = JsonValue::Type::Number;
+        return true;
+    }
+
+    bool
+    object(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Object;
+        ++pos; // '{'
+        skipWs();
+        if (pos < s.size() && s[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!string(key)) return false;
+            skipWs();
+            if (pos >= s.size() || s[pos] != ':')
+                return fail("expected ':'");
+            ++pos;
+            JsonValue v;
+            if (!value(v)) return false;
+            out.obj.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (pos < s.size() && s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (pos < s.size() && s[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    array(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Array;
+        ++pos; // '['
+        skipWs();
+        if (pos < s.size() && s[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            JsonValue v;
+            if (!value(v)) return false;
+            out.arr.push_back(std::move(v));
+            skipWs();
+            if (pos < s.size() && s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (pos < s.size() && s[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+};
+
+bool
+copyNumberMap(const JsonValue *v, std::map<std::string, double> &out)
+{
+    if (v == nullptr) return true; // section optional
+    if (v->type != JsonValue::Type::Object) return false;
+    for (const auto &kv : v->obj) {
+        if (kv.second.type != JsonValue::Type::Number) return false;
+        out[kv.first] = kv.second.num;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+renderJsonLine(const ObsSample &sample)
+{
+    std::string out;
+    out.reserve(1024);
+    char head[96];
+    std::snprintf(head, sizeof(head), "{\"seq\":%" PRIu64 ",\"t_sec\":%.6f,",
+                  sample.seq, sample.tSec);
+    out += head;
+
+    out += "\"labels\":{";
+    bool first = true;
+    for (const auto &kv : sample.labels) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"" + jsonEscape(kv.first) + "\":\"" +
+               jsonEscape(kv.second) + "\"";
+    }
+    out += "},";
+
+    appendKvs(out, "counters", sample.counters);
+    out += ",";
+    appendKvs(out, "rates", sample.rates);
+    out += ",";
+    appendKvs(out, "gauges", sample.gauges);
+    out += ",";
+
+    out += "\"histograms\":{";
+    first = true;
+    for (const HistogramValue &h : sample.histograms) {
+        if (!first) out += ",";
+        first = false;
+        char buf[192];
+        std::snprintf(buf, sizeof(buf),
+                      "\"%s\":{\"count\":%" PRIu64 ",\"p50\":%" PRIu64
+                      ",\"p99\":%" PRIu64 ",\"p999\":%" PRIu64
+                      ",\"max\":%" PRIu64 "}",
+                      jsonEscape(h.name).c_str(), h.count, h.p50, h.p99,
+                      h.p999, h.max);
+        out += buf;
+    }
+    out += "},";
+
+    out += "\"health\":[";
+    first = true;
+    for (const HealthEvent &e : sample.health) {
+        if (!first) out += ",";
+        first = false;
+        out += "{\"kind\":\"";
+        out += healthKindName(e.kind);
+        out += "\",\"detail\":\"" + jsonEscape(e.detail) + "\"}";
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+renderPrometheus(const MetricsRegistry::Collected &collected,
+                 const ObsLabels &labels)
+{
+    std::string out;
+    out.reserve(2048);
+    const std::string lbl = promLabels(labels);
+
+    for (const MetricValue &m : collected.metrics) {
+        out += "# HELP " + m.name + " " + m.help + "\n";
+        out += "# TYPE " + m.name + " ";
+        out += (m.kind == MetricKind::Counter) ? "counter" : "gauge";
+        out += "\n";
+        out += m.name + lbl + " " + formatValue(m.value) + "\n";
+    }
+
+    for (const HistogramValue &h : collected.histograms) {
+        out += "# HELP " + h.name + " " + h.help + "\n";
+        out += "# TYPE " + h.name + " summary\n";
+        const struct { const char *q; uint64_t v; } qs[] = {
+            {"0.5", h.p50}, {"0.99", h.p99}, {"0.999", h.p999}};
+        for (const auto &q : qs) {
+            out += h.name +
+                   promLabels(labels,
+                              std::string("quantile=\"") + q.q + "\"") +
+                   " " + formatValue(static_cast<double>(q.v)) + "\n";
+        }
+        out += h.name + "_count" + lbl + " " +
+               formatValue(static_cast<double>(h.count)) + "\n";
+        out += h.name + "_max" + lbl + " " +
+               formatValue(static_cast<double>(h.max)) + "\n";
+    }
+    return out;
+}
+
+ParsedObsLine
+parseObsLine(const std::string &line)
+{
+    ParsedObsLine out;
+    JsonValue root;
+    JsonReader reader(line);
+    if (!reader.parse(root) || root.type != JsonValue::Type::Object) {
+        out.error = reader.error.empty() ? "not a JSON object"
+                                         : reader.error;
+        return out;
+    }
+
+    const JsonValue *seq = root.find("seq");
+    const JsonValue *t = root.find("t_sec");
+    if (seq == nullptr || seq->type != JsonValue::Type::Number ||
+        t == nullptr || t->type != JsonValue::Type::Number) {
+        out.error = "missing seq/t_sec";
+        return out;
+    }
+    out.seq = static_cast<uint64_t>(seq->num);
+    out.tSec = t->num;
+
+    if (const JsonValue *v = root.find("labels")) {
+        if (v->type != JsonValue::Type::Object) {
+            out.error = "labels not an object";
+            return out;
+        }
+        for (const auto &kv : v->obj) {
+            if (kv.second.type != JsonValue::Type::String) {
+                out.error = "label value not a string";
+                return out;
+            }
+            out.labels[kv.first] = kv.second.str;
+        }
+    }
+
+    if (!copyNumberMap(root.find("counters"), out.counters) ||
+        !copyNumberMap(root.find("rates"), out.rates) ||
+        !copyNumberMap(root.find("gauges"), out.gauges)) {
+        out.error = "non-numeric counter/rate/gauge value";
+        return out;
+    }
+
+    if (const JsonValue *v = root.find("histograms")) {
+        if (v->type != JsonValue::Type::Object) {
+            out.error = "histograms not an object";
+            return out;
+        }
+        for (const auto &kv : v->obj) {
+            if (!copyNumberMap(&kv.second, out.histograms[kv.first])) {
+                out.error = "non-numeric histogram field";
+                return out;
+            }
+        }
+    }
+
+    if (const JsonValue *v = root.find("health")) {
+        if (v->type != JsonValue::Type::Array) {
+            out.error = "health not an array";
+            return out;
+        }
+        for (const JsonValue &e : v->arr) {
+            const JsonValue *kind =
+                e.type == JsonValue::Type::Object ? e.find("kind")
+                                                  : nullptr;
+            if (kind == nullptr ||
+                kind->type != JsonValue::Type::String) {
+                out.error = "health entry without kind";
+                return out;
+            }
+            out.healthKinds.push_back(kind->str);
+        }
+    }
+
+    out.ok = true;
+    return out;
+}
+
+} // namespace btrace

@@ -1,0 +1,71 @@
+#include "obs/metrics.h"
+
+#include <utility>
+
+namespace btrace {
+
+void
+MetricsRegistry::addCounter(std::string name, std::string help,
+                            ReadFn fn)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    scalars.push_back(Scalar{std::move(name), std::move(help),
+                             MetricKind::Counter, std::move(fn)});
+}
+
+void
+MetricsRegistry::addGauge(std::string name, std::string help, ReadFn fn)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    scalars.push_back(Scalar{std::move(name), std::move(help),
+                             MetricKind::Gauge, std::move(fn)});
+}
+
+void
+MetricsRegistry::addHistogram(std::string name, std::string help,
+                              const ConcurrentHistogram *h)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    hists.push_back(Hist{std::move(name), std::move(help), h});
+}
+
+MetricsRegistry::Collected
+MetricsRegistry::collect() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    Collected out;
+    out.metrics.reserve(scalars.size());
+    for (const Scalar &s : scalars) {
+        MetricValue v;
+        v.name = s.name;
+        v.help = s.help;
+        v.kind = s.kind;
+        v.value = s.fn ? s.fn() : 0.0;
+        out.metrics.push_back(std::move(v));
+    }
+    out.histograms.reserve(hists.size());
+    for (const Hist &h : hists) {
+        HistogramValue v;
+        v.name = h.name;
+        v.help = h.help;
+        if (h.h != nullptr) {
+            const HistogramSnapshot snap = h.h->snapshot();
+            v.count = snap.count();
+            v.p50 = snap.quantile(0.50);
+            v.p99 = snap.quantile(0.99);
+            v.p999 = snap.quantile(0.999);
+            v.max = snap.maxValue();
+        }
+        out.histograms.push_back(std::move(v));
+    }
+    return out;
+}
+
+std::size_t
+MetricsRegistry::metricCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return scalars.size() + hists.size();
+}
+
+} // namespace btrace

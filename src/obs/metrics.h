@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Metrics registry of the observability plane (DESIGN.md §8).
+ *
+ * A MetricsRegistry is a named collection of read callbacks: counters
+ * (monotonically non-decreasing cumulative values), gauges (levels
+ * and derived ratios), and wide-range latency histograms
+ * (common/latency_histogram.h). Producers register once at setup;
+ * collect() evaluates every callback and returns a plain value-type
+ * Collected that the exporters (obs/export.h) serialize to JSON-lines
+ * or Prometheus text exposition format and the StatsSampler
+ * (obs/sampler.h) turns into rates.
+ *
+ * Metric names are expected in Prometheus style already —
+ * `[a-z_][a-z0-9_]*`, counters suffixed `_total` — so no exporter has
+ * to mangle them. Registration is mutex-guarded against collection,
+ * but the intended shape is: register everything, then start
+ * sampling. The callbacks themselves must be safe to run concurrently
+ * with live producers (relaxed atomic reads; no locks shared with the
+ * hot path).
+ */
+
+#ifndef BTRACE_OBS_METRICS_H
+#define BTRACE_OBS_METRICS_H
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/latency_histogram.h"
+
+namespace btrace {
+
+/** Metric classes, Prometheus terminology. */
+enum class MetricKind
+{
+    Counter,  //!< cumulative, non-decreasing
+    Gauge,    //!< instantaneous level or ratio
+};
+
+/** One evaluated scalar metric. */
+struct MetricValue
+{
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::Gauge;
+    double value = 0.0;
+};
+
+/** One evaluated histogram, summarized to headline quantiles. */
+struct HistogramValue
+{
+    std::string name;
+    std::string help;
+    uint64_t count = 0;
+    uint64_t p50 = 0;
+    uint64_t p99 = 0;
+    uint64_t p999 = 0;
+    uint64_t max = 0;
+};
+
+/** Registry of metric callbacks; collect() evaluates them. */
+class MetricsRegistry
+{
+  public:
+    using ReadFn = std::function<double()>;
+
+    /** Everything collect() evaluated, in registration order. */
+    struct Collected
+    {
+        std::vector<MetricValue> metrics;
+        std::vector<HistogramValue> histograms;
+    };
+
+    void addCounter(std::string name, std::string help, ReadFn fn);
+    void addGauge(std::string name, std::string help, ReadFn fn);
+
+    /**
+     * Register a histogram; @p h must outlive the registry. Each
+     * collect() takes one merged snapshot and summarizes it.
+     */
+    void addHistogram(std::string name, std::string help,
+                      const ConcurrentHistogram *h);
+
+    /** Evaluate every registered metric now. */
+    Collected collect() const;
+
+    std::size_t metricCount() const;
+
+  private:
+    struct Scalar
+    {
+        std::string name;
+        std::string help;
+        MetricKind kind;
+        ReadFn fn;
+    };
+
+    struct Hist
+    {
+        std::string name;
+        std::string help;
+        const ConcurrentHistogram *h;
+    };
+
+    mutable std::mutex mu;
+    std::vector<Scalar> scalars;
+    std::vector<Hist> hists;
+};
+
+} // namespace btrace
+
+#endif // BTRACE_OBS_METRICS_H

@@ -1,0 +1,171 @@
+#include "obs/sampler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace btrace {
+
+StatsSampler::StatsSampler(const MetricsRegistry &registry,
+                           SamplerOptions options)
+    : reg(registry), opt(std::move(options)), dog(opt.watchdog),
+      epoch(std::chrono::steady_clock::now())
+{
+    if (opt.ringSize == 0) opt.ringSize = 1;
+    if (opt.intervalSec <= 0.0) opt.intervalSec = 1.0;
+}
+
+StatsSampler::~StatsSampler()
+{
+    stop();
+}
+
+void
+StatsSampler::setHealthSource(HealthSource source)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    healthSrc = std::move(source);
+}
+
+double
+StatsSampler::nowSec() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+}
+
+void
+StatsSampler::start()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (running) return;
+    running = true;
+    stopRequested = false;
+    worker = std::thread([this] { run(); });
+}
+
+void
+StatsSampler::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!running) return;
+        stopRequested = true;
+    }
+    cv.notify_all();
+    worker.join();
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        running = false;
+        if (jsonOut.is_open()) jsonOut.flush();
+    }
+}
+
+void
+StatsSampler::run()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    while (!stopRequested) {
+        const auto period = std::chrono::duration<double>(opt.intervalSec);
+        if (cv.wait_for(lock, period, [this] { return stopRequested; }))
+            break;
+        lock.unlock();
+        sampleOnce();
+        lock.lock();
+    }
+    lock.unlock();
+    // Final sample so short runs always leave at least one record.
+    sampleOnce();
+}
+
+ObsSample
+StatsSampler::sampleOnce()
+{
+    // Collect outside the sampler lock: registry callbacks only touch
+    // atomics, but there is no reason to serialize them with recent().
+    const MetricsRegistry::Collected c = reg.collect();
+    const double t = nowSec();
+
+    std::unique_lock<std::mutex> lock(mu);
+    ObsSample s;
+    s.seq = nextSeq++;
+    s.tSec = t;
+    s.labels = opt.labels;
+    s.histograms = c.histograms;
+    for (const MetricValue &m : c.metrics) {
+        if (m.kind == MetricKind::Counter)
+            s.counters.emplace_back(m.name, m.value);
+        else
+            s.gauges.emplace_back(m.name, m.value);
+    }
+
+    // Per-second rates vs the previous sample, matched by name so a
+    // registry that grows between samples degrades gracefully.
+    if (havePrev) {
+        const double dt = t - prevT;
+        if (dt > 0.0) {
+            for (const auto &kv : s.counters) {
+                for (const auto &pv : prevCounters) {
+                    if (pv.first != kv.first) continue;
+                    s.rates.emplace_back(
+                        kv.first,
+                        std::max(0.0, kv.second - pv.second) / dt);
+                    break;
+                }
+            }
+        }
+    }
+    prevCounters = s.counters;
+    prevT = t;
+    havePrev = true;
+
+    if (healthSrc) {
+        HealthInput in = healthSrc();
+        in.tSec = t;
+        in.seq = s.seq;
+        s.health = dog.observe(in);
+    }
+
+    ring.push_back(s);
+    if (ring.size() > opt.ringSize)
+        ring.erase(ring.begin(),
+                   ring.begin() +
+                       static_cast<long>(ring.size() - opt.ringSize));
+
+    if (!opt.jsonPath.empty()) {
+        if (!jsonOpened) {
+            jsonOpened = true;
+            jsonOut.open(opt.jsonPath, opt.appendJson
+                                           ? std::ios::app
+                                           : std::ios::trunc);
+        }
+        if (jsonOut.is_open()) {
+            jsonOut << renderJsonLine(s) << '\n';
+            jsonOut.flush();
+        }
+    }
+    return s;
+}
+
+std::vector<ObsSample>
+StatsSampler::recent() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return ring;
+}
+
+uint64_t
+StatsSampler::samplesTaken() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return nextSeq;
+}
+
+std::vector<HealthEvent>
+StatsSampler::healthHistory() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return dog.history();
+}
+
+} // namespace btrace

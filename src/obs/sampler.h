@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Background stats sampler of the observability plane (DESIGN.md §8).
+ *
+ * A StatsSampler periodically collect()s a MetricsRegistry, turns each
+ * collection into an ObsSample — cumulative counters, per-second rates
+ * against the previous sample, gauges, histogram quantiles — and
+ * (optionally) appends one JSON line per sample to a file and feeds a
+ * HealthWatchdog. It keeps a bounded ring of recent samples for
+ * in-process inspection (crash dumps, the `--metrics` pretty-printer).
+ *
+ * The sampler thread only ever reads atomics published by the traced
+ * threads; it takes no lock shared with the tracer hot path, so
+ * attaching it to a saturated producer workload perturbs nothing but
+ * the cache lines it reads. sampleOnce() is also callable without
+ * start() for single-shot exports and deterministic tests.
+ */
+
+#ifndef BTRACE_OBS_SAMPLER_H
+#define BTRACE_OBS_SAMPLER_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/watchdog.h"
+
+namespace btrace {
+
+/** Sampler configuration. */
+struct SamplerOptions
+{
+    double intervalSec = 1.0;   //!< background sampling period
+    std::size_t ringSize = 64;  //!< recent samples retained
+    std::string jsonPath;       //!< JSON-lines output; empty disables
+    bool appendJson = false;    //!< append instead of truncate
+    ObsLabels labels;           //!< attached to every sample
+    WatchdogOptions watchdog;   //!< health heuristics sensitivity
+};
+
+/** Periodic registry snapshotter with rates, ring, and JSON output. */
+class StatsSampler
+{
+  public:
+    /** Produces the watchdog's raw input (e.g. BTraceObs::healthInput). */
+    using HealthSource = std::function<HealthInput()>;
+
+    explicit StatsSampler(const MetricsRegistry &registry,
+                          SamplerOptions options = {});
+    ~StatsSampler();
+
+    StatsSampler(const StatsSampler &) = delete;
+    StatsSampler &operator=(const StatsSampler &) = delete;
+
+    /** Enable the health watchdog; set before start(). */
+    void setHealthSource(HealthSource source);
+
+    /** Launch the background thread (idempotent). */
+    void start();
+
+    /** Take a final sample and join the thread (idempotent). */
+    void stop();
+
+    /**
+     * Take one sample synchronously: collect, compute rates, run the
+     * watchdog, append to the ring and the JSON file. Thread-safe
+     * against the background thread.
+     */
+    ObsSample sampleOnce();
+
+    /** Copy of the retained ring, oldest first. */
+    std::vector<ObsSample> recent() const;
+
+    /** Samples taken so far (== next sample's seq). */
+    uint64_t samplesTaken() const;
+
+    /** Health events fired so far (empty without a health source). */
+    std::vector<HealthEvent> healthHistory() const;
+
+    const SamplerOptions &options() const { return opt; }
+
+  private:
+    void run();
+    double nowSec() const;
+
+    const MetricsRegistry &reg;
+    SamplerOptions opt;
+
+    mutable std::mutex mu;          //!< guards everything below
+    std::condition_variable cv;
+    bool running = false;
+    bool stopRequested = false;
+    std::thread worker;
+
+    uint64_t nextSeq = 0;
+    bool havePrev = false;
+    double prevT = 0.0;
+    std::vector<std::pair<std::string, double>> prevCounters;
+    std::vector<ObsSample> ring;    //!< oldest first, <= opt.ringSize
+    std::ofstream jsonOut;
+    bool jsonOpened = false;
+
+    HealthSource healthSrc;
+    HealthWatchdog dog;
+
+    std::chrono::steady_clock::time_point epoch;
+};
+
+} // namespace btrace
+
+#endif // BTRACE_OBS_SAMPLER_H

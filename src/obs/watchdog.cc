@@ -1,0 +1,109 @@
+#include "obs/watchdog.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace btrace {
+
+namespace {
+
+std::string
+format(const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return buf;
+}
+
+} // namespace
+
+const char *
+healthKindName(HealthKind kind)
+{
+    switch (kind) {
+      case HealthKind::StalledAdvancement:
+        return "stalled_advancement";
+      case HealthKind::LeaseStragglerWedge:
+        return "lease_straggler_wedge";
+      case HealthKind::ConsumerLagGrowth:
+        return "consumer_lag_growth";
+    }
+    return "unknown";
+}
+
+std::vector<HealthEvent>
+HealthWatchdog::observe(const HealthInput &in)
+{
+    std::vector<HealthEvent> out;
+    if (!havePrev) {
+        havePrev = true;
+        prev = in;
+        return out;
+    }
+
+    const BTraceCounters::Snapshot d = in.ctrs - prev.ctrs;
+
+    // --- Stalled advancement -----------------------------------------
+    // Writers are actively being turned away (wouldBlock rising) while
+    // no advancement succeeds. A healthy saturated tracer still
+    // advances; a wedged one does not.
+    const bool stalled = d.wouldBlock >= opt.minWouldBlockRise &&
+                         d.advances == 0;
+    if (stalled) {
+        ++stallStreak;
+    } else {
+        stallStreak = 0;
+        stallLatched = false;
+        wedgeLatched = false;
+    }
+    if (stallStreak >= opt.stallIntervals && !stallLatched) {
+        stallLatched = true;
+        out.push_back(HealthEvent{
+            HealthKind::StalledAdvancement, in.seq,
+            format("wouldBlock +%" PRIu64 " over %d intervals with "
+                   "advances flat at %" PRIu64,
+                   d.wouldBlock, stallStreak, in.ctrs.advances)});
+    }
+
+    // --- Lease straggler wedge (the PR 2 livelock signature) ---------
+    // The stall co-occurring with leased bytes pinned outstanding and
+    // no lease turnover: preempted owners are holding blocks
+    // incomplete and nobody can advance past them.
+    const bool wedged = stalled && in.ctrs.leasedOutstanding > 0 &&
+                        d.leasedOutstanding == 0 && d.leases == 0;
+    if (stallStreak >= opt.stallIntervals && wedged && !wedgeLatched) {
+        wedgeLatched = true;
+        out.push_back(HealthEvent{
+            HealthKind::LeaseStragglerWedge, in.seq,
+            format("%" PRIu64 " leased bytes outstanding and flat "
+                   "while advancement is stalled",
+                   in.ctrs.leasedOutstanding)});
+    }
+
+    // --- Consumer lag growth -----------------------------------------
+    if (in.consumerActive &&
+        in.consumerLagPositions > prev.consumerLagPositions) {
+        ++lagStreak;
+    } else {
+        lagStreak = 0;
+        lagLatched = false;
+    }
+    if (lagStreak >= opt.lagIntervals && !lagLatched) {
+        lagLatched = true;
+        out.push_back(HealthEvent{
+            HealthKind::ConsumerLagGrowth, in.seq,
+            format("consumer lag grew %d consecutive intervals to "
+                   "%.0f positions",
+                   lagStreak, in.consumerLagPositions)});
+    }
+
+    prev = in;
+    fired.insert(fired.end(), out.begin(), out.end());
+    return out;
+}
+
+} // namespace btrace

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Health watchdog of the observability plane (DESIGN.md §8).
+ *
+ * A tracer that silently stalls or silently drops is worse than no
+ * tracer. The watchdog consumes one HealthInput per sampling interval
+ * — a coherent counter snapshot plus the consumer-lag gauge — and
+ * pattern-matches interval-over-interval deltas against the failure
+ * signatures we have actually hit:
+ *
+ *  - StalledAdvancement: writers are bouncing off the tracer
+ *    (wouldBlock rising) while the advancement loop makes no progress
+ *    (advances flat) for N consecutive intervals. This is the §3.4
+ *    every-metadata-block-held state escalating from transient to
+ *    persistent.
+ *  - LeaseStragglerWedge: the same stall with leased-outstanding
+ *    bytes pinned at a nonzero level and no new leases granted — the
+ *    PR 2 livelock signature, where preempted lease owners that never
+ *    close wedge one metadata block each until the tracer deadlocks.
+ *  - ConsumerLagGrowth: an attached consumer keeps falling further
+ *    behind the overwrite frontier for N consecutive intervals; its
+ *    next read will report overwrittenPositions (data loss).
+ *
+ * Detection is purely functional over the fed inputs, so tests drive
+ * it deterministically: provoke a real stall with the BTRACE_TEST_YIELD
+ * park hooks (sim::PreemptionInjector), feed snapshots, assert the
+ * event. Each event latches until its condition clears, so a
+ * persistent stall emits one event, not one per interval.
+ */
+
+#ifndef BTRACE_OBS_WATCHDOG_H
+#define BTRACE_OBS_WATCHDOG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/btrace.h"
+
+namespace btrace {
+
+/** Classified health conditions the watchdog can report. */
+enum class HealthKind
+{
+    StalledAdvancement,
+    LeaseStragglerWedge,
+    ConsumerLagGrowth,
+};
+
+/** Stable snake_case identifier (JSON `kind` field). */
+const char *healthKindName(HealthKind kind);
+
+/** One structured health event. */
+struct HealthEvent
+{
+    HealthKind kind = HealthKind::StalledAdvancement;
+    uint64_t atSeq = 0;     //!< sample sequence that fired it
+    std::string detail;     //!< human-readable evidence
+};
+
+/** Sensitivity knobs; defaults are deliberately conservative. */
+struct WatchdogOptions
+{
+    /** Consecutive bad intervals before a stall event fires. */
+    int stallIntervals = 2;
+    /** Minimum wouldBlock rise per interval to call writers active. */
+    uint64_t minWouldBlockRise = 1;
+    /** Consecutive growing-lag intervals before a lag event fires. */
+    int lagIntervals = 3;
+};
+
+/** One interval's raw signals, fed by the sampler (or a test). */
+struct HealthInput
+{
+    BTraceCounters::Snapshot ctrs;
+    double consumerLagPositions = 0.0;
+    bool consumerActive = false;  //!< a consumer position was noted
+    double tSec = 0.0;
+    uint64_t seq = 0;
+};
+
+/** Stateful interval-delta analyzer; one instance per tracer. */
+class HealthWatchdog
+{
+  public:
+    explicit HealthWatchdog(WatchdogOptions options = {})
+        : opt(options)
+    {
+    }
+
+    /**
+     * Feed the next interval; returns the events that fired on this
+     * interval (possibly none). The first call only establishes the
+     * baseline.
+     */
+    std::vector<HealthEvent> observe(const HealthInput &in);
+
+    /** Events fired since construction (accumulated). */
+    const std::vector<HealthEvent> &history() const { return fired; }
+
+  private:
+    WatchdogOptions opt;
+    bool havePrev = false;
+    HealthInput prev;
+    int stallStreak = 0;
+    int lagStreak = 0;
+    bool stallLatched = false;
+    bool wedgeLatched = false;
+    bool lagLatched = false;
+    std::vector<HealthEvent> fired;
+};
+
+} // namespace btrace
+
+#endif // BTRACE_OBS_WATCHDOG_H

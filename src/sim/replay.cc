@@ -147,6 +147,15 @@ replay(Tracer &tracer, const Workload &wl, const ReplayOptions &opt)
             res.produced[stamp - 1].dropped = true;
     };
 
+    // Self-observation: replay drives allocate/confirm directly, so
+    // feed the tracer-level observer (if attached) the same modeled
+    // latencies that land in latencyNs — one hook for live and
+    // replayed runs alike.
+    auto observe_latency = [&](double cost_ns) {
+        if (TracerObserver *o = tracer.attachedObserver())
+            o->maybeRecordSample(cost_ns);
+    };
+
     // Global FIFO of events waiting behind a Retry. Both tracers that
     // can return Retry (BBQ behind an unfinished block, BTrace with
     // every metadata block held) block *globally*, and the paper's
@@ -288,6 +297,7 @@ replay(Tracer &tracer, const Workload &wl, const ReplayOptions &opt)
                     slot.lease.confirm(ticket);
                     if (opt.keepLatencySamples)
                         res.latencyNs.add(cost);
+                    observe_latency(cost);
                     return WriteStatus::Done;
                 }
                 SimEv conf;
@@ -307,6 +317,7 @@ replay(Tracer &tracer, const Workload &wl, const ReplayOptions &opt)
             cost += ticket.leased ? 0.0 : ticket.cost;
             if (opt.keepLatencySamples)
                 res.latencyNs.add(cost);
+            observe_latency(cost);
             return WriteStatus::Done;
         }
         ++res.retries;
@@ -380,6 +391,7 @@ replay(Tracer &tracer, const Workload &wl, const ReplayOptions &opt)
         cost += ticket.cost;
         if (opt.keepLatencySamples)
             res.latencyNs.add(cost);
+        observe_latency(cost);
         return WriteStatus::Done;
     };
 
@@ -457,6 +469,7 @@ replay(Tracer &tracer, const Workload &wl, const ReplayOptions &opt)
             tracer.confirm(ev.ticket);
             if (opt.keepLatencySamples)
                 res.latencyNs.add(ev.cost + ev.ticket.cost);
+            observe_latency(ev.cost + ev.ticket.cost);
             break;
           }
           case SimEv::LeaseClose: {

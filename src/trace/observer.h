@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tracer-level self-observation hook (the observability plane,
+ * DESIGN.md §8).
+ *
+ * A TracerObserver attached to any Tracer — BTrace or a baseline —
+ * collects sampled write-path latency into lock-free wide-range
+ * histograms, so dashboards compare designs like-for-like through one
+ * hook instead of per-design instrumentation. Sampling is 1-in-K per
+ * thread (a thread-local tick, no shared state on the skip path), so
+ * the overhead on the hot path is one TLS increment and a predicted
+ * branch for K-1 out of K events, and one relaxed sharded fetch_add
+ * for the Kth. The observer never touches the tracer's own shared
+ * words: attaching it must leave sharedRmws-per-event unchanged
+ * (asserted by tests/obs).
+ *
+ * The samples() counter is the obs-overhead meter: it counts exactly
+ * the events that paid for a histogram update, so the observability
+ * layer's own cost is itself observable.
+ */
+
+#ifndef BTRACE_TRACE_OBSERVER_H
+#define BTRACE_TRACE_OBSERVER_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/latency_histogram.h"
+
+namespace btrace {
+
+/** Sampled latency collector attachable to a Tracer. */
+class TracerObserver
+{
+  public:
+    /**
+     * @p sample_every one event in K is measured (1 = every event);
+     * @p shards forwarded to the histograms (0 = default).
+     */
+    explicit TracerObserver(uint32_t sample_every = 64,
+                            unsigned shards = 0)
+        : recordNs(shards), leaseCloseNs(shards),
+          everyK(sample_every ? sample_every : 1)
+    {
+    }
+
+    /** Model-ns latency of sampled successful record() calls. */
+    ConcurrentHistogram recordNs;
+    /** Model-ns cost of sampled lease close() calls. */
+    ConcurrentHistogram leaseCloseNs;
+
+    uint32_t sampleEvery() const { return everyK; }
+
+    /** Events that actually paid for a histogram update (obs cost). */
+    uint64_t samples() const
+    {
+        return nSamples.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Advance this thread's sampling tick; true on the 1-in-K hit.
+     * The tick is per thread and shared across observers, which keeps
+     * the skip path free of any per-observer state.
+     */
+    bool
+    shouldSample()
+    {
+        thread_local uint64_t tick = 0;
+        return (tick++ % everyK) == 0;
+    }
+
+    /** Record a sampled write latency (caller already won the 1-in-K). */
+    void
+    recordSample(double ns)
+    {
+        recordNs.add(clampNs(ns));
+        nSamples.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Record a sampled lease-close cost. */
+    void
+    leaseCloseSample(double ns)
+    {
+        leaseCloseNs.add(clampNs(ns));
+        nSamples.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Combined 1-in-K gate + record-path sample. */
+    void
+    maybeRecordSample(double ns)
+    {
+        if (shouldSample())
+            recordSample(ns);
+    }
+
+    /** Combined 1-in-K gate + lease-close sample. */
+    void
+    maybeLeaseCloseSample(double ns)
+    {
+        if (shouldSample())
+            leaseCloseSample(ns);
+    }
+
+  private:
+    static uint64_t
+    clampNs(double ns)
+    {
+        return ns <= 0.0 ? 0 : static_cast<uint64_t>(ns);
+    }
+
+    uint32_t everyK;
+    std::atomic<uint64_t> nSamples{0};
+};
+
+} // namespace btrace
+
+#endif // BTRACE_TRACE_OBSERVER_H

@@ -27,6 +27,7 @@
 #ifndef BTRACE_TRACE_TRACER_H
 #define BTRACE_TRACE_TRACER_H
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -34,6 +35,7 @@
 #include "common/panic.h"
 #include "trace/cost.h"
 #include "trace/event.h"
+#include "trace/observer.h"
 
 namespace btrace {
 
@@ -320,6 +322,26 @@ class Tracer
 
     const CostModel &model() const { return costs; }
 
+    /**
+     * Attach (or detach, with nullptr) a self-observation collector.
+     * The observer must outlive its attachment; it samples record()
+     * latency and lease-close cost 1-in-K per thread (observer.h) and
+     * works identically for BTrace and every baseline, so cross-design
+     * dashboards read one schema. Attachment itself is wait-free.
+     */
+    void
+    attachObserver(TracerObserver *o)
+    {
+        observer.store(o, std::memory_order_release);
+    }
+
+    /** Currently attached observer, or nullptr. */
+    TracerObserver *
+    attachedObserver() const
+    {
+        return observer.load(std::memory_order_acquire);
+    }
+
   protected:
     friend class Lease;
 
@@ -385,6 +407,9 @@ class Tracer
     }
 
     const CostModel &costs;
+
+  private:
+    std::atomic<TracerObserver *> observer{nullptr};
 };
 
 inline const CostModel &
@@ -472,8 +497,11 @@ Lease::close()
 {
     if (owner == nullptr)
         return;
+    const double before = costNs;
     if (base != nullptr)
         owner->leaseClose(*this);
+    if (TracerObserver *o = owner->attachedObserver())
+        o->maybeLeaseCloseSample(costNs - before);
     owner = nullptr;
     base = nullptr;
 }

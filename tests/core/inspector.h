@@ -37,6 +37,9 @@ class BTraceInspector
 
     std::size_t activeBlocks() const { return bt.numActive; }
 
+    /** Live atomic counters (test-only; prefer countersSnapshot()). */
+    const BTraceCounters &rawCounters() const { return bt.ctrs; }
+
     uint64_t physicalOf(uint64_t pos) const { return bt.physicalOf(pos); }
 
     const uint8_t *blockData(uint64_t phys) const

@@ -43,7 +43,7 @@ TEST(Advancement, WrapAroundReusesBlocks)
         ASSERT_TRUE(bt.record(0, 1, s, 16));
     const RatioPos g = insp.globalWord();
     EXPECT_GT(g.pos, 32u);  // wrapped several times
-    EXPECT_GT(bt.counters().advances.load(), 32u);
+    EXPECT_GT(bt.countersSnapshot().advances, 32u);
 }
 
 TEST(Advancement, ClosesLaggingBlockOfIdleCore)
@@ -55,8 +55,8 @@ TEST(Advancement, ClosesLaggingBlockOfIdleCore)
     ASSERT_TRUE(bt.record(1, 9, 1, 16));
     for (uint64_t s = 2; s <= 1000; ++s)
         ASSERT_TRUE(bt.record(0, 1, s, 16));
-    EXPECT_GT(bt.counters().closes.load(), 0u);
-    EXPECT_GT(bt.counters().dummyBytes.load(), 0u);
+    EXPECT_GT(bt.countersSnapshot().closes, 0u);
+    EXPECT_GT(bt.countersSnapshot().dummyBytes, 0u);
 }
 
 TEST(Advancement, IdleCoreRecoversAfterItsBlockWasStolen)
@@ -85,7 +85,7 @@ TEST(Advancement, SkipsBlockHeldByPreemptedWriter)
 
     for (uint64_t s = 1; s <= 2000; ++s)
         ASSERT_TRUE(bt.record(0, 1, s, 16));
-    EXPECT_GT(bt.counters().skips.load(), 0u);
+    EXPECT_GT(bt.countersSnapshot().skips, 0u);
 
     // The preempted writer finally confirms; the system keeps going
     // and the metadata becomes reusable.

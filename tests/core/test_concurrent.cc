@@ -222,14 +222,14 @@ TEST(Concurrent, CountersAreConsistentAfterStress)
     for (auto &w : workers)
         w.join();
 
-    const BTraceCounters &ctrs = bt.counters();
-    EXPECT_EQ(ctrs.fastAllocs.load(), stamp.load());
-    EXPECT_GT(ctrs.advances.load(), 0u);
+    const BTraceCounters::Snapshot ctrs = bt.countersSnapshot();
+    EXPECT_EQ(ctrs.fastAllocs, stamp.load());
+    EXPECT_GT(ctrs.advances, 0u);
     // Total dummy bytes can never exceed what advancement could have
     // sacrificed: all blocks ever opened.
-    const uint64_t opened = ctrs.advances.load() + ctrs.skips.load() +
-                            ctrs.coreRaces.load() + 8;
-    EXPECT_LE(ctrs.dummyBytes.load(), opened * 1024);
+    const uint64_t opened = ctrs.advances + ctrs.skips +
+                            ctrs.coreRaces + 8;
+    EXPECT_LE(ctrs.dummyBytes, opened * 1024);
 
     const AuditReport rep = BTraceAuditor(bt).audit();
     EXPECT_TRUE(rep.ok()) << rep.summary();

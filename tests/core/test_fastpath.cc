@@ -32,7 +32,7 @@ TEST(FastPath, FirstWriteTriggersAdvancementThenSucceeds)
     ASSERT_EQ(t.status, AllocStatus::Ok);
     EXPECT_NE(t.dst, nullptr);
     EXPECT_EQ(t.entrySize, EntryLayout::normalSize(16));
-    EXPECT_EQ(bt.counters().advances.load(), 1u);
+    EXPECT_EQ(bt.countersSnapshot().advances, 1u);
 }
 
 TEST(FastPath, SecondWriteOnSameCoreIsFast)
@@ -42,10 +42,10 @@ TEST(FastPath, SecondWriteOnSameCoreIsFast)
     writeNormal(a.dst, 1, 0, 1, 0, 16);
     bt.confirm(a);
 
-    const uint64_t advances = bt.counters().advances.load();
+    const uint64_t advances = bt.countersSnapshot().advances;
     WriteTicket b = bt.allocate(0, 1, 16);
     ASSERT_EQ(b.status, AllocStatus::Ok);
-    EXPECT_EQ(bt.counters().advances.load(), advances);
+    EXPECT_EQ(bt.countersSnapshot().advances, advances);
     // Consecutive allocations are adjacent in the same block.
     EXPECT_EQ(b.dst, a.dst + a.entrySize);
     writeNormal(b.dst, 2, 0, 1, 0, 16);
@@ -104,11 +104,11 @@ TEST(FastPath, BoundaryFillWritesDummyAndAdvances)
         writeNormal(t.dst, uint64_t(i + 1), 0, 1, 0, 16);
         bt.confirm(t);
     }
-    const uint64_t fills = bt.counters().boundaryFills.load();
+    const uint64_t fills = bt.countersSnapshot().boundaryFills;
     WriteTicket big = bt.allocate(0, 1, 24);  // 48 bytes
     ASSERT_EQ(big.status, AllocStatus::Ok);
-    EXPECT_EQ(bt.counters().boundaryFills.load(), fills + 1);
-    EXPECT_GT(bt.counters().dummyBytes.load(), 0u);
+    EXPECT_EQ(bt.countersSnapshot().boundaryFills, fills + 1);
+    EXPECT_GT(bt.countersSnapshot().dummyBytes, 0u);
     writeNormal(big.dst, 6, 0, 1, 0, 24);
     bt.confirm(big);
 
@@ -131,11 +131,11 @@ TEST(FastPath, ExactFitLeavesNoDummy)
         writeNormal(t.dst, uint64_t(i + 1), 0, 1, 0, 16);
         bt.confirm(t);
     }
-    EXPECT_EQ(bt.counters().boundaryFills.load(), 0u);
+    EXPECT_EQ(bt.countersSnapshot().boundaryFills, 0u);
     // The next allocation overshoots without a fill.
     WriteTicket t = bt.allocate(0, 1, 16);
     ASSERT_EQ(t.status, AllocStatus::Ok);
-    EXPECT_EQ(bt.counters().boundaryFills.load(), 0u);
+    EXPECT_EQ(bt.countersSnapshot().boundaryFills, 0u);
     writeNormal(t.dst, 7, 0, 1, 0, 16);
     bt.confirm(t);
 }

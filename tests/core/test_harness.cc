@@ -92,8 +92,8 @@ TEST(Harness, StaleAllocationForced)
     inj.release(YieldPoint::AllocPreReserve);
     t1.join();
 
-    EXPECT_GE(bt.counters().staleAllocs.load(), 1u);
-    EXPECT_GE(bt.counters().dummyBytes.load(), 1u);
+    EXPECT_GE(bt.countersSnapshot().staleAllocs, 1u);
+    EXPECT_GE(bt.countersSnapshot().dummyBytes, 1u);
     expectAuditClean(bt);
     expectDumpIntegrity(bt.dump(), stamp);
 }
@@ -122,7 +122,7 @@ TEST(Harness, LockRaceForced)
     inj.release(YieldPoint::AdvancePreLock);
     t1.join();
 
-    EXPECT_GE(bt.counters().lockRaces.load(), 1u);
+    EXPECT_GE(bt.countersSnapshot().lockRaces, 1u);
     expectAuditClean(bt);
     expectDumpIntegrity(bt.dump(), stamp);
 }
@@ -152,8 +152,8 @@ TEST(Harness, CoreRaceForced)
     inj.release(YieldPoint::AdvancePreInstall);
     t1.join();
 
-    EXPECT_GE(bt.counters().coreRaces.load(), 1u);
-    EXPECT_GE(bt.counters().closes.load(), 1u);
+    EXPECT_GE(bt.countersSnapshot().coreRaces, 1u);
+    EXPECT_GE(bt.countersSnapshot().closes, 1u);
     expectAuditClean(bt);
     expectDumpIntegrity(bt.dump(), 5);
 }
@@ -202,9 +202,9 @@ TEST(Harness, SkipForcedByPreemptedWriter)
 
     uint64_t stamp = 100;
     for (int i = 0;
-         i < 100000 && bt.counters().skips.load() == 0; ++i)
+         i < 100000 && bt.countersSnapshot().skips == 0; ++i)
         ASSERT_TRUE(bt.record(1, 2, stamp++, 40));
-    EXPECT_GE(bt.counters().skips.load(), 1u);
+    EXPECT_GE(bt.countersSnapshot().skips, 1u);
 
     writeNormal(held.dst, 2, 0, 1, 0, 40);
     bt.confirm(held);
@@ -322,7 +322,7 @@ TEST(Harness, AuditorStressWithResizes)
     stop.store(true, std::memory_order_release);
     consumer.join();
 
-    EXPECT_EQ(bt.counters().resizes.load(), 3u);
+    EXPECT_EQ(bt.countersSnapshot().resizes, 3u);
     expectAuditClean(bt);
     expectDumpIntegrity(bt.dump(), stamp.load());
 }

@@ -53,8 +53,8 @@ TEST(Lease, GrantServeConfirmClose)
     EXPECT_TRUE(l.batched());
     EXPECT_EQ(l.core(), 0);
     EXPECT_EQ(l.thread(), 7u);
-    EXPECT_EQ(bt.counters().leases.load(), 1u);
-    EXPECT_GT(bt.counters().leasedOutstanding.load(), 0u);
+    EXPECT_EQ(bt.countersSnapshot().leases, 1u);
+    EXPECT_GT(bt.countersSnapshot().leasedOutstanding, 0u);
 
     const uint8_t *prev = nullptr;
     for (int i = 0; i < 8; ++i) {
@@ -70,8 +70,8 @@ TEST(Lease, GrantServeConfirmClose)
     EXPECT_EQ(l.entries(), 8u);
     l.close();
     EXPECT_TRUE(l.closed());
-    EXPECT_EQ(bt.counters().leasedOutstanding.load(), 0u);
-    EXPECT_EQ(bt.counters().leaseEntries.load(), 8u);
+    EXPECT_EQ(bt.countersSnapshot().leasedOutstanding, 0u);
+    EXPECT_EQ(bt.countersSnapshot().leaseEntries, 8u);
 
     const Dump d = bt.dump();
     EXPECT_EQ(d.entries.size(), 8u);
@@ -117,7 +117,7 @@ TEST(Lease, SharedRmwsAmortizedAcrossBatch)
     BTrace single(largeConfig());
     for (int i = 0; i < events; ++i)
         ASSERT_TRUE(single.record(0, 1, uint64_t(i) + 1, 48));
-    const uint64_t rmwSingle = single.counters().sharedRmws.load();
+    const uint64_t rmwSingle = single.countersSnapshot().sharedRmws;
 
     BTrace leased(largeConfig());
     uint64_t stamp = 0;
@@ -135,9 +135,9 @@ TEST(Lease, SharedRmwsAmortizedAcrossBatch)
         l.confirm(t);
     }
     l.close();
-    const uint64_t rmwLeased = leased.counters().sharedRmws.load();
+    const uint64_t rmwLeased = leased.countersSnapshot().sharedRmws;
 
-    EXPECT_EQ(leased.counters().leaseEntries.load(), uint64_t(events));
+    EXPECT_EQ(leased.countersSnapshot().leaseEntries, uint64_t(events));
     // ~2/event vs ~2/50-event batch; demand at least a 5x reduction
     // to leave headroom for advancement traffic on both sides.
     EXPECT_LT(rmwLeased * 5, rmwSingle)
@@ -159,7 +159,7 @@ TEST(Lease, AbandonedTicketIsDummyFilledNotLost)
     l.confirm(keep);
     l.abandon(drop);  // dummy-filled: no deficit
     l.close();
-    EXPECT_EQ(bt.counters().leasedOutstanding.load(), 0u);
+    EXPECT_EQ(bt.countersSnapshot().leasedOutstanding, 0u);
 
     const Dump d = bt.dump();
     EXPECT_EQ(d.entries.size(), 1u);
@@ -185,7 +185,7 @@ TEST(Lease, UnconfirmedSlotLeavesReconciledDeficit)
     l.close();  // `lost` never confirmed nor abandoned
 
     const auto hole = uint64_t(EntryLayout::normalSize(16));
-    EXPECT_EQ(bt.counters().leasedOutstanding.load(), hole);
+    EXPECT_EQ(bt.countersSnapshot().leasedOutstanding, hole);
     expectCleanAudit(bt);
 }
 
@@ -211,7 +211,7 @@ TEST(Lease, WholeLeaseDroppedWithoutServing)
         ASSERT_TRUE(l.ok());
         // Destructor closes: the whole span returns as one dummy.
     }
-    EXPECT_EQ(bt.counters().leasedOutstanding.load(), 0u);
+    EXPECT_EQ(bt.countersSnapshot().leasedOutstanding, 0u);
     EXPECT_EQ(bt.dump().entries.size(), 0u);
     expectCleanAudit(bt);
 }
@@ -226,9 +226,9 @@ TEST(Lease, StaleLeaseSurvivesCoreAdvancement)
     ASSERT_TRUE(l.ok());
 
     // Fill the remainder of core 0's block and push it to a new one.
-    const uint64_t advances = bt.counters().advances.load();
+    const uint64_t advances = bt.countersSnapshot().advances;
     uint64_t stamp = 100;
-    while (bt.counters().advances.load() == advances)
+    while (bt.countersSnapshot().advances == advances)
         ASSERT_TRUE(bt.record(0, 2, ++stamp, 16));
 
     // The lease still serves from the old block.
@@ -237,7 +237,7 @@ TEST(Lease, StaleLeaseSurvivesCoreAdvancement)
     writeNormal(t.dst, 1, 0, 1, 0, 16);
     l.confirm(t);
     l.close();
-    EXPECT_EQ(bt.counters().leasedOutstanding.load(), 0u);
+    EXPECT_EQ(bt.countersSnapshot().leasedOutstanding, 0u);
     expectCleanAudit(bt);
 }
 
@@ -262,7 +262,7 @@ TEST(Lease, MigrationClosesAndReleasesOnNewCore)
     l2.confirm(t2);
     l2.close();
 
-    EXPECT_EQ(bt.counters().leases.load(), 2u);
+    EXPECT_EQ(bt.countersSnapshot().leases, 2u);
     EXPECT_EQ(bt.dump().entries.size(), 2u);
     expectCleanAudit(bt);
 }
@@ -279,19 +279,19 @@ TEST(Lease, BlockClosedAndSkippedUnderOpenLease)
 
     uint64_t stamp = 1000;
     int spins = 0;
-    while (bt.counters().skips.load() == 0 && spins < 200000) {
+    while (bt.countersSnapshot().skips == 0 && spins < 200000) {
         const uint16_t core = uint16_t(1 + (spins % 3));
         ASSERT_TRUE(bt.record(core, 9, ++stamp, 16));
         ++spins;
     }
-    EXPECT_GT(bt.counters().skips.load(), 0u);
+    EXPECT_GT(bt.countersSnapshot().skips, 0u);
 
     WriteTicket t = l.allocate(16);
     ASSERT_TRUE(t.ok());
     writeNormal(t.dst, 1, 0, 1, 0, 16);
     l.confirm(t);
     l.close();
-    EXPECT_EQ(bt.counters().leasedOutstanding.load(), 0u);
+    EXPECT_EQ(bt.countersSnapshot().leasedOutstanding, 0u);
     expectCleanAudit(bt);
 }
 
@@ -322,16 +322,16 @@ TEST(LeaseInterleaving, OwnerParkedInsideCloseWhileBlockSacrificed)
 
     uint64_t stamp = 1000;
     int spins = 0;
-    while (bt.counters().skips.load() == 0 && spins < 200000) {
+    while (bt.countersSnapshot().skips == 0 && spins < 200000) {
         const uint16_t core = uint16_t(1 + (spins % 3));
         ASSERT_TRUE(bt.record(core, 9, ++stamp, 16));
         ++spins;
     }
-    EXPECT_GT(bt.counters().skips.load(), 0u);
+    EXPECT_GT(bt.countersSnapshot().skips, 0u);
 
     inj.release(hooks::YieldPoint::LeasePreCloseConfirm);
     owner.join();
-    EXPECT_EQ(bt.counters().leasedOutstanding.load(), 0u);
+    EXPECT_EQ(bt.countersSnapshot().leasedOutstanding, 0u);
     expectCleanAudit(bt);
 }
 
@@ -370,7 +370,7 @@ TEST(LeaseInterleaving, ClaimRacesRoundTurnover)
 
     inj.release(hooks::YieldPoint::LeasePreClaim);
     leaser.join();
-    EXPECT_EQ(bt.counters().leasedOutstanding.load(), 0u);
+    EXPECT_EQ(bt.countersSnapshot().leasedOutstanding, 0u);
     expectCleanAudit(bt);
 }
 
@@ -426,9 +426,9 @@ TEST(LeaseStress, ConcurrentLeaseAndSingleWritersUnderRandomYields)
     for (std::thread &t : workers)
         t.join();
 
-    EXPECT_EQ(bt.counters().leasedOutstanding.load(), 0u);
-    EXPECT_GT(bt.counters().leases.load(), 0u);
-    EXPECT_GT(bt.counters().leaseEntries.load(), 0u);
+    EXPECT_EQ(bt.countersSnapshot().leasedOutstanding, 0u);
+    EXPECT_GT(bt.countersSnapshot().leases, 0u);
+    EXPECT_GT(bt.countersSnapshot().leaseEntries, 0u);
     expectCleanAudit(bt);
 }
 

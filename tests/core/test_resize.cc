@@ -38,7 +38,7 @@ TEST(Resize, ShrinkChangesGeometry)
     bt.resize(16);
     EXPECT_EQ(bt.numBlocks(), 16u);
     EXPECT_EQ(bt.capacityBytes(), 16u * 4096);
-    EXPECT_EQ(bt.counters().resizes.load(), 1u);
+    EXPECT_EQ(bt.countersSnapshot().resizes, 1u);
 }
 
 TEST(Resize, GrowChangesGeometry)
@@ -54,7 +54,7 @@ TEST(Resize, NoOpResizeIsCheap)
     BTrace bt(resizableConfig());
     bt.resize(64);
     EXPECT_EQ(bt.numBlocks(), 64u);
-    EXPECT_EQ(bt.counters().resizes.load(), 0u);
+    EXPECT_EQ(bt.countersSnapshot().resizes, 0u);
 }
 
 TEST(Resize, WritesWorkAfterShrink)
@@ -125,8 +125,10 @@ TEST(Resize, SequenceOfResizesKeepsConsistency)
     for (const std::size_t n : sizes) {
         bt.resize(n);
         EXPECT_EQ(bt.numBlocks(), n);
-        for (int i = 0; i < 500; ++i)
-            ASSERT_TRUE(bt.record(uint16_t(stamp % 4), 1, ++stamp, 64));
+        for (int i = 0; i < 500; ++i) {
+            ++stamp;
+            ASSERT_TRUE(bt.record(uint16_t(stamp % 4), 1, stamp, 64));
+        }
         const Dump d = bt.dump();
         uint64_t newest = 0;
         for (const DumpEntry &e : d.entries) {
@@ -167,7 +169,7 @@ TEST(Resize, ConcurrentProducersSurviveResizes)
         EXPECT_TRUE(e.payloadOk);
         EXPECT_LE(e.stamp, stamp.load());
     }
-    EXPECT_EQ(bt.counters().resizes.load(), 6u);
+    EXPECT_EQ(bt.countersSnapshot().resizes, 6u);
 }
 
 #if defined(BTRACE_ENABLE_TEST_HOOKS)

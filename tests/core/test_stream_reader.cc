@@ -60,7 +60,7 @@ TEST(StreamReader, CloseActiveFlushesCurrentBlocks)
     uint64_t cursor = 0;
     const Dump flushed = bt.dumpSince(cursor, true);
     EXPECT_EQ(flushed.entries.size(), 10u);
-    EXPECT_GT(bt.counters().closes.load(), 0u);
+    EXPECT_GT(bt.countersSnapshot().closes, 0u);
 
     // Producers keep working afterwards, in a fresh block.
     ASSERT_TRUE(bt.record(0, 1, 11, 16));

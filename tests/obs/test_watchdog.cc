@@ -1,0 +1,266 @@
+/**
+ * @file
+ * HealthWatchdog: the interval-delta rules on synthetic inputs, and —
+ * the real thing — a deterministic stall and a lease-straggler wedge
+ * provoked on a live BTrace via the yield-point hooks, detected from
+ * genuine counter snapshots.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/test_hooks.h"
+#include "core/btrace.h"
+#include "obs/btrace_metrics.h"
+#include "obs/watchdog.h"
+#include "sim/schedule.h"
+
+using namespace btrace;
+using btrace::hooks::YieldPoint;
+
+namespace {
+
+BTraceConfig
+tinyConfig()
+{
+    BTraceConfig cfg;
+    cfg.blockSize = 256;
+    cfg.cores = 2;
+    cfg.activeBlocks = 2;
+    cfg.numBlocks = 4;
+    cfg.maxBlocks = 8;  // leave resize headroom for the freeze tests
+    return cfg;
+}
+
+HealthInput
+syntheticInput(uint64_t would_block, uint64_t advances, uint64_t seq)
+{
+    HealthInput in;
+    in.ctrs.wouldBlock = would_block;
+    in.ctrs.advances = advances;
+    in.seq = seq;
+    in.tSec = double(seq);
+    return in;
+}
+
+TEST(Watchdog, FirstObservationOnlyBaselines)
+{
+    HealthWatchdog dog;
+    EXPECT_TRUE(dog.observe(syntheticInput(1000, 0, 0)).empty());
+}
+
+TEST(Watchdog, StallFiresAfterConsecutiveIntervalsAndLatches)
+{
+    WatchdogOptions opt;
+    opt.stallIntervals = 2;
+    HealthWatchdog dog(opt);
+
+    dog.observe(syntheticInput(0, 10, 0));               // baseline
+    EXPECT_TRUE(dog.observe(syntheticInput(5, 10, 1)).empty());
+    const auto fired = dog.observe(syntheticInput(9, 10, 2));
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0].kind, HealthKind::StalledAdvancement);
+    EXPECT_EQ(fired[0].atSeq, 2u);
+
+    // Latched: the persisting stall does not re-fire...
+    EXPECT_TRUE(dog.observe(syntheticInput(14, 10, 3)).empty());
+    // ...recovery clears it...
+    EXPECT_TRUE(dog.observe(syntheticInput(14, 12, 4)).empty());
+    // ...and a new stall can fire again.
+    EXPECT_TRUE(dog.observe(syntheticInput(20, 12, 5)).empty());
+    const auto again = dog.observe(syntheticInput(26, 12, 6));
+    ASSERT_EQ(again.size(), 1u);
+    EXPECT_EQ(dog.history().size(), 2u);
+}
+
+TEST(Watchdog, HealthySaturationDoesNotFire)
+{
+    // wouldBlock rising while advancement also makes progress is a
+    // saturated-but-live tracer, not a stall.
+    WatchdogOptions opt;
+    opt.stallIntervals = 2;
+    HealthWatchdog dog(opt);
+    dog.observe(syntheticInput(0, 0, 0));
+    for (uint64_t i = 1; i <= 6; ++i)
+        EXPECT_TRUE(
+            dog.observe(syntheticInput(10 * i, 3 * i, i)).empty());
+}
+
+TEST(Watchdog, ConsumerLagGrowthNeedsActiveConsumer)
+{
+    WatchdogOptions opt;
+    opt.lagIntervals = 3;
+    HealthWatchdog dog(opt);
+
+    const auto lagged = [](double lag, bool active, uint64_t seq) {
+        HealthInput in;
+        in.ctrs.advances = seq;  // healthy advancement throughout
+        in.consumerLagPositions = lag;
+        in.consumerActive = active;
+        in.seq = seq;
+        return in;
+    };
+
+    // Growing "lag" with no consumer attached: ignored.
+    dog.observe(lagged(0, false, 0));
+    for (uint64_t i = 1; i <= 5; ++i)
+        EXPECT_TRUE(dog.observe(lagged(100.0 * i, false, i)).empty());
+
+    // With a consumer: fires on the Nth consecutive growth interval.
+    dog.observe(lagged(10, true, 10));
+    EXPECT_TRUE(dog.observe(lagged(20, true, 11)).empty());
+    EXPECT_TRUE(dog.observe(lagged(30, true, 12)).empty());
+    const auto fired = dog.observe(lagged(40, true, 13));
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0].kind, HealthKind::ConsumerLagGrowth);
+
+    // Shrinking lag resets the streak and the latch.
+    EXPECT_TRUE(dog.observe(lagged(5, true, 14)).empty());
+    EXPECT_TRUE(dog.observe(lagged(6, true, 15)).empty());
+}
+
+#if defined(BTRACE_ENABLE_TEST_HOOKS)
+
+// Non-blocking write attempt: record() spins on Retry by design, so a
+// wedged-tracer test must surface the Retry instead of looping on it.
+bool
+tryWrite(BTrace &bt, uint64_t stamp)
+{
+    ScopedWrite w(bt, 1, 2, 40, ScopedWrite::NonBlocking);
+    if (!w.ok())
+        return false;
+    w.fill(stamp);
+    w.commit();
+    return true;
+}
+
+// Hammer @p bt from core 1 until writes start bouncing, then keep
+// bouncing for @p extra more attempts so wouldBlock keeps rising
+// while advances stay flat.
+void
+driveToWedge(BTrace &bt, uint64_t &stamp, int extra)
+{
+    bool sawFailure = false;
+    for (int i = 0; i < 200000; ++i) {
+        if (!tryWrite(bt, ++stamp)) {
+            sawFailure = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(sawFailure) << "tracer never reached WouldBlock";
+    for (int i = 0; i < extra; ++i)
+        EXPECT_FALSE(tryWrite(bt, ++stamp));
+}
+
+// A resizer parked at ResizePostFreeze holds the frozen bit: every
+// advancement attempt returns WouldBlock immediately, so once the
+// producer's block fills, record() fails flat-out — wouldBlock rises
+// while advances stay at zero. The watchdog must detect the stall
+// from genuine counter snapshots and stand down after the resize
+// resumes.
+TEST(WatchdogLive, DetectsProvokedStall)
+{
+    BTrace bt(tinyConfig());
+    BTraceObs mx(bt);
+
+    PreemptionInjector inj;
+    inj.armPark(YieldPoint::ResizePostFreeze);
+    std::thread rz([&bt]() { bt.resize(8); });
+    ASSERT_TRUE(inj.awaitParked(YieldPoint::ResizePostFreeze));
+
+    uint64_t stamp = 1;
+    WatchdogOptions opt;
+    opt.stallIntervals = 2;
+    HealthWatchdog dog(opt);
+
+    driveToWedge(bt, stamp, 100);
+    uint64_t seq = 0;
+    HealthInput in = mx.healthInput();
+    in.seq = seq++;
+    dog.observe(in);  // baseline, already wedged
+
+    bool sawStall = false;
+    bool sawWedge = false;
+    for (int interval = 0; interval < 10 && !sawStall; ++interval) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_FALSE(tryWrite(bt, ++stamp));
+        in = mx.healthInput();
+        in.seq = seq++;
+        for (const HealthEvent &e : dog.observe(in)) {
+            if (e.kind == HealthKind::StalledAdvancement)
+                sawStall = true;
+            if (e.kind == HealthKind::LeaseStragglerWedge)
+                sawWedge = true;
+        }
+    }
+    EXPECT_TRUE(sawStall);
+    EXPECT_FALSE(sawWedge);  // no lease in play: a stall, not a wedge
+
+    // Resume the resize: the freeze lifts, records flow, and the
+    // recovered intervals fire nothing.
+    inj.release(YieldPoint::ResizePostFreeze);
+    rz.join();
+    ASSERT_TRUE(bt.record(1, 2, ++stamp, 40));
+    for (int interval = 0; interval < 2; ++interval) {
+        for (int i = 0; i < 50; ++i)
+            ASSERT_TRUE(bt.record(1, 2, ++stamp, 40));
+        in = mx.healthInput();
+        in.seq = seq++;
+        EXPECT_TRUE(dog.observe(in).empty());
+    }
+}
+
+// The PR 2 livelock signature: an open lease pins leased-outstanding
+// bytes at a nonzero level with no lease turnover while the tracer
+// stalls — the watchdog must classify it as a wedge, not just a stall.
+TEST(WatchdogLive, ClassifiesLeaseStragglerWedge)
+{
+    BTrace bt(tinyConfig());
+    BTraceObs mx(bt);
+
+    // The straggler: grants a lease and never closes it.
+    Lease straggler = bt.lease(0, 1, 40, 2);
+    ASSERT_TRUE(straggler.ok());
+    ASSERT_GT(bt.countersSnapshot().leasedOutstanding, 0u);
+
+    PreemptionInjector inj;
+    inj.armPark(YieldPoint::ResizePostFreeze);
+    std::thread rz([&bt]() { bt.resize(8); });
+    ASSERT_TRUE(inj.awaitParked(YieldPoint::ResizePostFreeze));
+
+    uint64_t stamp = 1;
+    WatchdogOptions opt;
+    opt.stallIntervals = 2;
+    HealthWatchdog dog(opt);
+
+    driveToWedge(bt, stamp, 100);
+    uint64_t seq = 0;
+    HealthInput in = mx.healthInput();
+    in.seq = seq++;
+    dog.observe(in);
+
+    bool sawWedge = false;
+    for (int interval = 0; interval < 10 && !sawWedge; ++interval) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_FALSE(tryWrite(bt, ++stamp));
+        in = mx.healthInput();
+        in.seq = seq++;
+        for (const HealthEvent &e : dog.observe(in))
+            if (e.kind == HealthKind::LeaseStragglerWedge)
+                sawWedge = true;
+    }
+    EXPECT_TRUE(sawWedge);
+
+    // Unwind in dependency order: the resize's quiesce loop waits for
+    // the leased block's bytes, so the straggler must close first.
+    inj.release(YieldPoint::ResizePostFreeze);
+    straggler.close();
+    rz.join();
+    ASSERT_TRUE(bt.record(1, 2, ++stamp, 40));
+}
+
+#endif // BTRACE_ENABLE_TEST_HOOKS
+
+} // namespace

@@ -167,8 +167,8 @@ TEST(ReplayLeased, BTraceLeasingKeepsAccountingConsistent)
 
     auto *bt = dynamic_cast<BTrace *>(tracer.get());
     ASSERT_NE(bt, nullptr);
-    EXPECT_GT(bt->counters().leases.load(), 0u);
-    EXPECT_GT(bt->counters().leaseEntries.load(), 0u);
+    EXPECT_GT(bt->countersSnapshot().leases, 0u);
+    EXPECT_GT(bt->countersSnapshot().leaseEntries, 0u);
     const AuditReport rep = BTraceAuditor(*bt).audit();
     EXPECT_TRUE(rep.ok()) << rep.summary();
 }

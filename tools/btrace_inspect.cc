@@ -4,11 +4,15 @@
  *
  *   btrace_inspect <trace.bin> [--json FILE] [--csv FILE]
  *                  [--head N] [--gaps]
+ *   btrace_inspect --metrics <obs.jsonl>
  *
  * Prints the per-core/per-category summary of a file written by
  * TracePersister, optionally exports it for Perfetto/chrome://tracing
  * or spreadsheets, shows the first N entries, and reports continuity
- * gaps in the stamp sequence.
+ * gaps in the stamp sequence. With --metrics, the input is instead an
+ * observability JSON-lines file (replay --obs-json / StatsSampler) and
+ * the tool pretty-prints the last sample, headline rates, and every
+ * health event in the stream.
  */
 
 #include <algorithm>
@@ -16,9 +20,11 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "analysis/export.h"
 #include "core/persister.h"
+#include "obs/export.h"
 
 using namespace btrace;
 
@@ -29,8 +35,83 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: btrace_inspect <trace.bin> [--json FILE] "
-                 "[--csv FILE] [--head N] [--gaps]\n");
+                 "[--csv FILE] [--head N] [--gaps]\n"
+                 "       btrace_inspect --metrics <obs.jsonl>\n");
     return 2;
+}
+
+/** Pretty-print an obs JSON-lines file (replay --obs-json output). */
+int
+inspectMetrics(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        return 1;
+    }
+
+    std::vector<ParsedObsLine> samples;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        ParsedObsLine p = parseObsLine(line);
+        if (!p.ok) {
+            std::fprintf(stderr, "%s:%zu: bad obs line: %s\n",
+                         path.c_str(), lineno, p.error.c_str());
+            return 1;
+        }
+        samples.push_back(std::move(p));
+    }
+    if (samples.empty()) {
+        std::fprintf(stderr, "%s: no samples\n", path.c_str());
+        return 1;
+    }
+
+    const ParsedObsLine &last = samples.back();
+    std::printf("%zu samples spanning %.2f s", samples.size(),
+                last.tSec - samples.front().tSec);
+    for (const auto &kv : last.labels)
+        std::printf("  %s=%s", kv.first.c_str(), kv.second.c_str());
+    std::printf("\n\nlast sample (seq %llu, t=%.2fs):\n",
+                static_cast<unsigned long long>(last.seq), last.tSec);
+
+    std::printf("  %-36s %14s %14s\n", "counter", "total", "per-sec");
+    for (const auto &kv : last.counters) {
+        const auto rate = last.rates.find(kv.first);
+        if (rate != last.rates.end())
+            std::printf("  %-36s %14.0f %14.1f\n", kv.first.c_str(),
+                        kv.second, rate->second);
+        else
+            std::printf("  %-36s %14.0f %14s\n", kv.first.c_str(),
+                        kv.second, "-");
+    }
+    std::printf("  %-36s %14s\n", "gauge", "value");
+    for (const auto &kv : last.gauges)
+        std::printf("  %-36s %14.4f\n", kv.first.c_str(), kv.second);
+    for (const auto &h : last.histograms) {
+        const auto g = [&](const char *k) {
+            const auto it = h.second.find(k);
+            return it == h.second.end() ? 0.0 : it->second;
+        };
+        std::printf("  %-36s count %.0f p50 %.0f p99 %.0f "
+                    "p999 %.0f max %.0f\n",
+                    h.first.c_str(), g("count"), g("p50"), g("p99"),
+                    g("p999"), g("max"));
+    }
+
+    std::size_t events = 0;
+    for (const ParsedObsLine &p : samples)
+        events += p.healthKinds.size();
+    std::printf("\nhealth events: %zu\n", events);
+    for (const ParsedObsLine &p : samples)
+        for (const std::string &k : p.healthKinds)
+            std::printf("  [seq %llu] %s\n",
+                        static_cast<unsigned long long>(p.seq),
+                        k.c_str());
+    return 0;
 }
 
 } // namespace
@@ -40,6 +121,8 @@ main(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
+    if (std::strcmp(argv[1], "--metrics") == 0)
+        return argc == 3 ? inspectMetrics(argv[2]) : usage();
     const std::string input = argv[1];
     std::string json_path, csv_path;
     long head = 0;
