@@ -14,13 +14,21 @@ counters / t_sec / histogram counts non-decreasing. A seq of 0 starts
 a new run (bench binaries append one stream per run to the same file),
 which resets the cross-line state.
 
-Usage: check_obs_schema.py FILE [FILE...]   (exit 0 iff all valid)
+With --prom, the files are instead Prometheus text-format exports
+(replay --obs-prom / renderPrometheus). Checks: every sample belongs
+to a family announced by # HELP and # TYPE (TYPE before samples), and
+each native histogram is well-formed — le bounds strictly ascending,
+cumulative bucket counts non-decreasing, a +Inf bucket present and
+equal to _count, and _sum present.
+
+Usage: check_obs_schema.py [--prom] FILE [FILE...]  (exit 0 iff valid)
 """
 
 import json
+import re
 import sys
 
-HIST_FIELDS = ("count", "p50", "p99", "p999", "max")
+HIST_FIELDS = ("count", "sum", "p50", "p99", "p999", "max")
 HEALTH_KINDS = {
     "stalled_advancement",
     "lease_straggler_wedge",
@@ -139,13 +147,142 @@ def check_file(path):
     return lines, errors
 
 
+# One sample line: name, optional {labels}, value. Histogram series
+# append _bucket/_sum/_count to the family name and buckets carry an
+# le label; the regexes below split those apart.
+SAMPLE_RE = re.compile(r'^([A-Za-z_:][A-Za-z0-9_:]*)(\{.*\})?\s+(\S+)$')
+LE_RE = re.compile(r'le="([^"]*)"')
+
+
+def prom_value(text):
+    if text == "+Inf":
+        return float("inf")
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def check_prom_file(path):
+    """Validate a Prometheus text-format export (replay --obs-prom)."""
+    try:
+        stream = open(path, "r")
+    except OSError as e:
+        return 0, ["%s: %s" % (path, e)]
+
+    errors = []
+    types = {}          # family -> declared type
+    helps = set()       # families with a HELP line
+    hist = {}           # family -> {"buckets": [(le, v)], "sum": v, "count": v}
+    samples = 0
+
+    def family_of(name):
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                return name[: -len(suffix)], suffix
+        return name, ""
+
+    with stream:
+        for lineno, line in enumerate(stream, 1):
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            where = "%s:%d" % (path, lineno)
+            if line.startswith("# HELP "):
+                parts = line.split(None, 3)
+                if len(parts) < 3:
+                    errors.append("%s: malformed HELP" % where)
+                else:
+                    helps.add(parts[2])
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split(None, 4)
+                if len(parts) < 4 or parts[3] not in (
+                        "counter", "gauge", "histogram", "summary", "untyped"):
+                    errors.append("%s: malformed TYPE" % where)
+                    continue
+                fam = parts[2]
+                if fam in types:
+                    errors.append("%s: duplicate TYPE for %r" % (where, fam))
+                types[fam] = parts[3]
+                if fam not in helps:
+                    errors.append("%s: TYPE for %r precedes HELP" % (where, fam))
+                if parts[3] == "histogram":
+                    hist[fam] = {"buckets": [], "sum": None, "count": None}
+                continue
+            if line.startswith("#"):
+                continue
+
+            m = SAMPLE_RE.match(line)
+            if not m:
+                errors.append("%s: unparsable sample line" % where)
+                continue
+            samples += 1
+            name, labels, value_text = m.group(1), m.group(2) or "", m.group(3)
+            value = prom_value(value_text)
+            if value is None:
+                errors.append("%s: non-numeric value %r" % (where, value_text))
+                continue
+            fam, suffix = family_of(name)
+            if fam not in types:
+                errors.append("%s: sample %r has no preceding TYPE" % (where, name))
+                continue
+            if fam in hist:
+                if suffix == "_bucket":
+                    le = LE_RE.search(labels)
+                    bound = prom_value(le.group(1)) if le else None
+                    if bound is None:
+                        errors.append("%s: bucket without an le label" % where)
+                    else:
+                        hist[fam]["buckets"].append((bound, value, lineno))
+                elif suffix == "_sum":
+                    hist[fam]["sum"] = value
+                elif suffix == "_count":
+                    hist[fam]["count"] = value
+                else:
+                    errors.append("%s: bare sample %r for histogram family"
+                                  % (where, name))
+
+    for fam, h in sorted(hist.items()):
+        if not h["buckets"]:
+            errors.append("%s: histogram %r has no buckets" % (path, fam))
+            continue
+        bounds = [b[0] for b in h["buckets"]]
+        counts = [b[1] for b in h["buckets"]]
+        for i in range(1, len(h["buckets"])):
+            if bounds[i] <= bounds[i - 1]:
+                errors.append("%s:%d: %r le bounds not ascending"
+                              % (path, h["buckets"][i][2], fam))
+            if counts[i] < counts[i - 1]:
+                errors.append("%s:%d: %r cumulative count decreases"
+                              % (path, h["buckets"][i][2], fam))
+        if bounds[-1] != float("inf"):
+            errors.append("%s: histogram %r lacks the +Inf bucket" % (path, fam))
+        elif h["count"] is None:
+            errors.append("%s: histogram %r lacks _count" % (path, fam))
+        elif counts[-1] != h["count"]:
+            errors.append("%s: histogram %r +Inf bucket %s != _count %s"
+                          % (path, fam, counts[-1], h["count"]))
+        if h["sum"] is None:
+            errors.append("%s: histogram %r lacks _sum" % (path, fam))
+
+    if samples == 0:
+        errors.append("%s: no samples" % path)
+    return samples, errors
+
+
 def main(argv):
-    if len(argv) < 2:
+    args = argv[1:]
+    prom = False
+    if args and args[0] == "--prom":
+        prom = True
+        args = args[1:]
+    if not args:
         sys.stderr.write(__doc__)
         return 2
     failed = False
-    for path in argv[1:]:
-        lines, errors = check_file(path)
+    for path in args:
+        lines, errors = check_prom_file(path) if prom else check_file(path)
         for err in errors:
             sys.stderr.write(err + "\n")
         if errors:

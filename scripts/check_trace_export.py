@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file (DESIGN.md §9).
+
+The exporters (replay --journal-out, exportJournalChromeJson,
+exportChromeJson) emit the legacy "JSON Array Format" that Perfetto's
+legacy importer and chrome://tracing load: a {"traceEvents": [...]}
+object whose events are instant ("i"), complete ("X"), or metadata
+("M") records. This checker asserts field-level conformance offline so
+CI needs no network or Perfetto binary:
+
+  - the document is a JSON object with a non-empty traceEvents array
+  - every event has name (non-empty str), ph, pid, tid
+  - every non-metadata event has a numeric ts >= 0
+  - complete events carry a numeric dur >= 0
+  - instant events carry a scope s in {t, p, g}
+  - metadata events are process_name/thread_name with an args.name
+  - at least one duration (X) event exists unless --allow-no-durations
+
+Usage: check_trace_export.py [--allow-no-durations] FILE [FILE...]
+Exit 0 iff every file is valid.
+"""
+
+import json
+import sys
+
+PHASES = {"i", "I", "X", "M", "B", "E", "b", "e", "n", "C"}
+INSTANT_SCOPES = {"t", "p", "g"}
+METADATA_NAMES = {"process_name", "thread_name", "process_labels",
+                  "process_sort_index", "thread_sort_index"}
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_event(i, ev):
+    errs = []
+    where = "traceEvents[%d]" % i
+    if not isinstance(ev, dict):
+        return ["%s is not an object" % where]
+
+    name = ev.get("name")
+    if not isinstance(name, str) or not name:
+        errs.append("%s.name missing or empty" % where)
+    ph = ev.get("ph")
+    if ph not in PHASES:
+        errs.append("%s.ph %r is not a known phase" % (where, ph))
+        return errs
+    if not is_num(ev.get("pid")):
+        errs.append("%s.pid missing or not a number" % where)
+    if not is_num(ev.get("tid")):
+        errs.append("%s.tid missing or not a number" % where)
+
+    if ph == "M":
+        if name not in METADATA_NAMES:
+            errs.append("%s.name %r is not a metadata record" % (where, name))
+        args = ev.get("args")
+        if not isinstance(args, dict) or "name" not in args:
+            errs.append("%s.args.name missing" % where)
+        return errs
+
+    ts = ev.get("ts")
+    if not is_num(ts) or ts < 0:
+        errs.append("%s.ts missing or negative" % where)
+    if ph == "X":
+        dur = ev.get("dur")
+        if not is_num(dur) or dur < 0:
+            errs.append("%s.dur missing or negative" % where)
+    if ph in ("i", "I"):
+        if ev.get("s") not in INSTANT_SCOPES:
+            errs.append("%s.s %r is not an instant scope" % (where, ev.get("s")))
+    return errs
+
+
+def check_file(path, require_durations):
+    try:
+        with open(path, "r") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return 0, ["%s: %s" % (path, e)]
+
+    if not isinstance(doc, dict):
+        return 0, ["%s: top level is not an object" % path]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return 0, ["%s: 'traceEvents' missing or not an array" % path]
+    if not events:
+        return 0, ["%s: traceEvents is empty" % path]
+
+    errors = []
+    durations = 0
+    for i, ev in enumerate(events):
+        errs = check_event(i, ev)
+        errors += ["%s: %s" % (path, e) for e in errs]
+        if not errs and ev.get("ph") == "X":
+            durations += 1
+    if require_durations and durations == 0:
+        errors.append("%s: no complete (X) events — block tracks missing"
+                      % path)
+    return len(events), errors
+
+
+def main(argv):
+    args = argv[1:]
+    require_durations = True
+    if args and args[0] == "--allow-no-durations":
+        require_durations = False
+        args = args[1:]
+    if not args:
+        sys.stderr.write(__doc__)
+        return 2
+    failed = False
+    for path in args:
+        count, errors = check_file(path, require_durations)
+        for err in errors[:50]:
+            sys.stderr.write(err + "\n")
+        if len(errors) > 50:
+            sys.stderr.write("... and %d more errors\n" % (len(errors) - 50))
+        if errors:
+            failed = True
+        else:
+            print("%s: %d trace events OK" % (path, count))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -69,6 +69,22 @@ if [ -n "$OBS_JSON" ] && [ -s "$OBS_JSON" ]; then
         failures="$failures obs-schema"
 fi
 
+# Collect the bench result files at the repo root (the paths CI
+# uploads and EXPERIMENTS.md references). Benches write to the
+# working directory, so normally they are already here; a bench run
+# from inside build/ is swept up too. Missing files are loud but not
+# fatal — a bench that failed above already recorded its failure.
+for j in BENCH_main.json BENCH_latency.json BENCH_throughput.json; do
+    if [ ! -s "$j" ] && [ -s "build/$j" ]; then
+        cp "build/$j" "$j"
+    fi
+    if [ -s "$j" ]; then
+        echo "bench results: $j"
+    else
+        echo "WARNING: $j was not produced" >&2
+    fi
+done
+
 if [ -n "$failures" ]; then
     echo "FAILED:$failures" >&2
     exit 1

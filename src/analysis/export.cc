@@ -41,13 +41,15 @@ nameOf(const TracepointRegistry &reg, uint16_t id)
 
 } // namespace
 
+namespace {
+
+/** The entry events of exportChromeJson, without the wrapper. */
 std::string
-exportChromeJson(const std::vector<DumpEntry> &entries,
+entryTraceEvents(const std::vector<DumpEntry> &entries,
                  const ExportOptions &opt)
 {
     const TracepointRegistry &reg = registryOf(opt);
     std::ostringstream out;
-    out << "{\"traceEvents\":[";
     bool first = true;
     for (const DumpEntry &e : prepared(entries, opt)) {
         if (!first)
@@ -62,8 +64,33 @@ exportChromeJson(const std::vector<DumpEntry> &entries,
             << ",\"args\":{\"stamp\":" << e.stamp
             << ",\"size\":" << e.size << "}}";
     }
-    out << "]}";
     return out.str();
+}
+
+} // namespace
+
+std::string
+exportChromeJson(const std::vector<DumpEntry> &entries,
+                 const ExportOptions &opt)
+{
+    return "{\"traceEvents\":[" + entryTraceEvents(entries, opt) + "]}";
+}
+
+std::string
+exportChromeJsonWithJournal(const std::vector<DumpEntry> &entries,
+                            const std::vector<JournalRecord> &journal,
+                            const ExportOptions &opt,
+                            const TraceEventExportOptions &jopt)
+{
+    const std::string entry_events = entryTraceEvents(entries, opt);
+    const std::string journal_events = journalTraceEvents(journal, jopt);
+    std::string out = "{\"traceEvents\":[";
+    out += entry_events;
+    if (!entry_events.empty() && !journal_events.empty())
+        out += ",";
+    out += journal_events;
+    out += "]}";
+    return out;
 }
 
 std::string

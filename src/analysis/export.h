@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/journal.h"
+#include "obs/trace_export.h"
 #include "trace/tracepoint.h"
 #include "trace/tracer.h"
 
@@ -35,6 +37,20 @@ struct ExportOptions
  */
 std::string exportChromeJson(const std::vector<DumpEntry> &entries,
                              const ExportOptions &opt = {});
+
+/**
+ * Chrome trace-event JSON combining the dumped entries (as above)
+ * with the tracer's lifecycle journal (obs/trace_export.h): block
+ * tracks with open→close durations, skips/resizes/watchdog trips as
+ * instants. One caveat: entry stamps and journal tscs are separate
+ * clocks, each zero-rebased independently — alignment between the two
+ * groups is approximate, ordering within each group is exact.
+ */
+std::string exportChromeJsonWithJournal(
+    const std::vector<DumpEntry> &entries,
+    const std::vector<JournalRecord> &journal,
+    const ExportOptions &opt = {},
+    const TraceEventExportOptions &jopt = {});
 
 /** CSV with header: stamp,core,thread,category,category_name,size. */
 std::string exportCsv(const std::vector<DumpEntry> &entries,

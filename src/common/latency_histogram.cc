@@ -62,6 +62,7 @@ HistogramSnapshot::merge(const HistogramSnapshot &other)
          b < counts.size() && b < other.counts.size(); ++b)
         counts[b] += other.counts[b];
     total += other.total;
+    sum += other.sum;
     return *this;
 }
 
@@ -118,8 +119,9 @@ ConcurrentHistogram::add(uint64_t v)
 void
 ConcurrentHistogram::addToShard(unsigned shard, uint64_t v)
 {
-    shards[shard % nShards].counts[bucketOf(v)].fetch_add(
-        1, std::memory_order_relaxed);
+    Shard &sh = shards[shard % nShards];
+    sh.counts[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    sh.sum.fetch_add(v, std::memory_order_relaxed);
 }
 
 HistogramSnapshot
@@ -132,6 +134,7 @@ ConcurrentHistogram::snapshot() const
             snap.counts[b] +=
                 shards[s].counts[b].load(std::memory_order_relaxed);
         }
+        snap.sum += shards[s].sum.load(std::memory_order_relaxed);
     }
     for (const uint64_t c : snap.counts)
         snap.total += c;
@@ -151,9 +154,11 @@ ConcurrentHistogram::count() const
 void
 ConcurrentHistogram::clear()
 {
-    for (unsigned s = 0; s < nShards; ++s)
+    for (unsigned s = 0; s < nShards; ++s) {
         for (std::size_t b = 0; b < kBuckets; ++b)
             shards[s].counts[b].store(0, std::memory_order_relaxed);
+        shards[s].sum.store(0, std::memory_order_relaxed);
+    }
 }
 
 } // namespace btrace

@@ -38,6 +38,7 @@ struct HistogramSnapshot
 {
     std::vector<uint64_t> counts;  //!< per log-linear bucket
     uint64_t total = 0;
+    uint64_t sum = 0;  //!< exact sum of recorded values (Prometheus _sum)
 
     uint64_t count() const { return total; }
 
@@ -104,6 +105,7 @@ class ConcurrentHistogram
     struct alignas(64) Shard
     {
         std::atomic<uint64_t> counts[kBuckets];
+        std::atomic<uint64_t> sum{0};  //!< exact value sum of this shard
     };
 
     unsigned shardFor() const;

@@ -172,6 +172,28 @@ BTrace::occupancy() const
     return occ;
 }
 
+std::vector<MetaSlotState>
+BTrace::slotStates() const
+{
+    // Same monitoring-grade caveat as occupancy(): each word is read
+    // atomically, the pair per slot (and the set of slots) is not a
+    // linearizable cut. Safe concurrently with producers; used by the
+    // flight recorder, which must never take tracer locks.
+    std::vector<MetaSlotState> out;
+    out.reserve(meta.size());
+    for (const MetadataBlock &m : meta) {
+        const RndPos alloc = m.loadAllocated(std::memory_order_relaxed);
+        const RndPos conf = m.loadConfirmed();
+        MetaSlotState s;
+        s.allocRnd = alloc.rnd;
+        s.allocPos = alloc.pos;
+        s.confRnd = conf.rnd;
+        s.confPos = conf.pos;
+        out.push_back(s);
+    }
+    return out;
+}
+
 WriteTicket
 BTrace::allocate(uint16_t core, uint32_t thread, uint32_t payload_len)
 {
@@ -256,6 +278,9 @@ BTrace::allocate(uint16_t core, uint32_t thread, uint32_t payload_len)
                 ctrs.boundaryFills.fetch_add(1, std::memory_order_relaxed);
                 ctrs.dummyBytes.fetch_add(gap, std::memory_order_relaxed);
                 ticket.cost += costs.atomicLocal + costs.copy(8);
+                journalEmit(JournalEventKind::BlockClose, core,
+                            local.pos,
+                            uint64_t(BlockCloseReason::Full));
             }
 
             // Block exhausted: advance to a fresh one (§4.2).
@@ -402,6 +427,8 @@ BTrace::lease(uint16_t core, uint32_t thread, uint32_t payload_hint,
                 ctrs.leases.fetch_add(1, std::memory_order_relaxed);
                 ctrs.leasedOutstanding.fetch_add(
                     grant, std::memory_order_relaxed);
+                journalEmit(JournalEventKind::LeaseGrant, core,
+                            local.pos, grant);
                 TicketHandle handle;
                 handle.slot = static_cast<uint32_t>(meta_idx);
                 return grantLease(*this, core, thread,
@@ -424,6 +451,9 @@ BTrace::lease(uint16_t core, uint32_t thread, uint32_t payload_hint,
                 ctrs.dummyBytes.fetch_add(gap,
                                           std::memory_order_relaxed);
                 cost += costs.atomicLocal + costs.copy(8);
+                journalEmit(JournalEventKind::BlockClose, core,
+                            local.pos,
+                            uint64_t(BlockCloseReason::Full));
             }
 
             if (tryAdvance(core, local_word, cost) ==
@@ -501,11 +531,21 @@ BTrace::leaseClose(Lease &l)
     }
     ctrs.leasedOutstanding.fetch_sub(publish,
                                      std::memory_order_relaxed);
+    // Journal only the anomalous closes: an abandoned lease (granted,
+    // served nothing) or an early revoke returning unused bytes. The
+    // clean fully-used close is the hot path and says nothing.
+    if (v.served == 0 && v.len > 0)
+        journalEmit(JournalEventKind::LeaseAbandon, v.core,
+                    v.handle.slot, v.len);
+    else if (remainder > 0)
+        journalEmit(JournalEventKind::LeaseRevoke, v.core,
+                    v.handle.slot, remainder);
     chargeLease(l, cost);
 }
 
 void
-BTrace::closeRound(std::size_t meta_idx, uint32_t rnd, double &cost)
+BTrace::closeRound(std::size_t meta_idx, uint32_t rnd, double &cost,
+                   BlockCloseReason reason)
 {
     MetadataBlock &m = meta[meta_idx];
     for (;;) {
@@ -532,6 +572,8 @@ BTrace::closeRound(std::size_t meta_idx, uint32_t rnd, double &cost)
         ctrs.closes.fetch_add(1, std::memory_order_relaxed);
         ctrs.dummyBytes.fetch_add(gap, std::memory_order_relaxed);
         cost += costs.atomicShared * 2 + costs.copy(8);
+        journalEmit(JournalEventKind::BlockClose, EventJournal::kNoCore,
+                    pos, uint64_t(reason));
         return;
     }
 }
@@ -571,13 +613,16 @@ BTrace::tryAdvance(uint16_t core, uint64_t local_word, double &cost)
             // Previous round still incomplete: close the lagging block
             // (§3.2), then re-check; if a preempted writer still holds
             // unconfirmed space, sacrifice the candidate (§3.4).
-            closeRound(meta_idx, conf.rnd, cost);
+            closeRound(meta_idx, conf.rnd, cost,
+                       BlockCloseReason::Straggler);
             cw = m.confirmed.load(std::memory_order_acquire);
             conf = RndPos::unpack(cw);
             if (conf.rnd < cand_rnd && conf.pos != cap) {
                 writeSkipMarker(blockData(cand % n), cand);
                 ctrs.skips.fetch_add(1, std::memory_order_relaxed);
                 cost += costs.copy(16);
+                journalEmit(JournalEventKind::BlockSkip, core, cand,
+                            conf.pos);
                 if (++skips_in_a_row > max_skips)
                     return AdvanceResult::WouldBlock;
                 continue;
@@ -602,6 +647,11 @@ BTrace::tryAdvance(uint16_t core, uint64_t local_word, double &cost)
             cost += costs.retryBackoff;
             continue;
         }
+
+        // The block is locked for our round: journal the open here so
+        // a graveyard close (lost install race below) still pairs an
+        // open with its close in the timeline.
+        journalEmit(JournalEventKind::BlockOpen, core, cand, 0);
 
         // Critical window: Confirmed is locked for the new round but
         // Allocated still shows the old one; reservations landing here
@@ -645,7 +695,8 @@ BTrace::tryAdvance(uint16_t core, uint64_t local_word, double &cost)
             // Another thread on this core already installed a block;
             // release ours by closing it and use theirs (§4.2, end).
             ctrs.coreRaces.fetch_add(1, std::memory_order_relaxed);
-            closeRound(meta_idx, cand_rnd, cost);
+            closeRound(meta_idx, cand_rnd, cost,
+                       BlockCloseReason::Graveyard);
             return AdvanceResult::LostRace;
         }
 

@@ -35,6 +35,7 @@
 #include "core/epoch.h"
 #include "core/metadata.h"
 #include "core/ratio_log.h"
+#include "obs/journal.h"
 #include "trace/tracer.h"
 
 namespace btrace {
@@ -122,6 +123,19 @@ struct ActiveBlockOccupancy
     uint64_t incomplete = 0;
 };
 
+/**
+ * Raw state of one metadata slot at one instant (flight-recorder
+ * bundles, DESIGN.md §9). Same monitoring-grade caveat as occupancy():
+ * each word is read atomically, the pair is not a linearizable cut.
+ */
+struct MetaSlotState
+{
+    uint32_t allocRnd = 0;  //!< Allocated round
+    uint32_t allocPos = 0;  //!< Allocated byte position
+    uint32_t confRnd = 0;   //!< Confirmed round
+    uint32_t confPos = 0;   //!< Confirmed byte position
+};
+
 /** Implementation of the Tracer interface per §3-§4 of the paper. */
 class BTrace : public Tracer
 {
@@ -197,6 +211,28 @@ class BTrace : public Tracer
     /** Classify every metadata slot (observability plane; relaxed). */
     ActiveBlockOccupancy occupancy() const;
 
+    /** Raw per-slot metadata words (flight recorder; relaxed). */
+    std::vector<MetaSlotState> slotStates() const;
+
+    /**
+     * Attach (nullptr detaches) a lifecycle event journal (DESIGN.md
+     * §9). The journal receives block open/close/skip, lease
+     * grant/revoke/abandon, resize and reclaim transitions. The hot
+     * path pays one relaxed pointer load per transition site and the
+     * journal adds zero RMWs on the tracer's shared words — the
+     * sharedRmws counter is identical with and without a journal
+     * (asserted by test, same bar as the TracerObserver).
+     */
+    void attachJournal(EventJournal *journal)
+    {
+        jnl.store(journal, std::memory_order_release);
+    }
+
+    EventJournal *attachedJournal() const
+    {
+        return jnl.load(std::memory_order_acquire);
+    }
+
     /** Resident physical memory of the data area, in bytes. */
     std::size_t residentBytes() const { return span.residentBytes(); }
 
@@ -227,9 +263,24 @@ class BTrace : public Tracer
      * Close the block of round @p rnd on metadata @p meta_idx: claim
      * the remaining space, fill it with a dummy entry, and confirm it
      * (§3.2). No-op if the metadata has moved past @p rnd or the block
-     * is already fully allocated.
+     * is already fully allocated. @p reason is journaled with the
+     * BlockClose event when the close actually lands.
      */
-    void closeRound(std::size_t meta_idx, uint32_t rnd, double &cost);
+    void closeRound(std::size_t meta_idx, uint32_t rnd, double &cost,
+                    BlockCloseReason reason);
+
+    /**
+     * The single relaxed enabled check of the journal plane: one
+     * relaxed pointer load; emits only when a journal is attached.
+     * Never touches the tracer's shared words.
+     */
+    void journalEmit(JournalEventKind kind, uint16_t core,
+                     uint64_t block, uint64_t arg) const
+    {
+        if (EventJournal *j = jnl.load(std::memory_order_relaxed);
+            j != nullptr)
+            j->emit(kind, core, block, arg);
+    }
 
     /**
      * Find, lock, and install a fresh data block for @p core (§4.2).
@@ -257,6 +308,8 @@ class BTrace : public Tracer
     std::mutex resizeMutex;
     EpochRegistry consumers;
     BTraceCounters ctrs;
+    /** Lifecycle journal; nullptr = disabled (the common fast path). */
+    std::atomic<EventJournal *> jnl{nullptr};
 };
 
 } // namespace btrace

@@ -206,7 +206,8 @@ BTrace::dumpSince(uint64_t &cursor, bool close_active)
             if (close_active) {
                 const RndPos alloc = m.loadAllocated();
                 if (alloc.rnd == rnd && alloc.pos == conf.pos)
-                    closeRound(meta_idx, rnd, close_cost);
+                    closeRound(meta_idx, rnd, close_cost,
+                               BlockCloseReason::Consumer);
                 // An in-flight writer keeps the block incomplete;
                 // fall through — readBlock will classify it.
             } else {
@@ -223,6 +224,8 @@ BTrace::dumpSince(uint64_t &cursor, bool close_active)
 
         readBlock(physicalOf(q), q, q + 1, scratch, out);
     }
+    journalEmit(JournalEventKind::ConsumerPass, EventJournal::kNoCore,
+                q, out.entries.size());
     cursor = q;
     return out;
 }

@@ -38,10 +38,14 @@ BTrace::resize(std::size_t new_num_blocks)
     const RatioPos g = RatioPos::unpack(frozen_word);
     BTRACE_ASSERT(!g.frozen, "resize while already frozen");
     const uint32_t old_ratio = g.ratio;
+    journalEmit(JournalEventKind::ResizeBegin, EventJournal::kNoCore,
+                g.pos, new_num_blocks);
 
     if (new_ratio == old_ratio) {
         global->fetch_and(~RatioPos::frozenBit,
                           std::memory_order_acq_rel);
+        journalEmit(JournalEventKind::ResizeEnd, EventJournal::kNoCore,
+                    g.pos, new_ratio);
         return;
     }
 
@@ -50,6 +54,11 @@ BTrace::resize(std::size_t new_num_blocks)
     if (new_n > old_n)
         span.commit(old_n * cap, (new_n - old_n) * cap);
 
+    // Journaled before the yield point below: a flight bundle taken
+    // while the resize is parked here must already show the freeze.
+    journalEmit(JournalEventKind::ResizeFreeze, EventJournal::kNoCore,
+                g.pos, old_ratio);
+
     // Critical window: advancement is frozen but blocks are not yet
     // quiesced; producers may still be confirming in-flight writes.
     BTRACE_TEST_YIELD(ResizePostFreeze);
@@ -57,18 +66,22 @@ BTrace::resize(std::size_t new_num_blocks)
     // Quiesce: close every active block and wait for outstanding
     // confirmations. New reservations overshoot into the advancement
     // path, which is parked — so no new activity can appear.
+    journalEmit(JournalEventKind::ReclaimStart, EventJournal::kNoCore,
+                g.pos, old_n);
     double cost = 0.0;
     for (std::size_t m = 0; m < numActive; ++m) {
         for (;;) {
             const RndPos conf = meta[m].loadConfirmed();
             if (conf.pos == cap)
                 break;
-            closeRound(m, conf.rnd, cost);
+            closeRound(m, conf.rnd, cost, BlockCloseReason::Resize);
             if (meta[m].loadConfirmed().pos == cap)
                 break;
             std::this_thread::yield();  // a preempted writer owes bytes
         }
     }
+    journalEmit(JournalEventKind::ReclaimEnd, EventJournal::kNoCore,
+                g.pos, old_n);
 
     // Swing the ratio, keeping the monotonic position (frozen
     // advancement attempts still consume positions, hence the CAS
@@ -92,6 +105,8 @@ BTrace::resize(std::size_t new_num_blocks)
     }
     ratioLog.publish();
     ctrs.resizes.fetch_add(1, std::memory_order_relaxed);
+    journalEmit(JournalEventKind::ResizeEnd, EventJournal::kNoCore,
+                g.pos, new_ratio);
 
     if (new_n < old_n) {
         // Make sure no consumer still reads the shrunk tail, then

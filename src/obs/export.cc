@@ -1,10 +1,10 @@
 #include "obs/export.h"
 
-#include <cctype>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
+
+#include "obs/json_reader.h"
 
 namespace btrace {
 
@@ -74,204 +74,6 @@ promLabels(const ObsLabels &labels, const std::string &extra = {})
     out += "}";
     return out;
 }
-
-// ---------------------------------------------------------------------
-// Minimal JSON reader, scoped to what renderJsonLine() emits: objects,
-// arrays, strings, numbers. No unicode escapes beyond pass-through.
-// ---------------------------------------------------------------------
-
-struct JsonValue
-{
-    enum class Type { Null, Number, String, Object, Array };
-    Type type = Type::Null;
-    double num = 0.0;
-    std::string str;
-    std::vector<std::pair<std::string, JsonValue>> obj;
-    std::vector<JsonValue> arr;
-
-    const JsonValue *
-    find(const std::string &key) const
-    {
-        for (const auto &kv : obj)
-            if (kv.first == key) return &kv.second;
-        return nullptr;
-    }
-};
-
-class JsonReader
-{
-  public:
-    explicit JsonReader(const std::string &text) : s(text) {}
-
-    bool
-    parse(JsonValue &out)
-    {
-        skipWs();
-        if (!value(out)) return false;
-        skipWs();
-        return pos == s.size();
-    }
-
-    std::string error;
-
-  private:
-    const std::string &s;
-    std::size_t pos = 0;
-
-    void
-    skipWs()
-    {
-        while (pos < s.size() &&
-               std::isspace(static_cast<unsigned char>(s[pos])))
-            ++pos;
-    }
-
-    bool
-    fail(const char *why)
-    {
-        if (error.empty()) {
-            char buf[96];
-            std::snprintf(buf, sizeof(buf), "%s at offset %zu", why, pos);
-            error = buf;
-        }
-        return false;
-    }
-
-    bool
-    value(JsonValue &out)
-    {
-        skipWs();
-        if (pos >= s.size()) return fail("unexpected end");
-        const char c = s[pos];
-        if (c == '{') return object(out);
-        if (c == '[') return array(out);
-        if (c == '"') {
-            out.type = JsonValue::Type::String;
-            return string(out.str);
-        }
-        if (c == '-' || (c >= '0' && c <= '9')) return number(out);
-        if (s.compare(pos, 4, "null") == 0) {
-            pos += 4;
-            out.type = JsonValue::Type::Null;
-            return true;
-        }
-        return fail("unexpected token");
-    }
-
-    bool
-    string(std::string &out)
-    {
-        if (s[pos] != '"') return fail("expected string");
-        ++pos;
-        out.clear();
-        while (pos < s.size() && s[pos] != '"') {
-            char c = s[pos++];
-            if (c == '\\') {
-                if (pos >= s.size()) return fail("bad escape");
-                const char e = s[pos++];
-                switch (e) {
-                  case 'n': out += '\n'; break;
-                  case 't': out += '\t'; break;
-                  case 'r': out += '\r'; break;
-                  case 'b': out += '\b'; break;
-                  case 'f': out += '\f'; break;
-                  case '"': out += '"'; break;
-                  case '\\': out += '\\'; break;
-                  case '/': out += '/'; break;
-                  case 'u':
-                    // Emitted only for control chars; decode latin-1
-                    // range, which is all renderJsonLine() produces.
-                    if (pos + 4 > s.size()) return fail("bad \\u");
-                    out += static_cast<char>(
-                        std::strtoul(s.substr(pos, 4).c_str(), nullptr,
-                                     16));
-                    pos += 4;
-                    break;
-                  default:
-                    return fail("bad escape");
-                }
-            } else {
-                out += c;
-            }
-        }
-        if (pos >= s.size()) return fail("unterminated string");
-        ++pos; // closing quote
-        return true;
-    }
-
-    bool
-    number(JsonValue &out)
-    {
-        const char *start = s.c_str() + pos;
-        char *end = nullptr;
-        out.num = std::strtod(start, &end);
-        if (end == start) return fail("bad number");
-        pos += static_cast<std::size_t>(end - start);
-        out.type = JsonValue::Type::Number;
-        return true;
-    }
-
-    bool
-    object(JsonValue &out)
-    {
-        out.type = JsonValue::Type::Object;
-        ++pos; // '{'
-        skipWs();
-        if (pos < s.size() && s[pos] == '}') {
-            ++pos;
-            return true;
-        }
-        for (;;) {
-            skipWs();
-            std::string key;
-            if (!string(key)) return false;
-            skipWs();
-            if (pos >= s.size() || s[pos] != ':')
-                return fail("expected ':'");
-            ++pos;
-            JsonValue v;
-            if (!value(v)) return false;
-            out.obj.emplace_back(std::move(key), std::move(v));
-            skipWs();
-            if (pos < s.size() && s[pos] == ',') {
-                ++pos;
-                continue;
-            }
-            if (pos < s.size() && s[pos] == '}') {
-                ++pos;
-                return true;
-            }
-            return fail("expected ',' or '}'");
-        }
-    }
-
-    bool
-    array(JsonValue &out)
-    {
-        out.type = JsonValue::Type::Array;
-        ++pos; // '['
-        skipWs();
-        if (pos < s.size() && s[pos] == ']') {
-            ++pos;
-            return true;
-        }
-        for (;;) {
-            JsonValue v;
-            if (!value(v)) return false;
-            out.arr.push_back(std::move(v));
-            skipWs();
-            if (pos < s.size() && s[pos] == ',') {
-                ++pos;
-                continue;
-            }
-            if (pos < s.size() && s[pos] == ']') {
-                ++pos;
-                return true;
-            }
-            return fail("expected ',' or ']'");
-        }
-    }
-};
 
 bool
 copyNumberMap(const JsonValue *v, std::map<std::string, double> &out)
@@ -345,13 +147,13 @@ renderJsonLine(const ObsSample &sample)
     for (const HistogramValue &h : sample.histograms) {
         if (!first) out += ",";
         first = false;
-        char buf[192];
+        char buf[224];
         std::snprintf(buf, sizeof(buf),
-                      "\"%s\":{\"count\":%" PRIu64 ",\"p50\":%" PRIu64
-                      ",\"p99\":%" PRIu64 ",\"p999\":%" PRIu64
-                      ",\"max\":%" PRIu64 "}",
-                      jsonEscape(h.name).c_str(), h.count, h.p50, h.p99,
-                      h.p999, h.max);
+                      "\"%s\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                      ",\"p50\":%" PRIu64 ",\"p99\":%" PRIu64
+                      ",\"p999\":%" PRIu64 ",\"max\":%" PRIu64 "}",
+                      jsonEscape(h.name).c_str(), h.count, h.sum,
+                      h.p50, h.p99, h.p999, h.max);
         out += buf;
     }
     out += "},";
@@ -386,20 +188,25 @@ renderPrometheus(const MetricsRegistry::Collected &collected,
     }
 
     for (const HistogramValue &h : collected.histograms) {
+        // Native Prometheus histogram: cumulative le-bounded buckets
+        // (occupied buckets only — the log-linear grid is ~500 wide),
+        // the mandatory +Inf bucket, then _sum and _count.
         out += "# HELP " + h.name + " " + h.help + "\n";
-        out += "# TYPE " + h.name + " summary\n";
-        const struct { const char *q; uint64_t v; } qs[] = {
-            {"0.5", h.p50}, {"0.99", h.p99}, {"0.999", h.p999}};
-        for (const auto &q : qs) {
-            out += h.name +
+        out += "# TYPE " + h.name + " histogram\n";
+        for (const auto &b : h.buckets) {
+            out += h.name + "_bucket" +
                    promLabels(labels,
-                              std::string("quantile=\"") + q.q + "\"") +
-                   " " + formatValue(static_cast<double>(q.v)) + "\n";
+                              "le=\"" + formatValue(double(b.first)) +
+                                  "\"") +
+                   " " + formatValue(static_cast<double>(b.second)) +
+                   "\n";
         }
+        out += h.name + "_bucket" + promLabels(labels, "le=\"+Inf\"") +
+               " " + formatValue(static_cast<double>(h.count)) + "\n";
+        out += h.name + "_sum" + lbl + " " +
+               formatValue(static_cast<double>(h.sum)) + "\n";
         out += h.name + "_count" + lbl + " " +
                formatValue(static_cast<double>(h.count)) + "\n";
-        out += h.name + "_max" + lbl + " " +
-               formatValue(static_cast<double>(h.max)) + "\n";
     }
     return out;
 }

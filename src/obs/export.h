@@ -6,10 +6,12 @@
  *
  *  - Prometheus text exposition format, rendered from a one-shot
  *    MetricsRegistry::Collected: `# HELP` / `# TYPE` preambles,
- *    counters with their `_total` names, and histograms as summaries
- *    (quantile-labelled series plus `_count` and `_max`). Suitable for
- *    dumping to a file a node_exporter textfile collector scrapes, or
- *    serving verbatim from any HTTP handler.
+ *    counters with their `_total` names, and histograms in the native
+ *    histogram form (cumulative `le`-bounded `_bucket` series over the
+ *    occupied log-linear buckets, the mandatory `+Inf` bucket, `_sum`,
+ *    `_count`). Suitable for dumping to a file a node_exporter
+ *    textfile collector scrapes, or serving verbatim from any HTTP
+ *    handler.
  *
  *  - JSON-lines, rendered from an ObsSample (one StatsSampler
  *    interval): sequence number, timestamp, labels, cumulative

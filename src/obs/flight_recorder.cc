@@ -1,0 +1,249 @@
+#include "obs/flight_recorder.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "obs/export.h"
+#include "obs/json_reader.h"
+
+namespace btrace {
+
+namespace {
+
+void
+appendU64(std::string &out, const char *key, uint64_t v, bool comma = true)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64 "%s", key, v,
+                  comma ? "," : "");
+    out += buf;
+}
+
+/** §3.2 classification of one raw slot, mirroring occupancy(). */
+const char *
+slotStateName(const MetaSlotState &s, std::size_t cap)
+{
+    if (s.confPos >= cap) return "complete";
+    if (s.allocRnd == s.confRnd && s.allocPos == s.confPos) return "open";
+    return "incomplete";
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder(BTrace &tracer, const EventJournal *journal,
+                               FlightRecorderOptions options)
+    : bt(tracer), jnl(journal), opt(std::move(options))
+{
+}
+
+std::string
+FlightRecorder::render(const std::string &trigger) const
+{
+    // Capture order matters loosely: journal tail last, so the events
+    // explaining the counters/slots we just read are least likely to
+    // have been overwritten in between. Everything here is relaxed
+    // atomic reads — no tracer locks, safe while a resize is wedged.
+    const BTraceCounters::Snapshot c = bt.countersSnapshot();
+    const ActiveBlockOccupancy occ = bt.occupancy();
+    const std::vector<MetaSlotState> slots = bt.slotStates();
+    const std::size_t cap = bt.config().blockSize;
+
+    std::string out;
+    out.reserve(4096);
+    out += "{\"bundle\":\"btrace-flight-v1\",";
+    out += "\"trigger\":\"" + jsonEscape(trigger) + "\",";
+
+    out += "\"counters\":{";
+    appendU64(out, "fast_allocs", c.fastAllocs);
+    appendU64(out, "boundary_fills", c.boundaryFills);
+    appendU64(out, "stale_allocs", c.staleAllocs);
+    appendU64(out, "advances", c.advances);
+    appendU64(out, "skips", c.skips);
+    appendU64(out, "closes", c.closes);
+    appendU64(out, "lock_races", c.lockRaces);
+    appendU64(out, "core_races", c.coreRaces);
+    appendU64(out, "would_block", c.wouldBlock);
+    appendU64(out, "dummy_bytes", c.dummyBytes);
+    appendU64(out, "resizes", c.resizes);
+    appendU64(out, "shared_rmws", c.sharedRmws);
+    appendU64(out, "leases", c.leases);
+    appendU64(out, "lease_entries", c.leaseEntries);
+    appendU64(out, "leased_outstanding", c.leasedOutstanding, false);
+    out += "},";
+
+    out += "\"gauges\":{";
+    appendU64(out, "head_position", bt.headPosition());
+    appendU64(out, "capacity_bytes", bt.capacityBytes());
+    appendU64(out, "resident_bytes", bt.residentBytes());
+    appendU64(out, "blocks_complete", occ.complete);
+    appendU64(out, "blocks_open", occ.open);
+    appendU64(out, "blocks_incomplete", occ.incomplete, false);
+    out += "},";
+
+    out += "\"slots\":[";
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        const MetaSlotState &s = slots[i];
+        if (i != 0) out += ",";
+        out += "{";
+        appendU64(out, "slot", i);
+        appendU64(out, "alloc_rnd", s.allocRnd);
+        appendU64(out, "alloc_pos", s.allocPos);
+        appendU64(out, "conf_rnd", s.confRnd);
+        appendU64(out, "conf_pos", s.confPos);
+        out += "\"state\":\"";
+        out += slotStateName(s, cap);
+        out += "\"}";
+    }
+    out += "],";
+
+    const std::vector<JournalRecord> tail =
+        jnl != nullptr ? jnl->lastN(opt.lastN)
+                       : std::vector<JournalRecord>{};
+    appendU64(out, "journal_emitted", jnl != nullptr ? jnl->emitted() : 0);
+    out += "\"journal\":[";
+    for (std::size_t i = 0; i < tail.size(); ++i) {
+        const JournalRecord &r = tail[i];
+        if (i != 0) out += ",";
+        out += "{\"kind\":\"";
+        out += journalEventKindName(r.kind);
+        out += "\",";
+        if (r.kind == JournalEventKind::BlockClose) {
+            out += "\"reason\":\"";
+            out += blockCloseReasonName(
+                static_cast<BlockCloseReason>(r.arg));
+            out += "\",";
+        }
+        appendU64(out, "tsc", r.tsc);
+        appendU64(out, "seq", r.seq);
+        appendU64(out, "tid", r.tid);
+        appendU64(out, "core", r.core);
+        appendU64(out, "block", r.block);
+        appendU64(out, "arg", r.arg, false);
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+FlightRecorder::dump(const std::string &trigger)
+{
+    if (opt.path.empty())
+        return false;
+    const std::string bundle = render(trigger);
+    std::FILE *f = std::fopen(opt.path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::size_t n =
+        std::fwrite(bundle.data(), 1, bundle.size(), f);
+    const bool closed = std::fclose(f) == 0;
+    const bool ok = n == bundle.size() && closed;
+    if (ok)
+        written.fetch_add(1, std::memory_order_relaxed);
+    return ok;
+}
+
+ParsedFlightBundle
+parseFlightBundle(const std::string &text)
+{
+    ParsedFlightBundle out;
+    JsonValue root;
+    JsonReader reader(text);
+    if (!reader.parse(root) || root.type != JsonValue::Type::Object) {
+        out.error = reader.error.empty() ? "not a JSON object"
+                                         : reader.error;
+        return out;
+    }
+
+    const JsonValue *magic = root.find("bundle");
+    if (magic == nullptr || magic->type != JsonValue::Type::String ||
+        magic->str != "btrace-flight-v1") {
+        out.error = "missing or unknown bundle marker";
+        return out;
+    }
+    if (const JsonValue *t = root.find("trigger");
+        t != nullptr && t->type == JsonValue::Type::String)
+        out.trigger = t->str;
+
+    const auto numberMap = [&](const char *key,
+                               std::map<std::string, double> &dst) {
+        const JsonValue *v = root.find(key);
+        if (v == nullptr) return true;
+        if (v->type != JsonValue::Type::Object) return false;
+        for (const auto &kv : v->obj) {
+            if (kv.second.type != JsonValue::Type::Number) return false;
+            dst[kv.first] = kv.second.num;
+        }
+        return true;
+    };
+    if (!numberMap("counters", out.counters) ||
+        !numberMap("gauges", out.gauges)) {
+        out.error = "non-numeric counter/gauge value";
+        return out;
+    }
+
+    if (const JsonValue *v = root.find("slots")) {
+        if (v->type != JsonValue::Type::Array) {
+            out.error = "slots not an array";
+            return out;
+        }
+        for (const JsonValue &e : v->arr) {
+            if (e.type != JsonValue::Type::Object) {
+                out.error = "slot entry not an object";
+                return out;
+            }
+            std::map<std::string, double> slot;
+            for (const auto &kv : e.obj) {
+                if (kv.second.type == JsonValue::Type::Number)
+                    slot[kv.first] = kv.second.num;
+            }
+            out.slots.push_back(std::move(slot));
+        }
+    }
+
+    if (const JsonValue *v = root.find("journal_emitted");
+        v != nullptr && v->type == JsonValue::Type::Number)
+        out.journalEmitted = static_cast<uint64_t>(v->num);
+
+    if (const JsonValue *v = root.find("journal")) {
+        if (v->type != JsonValue::Type::Array) {
+            out.error = "journal not an array";
+            return out;
+        }
+        for (const JsonValue &e : v->arr) {
+            const JsonValue *kind =
+                e.type == JsonValue::Type::Object ? e.find("kind")
+                                                  : nullptr;
+            if (kind == nullptr ||
+                kind->type != JsonValue::Type::String) {
+                out.error = "journal entry without kind";
+                return out;
+            }
+            ParsedFlightBundle::Event ev;
+            ev.kind = kind->str;
+            if (const JsonValue *r = e.find("reason");
+                r != nullptr && r->type == JsonValue::Type::String)
+                ev.reason = r->str;
+            const auto num = [&](const char *key) -> uint64_t {
+                const JsonValue *n = e.find(key);
+                return n != nullptr &&
+                               n->type == JsonValue::Type::Number
+                           ? static_cast<uint64_t>(n->num)
+                           : 0;
+            };
+            ev.tsc = num("tsc");
+            ev.seq = num("seq");
+            ev.block = num("block");
+            ev.arg = num("arg");
+            ev.tid = static_cast<uint32_t>(num("tid"));
+            ev.core = static_cast<uint32_t>(num("core"));
+            out.journal.push_back(std::move(ev));
+        }
+    }
+
+    out.ok = true;
+    return out;
+}
+
+} // namespace btrace

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Crash-safe flight recorder of the observability plane (DESIGN.md §9).
+ *
+ * When the watchdog trips — or a tool asks — the most valuable thing
+ * to capture is the tracer's state *right now*, before anyone pokes at
+ * it: the last-N lifecycle journal events (the transition sequence
+ * that got here), a counters snapshot, and the raw per-slot metadata
+ * words. The FlightRecorder renders that as one self-contained JSON
+ * bundle and writes it to a file.
+ *
+ * Trigger rules: dump() is invoked (a) by the StatsSampler's health
+ * hook on the first HealthWatchdog trip of a run, (b) explicitly by
+ * tools (`replay --flight-out`, end-of-run), (c) by tests. Capture is
+ * async-safe with respect to the tracer: it takes no tracer locks and
+ * reads only relaxed atomics (countersSnapshot, slotStates, journal
+ * snapshot), so it works even while producers are live or a resize is
+ * wedged mid-quiesce — exactly the states worth post-morteming. The
+ * file write itself uses stdio and is not signal-safe; call it from a
+ * thread, not a signal handler.
+ */
+
+#ifndef BTRACE_OBS_FLIGHT_RECORDER_H
+#define BTRACE_OBS_FLIGHT_RECORDER_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/btrace.h"
+#include "obs/journal.h"
+
+namespace btrace {
+
+struct FlightRecorderOptions
+{
+    /** Bundle file path; empty disables dump() (render still works). */
+    std::string path;
+    /** Journal tail length included in the bundle. */
+    std::size_t lastN = 256;
+};
+
+class FlightRecorder
+{
+  public:
+    /**
+     * @p journal may be null (bundle then has an empty journal
+     * section). Both referents must outlive the recorder.
+     */
+    FlightRecorder(BTrace &tracer, const EventJournal *journal,
+                   FlightRecorderOptions options);
+
+    /** Render the bundle JSON without touching the filesystem. */
+    std::string render(const std::string &trigger) const;
+
+    /**
+     * Capture and write the bundle to options.path, overwriting any
+     * previous bundle (the latest trip is the one worth keeping).
+     * Returns false when the path is empty or the write failed.
+     */
+    bool dump(const std::string &trigger);
+
+    /** Bundles successfully written so far. */
+    uint64_t dumps() const
+    {
+        return written.load(std::memory_order_relaxed);
+    }
+
+  private:
+    BTrace &bt;
+    const EventJournal *jnl;
+    FlightRecorderOptions opt;
+    std::atomic<uint64_t> written{0};
+};
+
+/** parseFlightBundle() result: the decoded view of one bundle file. */
+struct ParsedFlightBundle
+{
+    bool ok = false;
+    std::string error;  //!< first problem found when !ok
+    std::string trigger;
+    std::map<std::string, double> counters;
+    std::map<std::string, double> gauges;
+    /** Per-slot state: field name → value, one map per metadata slot. */
+    std::vector<std::map<std::string, double>> slots;
+    uint64_t journalEmitted = 0;
+    /** Journal tail; kind is the snake_case name, reason set for closes. */
+    struct Event
+    {
+        std::string kind;
+        std::string reason;  //!< block_close only, else empty
+        uint64_t tsc = 0;
+        uint64_t seq = 0;
+        uint64_t block = 0;
+        uint64_t arg = 0;
+        uint32_t tid = 0;
+        uint32_t core = 0;
+    };
+    std::vector<Event> journal;
+};
+
+/** Parse a bundle previously produced by FlightRecorder::render(). */
+ParsedFlightBundle parseFlightBundle(const std::string &text);
+
+} // namespace btrace
+
+#endif // BTRACE_OBS_FLIGHT_RECORDER_H

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Lifecycle event journal of the observability plane (DESIGN.md §9).
+ *
+ * PR 4's metrics answer "how much"; when the watchdog trips they cannot
+ * answer "in what order". The journal records the tracer's own
+ * state-machine transitions — the paper's block closing (§3.2),
+ * skipping (§3.4), implicit reclamation (§3.3) and resize (§4.4) are
+ * exactly the events worth keeping — into a bounded, per-thread-sharded,
+ * overwrite-oldest ring of fixed-size records. Dogfooding: the tracer
+ * traces itself with the same block-buffer discipline it implements.
+ *
+ * Contract with the hot path: attaching a journal must not change the
+ * tracer's shared-RMW footprint (the `sharedRmws` counter is asserted
+ * byte-for-byte identical with and without an attached journal). emit()
+ * therefore touches only the journal's own per-thread shard: one
+ * relaxed fetch_add on the shard head plus relaxed field stores,
+ * seqlock-stamped so a concurrent reader skips slots being overwritten.
+ * Records are published with a release store of the sequence word and
+ * every slot field is an atomic, so readers are race-free (TSan-clean)
+ * without any lock — emit() is safe from any thread at any time, and
+ * snapshot() is safe concurrently with live emitters (monitoring-grade:
+ * a lapped slot is dropped, not torn).
+ */
+
+#ifndef BTRACE_OBS_JOURNAL_H
+#define BTRACE_OBS_JOURNAL_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace btrace {
+
+/** Lifecycle transitions the tracer journals (DESIGN.md §9). */
+enum class JournalEventKind : uint16_t
+{
+    BlockOpen = 0,  //!< advancement locked + stamped a fresh block
+    BlockClose,     //!< block completed; arg = BlockCloseReason
+    BlockSkip,      //!< candidate sacrificed to a straggler (§3.4)
+    LeaseGrant,     //!< batched span granted; arg = bytes
+    LeaseRevoke,    //!< lease closed early; arg = unused bytes returned
+    LeaseAbandon,   //!< lease closed having served nothing; arg = bytes
+    ReclaimStart,   //!< resize quiesce began (implicit reclamation §3.3)
+    ReclaimEnd,     //!< every active block quiesced
+    ResizeBegin,    //!< resize entered; arg = target block count
+    ResizeFreeze,   //!< frozen bit in effect; advancement parked
+    ResizeEnd,      //!< ratio swung and published; arg = new ratio
+    ConsumerPass,   //!< incremental consumer read; arg = entries
+    WatchdogTrip,   //!< health event fired; arg = HealthKind
+    Count
+};
+
+/** Stable snake_case identifier (flight bundles, trace export). */
+const char *journalEventKindName(JournalEventKind kind);
+
+/** Why a block was closed (the BlockClose arg, §3.2/§4.3/§4.4). */
+enum class BlockCloseReason : uint16_t
+{
+    Full = 0,   //!< tail dummy-filled when the block ran out (§4.1)
+    Straggler,  //!< lagging round closed during advancement (§3.2)
+    Graveyard,  //!< lost the core-install race; own block buried (§4.2)
+    Consumer,   //!< consumer close_active shutdown (§4.3)
+    Resize,     //!< resize quiesce close (§4.4)
+    Count
+};
+
+const char *blockCloseReasonName(BlockCloseReason reason);
+
+/**
+ * One journal record. `block` is the global block position for block
+ * events, the metadata slot for lease-close events, and the consumer
+ * cursor for ConsumerPass; `arg` is kind-specific (see the enum).
+ */
+struct JournalRecord
+{
+    uint64_t tsc = 0;    //!< steady-clock ns at emit
+    uint64_t seq = 0;    //!< per-shard emit sequence, 1-based
+    uint64_t block = 0;  //!< kind-specific position / slot / cursor
+    uint64_t arg = 0;    //!< kind-specific argument
+    uint32_t tid = 0;    //!< stable small ordinal of the emitting thread
+    uint16_t core = 0;   //!< producer core, or EventJournal::kNoCore
+    uint16_t shard = 0;  //!< shard the record was written to
+    JournalEventKind kind = JournalEventKind::BlockOpen;
+};
+
+/** Journal geometry. */
+struct JournalOptions
+{
+    /** Shards; 0 picks a default sized for typical core counts. */
+    std::size_t shards = 0;
+    /** Ring slots per shard; rounded up to a power of two. */
+    std::size_t recordsPerShard = 1024;
+};
+
+/** Bounded, sharded, overwrite-oldest ring of lifecycle records. */
+class EventJournal
+{
+  public:
+    /** `core` value for events with no producer core (consumer, resize). */
+    static constexpr uint16_t kNoCore = 0xffff;
+
+    explicit EventJournal(const JournalOptions &options = {});
+
+    EventJournal(const EventJournal &) = delete;
+    EventJournal &operator=(const EventJournal &) = delete;
+
+    /**
+     * Append one record to the calling thread's shard, overwriting the
+     * oldest. Lock-free, allocation-free, relaxed-only; safe from any
+     * thread, including concurrently with snapshot().
+     */
+    void emit(JournalEventKind kind, uint16_t core, uint64_t block,
+              uint64_t arg) noexcept;
+
+    /**
+     * Merged copy of every live record, sorted by tsc. Slots being
+     * overwritten mid-read are skipped, never returned torn.
+     */
+    std::vector<JournalRecord> snapshot() const;
+
+    /** The most recent @p n records of snapshot(). */
+    std::vector<JournalRecord> lastN(std::size_t n) const;
+
+    /** Records emitted so far, including overwritten ones. */
+    uint64_t emitted() const;
+
+    /** Total ring slots (shards x recordsPerShard). */
+    std::size_t capacity() const { return nShards * ringSize; }
+
+    std::size_t shardCount() const { return nShards; }
+
+    /** Stable small ordinal of the calling thread (shard selector). */
+    static uint32_t currentTid();
+
+  private:
+    /**
+     * One ring slot. seq doubles as the publication word: 0 while a
+     * writer is mid-store (readers skip), idx+1 once complete.
+     */
+    struct Slot
+    {
+        std::atomic<uint64_t> seq{0};
+        std::atomic<uint64_t> tsc{0};
+        std::atomic<uint64_t> block{0};
+        std::atomic<uint64_t> arg{0};
+        std::atomic<uint64_t> meta{0};  //!< kind | core | tid packed
+    };
+
+    struct alignas(64) Shard
+    {
+        std::atomic<uint64_t> head{0};  //!< slots claimed so far
+        std::unique_ptr<Slot[]> ring;
+    };
+
+    std::size_t nShards;
+    std::size_t ringSize;  //!< power of two
+    std::unique_ptr<Shard[]> shards;
+};
+
+} // namespace btrace
+
+#endif // BTRACE_OBS_JOURNAL_H

@@ -51,10 +51,27 @@ MetricsRegistry::collect() const
         if (h.h != nullptr) {
             const HistogramSnapshot snap = h.h->snapshot();
             v.count = snap.count();
+            v.sum = snap.sum;
             v.p50 = snap.quantile(0.50);
             v.p99 = snap.quantile(0.99);
             v.p999 = snap.quantile(0.999);
             v.max = snap.maxValue();
+            // Cumulative bucket series for the Prometheus exporter.
+            // Only occupied buckets get an explicit le bound (the full
+            // log-linear grid is ~500 buckets, nearly all empty); the
+            // +Inf bucket is implied by count. Upper bound of bucket b
+            // is the lower bound of b+1 (buckets are half-open); the
+            // overflow bucket has no finite bound and is elided.
+            uint64_t cum = 0;
+            for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+                if (snap.counts[b] == 0)
+                    continue;
+                cum += snap.counts[b];
+                if (b + 1 >= ConcurrentHistogram::kBuckets)
+                    continue;  // overflow bucket: +Inf only
+                v.buckets.emplace_back(
+                    ConcurrentHistogram::bucketLowerBound(b + 1), cum);
+            }
         }
         out.histograms.push_back(std::move(v));
     }

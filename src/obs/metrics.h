@@ -49,16 +49,27 @@ struct MetricValue
     double value = 0.0;
 };
 
-/** One evaluated histogram, summarized to headline quantiles. */
+/**
+ * One evaluated histogram: headline quantiles for the JSON-lines
+ * exporter plus the cumulative bucket series for the Prometheus native
+ * histogram format (`_bucket` / `_sum` / `_count`).
+ */
 struct HistogramValue
 {
     std::string name;
     std::string help;
     uint64_t count = 0;
+    uint64_t sum = 0;  //!< exact sum of recorded values
     uint64_t p50 = 0;
     uint64_t p99 = 0;
     uint64_t p999 = 0;
     uint64_t max = 0;
+    /**
+     * (upper bound, cumulative count) pairs, ascending, one per
+     * occupied log-linear bucket — empty buckets are elided, the
+     * implicit `+Inf` bucket (== count) is not included.
+     */
+    std::vector<std::pair<uint64_t, uint64_t>> buckets;
 };
 
 /** Registry of metric callbacks; collect() evaluates them. */

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/journal.h"
+
 namespace btrace {
 
 StatsSampler::StatsSampler(const MetricsRegistry &registry,
@@ -26,6 +28,20 @@ StatsSampler::setHealthSource(HealthSource source)
     healthSrc = std::move(source);
 }
 
+void
+StatsSampler::setJournal(EventJournal *j)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    journal = j;
+}
+
+void
+StatsSampler::setHealthEventHook(HealthEventHook hook)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    healthHook = std::move(hook);
+}
+
 double
 StatsSampler::nowSec() const
 {
@@ -47,30 +63,47 @@ StatsSampler::start()
 void
 StatsSampler::stop()
 {
+    // Claim the worker under the lock so concurrent stop() calls are
+    // idempotent: exactly one caller gets a joinable thread, the rest
+    // see running == false (or an empty worker) and return.
+    std::thread to_join;
     {
         std::lock_guard<std::mutex> lock(mu);
         if (!running) return;
+        running = false;
         stopRequested = true;
+        to_join = std::move(worker);
     }
     cv.notify_all();
-    worker.join();
-    {
-        std::lock_guard<std::mutex> lock(mu);
-        running = false;
-        if (jsonOut.is_open()) jsonOut.flush();
-    }
+    if (to_join.joinable()) to_join.join();
+    std::lock_guard<std::mutex> lock(mu);
+    if (jsonOut.is_open()) jsonOut.flush();
 }
 
 void
 StatsSampler::run()
 {
+    // Absolute deadlines: a sampling pass that takes a while (large
+    // registry, slow disk for the JSON line) must not stretch the
+    // interval — the next deadline advances by exactly one period. If
+    // a pass overruns a whole period, skip the missed beats instead of
+    // firing a catch-up burst of back-to-back samples.
+    const auto period = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(opt.intervalSec));
+    auto deadline = std::chrono::steady_clock::now() + period;
+
     std::unique_lock<std::mutex> lock(mu);
-    while (!stopRequested) {
-        const auto period = std::chrono::duration<double>(opt.intervalSec);
-        if (cv.wait_for(lock, period, [this] { return stopRequested; }))
+    for (;;) {
+        if (cv.wait_until(lock, deadline,
+                          [this] { return stopRequested; }))
             break;
         lock.unlock();
         sampleOnce();
+        deadline += period;
+        const auto now = std::chrono::steady_clock::now();
+        if (deadline <= now)
+            deadline = now + period;
         lock.lock();
     }
     lock.unlock();
@@ -143,6 +176,20 @@ StatsSampler::sampleOnce()
             jsonOut << renderJsonLine(s) << '\n';
             jsonOut.flush();
         }
+    }
+
+    // Fan fired health events out to the journal and the hook after
+    // releasing mu: the hook typically dumps a flight bundle, which
+    // reads back through sampler accessors that take mu.
+    EventJournal *const j = journal;
+    const HealthEventHook hook = healthHook;
+    lock.unlock();
+    for (const HealthEvent &e : s.health) {
+        if (j != nullptr)
+            j->emit(JournalEventKind::WatchdogTrip,
+                    EventJournal::kNoCore, 0,
+                    uint64_t(static_cast<int>(e.kind)));
+        if (hook) hook(e);
     }
     return s;
 }

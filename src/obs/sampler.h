@@ -35,6 +35,8 @@
 
 namespace btrace {
 
+class EventJournal;
+
 /** Sampler configuration. */
 struct SamplerOptions
 {
@@ -62,6 +64,22 @@ class StatsSampler
 
     /** Enable the health watchdog; set before start(). */
     void setHealthSource(HealthSource source);
+
+    /**
+     * Mirror fired health events into a lifecycle journal as
+     * WatchdogTrip records (arg = HealthKind), so a flight bundle's
+     * journal tail shows the trip inline with the block transitions
+     * that caused it. Set before start(); nullptr detaches.
+     */
+    void setJournal(EventJournal *journal);
+
+    /**
+     * Invoked once per fired health event, outside the sampler lock
+     * (the hook may call back into sampler accessors or dump a flight
+     * bundle). Set before start().
+     */
+    using HealthEventHook = std::function<void(const HealthEvent &)>;
+    void setHealthEventHook(HealthEventHook hook);
 
     /** Launch the background thread (idempotent). */
     void start();
@@ -110,6 +128,8 @@ class StatsSampler
 
     HealthSource healthSrc;
     HealthWatchdog dog;
+    EventJournal *journal = nullptr;
+    HealthEventHook healthHook;
 
     std::chrono::steady_clock::time_point epoch;
 };

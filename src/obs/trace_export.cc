@@ -1,0 +1,184 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace btrace {
+
+namespace {
+
+constexpr int kBlocksPid = 1;     //!< block-track process
+constexpr int kLifecyclePid = 2;  //!< lease/resize/consumer process
+
+struct EventWriter
+{
+    std::string out;
+    bool first = true;
+
+    void
+    beginEvent()
+    {
+        if (!first) out += ",";
+        first = false;
+    }
+
+    void
+    metadata(int pid, const char *processName)
+    {
+        beginEvent();
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                      "\"tid\":0,\"args\":{\"name\":\"%s\"}}",
+                      pid, processName);
+        out += buf;
+    }
+
+    void
+    complete(const std::string &name, int pid, uint64_t tid, double ts,
+             double dur, const std::string &args)
+    {
+        beginEvent();
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "\"ph\":\"X\",\"cat\":\"btrace\",\"pid\":%d,"
+                      "\"tid\":%" PRIu64 ",\"ts\":%.3f,\"dur\":%.3f",
+                      pid, tid, ts, dur);
+        out += "{\"name\":\"" + name + "\"," + buf +
+               ",\"args\":{" + args + "}}";
+    }
+
+    void
+    instant(const std::string &name, int pid, uint64_t tid, double ts,
+            char scope, const std::string &args)
+    {
+        beginEvent();
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "\"ph\":\"i\",\"cat\":\"btrace\",\"pid\":%d,"
+                      "\"tid\":%" PRIu64 ",\"ts\":%.3f,\"s\":\"%c\"",
+                      pid, tid, ts, scope);
+        out += "{\"name\":\"" + name + "\"," + buf +
+               ",\"args\":{" + args + "}}";
+    }
+};
+
+std::string
+u64Args(const char *k1, uint64_t v1, const char *k2 = nullptr,
+        uint64_t v2 = 0)
+{
+    char buf[128];
+    if (k2 != nullptr) {
+        std::snprintf(buf, sizeof(buf),
+                      "\"%s\":%" PRIu64 ",\"%s\":%" PRIu64, k1, v1, k2,
+                      v2);
+    } else {
+        std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64, k1, v1);
+    }
+    return buf;
+}
+
+} // namespace
+
+std::string
+journalTraceEvents(const std::vector<JournalRecord> &records,
+                   const TraceEventExportOptions &opt)
+{
+    if (records.empty())
+        return "";
+
+    uint64_t t0 = records.front().tsc;
+    uint64_t tMax = t0;
+    for (const JournalRecord &r : records) {
+        t0 = std::min(t0, r.tsc);
+        tMax = std::max(tMax, r.tsc);
+    }
+    const auto toUs = [&](uint64_t tsc) {
+        return double(tsc - t0) * opt.nsPerTick / 1000.0;
+    };
+    const uint64_t tracks =
+        opt.activeBlocks != 0 ? uint64_t(opt.activeBlocks) : 64;
+    const auto trackOf = [&](uint64_t block) { return block % tracks; };
+
+    EventWriter w;
+    w.out.reserve(records.size() * 128);
+    w.metadata(kBlocksPid, "BTrace blocks");
+    w.metadata(kLifecyclePid, "BTrace lifecycle");
+
+    // BlockOpen is stashed until its close arrives; a block position
+    // opens at most once (positions are monotonic), so a plain map is
+    // the full pairing state.
+    std::map<uint64_t, uint64_t> openAt;  // block position -> open tsc
+
+    for (const JournalRecord &r : records) {
+        const double ts = toUs(r.tsc);
+        switch (r.kind) {
+          case JournalEventKind::BlockOpen:
+            openAt[r.block] = r.tsc;
+            break;
+          case JournalEventKind::BlockClose: {
+            const auto reason = static_cast<BlockCloseReason>(r.arg);
+            char name[64];
+            std::snprintf(name, sizeof(name),
+                          "block %" PRIu64 " (%s)", r.block,
+                          blockCloseReasonName(reason));
+            const auto it = openAt.find(r.block);
+            if (it != openAt.end()) {
+                const double open_ts = toUs(it->second);
+                w.complete(name, kBlocksPid, trackOf(r.block), open_ts,
+                           std::max(0.0, ts - open_ts),
+                           u64Args("block", r.block) + ",\"reason\":\"" +
+                               blockCloseReasonName(reason) + "\"");
+                openAt.erase(it);
+            } else {
+                // Close of a block whose open predates the journal
+                // window (ring overwrote it): still worth a mark.
+                w.instant(name, kBlocksPid, trackOf(r.block), ts, 't',
+                          u64Args("block", r.block));
+            }
+            break;
+          }
+          case JournalEventKind::BlockSkip:
+            w.instant("skip", kBlocksPid, trackOf(r.block), ts, 't',
+                      u64Args("block", r.block, "confirmed_pos", r.arg));
+            break;
+          case JournalEventKind::WatchdogTrip:
+            // Global scope: a trip concerns the whole process view.
+            w.instant("watchdog_trip", kLifecyclePid, r.tid, ts, 'g',
+                      u64Args("health_kind", r.arg));
+            break;
+          default:
+            w.instant(journalEventKindName(r.kind), kLifecyclePid,
+                      r.tid, ts, 't',
+                      u64Args("block", r.block, "arg", r.arg));
+            break;
+        }
+    }
+
+    // Blocks still open when the journal ended: emit them as complete
+    // events spanning to the last record so they are visible as open
+    // tracks (an unclosed block is often the finding).
+    for (const auto &kv : openAt) {
+        char name[48];
+        std::snprintf(name, sizeof(name), "block %" PRIu64 " (open)",
+                      kv.first);
+        const double open_ts = toUs(kv.second);
+        w.complete(name, kBlocksPid, trackOf(kv.first), open_ts,
+                   std::max(0.0, toUs(tMax) - open_ts),
+                   u64Args("block", kv.first, "unclosed", 1));
+    }
+
+    return w.out;
+}
+
+std::string
+exportJournalChromeJson(const std::vector<JournalRecord> &records,
+                        const TraceEventExportOptions &opt)
+{
+    return "{\"traceEvents\":[" + journalTraceEvents(records, opt) +
+           "]}";
+}
+
+} // namespace btrace

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Chrome trace-event export of the lifecycle journal (DESIGN.md §9).
+ *
+ * Emits the legacy Chrome trace-event JSON format ("JSON Array
+ * Format" with a traceEvents wrapper) that Perfetto's legacy importer
+ * and chrome://tracing both load: blocks become tracks under a
+ * "BTrace blocks" process with open→close complete ("X") events,
+ * skips become instant events on the affected block's track, and
+ * lease / resize / reclaim / consumer / watchdog transitions become
+ * instant ("i") events under a "BTrace lifecycle" process. Timestamps
+ * are microseconds rebased to the earliest journal record.
+ */
+
+#ifndef BTRACE_OBS_TRACE_EXPORT_H
+#define BTRACE_OBS_TRACE_EXPORT_H
+
+#include <string>
+#include <vector>
+
+#include "obs/journal.h"
+
+namespace btrace {
+
+struct TraceEventExportOptions
+{
+    /** Nanoseconds per journal tsc tick (1.0: tsc already in ns). */
+    double nsPerTick = 1.0;
+    /**
+     * Active-block count A. When nonzero, block events are folded
+     * onto A tracks (track = position mod A, matching the metadata
+     * slot); 0 falls back to position mod 64.
+     */
+    std::size_t activeBlocks = 0;
+};
+
+/**
+ * Render the journal as a comma-joined list of trace-event objects,
+ * without the enclosing array — composable with other event sources
+ * (see analysis/export.h). Empty string when @p records is empty.
+ */
+std::string journalTraceEvents(const std::vector<JournalRecord> &records,
+                               const TraceEventExportOptions &opt = {});
+
+/** Render a complete `{"traceEvents":[...]}` document. */
+std::string
+exportJournalChromeJson(const std::vector<JournalRecord> &records,
+                        const TraceEventExportOptions &opt = {});
+
+} // namespace btrace
+
+#endif // BTRACE_OBS_TRACE_EXPORT_H

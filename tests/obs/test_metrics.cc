@@ -233,11 +233,18 @@ TEST(Exporters, PrometheusTextFormat)
     EXPECT_NE(text.find("# TYPE app_ratio gauge\n"), std::string::npos);
     EXPECT_NE(text.find("app_ratio{job=\"t\\\"est\"} 0.25\n"),
               std::string::npos);
-    EXPECT_NE(text.find("# TYPE app_lat_ns summary\n"),
+    EXPECT_NE(text.find("# TYPE app_lat_ns histogram\n"),
               std::string::npos);
+    // One sample of 100 ns lands in the log-linear bucket whose upper
+    // bound is 104; the cumulative grid then carries it to +Inf.
     EXPECT_NE(
-        text.find("app_lat_ns{job=\"t\\\"est\",quantile=\"0.99\"} "),
+        text.find("app_lat_ns_bucket{job=\"t\\\"est\",le=\"104\"} 1\n"),
         std::string::npos);
+    EXPECT_NE(
+        text.find("app_lat_ns_bucket{job=\"t\\\"est\",le=\"+Inf\"} 1\n"),
+        std::string::npos);
+    EXPECT_NE(text.find("app_lat_ns_sum{job=\"t\\\"est\"} 100\n"),
+              std::string::npos);
     EXPECT_NE(text.find("app_lat_ns_count{job=\"t\\\"est\"} 1\n"),
               std::string::npos);
 }
@@ -254,6 +261,7 @@ TEST(Exporters, JsonLineRoundTrip)
     HistogramValue h;
     h.name = "lat_ns";
     h.count = 7;
+    h.sum = 350;
     h.p50 = 40;
     h.p99 = 90;
     h.p999 = 95;
@@ -273,6 +281,7 @@ TEST(Exporters, JsonLineRoundTrip)
     EXPECT_DOUBLE_EQ(p.rates.at("a_total"), 5.0);
     EXPECT_DOUBLE_EQ(p.gauges.at("ratio"), 0.75);
     EXPECT_DOUBLE_EQ(p.histograms.at("lat_ns").at("p99"), 90.0);
+    EXPECT_DOUBLE_EQ(p.histograms.at("lat_ns").at("sum"), 350.0);
     ASSERT_EQ(p.healthKinds.size(), 1u);
     EXPECT_EQ(p.healthKinds[0], "lease_straggler_wedge");
 }

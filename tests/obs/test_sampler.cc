@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <fstream>
@@ -16,6 +17,7 @@
 
 #include "core/btrace.h"
 #include "obs/btrace_metrics.h"
+#include "obs/journal.h"
 #include "obs/sampler.h"
 #include "trace/observer.h"
 
@@ -177,6 +179,144 @@ TEST(StatsSampler, WritesParsableJsonLines)
     }
     EXPECT_EQ(expectSeq, 5u);
     std::remove(path.c_str());
+}
+
+// Regression: the background loop must schedule on absolute deadlines.
+// With a registry whose collection takes ~60% of the period, a
+// relative-sleep loop would space samples at (period + cost) and drift
+// ~30ms per beat; absolute deadlines keep the median spacing at the
+// period. Uses the median so one noisy beat on a loaded CI box cannot
+// fail the test.
+TEST(SamplerTiming, AbsoluteDeadlineAvoidsDrift)
+{
+    MetricsRegistry reg;
+    reg.addGauge("slow_gauge", "sleeps during collect", []() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        return 1.0;
+    });
+
+    SamplerOptions opt;
+    opt.intervalSec = 0.05;
+    opt.ringSize = 64;
+    StatsSampler sampler(reg, opt);
+    sampler.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(700));
+    sampler.stop();
+
+    const auto samples = sampler.recent();
+    ASSERT_GE(samples.size(), 6u);
+    std::vector<double> diffs;
+    // The stop() flush sample is not on the cadence; exclude it.
+    for (std::size_t i = 1; i + 1 < samples.size(); ++i)
+        diffs.push_back(samples[i].tSec - samples[i - 1].tSec);
+    ASSERT_GE(diffs.size(), 4u);
+    std::sort(diffs.begin(), diffs.end());
+    const double median = diffs[diffs.size() / 2];
+    // Relative sleeps would put the median at >= 0.08 (period + cost).
+    EXPECT_LT(median, 0.075) << "sampler cadence drifted";
+    EXPECT_GE(median, 0.045) << "sampler fired a catch-up burst";
+}
+
+// A health source that is mid-evaluation when stop() lands: stop must
+// wait it out and join cleanly, never hang or tear down under it.
+TEST(SamplerShutdown, StopDuringWatchdogEvaluation)
+{
+    MetricsRegistry reg;
+    reg.addCounter("x_total", "x", []() { return 1.0; });
+
+    std::atomic<int> evaluations{0};
+    SamplerOptions opt;
+    opt.intervalSec = 0.002;
+    StatsSampler sampler(reg, opt);
+    sampler.setHealthSource([&evaluations]() {
+        evaluations.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        return HealthInput{};
+    });
+    sampler.start();
+    // Give the loop time to get inside an evaluation, then stop into it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    sampler.stop();
+    EXPECT_GE(evaluations.load(), 1);
+    const uint64_t n = sampler.samplesTaken();
+    EXPECT_GE(n, 1u);
+    sampler.stop();
+    EXPECT_EQ(sampler.samplesTaken(), n);
+}
+
+// Two threads racing stop() against each other (plus a late third
+// call): exactly one joins the worker, the rest return; a subsequent
+// start()/stop() cycle still works. Run under TSan in CI.
+TEST(SamplerShutdown, ConcurrentDoubleStopIsIdempotent)
+{
+    MetricsRegistry reg;
+    reg.addCounter("x_total", "x", []() { return 1.0; });
+    SamplerOptions opt;
+    opt.intervalSec = 0.005;
+    StatsSampler sampler(reg, opt);
+    sampler.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+
+    std::thread a([&sampler]() { sampler.stop(); });
+    std::thread b([&sampler]() { sampler.stop(); });
+    a.join();
+    b.join();
+    sampler.stop();  // already stopped: no-op
+
+    const uint64_t afterFirst = sampler.samplesTaken();
+    EXPECT_GE(afterFirst, 1u);
+
+    // The sampler must be restartable after a clean stop.
+    sampler.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    sampler.stop();
+    EXPECT_GT(sampler.samplesTaken(), afterFirst);
+}
+
+// A deterministic watchdog trip (synthetic health input: wouldBlock
+// rises, advances do not) must be mirrored into the attached journal
+// as a WatchdogTrip record and handed to the health-event hook.
+TEST(SamplerHealth, TripJournalsAndInvokesHook)
+{
+    MetricsRegistry reg;
+    reg.addCounter("x_total", "x", []() { return 1.0; });
+
+    uint64_t fakeWouldBlock = 0;
+    SamplerOptions opt;
+    opt.watchdog.stallIntervals = 2;
+    StatsSampler sampler(reg, opt);
+    sampler.setHealthSource([&fakeWouldBlock]() {
+        HealthInput in;
+        fakeWouldBlock += 100;  // writers bouncing...
+        in.ctrs.wouldBlock = fakeWouldBlock;
+        in.ctrs.advances = 0;  // ...and nothing advancing
+        return in;
+    });
+
+    EventJournal journal;
+    std::vector<HealthEvent> hooked;
+    sampler.setJournal(&journal);
+    sampler.setHealthEventHook(
+        [&hooked](const HealthEvent &e) { hooked.push_back(e); });
+
+    // Baseline + stallIntervals bad intervals, deterministically.
+    for (int i = 0; i < 4; ++i)
+        sampler.sampleOnce();
+
+    ASSERT_FALSE(sampler.healthHistory().empty());
+    ASSERT_FALSE(hooked.empty());
+    EXPECT_EQ(hooked.front().kind, HealthKind::StalledAdvancement);
+
+    bool sawTrip = false;
+    for (const JournalRecord &r : journal.snapshot()) {
+        if (r.kind == JournalEventKind::WatchdogTrip) {
+            sawTrip = true;
+            EXPECT_EQ(r.arg, uint64_t(int(
+                                 HealthKind::StalledAdvancement)));
+            EXPECT_EQ(r.core, EventJournal::kNoCore);
+        }
+    }
+    EXPECT_TRUE(sawTrip);
 }
 
 TEST(StatsSampler, BackgroundThreadStartStop)

@@ -5,6 +5,7 @@
  *   btrace_inspect <trace.bin> [--json FILE] [--csv FILE]
  *                  [--head N] [--gaps]
  *   btrace_inspect --metrics <obs.jsonl>
+ *   btrace_inspect --journal <flight.json>
  *
  * Prints the per-core/per-category summary of a file written by
  * TracePersister, optionally exports it for Perfetto/chrome://tracing
@@ -12,7 +13,10 @@
  * gaps in the stamp sequence. With --metrics, the input is instead an
  * observability JSON-lines file (replay --obs-json / StatsSampler) and
  * the tool pretty-prints the last sample, headline rates, and every
- * health event in the stream.
+ * health event in the stream. With --journal, the input is a flight
+ * bundle (replay --flight-out / FlightRecorder) and the tool shows the
+ * trigger, counters, per-slot block states, and the journal tail — the
+ * post-mortem view of why the watchdog fired.
  */
 
 #include <algorithm>
@@ -22,9 +26,13 @@
 #include <string>
 #include <vector>
 
+#include <map>
+#include <sstream>
+
 #include "analysis/export.h"
 #include "core/persister.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 
 using namespace btrace;
 
@@ -36,7 +44,8 @@ usage()
     std::fprintf(stderr,
                  "usage: btrace_inspect <trace.bin> [--json FILE] "
                  "[--csv FILE] [--head N] [--gaps]\n"
-                 "       btrace_inspect --metrics <obs.jsonl>\n");
+                 "       btrace_inspect --metrics <obs.jsonl>\n"
+                 "       btrace_inspect --journal <flight.json>\n");
     return 2;
 }
 
@@ -114,6 +123,71 @@ inspectMetrics(const std::string &path)
     return 0;
 }
 
+/** Pretty-print a flight bundle (replay --flight-out output). */
+int
+inspectJournal(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const ParsedFlightBundle b = parseFlightBundle(ss.str());
+    if (!b.ok) {
+        std::fprintf(stderr, "%s: not a flight bundle: %s\n",
+                     path.c_str(), b.error.c_str());
+        return 1;
+    }
+
+    std::printf("flight bundle, trigger: %s\n\n", b.trigger.c_str());
+    std::printf("  %-24s %14s\n", "counter", "value");
+    for (const auto &kv : b.counters)
+        std::printf("  %-24s %14.0f\n", kv.first.c_str(), kv.second);
+    std::printf("  %-24s %14s\n", "gauge", "value");
+    for (const auto &kv : b.gauges)
+        std::printf("  %-24s %14.0f\n", kv.first.c_str(), kv.second);
+
+    std::printf("\nslots (%zu):\n", b.slots.size());
+    std::printf("  %4s %10s %10s %10s %10s\n", "slot", "alloc_rnd",
+                "alloc_pos", "conf_rnd", "conf_pos");
+    for (const auto &slot : b.slots) {
+        const auto g = [&](const char *k) {
+            const auto it = slot.find(k);
+            return it == slot.end() ? 0.0 : it->second;
+        };
+        std::printf("  %4.0f %10.0f %10.0f %10.0f %10.0f\n", g("slot"),
+                    g("alloc_rnd"), g("alloc_pos"), g("conf_rnd"),
+                    g("conf_pos"));
+    }
+
+    // Per-kind tallies over the journal tail, then the tail itself.
+    std::map<std::string, uint64_t> kinds;
+    for (const ParsedFlightBundle::Event &e : b.journal)
+        ++kinds[e.kind];
+    std::printf("\njournal: %llu events emitted, tail of %zu\n",
+                static_cast<unsigned long long>(b.journalEmitted),
+                b.journal.size());
+    for (const auto &kv : kinds)
+        std::printf("  %-24s %6llu\n", kv.first.c_str(),
+                    static_cast<unsigned long long>(kv.second));
+    std::printf("\n  %12s %-18s %-10s %6s %6s %10s %10s\n", "tsc",
+                "kind", "reason", "core", "tid", "block", "arg");
+    for (const ParsedFlightBundle::Event &e : b.journal) {
+        const std::string core =
+            e.core == 0xffff ? "-" : std::to_string(e.core);
+        std::printf("  %12llu %-18s %-10s %6s %6u %10llu %10llu\n",
+                    static_cast<unsigned long long>(e.tsc),
+                    e.kind.c_str(),
+                    e.reason.empty() ? "-" : e.reason.c_str(),
+                    core.c_str(), e.tid,
+                    static_cast<unsigned long long>(e.block),
+                    static_cast<unsigned long long>(e.arg));
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -123,6 +197,8 @@ main(int argc, char **argv)
         return usage();
     if (std::strcmp(argv[1], "--metrics") == 0)
         return argc == 3 ? inspectMetrics(argv[2]) : usage();
+    if (std::strcmp(argv[1], "--journal") == 0)
+        return argc == 3 ? inspectJournal(argv[2]) : usage();
     const std::string input = argv[1];
     std::string json_path, csv_path;
     long head = 0;

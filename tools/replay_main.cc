@@ -5,7 +5,8 @@
  *   replay [--tracer=btrace|bbq|ftrace|lttng|vtrace]
  *          [--workload=NAME] [--duration=SEC] [--scale=F] [--seed=N]
  *          [--lease=N] [--obs-interval=SEC] [--obs-json=PATH]
- *          [--obs-prom=PATH] [--list-workloads]
+ *          [--obs-prom=PATH] [--journal-out=PATH] [--flight-out=PATH]
+ *          [--list-workloads]
  *
  * The virtual-time replay engine (§5) drives the chosen tracer with
  * the chosen workload while a StatsSampler watches the same instance
@@ -16,6 +17,13 @@
  * Baseline tracers export through the same Tracer-level observer hook,
  * so their latency histograms appear too — only the BTrace-specific
  * counters and gauges are absent.
+ *
+ * BTrace runs additionally carry the lifecycle journal: --journal-out
+ * writes a Chrome trace-event JSON (drag into ui.perfetto.dev) that
+ * combines the dumped entries with the tracer's own block/lease/resize
+ * transitions, and --flight-out arms the flight recorder — the first
+ * watchdog trip dumps a post-mortem bundle there (end of run if the
+ * watchdog never fired). Both flags warn and do nothing for baselines.
  */
 
 #include <cctype>
@@ -26,7 +34,10 @@
 #include <string>
 
 #include "analysis/continuity.h"
+#include "analysis/export.h"
 #include "obs/btrace_metrics.h"
+#include "obs/flight_recorder.h"
+#include "obs/journal.h"
 #include "obs/sampler.h"
 #include "sim/replay.h"
 #include "workloads/catalog.h"
@@ -46,6 +57,8 @@ struct Flags
     double obsInterval = 0.0;  //!< 0 = single final sample
     std::string obsJson;
     std::string obsProm;
+    std::string journalOut;    //!< Chrome trace-event JSON (Perfetto)
+    std::string flightOut;     //!< flight-recorder bundle path
 };
 
 int
@@ -57,6 +70,7 @@ usage()
         "              [--workload=NAME] [--duration=SEC] [--scale=F]\n"
         "              [--seed=N] [--lease=N] [--obs-interval=SEC]\n"
         "              [--obs-json=PATH] [--obs-prom=PATH]\n"
+        "              [--journal-out=PATH] [--flight-out=PATH]\n"
         "              [--list-workloads]\n");
     return 2;
 }
@@ -105,6 +119,10 @@ main(int argc, char **argv)
             f.obsJson = v8;
         } else if (const char *v9 = val("--obs-prom")) {
             f.obsProm = v9;
+        } else if (const char *v10 = val("--journal-out")) {
+            f.journalOut = v10;
+        } else if (const char *v11 = val("--flight-out")) {
+            f.flightOut = v11;
         } else if (std::strcmp(a, "--list-workloads") == 0) {
             for (const Workload &w : workloadCatalog())
                 std::printf("%s\n", w.name.c_str());
@@ -124,12 +142,30 @@ main(int argc, char **argv)
     tracer->attachObserver(&observer);
 
     std::unique_ptr<BTraceObs> btObs;
+    std::unique_ptr<EventJournal> journal;
+    std::unique_ptr<FlightRecorder> flight;
     MetricsRegistry baselineReg;
     const MetricsRegistry *reg = &baselineReg;
-    if (auto *bt = dynamic_cast<BTrace *>(tracer.get())) {
-        btObs = std::make_unique<BTraceObs>(*bt, &observer);
+    BTrace *btp = dynamic_cast<BTrace *>(tracer.get());
+    if (btp != nullptr) {
+        btObs = std::make_unique<BTraceObs>(*btp, &observer);
         reg = &btObs->registry();
+        if (!f.journalOut.empty() || !f.flightOut.empty()) {
+            journal = std::make_unique<EventJournal>();
+            btp->attachJournal(journal.get());
+        }
+        if (!f.flightOut.empty()) {
+            FlightRecorderOptions fo;
+            fo.path = f.flightOut;
+            flight = std::make_unique<FlightRecorder>(*btp, journal.get(),
+                                                      fo);
+        }
     } else {
+        if (!f.journalOut.empty() || !f.flightOut.empty())
+            std::fprintf(stderr,
+                         "warning: --journal-out/--flight-out need the "
+                         "btrace tracer; ignored for '%s'\n",
+                         f.tracer.c_str());
         baselineReg.addCounter(
             "btrace_obs_samples_total",
             "Latency samples recorded by the observer",
@@ -148,6 +184,16 @@ main(int argc, char **argv)
     if (btObs)
         sampler.setHealthSource(
             [&btObs]() { return btObs->healthInput(); });
+    if (journal)
+        sampler.setJournal(journal.get());
+    if (flight) {
+        // First watchdog trip captures the post-mortem bundle; later
+        // trips overwrite it (the freshest state is the useful one).
+        sampler.setHealthEventHook([&flight](const HealthEvent &e) {
+            flight->dump(std::string("watchdog:") +
+                         healthKindName(e.kind));
+        });
+    }
     if (f.obsInterval > 0)
         sampler.start();
 
@@ -188,6 +234,28 @@ main(int argc, char **argv)
         out << renderPrometheus(reg->collect(), so.labels);
         std::printf("prometheus text -> %s\n", f.obsProm.c_str());
     }
+
+    if (journal && !f.journalOut.empty()) {
+        TraceEventExportOptions jopt;
+        jopt.activeBlocks = btp->config().activeBlocks;
+        const std::vector<JournalRecord> tail = journal->snapshot();
+        std::ofstream out(f.journalOut);
+        out << exportChromeJsonWithJournal(res.dump.entries, tail,
+                                           ExportOptions{}, jopt);
+        std::printf("journal trace (tail %zu of %llu emitted) -> %s\n",
+                    tail.size(),
+                    static_cast<unsigned long long>(journal->emitted()),
+                    f.journalOut.c_str());
+    }
+    if (flight) {
+        // The watchdog never fired: still leave a bundle of the final
+        // state so the artifact always exists.
+        if (flight->dumps() == 0)
+            flight->dump("end_of_run");
+        std::printf("flight bundle -> %s\n", f.flightOut.c_str());
+    }
+    if (journal)
+        btp->attachJournal(nullptr);
 
     // A run that produced nothing or sampled nothing is broken.
     if (res.produced.empty()) {
