@@ -47,6 +47,7 @@ struct Flags
     bool quick = false;
     double obsInterval = 0.0;  //!< sampler period; 0 = off
     std::string obsJson;       //!< obs JSON-lines path; empty = off
+    std::string backend;       //!< storage backend; empty = build default
 };
 
 Flags
@@ -75,12 +76,15 @@ parseFlags(int argc, char **argv)
             f.obsInterval = std::atof(v6);
         } else if (const char *v7 = val("--obs-json")) {
             f.obsJson = v7;
+        } else if (const char *v8 = val("--backend")) {
+            f.backend = v8;
         } else if (std::strcmp(a, "--quick") == 0) {
             f.quick = true;
         } else if (std::strcmp(a, "--help") == 0) {
             std::printf("flags: --threads=N --secs=S --lease=N "
                         "--payload=B --json=PATH --obs-interval=SEC "
-                        "--obs-json=PATH --quick\n");
+                        "--obs-json=PATH --backend=private|shm|file "
+                        "--quick\n");
             std::exit(0);
         }
     }
@@ -293,12 +297,20 @@ run(int argc, char **argv)
         cfg.cores = cores;
         cfg.activeBlocks = 16 * cores;
         cfg.numBlocks = 8 * cfg.activeBlocks;
+        if (!f.backend.empty() &&
+            !parseStorageKind(f.backend, cfg.storage)) {
+            std::fprintf(stderr, "unknown backend '%s'\n",
+                         f.backend.c_str());
+            std::exit(2);
+        }
         return cfg;
     };
 
     std::printf("micro_throughput — %u threads on %u cores, "
-                "payload %u B, lease %u entries, %.2f s per mode\n",
-                f.threads, cores, f.payload, f.leaseEntries, f.secs);
+                "payload %u B, lease %u entries, %.2f s per mode, "
+                "%s storage\n",
+                f.threads, cores, f.payload, f.leaseEntries, f.secs,
+                storageKindName(make().storage));
 
     // Attach the observability plane around one mode run when asked:
     // latency histograms via the Tracer-level observer, counter rates

@@ -36,6 +36,13 @@ alignUp(std::size_t n, std::size_t align)
     return (n + align - 1) & ~(align - 1);
 }
 
+/** Round @p n down to a multiple of @p align (power of two). */
+constexpr std::size_t
+alignDown(std::size_t n, std::size_t align)
+{
+    return n & ~(align - 1);
+}
+
 /** True iff @p n is a power of two (and non-zero). */
 constexpr bool
 isPowerOfTwo(std::size_t n)

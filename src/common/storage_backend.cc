@@ -1,0 +1,472 @@
+#include "common/storage_backend.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "common/cacheline.h"
+#include "common/panic.h"
+
+namespace btrace {
+
+namespace {
+
+std::size_t
+mincoreResident(const uint8_t *base, std::size_t len)
+{
+    // Chunked with a stack buffer: residentBytes() feeds the flight
+    // recorder's async-safe capture path, which must not allocate.
+    const std::size_t page = StorageBackend::pageSize();
+    unsigned char vec[4096];
+    std::size_t resident = 0;
+    for (std::size_t off = 0; off < len;) {
+        const std::size_t span =
+            std::min(len - off, sizeof(vec) * page);
+        if (::mincore(const_cast<uint8_t *>(base) + off, span, vec) != 0)
+            return 0;
+        const std::size_t pages = (span + page - 1) / page;
+        for (std::size_t i = 0; i < pages; ++i)
+            if (vec[i] & 1)
+                ++resident;
+        off += span;
+    }
+    return resident * page;
+}
+
+} // namespace
+
+std::size_t
+StorageBackend::pageSize()
+{
+    static const std::size_t sz =
+        static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    return sz;
+}
+
+std::size_t
+StorageBackend::residentBytes() const
+{
+    return mincoreResident(data(), maxSize());
+}
+
+const char *
+storageKindName(StorageKind kind)
+{
+    switch (kind) {
+    case StorageKind::Private: return "private";
+    case StorageKind::Shm: return "shm";
+    case StorageKind::File: return "file";
+    }
+    return "?";
+}
+
+bool
+parseStorageKind(const std::string &name, StorageKind &out)
+{
+    if (name == "private") { out = StorageKind::Private; return true; }
+    if (name == "shm") { out = StorageKind::Shm; return true; }
+    if (name == "file") { out = StorageKind::File; return true; }
+    return false;
+}
+
+namespace {
+
+/** Today's anonymous mmap + MADV_DONTNEED scheme, verbatim. */
+class PrivateAnonBackend final : public StorageBackend
+{
+  public:
+    explicit PrivateAnonBackend(std::size_t bytes)
+    {
+        reserved = alignUp(bytes, pageSize());
+        BTRACE_ASSERT(reserved > 0, "empty span");
+        void *p = ::mmap(nullptr, reserved, PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE,
+                         -1, 0);
+        if (p == MAP_FAILED)
+            BTRACE_FATAL("mmap failed reserving trace buffer");
+        base = static_cast<uint8_t *>(p);
+    }
+
+    ~PrivateAnonBackend() override
+    {
+        if (base)
+            ::munmap(base, reserved);
+    }
+
+    StorageKind kind() const override { return StorageKind::Private; }
+    uint8_t *data() const override { return base; }
+    std::size_t maxSize() const override { return reserved; }
+
+    void
+    commit(std::size_t offset, std::size_t len) override
+    {
+        if (len)
+            ::madvise(base + offset, len, MADV_WILLNEED);
+    }
+
+    void
+    decommit(std::size_t offset, std::size_t len) override
+    {
+        if (len) {
+            const int rc = ::madvise(base + offset, len, MADV_DONTNEED);
+            BTRACE_ASSERT(rc == 0, "madvise(MADV_DONTNEED) failed");
+        }
+    }
+
+  private:
+    uint8_t *base = nullptr;
+    std::size_t reserved = 0;
+};
+
+/**
+ * Shared arena layout and plumbing common to shm and file backends:
+ * one fd, one MAP_SHARED mapping of [header page | flight region |
+ * data area], hole-punch decommit.
+ */
+class ArenaBackend : public StorageBackend
+{
+  public:
+    ~ArenaBackend() override
+    {
+        if (base)
+            ::munmap(base, total);
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    uint8_t *data() const override { return base + hdr->dataOffset; }
+    std::size_t maxSize() const override { return hdr->dataBytes; }
+    ArenaHeader *header() const override { return hdr; }
+    uint8_t *flightRegion() const override
+    {
+        return base + hdr->flightOffset;
+    }
+    int shareFd() const override { return fd; }
+
+    void
+    commit(std::size_t offset, std::size_t len) override
+    {
+        if (len)
+            ::madvise(data() + offset, len, MADV_WILLNEED);
+    }
+
+    void
+    decommit(std::size_t offset, std::size_t len) override
+    {
+        if (!len)
+            return;
+        // Hole-punching releases the backing pages of a shared
+        // mapping and leaves the range reading as zeros — the shared-
+        // object equivalent of MADV_DONTNEED on anonymous memory.
+        // Filesystems without punch support keep the storage but must
+        // still honor the reads-as-zeros contract, so fall back to an
+        // explicit zero fill.
+        const auto file_off =
+            static_cast<off_t>(hdr->dataOffset + offset);
+        if (::fallocate(fd, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
+                        file_off, static_cast<off_t>(len)) != 0)
+            std::memset(data() + offset, 0, len);
+    }
+
+  protected:
+    /** Size and initialize a fresh arena on @p backing_fd (owned). */
+    void
+    create(int backing_fd, std::size_t data_bytes,
+           std::size_t flight_bytes)
+    {
+        const std::size_t page = pageSize();
+        const std::size_t header_bytes =
+            alignUp(sizeof(ArenaHeader), page);
+        const std::size_t flight_cap = alignUp(flight_bytes, page);
+        const std::size_t data_cap =
+            alignUp(data_bytes, page);
+        BTRACE_ASSERT(data_cap > 0, "empty span");
+
+        fd = backing_fd;
+        total = header_bytes + flight_cap + data_cap;
+        if (::ftruncate(fd, static_cast<off_t>(total)) != 0)
+            BTRACE_FATAL("ftruncate failed sizing the arena");
+        map();
+
+        ArenaHeader *h = new (base) ArenaHeader();
+        h->magic = ArenaHeader::kMagic;
+        h->version = ArenaHeader::kVersion;
+        h->pageSize = static_cast<uint32_t>(page);
+        h->flightOffset = header_bytes;
+        h->flightCapacity = flight_cap;
+        h->dataOffset = header_bytes + flight_cap;
+        h->dataBytes = data_cap;
+        h->generation.store(1, std::memory_order_release);
+        hdr = h;
+    }
+
+    /** Map and validate an existing arena on @p backing_fd (owned). */
+    void
+    attach(int backing_fd)
+    {
+        fd = backing_fd;
+        struct stat st;
+        if (::fstat(fd, &st) != 0 ||
+            st.st_size < static_cast<off_t>(sizeof(ArenaHeader)))
+            BTRACE_FATAL("arena attach: fstat failed or object too small");
+        total = static_cast<std::size_t>(st.st_size);
+        map();
+        auto *h = reinterpret_cast<ArenaHeader *>(base);
+        BTRACE_ASSERT(h->magic == ArenaHeader::kMagic &&
+                      h->version == ArenaHeader::kVersion,
+                      "arena attach: bad magic or version");
+        BTRACE_ASSERT(h->dataOffset + h->dataBytes <= total,
+                      "arena attach: header geometry exceeds the object");
+        hdr = h;
+        hdr->generation.fetch_add(1, std::memory_order_acq_rel);
+    }
+
+    void
+    map()
+    {
+        void *p = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                         MAP_SHARED | MAP_NORESERVE, fd, 0);
+        if (p == MAP_FAILED)
+            BTRACE_FATAL("mmap failed mapping the arena");
+        base = static_cast<uint8_t *>(p);
+    }
+
+    int fd = -1;
+    uint8_t *base = nullptr;
+    std::size_t total = 0;
+    ArenaHeader *hdr = nullptr;
+};
+
+class ShmArenaBackend final : public ArenaBackend
+{
+  public:
+    ShmArenaBackend(std::size_t bytes, std::size_t flight_bytes)
+    {
+        const int mfd = ::memfd_create("btrace-arena", MFD_CLOEXEC);
+        if (mfd < 0)
+            BTRACE_FATAL("memfd_create failed for the shm arena");
+        create(mfd, bytes, flight_bytes);
+    }
+
+    explicit ShmArenaBackend(int dup_fd) { attach(dup_fd); }
+
+    StorageKind kind() const override { return StorageKind::Shm; }
+};
+
+class FileRingBackend final : public ArenaBackend
+{
+  public:
+    FileRingBackend(const std::string &path, std::size_t bytes,
+                    std::size_t flight_bytes)
+    {
+        int ffd;
+        if (path.empty()) {
+            // Anonymous scratch ring: same code path, no litter. Not
+            // reopenable — name the file to persist it.
+            char tmpl[] = "/tmp/btrace-arena-XXXXXX";
+            ffd = ::mkstemp(tmpl);
+            if (ffd < 0)
+                BTRACE_FATAL("mkstemp failed for the file ring");
+            ::unlink(tmpl);
+        } else {
+            ffd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC,
+                         0644);
+            if (ffd < 0)
+                BTRACE_FATAL("open failed for the file ring");
+        }
+        create(ffd, bytes, flight_bytes);
+    }
+
+    ~FileRingBackend() override
+    {
+        // Post-mortem contract: whatever the ring holds at detach is
+        // on stable storage before the mapping goes away.
+        if (base)
+            ::msync(base, total, MS_SYNC);
+    }
+
+    StorageKind kind() const override { return StorageKind::File; }
+
+    void
+    sync() override
+    {
+        ::msync(base, total, MS_ASYNC);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<StorageBackend>
+makeStorageBackend(const StorageOptions &o)
+{
+    switch (o.kind) {
+    case StorageKind::Private:
+        return std::make_unique<PrivateAnonBackend>(o.bytes);
+    case StorageKind::Shm:
+        return std::make_unique<ShmArenaBackend>(o.bytes, o.flightBytes);
+    case StorageKind::File:
+        return std::make_unique<FileRingBackend>(o.path, o.bytes,
+                                                 o.flightBytes);
+    }
+    BTRACE_FATAL("unknown storage kind");
+}
+
+std::unique_ptr<StorageBackend>
+attachShmArena(int fd)
+{
+    const int dup_fd = ::fcntl(fd, F_DUPFD_CLOEXEC, 0);
+    if (dup_fd < 0)
+        BTRACE_FATAL("dup failed attaching the shm arena");
+    return std::make_unique<ShmArenaBackend>(dup_fd);
+}
+
+ArenaView::~ArenaView()
+{
+    if (base)
+        ::munmap(base, mapped);
+}
+
+ArenaView::ArenaView(ArenaView &&other) noexcept
+    : base(std::exchange(other.base, nullptr)),
+      mapped(std::exchange(other.mapped, 0)),
+      err(std::move(other.err))
+{
+}
+
+ArenaView &
+ArenaView::operator=(ArenaView &&other) noexcept
+{
+    if (this != &other) {
+        if (base)
+            ::munmap(base, mapped);
+        base = std::exchange(other.base, nullptr);
+        mapped = std::exchange(other.mapped, 0);
+        err = std::move(other.err);
+    }
+    return *this;
+}
+
+ArenaView
+ArenaView::open(const std::string &path)
+{
+    ArenaView v;
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        v.err = "cannot open " + path;
+        return v;
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0 ||
+        st.st_size < static_cast<off_t>(sizeof(ArenaHeader))) {
+        ::close(fd);
+        v.err = "file too small for an arena header";
+        return v;
+    }
+    const auto len = static_cast<std::size_t>(st.st_size);
+    void *p = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (p == MAP_FAILED) {
+        v.err = "mmap failed";
+        return v;
+    }
+    const auto *h = static_cast<const ArenaHeader *>(p);
+    if (h->magic != ArenaHeader::kMagic) {
+        ::munmap(p, len);
+        v.err = "bad arena magic";
+        return v;
+    }
+    if (h->version != ArenaHeader::kVersion) {
+        ::munmap(p, len);
+        v.err = "unsupported arena version";
+        return v;
+    }
+    if (h->dataOffset + h->dataBytes > len ||
+        h->flightOffset + h->flightCapacity > h->dataOffset) {
+        ::munmap(p, len);
+        v.err = "arena header geometry exceeds the file";
+        return v;
+    }
+    v.base = static_cast<uint8_t *>(p);
+    v.mapped = len;
+    return v;
+}
+
+const ArenaHeader *
+ArenaView::hdr() const
+{
+    BTRACE_ASSERT(base != nullptr, "access to a failed ArenaView");
+    return reinterpret_cast<const ArenaHeader *>(base);
+}
+
+uint64_t
+ArenaView::generation() const
+{
+    return hdr()->generation.load(std::memory_order_acquire);
+}
+
+bool
+ArenaView::cleanShutdown() const
+{
+    return hdr()->cleanShutdown.load(std::memory_order_acquire) != 0;
+}
+
+uint64_t
+ArenaView::blockSize() const
+{
+    return hdr()->blockSize.load(std::memory_order_acquire);
+}
+
+uint64_t
+ArenaView::activeBlocks() const
+{
+    return hdr()->activeBlocks.load(std::memory_order_acquire);
+}
+
+uint64_t
+ArenaView::numBlocks() const
+{
+    return hdr()->numBlocks.load(std::memory_order_acquire);
+}
+
+const uint8_t *
+ArenaView::data() const
+{
+    return base + hdr()->dataOffset;
+}
+
+std::size_t
+ArenaView::dataBytes() const
+{
+    return hdr()->dataBytes;
+}
+
+const uint8_t *
+ArenaView::block(uint64_t phys) const
+{
+    const uint64_t bs = blockSize();
+    BTRACE_ASSERT(bs != 0, "arena records no tracer geometry");
+    BTRACE_ASSERT((phys + 1) * bs <= dataBytes(),
+                  "physical block outside the arena data area");
+    return data() + phys * bs;
+}
+
+std::string
+ArenaView::flightJson() const
+{
+    const ArenaHeader *h = hdr();
+    uint64_t n = h->flightLen.load(std::memory_order_acquire);
+    if (n > h->flightCapacity)
+        n = h->flightCapacity;
+    const char *src =
+        reinterpret_cast<const char *>(base + h->flightOffset);
+    return std::string(src, src + n);
+}
+
+} // namespace btrace

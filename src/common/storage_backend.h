@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Storage backends for the trace buffer (DESIGN.md §10).
+ *
+ * The core never owns memory directly: it reserves a data area from a
+ * StorageBackend and addresses blocks by *offset* into that area (a
+ * BlockRef), resolving offsets to pointers per attachment. Three
+ * backends implement the same contract:
+ *
+ *  - PrivateAnonBackend — one anonymous MAP_PRIVATE mmap with
+ *    MADV_DONTNEED decommit; the process-private deployment the paper
+ *    describes and the behavior of every release before this seam
+ *    existed.
+ *  - ShmArenaBackend — a memfd-backed shared arena. The fd can be
+ *    handed to other processes (or re-attached in this one) and each
+ *    attachment resolves the same offsets against its own mapping —
+ *    the LTTng-session-daemon deployment shape.
+ *  - FileRingBackend — the same arena layout on a named file,
+ *    msync'd on close, so the ring (journal tail and flight bundle
+ *    included) survives process death and `btrace_inspect --arena`
+ *    can decode it post mortem.
+ *
+ * Arena-backed objects (shm, file) carry an ArenaHeader page before
+ * the data area: magic, version, attach generation, geometry of the
+ * tracer that owns the ring, and a bounded flight-recorder region.
+ * The header makes a dead arena self-describing.
+ *
+ * Decommit contract (all backends): the released range stays mapped
+ * and reads as zeros afterwards, so a racing stale reader can never
+ * fault — exactly the §4.4 requirement that motivated the original
+ * MADV_DONTNEED scheme.
+ */
+
+#ifndef BTRACE_COMMON_STORAGE_BACKEND_H
+#define BTRACE_COMMON_STORAGE_BACKEND_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace btrace {
+
+/** Which StorageBackend implementation backs a trace buffer. */
+enum class StorageKind : uint8_t
+{
+    Private = 0,  //!< anonymous process-private memory (the default)
+    Shm = 1,      //!< memfd shared arena, multi-attach capable
+    File = 2,     //!< file-backed persistent ring
+};
+
+/** Stable lowercase name ("private", "shm", "file"). */
+const char *storageKindName(StorageKind kind);
+
+/** Parse a storageKindName() string; false on unknown input. */
+bool parseStorageKind(const std::string &name, StorageKind &out);
+
+/**
+ * Offset-based block address: the byte offset of a block inside the
+ * backend's data area. A BlockRef is meaningful in every attachment
+ * of the same arena (and in an offline ArenaView), unlike a raw
+ * pointer, which is only meaningful in the mapping that produced it.
+ * Resolve with StorageBackend::data() + ref.offset per attachment.
+ */
+struct BlockRef
+{
+    uint64_t offset = 0;
+};
+
+/**
+ * Header page of an arena-backed object (shm / file). Lives at file
+ * offset 0; the flight region and the data area follow at the
+ * page-aligned offsets recorded here. Atomic fields are written by
+ * live attachments and read by concurrent attachments or an offline
+ * ArenaView; std::atomic on this platform is address-free, which is
+ * what makes them valid across mappings.
+ */
+struct ArenaHeader
+{
+    static constexpr uint64_t kMagic = 0x31414E4552415442ull;  // "BTARENA1"
+    static constexpr uint32_t kVersion = 1;
+
+    uint64_t magic = 0;
+    uint32_t version = 0;
+    uint32_t pageSize = 0;
+    /** Writer attachments so far; creation counts as the first. */
+    std::atomic<uint64_t> generation{0};
+    uint64_t dataOffset = 0;      //!< arena-relative start of the data area
+    uint64_t dataBytes = 0;       //!< reserved data bytes
+    uint64_t flightOffset = 0;    //!< arena-relative flight region start
+    uint64_t flightCapacity = 0;  //!< flight region bytes
+    /** Valid bytes of the stored flight bundle (0 = none). */
+    std::atomic<uint64_t> flightLen{0};
+
+    // Geometry of the owning tracer, for offline decode; zero until a
+    // tracer attaches.
+    std::atomic<uint64_t> blockSize{0};
+    std::atomic<uint64_t> activeBlocks{0};
+    std::atomic<uint64_t> numBlocks{0};  //!< current N, updated on resize
+
+    /** 1 once a tracer detached cleanly; 0 in a crashed/live arena. */
+    std::atomic<uint32_t> cleanShutdown{0};
+    uint32_t reserved0 = 0;
+};
+
+static_assert(sizeof(ArenaHeader) <= 128,
+              "arena header must fit well inside one page");
+
+/**
+ * Abstract reserved data area with explicit physical commit/decommit.
+ * All offsets are data-area-relative and must be page-aligned with
+ * offset + len <= maxSize(); VirtualSpan performs the rounding and
+ * range validation, so backends implement only the page-granular
+ * mechanism.
+ */
+class StorageBackend
+{
+  public:
+    virtual ~StorageBackend() = default;
+
+    StorageBackend(const StorageBackend &) = delete;
+    StorageBackend &operator=(const StorageBackend &) = delete;
+
+    virtual StorageKind kind() const = 0;
+
+    /** Attachment-local base of the data area. */
+    virtual uint8_t *data() const = 0;
+
+    /** Reserved data-area size in bytes (page multiple). */
+    virtual std::size_t maxSize() const = 0;
+
+    /** Advisory: [offset, offset+len) will be used soon. */
+    virtual void commit(std::size_t offset, std::size_t len) = 0;
+
+    /**
+     * Release the physical storage behind [offset, offset+len). The
+     * range stays mapped and reads as zeros afterwards.
+     */
+    virtual void decommit(std::size_t offset, std::size_t len) = 0;
+
+    /** Resident physical bytes of the data area (via mincore). */
+    virtual std::size_t residentBytes() const;
+
+    /** Flush to the backing object; meaningful for File (msync). */
+    virtual void sync() {}
+
+    /** Arena header, or nullptr for the private backend. */
+    virtual ArenaHeader *header() const { return nullptr; }
+
+    /** Flight-recorder region base, or nullptr for the private backend. */
+    virtual uint8_t *flightRegion() const { return nullptr; }
+
+    /**
+     * Backing fd for cross-process / secondary attachment, or -1 for
+     * the private backend. The fd stays owned by the backend.
+     */
+    virtual int shareFd() const { return -1; }
+
+    /** System page size. */
+    static std::size_t pageSize();
+
+  protected:
+    StorageBackend() = default;
+};
+
+/** Construction parameters for makeStorageBackend(). */
+struct StorageOptions
+{
+    StorageKind kind = StorageKind::Private;
+    /** Data-area bytes to reserve (rounded up to pages). */
+    std::size_t bytes = 0;
+    /**
+     * File backend: backing path. Empty means an anonymous temp file
+     * unlinked at creation (no litter, not reopenable). A named path
+     * persists after the process exits.
+     */
+    std::string path;
+    /** Arena backends: flight-recorder region bytes (page-rounded). */
+    std::size_t flightBytes = 1u << 16;
+};
+
+/** Build a backend; fatal (BTRACE_FATAL) on unrecoverable OS errors. */
+std::unique_ptr<StorageBackend> makeStorageBackend(const StorageOptions &o);
+
+/**
+ * Map an existing shm arena (created by a ShmArenaBackend, obtained
+ * via shareFd() or fd passing) as an additional attachment. Bumps the
+ * header generation. The returned backend resolves the same BlockRef
+ * offsets against its own mapping; @p fd is dup'd, the caller keeps
+ * ownership of the original.
+ */
+std::unique_ptr<StorageBackend> attachShmArena(int fd);
+
+/**
+ * Offline, read-only view of a persisted file-backed arena: validates
+ * the header and exposes the flight bundle and the raw data area for
+ * post-mortem decoding (`btrace_inspect --arena`). Never writes the
+ * file and never bumps the generation.
+ */
+class ArenaView
+{
+  public:
+    ArenaView() = default;
+    ~ArenaView();
+
+    ArenaView(ArenaView &&other) noexcept;
+    ArenaView &operator=(ArenaView &&other) noexcept;
+    ArenaView(const ArenaView &) = delete;
+    ArenaView &operator=(const ArenaView &) = delete;
+
+    /**
+     * Open @p path; on failure returns a view with ok() == false and
+     * the first problem in error().
+     */
+    static ArenaView open(const std::string &path);
+
+    bool ok() const { return base != nullptr; }
+    const std::string &error() const { return err; }
+
+    uint64_t generation() const;
+    bool cleanShutdown() const;
+    uint64_t blockSize() const;
+    uint64_t activeBlocks() const;
+    uint64_t numBlocks() const;
+
+    /** Data-area base and size. */
+    const uint8_t *data() const;
+    std::size_t dataBytes() const;
+
+    /** Data of physical block @p phys (requires blockSize() != 0). */
+    const uint8_t *block(uint64_t phys) const;
+
+    /** Stored flight bundle JSON; empty if none was ever written. */
+    std::string flightJson() const;
+
+  private:
+    const ArenaHeader *hdr() const;
+
+    uint8_t *base = nullptr;   //!< whole-arena mapping
+    std::size_t mapped = 0;
+    std::string err;
+};
+
+} // namespace btrace
+
+#endif // BTRACE_COMMON_STORAGE_BACKEND_H

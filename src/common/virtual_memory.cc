@@ -1,44 +1,42 @@
 #include "common/virtual_memory.h"
 
-#include <sys/mman.h>
-#include <unistd.h>
-
-#include <cstring>
 #include <utility>
-#include <vector>
 
 #include "common/cacheline.h"
 #include "common/panic.h"
 
 namespace btrace {
 
-std::size_t
-VirtualSpan::pageSize()
+namespace {
+
+std::unique_ptr<StorageBackend>
+makePrivate(std::size_t max_bytes)
 {
-    static const std::size_t sz =
-        static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
-    return sz;
+    StorageOptions o;
+    o.kind = StorageKind::Private;
+    o.bytes = max_bytes;
+    return makeStorageBackend(o);
 }
+
+} // namespace
 
 VirtualSpan::VirtualSpan(std::size_t max_bytes)
+    : VirtualSpan(makePrivate(max_bytes))
 {
-    reserved = alignUp(max_bytes, pageSize());
-    BTRACE_ASSERT(reserved > 0, "empty span");
-    void *p = ::mmap(nullptr, reserved, PROT_READ | PROT_WRITE,
-                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
-    if (p == MAP_FAILED)
-        BTRACE_FATAL("mmap failed reserving trace buffer");
-    base = static_cast<uint8_t *>(p);
 }
 
-VirtualSpan::~VirtualSpan()
+VirtualSpan::VirtualSpan(std::unique_ptr<StorageBackend> b)
+    : impl(std::move(b))
 {
-    if (base)
-        ::munmap(base, reserved);
+    BTRACE_ASSERT(impl != nullptr, "null storage backend");
+    base = impl->data();
+    reserved = impl->maxSize();
+    BTRACE_ASSERT(reserved > 0, "empty span");
 }
 
 VirtualSpan::VirtualSpan(VirtualSpan &&other) noexcept
-    : base(std::exchange(other.base, nullptr)),
+    : impl(std::move(other.impl)),
+      base(std::exchange(other.base, nullptr)),
       reserved(std::exchange(other.reserved, 0))
 {
 }
@@ -47,8 +45,7 @@ VirtualSpan &
 VirtualSpan::operator=(VirtualSpan &&other) noexcept
 {
     if (this != &other) {
-        if (base)
-            ::munmap(base, reserved);
+        impl = std::move(other.impl);
         base = std::exchange(other.base, nullptr);
         reserved = std::exchange(other.reserved, 0);
     }
@@ -56,37 +53,45 @@ VirtualSpan::operator=(VirtualSpan &&other) noexcept
 }
 
 void
+VirtualSpan::checkRange(std::size_t offset, std::size_t len,
+                        const char *what) const
+{
+    // Overflow-safe form of offset + len <= reserved: the naive sum
+    // wraps for adversarial offsets and would wave a wild range
+    // through to madvise/fallocate.
+    (void)what;
+    BTRACE_ASSERT(len <= reserved,
+                  "span range longer than the reservation");
+    BTRACE_ASSERT(offset <= reserved - len,
+                  "span range leaves the reservation");
+}
+
+void
 VirtualSpan::commit(std::size_t offset, std::size_t len)
 {
-    BTRACE_ASSERT(offset + len <= reserved, "commit out of range");
-    if (len)
-        ::madvise(base + offset, len, MADV_WILLNEED);
+    checkRange(offset, len, "commit");
+    if (len == 0)
+        return;
+    // Advisory: widening to whole pages touches only pages the range
+    // already overlaps.
+    const std::size_t page = pageSize();
+    const std::size_t lo = alignDown(offset, page);
+    const std::size_t hi = alignUp(offset + len, page);
+    impl->commit(lo, hi - lo);
 }
 
 void
 VirtualSpan::decommit(std::size_t offset, std::size_t len)
 {
-    BTRACE_ASSERT(offset + len <= reserved, "decommit out of range");
-    BTRACE_ASSERT(offset % pageSize() == 0 && len % pageSize() == 0,
-                  "decommit must be page-aligned");
-    if (len) {
-        const int rc = ::madvise(base + offset, len, MADV_DONTNEED);
-        BTRACE_ASSERT(rc == 0, "madvise(MADV_DONTNEED) failed");
-    }
-}
-
-std::size_t
-VirtualSpan::residentBytes() const
-{
-    const std::size_t pages = reserved / pageSize();
-    std::vector<unsigned char> vec(pages);
-    if (::mincore(base, reserved, vec.data()) != 0)
-        return 0;
-    std::size_t resident = 0;
-    for (unsigned char flag : vec)
-        if (flag & 1)
-            ++resident;
-    return resident * pageSize();
+    checkRange(offset, len, "decommit");
+    // Destructive: shrink inward to whole pages. An edge page shared
+    // with bytes outside the range stays resident — releasing it
+    // would zero live data the caller never asked to drop.
+    const std::size_t page = pageSize();
+    const std::size_t lo = alignUp(offset, page);
+    const std::size_t hi = alignDown(offset + len, page);
+    if (lo < hi)
+        impl->decommit(lo, hi - lo);
 }
 
 } // namespace btrace

@@ -1,15 +1,17 @@
 /**
  * @file
- * Reserved virtual-address span with explicit physical commit and
- * decommit, backing BTrace's runtime buffer resizing (§4.4).
+ * Reserved, resizable span over a pluggable StorageBackend, backing
+ * BTrace's runtime buffer resizing (§4.4) and the multi-process /
+ * persistent deployments (DESIGN.md §10).
  *
  * The paper keeps the virtual address of the trace buffer fixed at its
- * maximum size and maps/unmaps physical memory underneath. We realize
- * this with one anonymous mmap of the maximum size and
- * madvise(MADV_DONTNEED) for decommit: the mapping stays valid for the
- * whole lifetime, so a racing stale reader can never fault — it merely
- * observes zero pages — while the kernel reclaims the physical pages
- * immediately.
+ * maximum size and maps/unmaps physical memory underneath. VirtualSpan
+ * keeps that shape but delegates the mechanism to a StorageBackend —
+ * anonymous private memory, a shared memfd arena, or a file-backed
+ * ring — while owning the range validation and page rounding that the
+ * backends rely on. In every backend the mapping stays valid for the
+ * whole lifetime, so a racing stale reader can never fault: it merely
+ * observes zero pages after a decommit.
  */
 
 #ifndef BTRACE_COMMON_VIRTUAL_MEMORY_H
@@ -17,49 +19,78 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+
+#include "common/storage_backend.h"
 
 namespace btrace {
 
-/** RAII wrapper over a reserved, resizable anonymous memory span. */
+/** RAII wrapper over a reserved, resizable memory span. */
 class VirtualSpan
 {
   public:
-    /** Reserve @p max_bytes of virtual address space (page-rounded). */
+    /**
+     * Reserve @p max_bytes (page-rounded) of anonymous process-private
+     * memory — the classic deployment, behavior-identical to every
+     * release before the backend seam existed.
+     */
     explicit VirtualSpan(std::size_t max_bytes);
-    ~VirtualSpan();
+
+    /** Adopt @p b as the storage; the span owns it from here. */
+    explicit VirtualSpan(std::unique_ptr<StorageBackend> b);
+
+    ~VirtualSpan() = default;
 
     VirtualSpan(const VirtualSpan &) = delete;
     VirtualSpan &operator=(const VirtualSpan &) = delete;
     VirtualSpan(VirtualSpan &&other) noexcept;
     VirtualSpan &operator=(VirtualSpan &&other) noexcept;
 
-    /** Base address of the span. */
+    /** Base address of the data area in this attachment. */
     uint8_t *data() const { return base; }
+
+    /** Resolve an offset-based block address in this attachment. */
+    uint8_t *resolve(BlockRef ref) const { return base + ref.offset; }
 
     /** Reserved (maximum) size in bytes. */
     std::size_t maxSize() const { return reserved; }
 
     /**
-     * Hint the kernel that [offset, offset+len) will be used. Pages
-     * are faulted in lazily either way; this is advisory.
+     * Hint that [offset, offset+len) will be used. The range is
+     * expanded outward to page boundaries (safe: commit is advisory)
+     * and must lie within the reservation. Pages are faulted in
+     * lazily either way.
      */
     void commit(std::size_t offset, std::size_t len);
 
     /**
-     * Release the physical pages behind [offset, offset+len). The
-     * virtual range stays mapped and readable (as zeros).
+     * Release the physical storage behind [offset, offset+len). The
+     * range stays mapped and readable (as zeros). The range is
+     * shrunk *inward* to page boundaries: a partial page at either
+     * end stays resident, so an unaligned decommit can never clobber
+     * live data sharing its edge pages. Rejects (asserts) ranges that
+     * leave the reservation, including offset+len arithmetic
+     * overflow.
      */
     void decommit(std::size_t offset, std::size_t len);
 
     /** Resident-set size of the span in bytes (via mincore). */
-    std::size_t residentBytes() const;
+    std::size_t residentBytes() const { return impl->residentBytes(); }
+
+    /** The owning backend (never null on a live span). */
+    StorageBackend *backend() const { return impl.get(); }
 
     /** System page size. */
-    static std::size_t pageSize();
+    static std::size_t pageSize() { return StorageBackend::pageSize(); }
 
   private:
-    uint8_t *base = nullptr;
-    std::size_t reserved = 0;
+    /** Assert [offset, offset+len) fits the reservation, overflow-safe. */
+    void checkRange(std::size_t offset, std::size_t len,
+                    const char *what) const;
+
+    std::unique_ptr<StorageBackend> impl;
+    uint8_t *base = nullptr;    //!< cached impl->data()
+    std::size_t reserved = 0;   //!< cached impl->maxSize()
 };
 
 } // namespace btrace

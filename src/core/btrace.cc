@@ -1,6 +1,7 @@
 #include "core/btrace.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/test_hooks.h"
 
@@ -73,13 +74,33 @@ BTraceCounters::Snapshot::operator-(const Snapshot &base) const
     return d;
 }
 
+VirtualSpan
+BTrace::makeSpan(const BTraceConfig &config)
+{
+    StorageOptions o;
+    o.kind = config.storage;
+    o.bytes = config.effectiveMaxBlocks() * config.blockSize;
+    o.path = config.arenaPath;
+    return VirtualSpan(makeStorageBackend(o));
+}
+
 BTrace::BTrace(const BTraceConfig &config, const CostModel &model)
     : Tracer(model), cfg(config), cap(config.blockSize),
       numActive(config.activeBlocks), maxN(config.effectiveMaxBlocks()),
-      span(config.effectiveMaxBlocks() * config.blockSize),
+      span(makeSpan(config)),
       meta(config.activeBlocks), coreLocal(config.cores)
 {
     cfg.validate();
+
+    // Make a dead arena self-describing: record the geometry an
+    // offline decoder needs and drop any clean-shutdown mark left by
+    // a previous owner of the same backing object.
+    if (ArenaHeader *h = span.backend()->header()) {
+        h->blockSize.store(cap, std::memory_order_relaxed);
+        h->activeBlocks.store(numActive, std::memory_order_relaxed);
+        h->numBlocks.store(cfg.numBlocks, std::memory_order_relaxed);
+        h->cleanShutdown.store(0, std::memory_order_release);
+    }
 
     const auto ratio = static_cast<uint32_t>(cfg.ratio());
     BTRACE_ASSERT(ratio <= RatioPos::maxRatio, "ratio exceeds packing");
@@ -108,18 +129,27 @@ BTrace::BTrace(const BTraceConfig &config, const CostModel &model)
     span.commit(0, cfg.numBlocks * cap);
 }
 
+BTrace::~BTrace()
+{
+    if (ArenaHeader *h = span.backend()->header()) {
+        h->numBlocks.store(numBlocks(), std::memory_order_relaxed);
+        h->cleanShutdown.store(1, std::memory_order_release);
+        span.backend()->sync();
+    }
+}
+
 uint8_t *
 BTrace::blockData(uint64_t phys)
 {
     BTRACE_DASSERT(phys < maxN, "physical block out of range");
-    return span.data() + phys * cap;
+    return span.resolve(blockRefOf(phys));
 }
 
 const uint8_t *
 BTrace::blockData(uint64_t phys) const
 {
     BTRACE_DASSERT(phys < maxN, "physical block out of range");
-    return span.data() + phys * cap;
+    return span.resolve(blockRefOf(phys));
 }
 
 uint64_t
@@ -175,23 +205,51 @@ BTrace::occupancy() const
 std::vector<MetaSlotState>
 BTrace::slotStates() const
 {
+    std::vector<MetaSlotState> out(meta.size());
+    out.resize(slotStatesInto(out.data(), out.size()));
+    return out;
+}
+
+std::size_t
+BTrace::slotStatesInto(MetaSlotState *out, std::size_t max) const noexcept
+{
     // Same monitoring-grade caveat as occupancy(): each word is read
     // atomically, the pair per slot (and the set of slots) is not a
-    // linearizable cut. Safe concurrently with producers; used by the
-    // flight recorder, which must never take tracer locks.
-    std::vector<MetaSlotState> out;
-    out.reserve(meta.size());
-    for (const MetadataBlock &m : meta) {
+    // linearizable cut. Safe concurrently with producers; used on the
+    // flight-recorder capture path, which must never take tracer
+    // locks or allocate.
+    const std::size_t n = std::min(meta.size(), max);
+    for (std::size_t i = 0; i < n; ++i) {
+        const MetadataBlock &m = meta[i];
         const RndPos alloc = m.loadAllocated(std::memory_order_relaxed);
         const RndPos conf = m.loadConfirmed();
-        MetaSlotState s;
-        s.allocRnd = alloc.rnd;
-        s.allocPos = alloc.pos;
-        s.confRnd = conf.rnd;
-        s.confPos = conf.pos;
-        out.push_back(s);
+        out[i].allocRnd = alloc.rnd;
+        out[i].allocPos = alloc.pos;
+        out[i].confRnd = conf.rnd;
+        out[i].confPos = conf.pos;
     }
-    return out;
+    return n;
+}
+
+bool
+BTrace::writeFlightToArena(const char *bundle, std::size_t len) noexcept
+{
+    StorageBackend *b = span.backend();
+    ArenaHeader *h = b->header();
+    uint8_t *dst = b->flightRegion();
+    if (h == nullptr || dst == nullptr)
+        return false;
+    const std::size_t n =
+        std::min<std::size_t>(len, h->flightCapacity);
+    // Publish protocol for an offline ArenaView racing a crash: len
+    // drops to zero before the bytes churn, and only rises to n after
+    // every byte landed, so a reader never sees a length covering a
+    // half-copied bundle.
+    h->flightLen.store(0, std::memory_order_release);
+    std::memcpy(dst, bundle, n);
+    h->flightLen.store(n, std::memory_order_release);
+    b->sync();
+    return true;
 }
 
 WriteTicket

@@ -124,6 +124,24 @@ struct ActiveBlockOccupancy
 };
 
 /**
+ * Outcome of one speculative block read (§4.3). The reader itself only
+ * classifies; what a non-Data outcome *means* depends on the caller:
+ * dump() charges Abandoned to Dump::abandonedBlocks, while dumpSince()
+ * charges any vanished block at a position the producers have lapped
+ * to Dump::overwrittenPositions — that data is permanently gone, not
+ * merely unreadable right now.
+ */
+enum class BlockReadStatus
+{
+    Data,        //!< entries appended to the dump
+    Empty,       //!< no valid header: never used, or decommitted
+    Skipped,     //!< skip marker for a window position (§3.4)
+    Stale,       //!< header names a position outside the window
+    Unreadable,  //!< unconfirmed in-flight writes or corrupt state
+    Abandoned,   //!< concurrent overwrite detected after the copy
+};
+
+/**
  * Raw state of one metadata slot at one instant (flight-recorder
  * bundles, DESIGN.md §9). Same monitoring-grade caveat as occupancy():
  * each word is read atomically, the pair is not a linearizable cut.
@@ -142,6 +160,13 @@ class BTrace : public Tracer
   public:
     explicit BTrace(const BTraceConfig &config,
                     const CostModel &model = CostModel::def());
+
+    /**
+     * Arena-backed instances stamp the header on the way out: current
+     * block count, clean-shutdown mark, storage sync — so a reopened
+     * file ring can tell a clean detach from a crash.
+     */
+    ~BTrace() override;
 
     std::string name() const override { return "BTrace"; }
     std::size_t capacityBytes() const override;
@@ -215,6 +240,33 @@ class BTrace : public Tracer
     std::vector<MetaSlotState> slotStates() const;
 
     /**
+     * Allocation-free variant for async-safe captures: fill at most
+     * @p max entries of @p out and return the count written.
+     */
+    std::size_t slotStatesInto(MetaSlotState *out,
+                               std::size_t max) const noexcept;
+
+    /** Storage backend of the data area (never null). */
+    StorageBackend *storageBackend() const { return span.backend(); }
+
+    /** Arena header, or nullptr on the private backend. */
+    ArenaHeader *arenaHeader() const
+    {
+        return span.backend()->header();
+    }
+
+    /**
+     * Copy a rendered flight bundle into the arena's flight region
+     * (truncating to its capacity) and publish its length, so the
+     * bundle survives process death inside a file-backed ring. False
+     * when the backend has no arena (private memory). Async-safe:
+     * memcpy, two atomic stores, and the backend sync — no locks, no
+     * allocation.
+     */
+    bool writeFlightToArena(const char *bundle,
+                            std::size_t len) noexcept;
+
+    /**
      * Attach (nullptr detaches) a lifecycle event journal (DESIGN.md
      * §9). The journal receives block open/close/skip, lease
      * grant/revoke/abandon, resize and reclaim transitions. The hot
@@ -252,7 +304,20 @@ class BTrace : public Tracer
 
     enum class AdvanceResult { Advanced, LostRace, WouldBlock };
 
-    /** Data area of physical block @p phys. */
+    /** Build the storage span described by @p config. */
+    static VirtualSpan makeSpan(const BTraceConfig &config);
+
+    /**
+     * Offset-based address of physical block @p phys — the form that
+     * is meaningful in every attachment of a shared arena and in an
+     * offline ArenaView, unlike a raw pointer (DESIGN.md §10).
+     */
+    BlockRef blockRefOf(uint64_t phys) const
+    {
+        return BlockRef{phys * cap};
+    }
+
+    /** Data area of physical block @p phys in this attachment. */
     uint8_t *blockData(uint64_t phys);
     const uint8_t *blockData(uint64_t phys) const;
 
@@ -289,10 +354,17 @@ class BTrace : public Tracer
     AdvanceResult tryAdvance(uint16_t core, uint64_t local_word,
                              double &cost);
 
-    /** Speculative consumer read of one physical block (§4.3). */
-    void readBlock(uint64_t phys, uint64_t window_start,
-                   uint64_t window_end, std::vector<uint8_t> &scratch,
-                   Dump &out);
+    /**
+     * Speculative consumer read of one physical block (§4.3).
+     * Appends parsed entries and tallies skipped/unreadable blocks on
+     * @p out; an Abandoned outcome is returned *unclassified* — the
+     * caller decides whether it is a transient abandoned read (dump)
+     * or permanently overwritten data (dumpSince at a lapped
+     * position).
+     */
+    BlockReadStatus readBlock(uint64_t phys, uint64_t window_start,
+                              uint64_t window_end,
+                              std::vector<uint8_t> &scratch, Dump &out);
 
     BTraceConfig cfg;
     std::size_t cap;           //!< block capacity bytes (= cfg.blockSize)

@@ -7,10 +7,21 @@
 #define BTRACE_CORE_CONFIG_H
 
 #include <cstddef>
+#include <string>
 
 #include "common/cacheline.h"
 #include "common/panic.h"
+#include "common/storage_backend.h"
 #include "trace/event.h"
+
+/**
+ * Build-selected default storage backend (CMake -DBTRACE_BACKEND=
+ * private|shm|file); numeric values match StorageKind. Lets the whole
+ * test suite run against any backend without touching a test.
+ */
+#ifndef BTRACE_DEFAULT_BACKEND
+#define BTRACE_DEFAULT_BACKEND 0
+#endif
 
 namespace btrace {
 
@@ -29,6 +40,17 @@ struct BTraceConfig
     std::size_t activeBlocks = 192; //!< A; also the metadata block count
     std::size_t maxBlocks = 0;      //!< resize ceiling; 0 means numBlocks
     unsigned cores = 12;            //!< producer cores
+
+    /** Storage backend for the data area (DESIGN.md §10). */
+    StorageKind storage =
+        static_cast<StorageKind>(BTRACE_DEFAULT_BACKEND);
+    /**
+     * File backend: backing path of the persistent ring. Empty means
+     * an anonymous temp file (unlinked at creation, not reopenable);
+     * name it to inspect the ring post mortem with
+     * `btrace_inspect --arena`.
+     */
+    std::string arenaPath;
 
     std::size_t ratio() const { return numBlocks / activeBlocks; }
     std::size_t capacityBytes() const { return numBlocks * blockSize; }

@@ -26,7 +26,7 @@ loadSharedWord(const uint8_t *src)
 
 } // namespace
 
-void
+BlockReadStatus
 BTrace::readBlock(uint64_t phys, uint64_t window_start,
                   uint64_t window_end, std::vector<uint8_t> &scratch,
                   Dump &out)
@@ -35,21 +35,23 @@ BTrace::readBlock(uint64_t phys, uint64_t window_start,
 
     const uint64_t word0 = loadSharedWord(src);
     if (!Descriptor::validMagic(word0))
-        return;  // never used (or decommitted to zeros)
+        return BlockReadStatus::Empty;  // never used, or decommitted
     const Descriptor desc = Descriptor::unpack(word0);
 
     if (desc.type == EntryType::Skip) {
         const uint64_t pos = loadSharedWord(src + 8);
-        if (pos >= window_start && pos < window_end)
+        if (pos >= window_start && pos < window_end) {
             ++out.skippedBlocks;
-        return;
+            return BlockReadStatus::Skipped;
+        }
+        return BlockReadStatus::Stale;
     }
     if (desc.type != EntryType::BlockHeader)
-        return;  // stale interior bytes; not a block start
+        return BlockReadStatus::Empty;  // interior bytes; not a block start
 
     const uint64_t q = loadSharedWord(src + 8);
     if (q < window_start || q >= window_end)
-        return;  // ancient round; outside the last-N window
+        return BlockReadStatus::Stale;  // outside the last-N window
 
     const std::size_t meta_idx = q % numActive;
     const auto rnd = static_cast<uint32_t>(q / numActive);
@@ -68,7 +70,7 @@ BTrace::readBlock(uint64_t phys, uint64_t window_start,
                 readable = conf.pos;
             } else {
                 ++out.unreadableBlocks;
-                return;
+                return BlockReadStatus::Unreadable;
             }
         }
     } else if (conf.rnd > rnd) {
@@ -77,7 +79,7 @@ BTrace::readBlock(uint64_t phys, uint64_t window_start,
         // header re-check below catches that.
         readable = cap;
     } else {
-        return;  // torn header claiming a future round
+        return BlockReadStatus::Stale;  // header claims a future round
     }
 
     // readable is a sum of 8-byte-aligned entry sizes in any healthy
@@ -86,7 +88,7 @@ BTrace::readBlock(uint64_t phys, uint64_t window_start,
     const std::size_t copy_len = readable & ~std::size_t(7);
     if (copy_len < EntryLayout::blockHeaderBytes) {
         ++out.unreadableBlocks;  // corrupt state; nothing parseable
-        return;
+        return BlockReadStatus::Unreadable;
     }
     if (scratch.size() < copy_len)
         scratch.resize(copy_len);
@@ -116,10 +118,8 @@ BTrace::readBlock(uint64_t phys, uint64_t window_start,
             valid = alloc2.rnd == rnd && alloc2.pos == conf.pos;
         }
     }
-    if (!valid) {
-        ++out.abandonedBlocks;
-        return;
-    }
+    if (!valid)
+        return BlockReadStatus::Abandoned;
 
     // Parse the copy; discard the whole block if the tiling is broken
     // (conservative: a torn block must never contaminate the dump).
@@ -139,11 +139,10 @@ BTrace::readBlock(uint64_t phys, uint64_t window_start,
         e.payloadOk = view.payloadOk;
         parsed.push_back(e);
     }
-    if (cursor.malformed()) {
-        ++out.abandonedBlocks;
-        return;
-    }
+    if (cursor.malformed())
+        return BlockReadStatus::Abandoned;
     out.entries.insert(out.entries.end(), parsed.begin(), parsed.end());
+    return BlockReadStatus::Data;
 }
 
 Dump
@@ -159,8 +158,11 @@ BTrace::dump()
     const uint64_t window_start = window_end > n ? window_end - n : 0;
 
     std::vector<uint8_t> scratch(cap);
-    for (uint64_t phys = 0; phys < n; ++phys)
-        readBlock(phys, window_start, window_end, scratch, out);
+    for (uint64_t phys = 0; phys < n; ++phys) {
+        if (readBlock(phys, window_start, window_end, scratch, out) ==
+            BlockReadStatus::Abandoned)
+            ++out.abandonedBlocks;
+    }
     return out;
 }
 
@@ -222,7 +224,28 @@ BTrace::dumpSince(uint64_t &cursor, bool close_active)
             continue;
         }
 
-        readBlock(physicalOf(q), q, q + 1, scratch, out);
+        const BlockReadStatus r =
+            readBlock(physicalOf(q), q, q + 1, scratch, out);
+        if (r == BlockReadStatus::Data ||
+            r == BlockReadStatus::Skipped ||
+            r == BlockReadStatus::Unreadable)
+            continue;
+
+        // The block for q yielded nothing (vanished header, header
+        // from another lap, or a copy invalidated mid-read). If the
+        // producers have lapped q by now — the head moved a full
+        // buffer past it while this dump was in flight — the data is
+        // permanently gone and belongs in overwrittenPositions, the
+        // same bucket as positions lost before the read started. A
+        // failed speculative read used to be misfiled as a transient
+        // abandonedBlocks (or dropped silently), hiding real data
+        // loss at the wrap boundary.
+        const RatioPos now = RatioPos::unpack(
+            global->load(std::memory_order_acquire));
+        if (now.pos > q + numActive * now.ratio)
+            ++out.overwrittenPositions;
+        else if (r == BlockReadStatus::Abandoned)
+            ++out.abandonedBlocks;
     }
     journalEmit(JournalEventKind::ConsumerPass, EventJournal::kNoCore,
                 q, out.entries.size());

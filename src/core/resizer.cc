@@ -108,11 +108,16 @@ BTrace::resize(std::size_t new_num_blocks)
     journalEmit(JournalEventKind::ResizeEnd, EventJournal::kNoCore,
                 g.pos, new_ratio);
 
+    // Keep the arena self-describing: an offline decoder reads N from
+    // the header, so it must follow every ratio swing.
+    if (ArenaHeader *h = span.backend()->header())
+        h->numBlocks.store(new_n, std::memory_order_release);
+
     if (new_n < old_n) {
         // Make sure no consumer still reads the shrunk tail, then
         // release the physical pages (the virtual range stays mapped,
         // so stale pointers read zeros instead of faulting). With
-        // sub-page block sizes the shrunk byte range is rounded
+        // sub-page block sizes the span rounds the shrunk byte range
         // *inward* to page boundaries; edge pages shared with live
         // blocks stay resident.
         consumers.synchronize();
@@ -120,11 +125,7 @@ BTrace::resize(std::size_t new_num_blocks)
         // reader starting now sees the new geometry, so decommit can
         // only zero pages no guarded reader still trusts.
         BTRACE_TEST_YIELD(ResizePreDecommit);
-        const std::size_t page = VirtualSpan::pageSize();
-        const std::size_t lo = alignUp(new_n * cap, page);
-        const std::size_t hi = (old_n * cap) / page * page;
-        if (lo < hi)
-            span.decommit(lo, hi - lo);
+        span.decommit(new_n * cap, (old_n - new_n) * cap);
     }
 }
 

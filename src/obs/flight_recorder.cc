@@ -1,7 +1,10 @@
 #include "obs/flight_recorder.h"
 
-#include <cinttypes>
-#include <cstdio>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <utility>
 
 #include "obs/export.h"
@@ -11,14 +14,83 @@ namespace btrace {
 
 namespace {
 
-void
-appendU64(std::string &out, const char *key, uint64_t v, bool comma = true)
+/**
+ * Bounded JSON writer over a caller-owned buffer: the async-safe
+ * capture path formats with this instead of std::string/iostreams, so
+ * a watchdog trip under memory exhaustion still renders. Overflow
+ * truncates silently; the recorder sizes its buffer so it never does.
+ */
+class BufWriter
 {
-    char buf[96];
-    std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64 "%s", key, v,
-                  comma ? "," : "");
-    out += buf;
-}
+  public:
+    BufWriter(char *dst, std::size_t capacity) : d(dst), cap(capacity) {}
+
+    void
+    raw(const char *s) noexcept
+    {
+        while (*s != '\0')
+            put(*s++);
+    }
+
+    /** JSON string body: escapes quotes, backslashes, and controls. */
+    void
+    escaped(const char *s) noexcept
+    {
+        static const char hex[] = "0123456789abcdef";
+        for (; *s != '\0'; ++s) {
+            const auto c = static_cast<unsigned char>(*s);
+            if (c == '"' || c == '\\') {
+                put('\\');
+                put(static_cast<char>(c));
+            } else if (c < 0x20) {
+                raw("\\u00");
+                put(hex[c >> 4]);
+                put(hex[c & 0xf]);
+            } else {
+                put(static_cast<char>(c));
+            }
+        }
+    }
+
+    void
+    u64(uint64_t v) noexcept
+    {
+        char digits[20];
+        std::size_t n = 0;
+        do {
+            digits[n++] = static_cast<char>('0' + v % 10);
+            v /= 10;
+        } while (v != 0);
+        while (n > 0)
+            put(digits[--n]);
+    }
+
+    /** `"key":<v>` with an optional trailing comma. */
+    void
+    kvU64(const char *key, uint64_t v, bool comma = true) noexcept
+    {
+        put('"');
+        raw(key);
+        raw("\":");
+        u64(v);
+        if (comma)
+            put(',');
+    }
+
+    std::size_t size() const noexcept { return len; }
+
+  private:
+    void
+    put(char c) noexcept
+    {
+        if (len < cap)
+            d[len++] = c;
+    }
+
+    char *d;
+    std::size_t cap;
+    std::size_t len = 0;
+};
 
 /** §3.2 classification of one raw slot, mirroring occupancy(). */
 const char *
@@ -29,16 +101,47 @@ slotStateName(const MetaSlotState &s, std::size_t cap)
     return "incomplete";
 }
 
+/** write(2) until done; EINTR-safe, allocation-free. */
+bool
+writeFully(int fd, const char *buf, std::size_t len)
+{
+    while (len > 0) {
+        const ssize_t n = ::write(fd, buf, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        buf += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
 } // namespace
 
 FlightRecorder::FlightRecorder(BTrace &tracer, const EventJournal *journal,
                                FlightRecorderOptions options)
     : bt(tracer), jnl(journal), opt(std::move(options))
 {
+    // Size every capture buffer now; the dump path must never touch
+    // the allocator (DESIGN.md §9).
+    slotScratch.resize(bt.config().activeBlocks);
+    jnlScratch.resize(jnl != nullptr ? jnl->capacity() : 0);
+    renderBuf.resize(4096 + 192 * slotScratch.size() + 256 * opt.lastN);
 }
 
 std::string
 FlightRecorder::render(const std::string &trigger) const
+{
+    std::string out(renderBuf.size(), '\0');
+    out.resize(renderInto(out.data(), out.size(), trigger.c_str()));
+    return out;
+}
+
+std::size_t
+FlightRecorder::renderInto(char *dst, std::size_t cap,
+                           const char *trigger) const noexcept
 {
     // Capture order matters loosely: journal tail last, so the events
     // explaining the counters/slots we just read are least likely to
@@ -46,99 +149,112 @@ FlightRecorder::render(const std::string &trigger) const
     // atomic reads — no tracer locks, safe while a resize is wedged.
     const BTraceCounters::Snapshot c = bt.countersSnapshot();
     const ActiveBlockOccupancy occ = bt.occupancy();
-    const std::vector<MetaSlotState> slots = bt.slotStates();
-    const std::size_t cap = bt.config().blockSize;
+    const std::size_t nslots =
+        bt.slotStatesInto(slotScratch.data(), slotScratch.size());
+    const std::size_t block_cap = bt.config().blockSize;
 
-    std::string out;
-    out.reserve(4096);
-    out += "{\"bundle\":\"btrace-flight-v1\",";
-    out += "\"trigger\":\"" + jsonEscape(trigger) + "\",";
+    BufWriter w(dst, cap);
+    w.raw("{\"bundle\":\"btrace-flight-v1\",");
+    w.raw("\"trigger\":\"");
+    w.escaped(trigger);
+    w.raw("\",");
 
-    out += "\"counters\":{";
-    appendU64(out, "fast_allocs", c.fastAllocs);
-    appendU64(out, "boundary_fills", c.boundaryFills);
-    appendU64(out, "stale_allocs", c.staleAllocs);
-    appendU64(out, "advances", c.advances);
-    appendU64(out, "skips", c.skips);
-    appendU64(out, "closes", c.closes);
-    appendU64(out, "lock_races", c.lockRaces);
-    appendU64(out, "core_races", c.coreRaces);
-    appendU64(out, "would_block", c.wouldBlock);
-    appendU64(out, "dummy_bytes", c.dummyBytes);
-    appendU64(out, "resizes", c.resizes);
-    appendU64(out, "shared_rmws", c.sharedRmws);
-    appendU64(out, "leases", c.leases);
-    appendU64(out, "lease_entries", c.leaseEntries);
-    appendU64(out, "leased_outstanding", c.leasedOutstanding, false);
-    out += "},";
+    w.raw("\"counters\":{");
+    w.kvU64("fast_allocs", c.fastAllocs);
+    w.kvU64("boundary_fills", c.boundaryFills);
+    w.kvU64("stale_allocs", c.staleAllocs);
+    w.kvU64("advances", c.advances);
+    w.kvU64("skips", c.skips);
+    w.kvU64("closes", c.closes);
+    w.kvU64("lock_races", c.lockRaces);
+    w.kvU64("core_races", c.coreRaces);
+    w.kvU64("would_block", c.wouldBlock);
+    w.kvU64("dummy_bytes", c.dummyBytes);
+    w.kvU64("resizes", c.resizes);
+    w.kvU64("shared_rmws", c.sharedRmws);
+    w.kvU64("leases", c.leases);
+    w.kvU64("lease_entries", c.leaseEntries);
+    w.kvU64("leased_outstanding", c.leasedOutstanding, false);
+    w.raw("},");
 
-    out += "\"gauges\":{";
-    appendU64(out, "head_position", bt.headPosition());
-    appendU64(out, "capacity_bytes", bt.capacityBytes());
-    appendU64(out, "resident_bytes", bt.residentBytes());
-    appendU64(out, "blocks_complete", occ.complete);
-    appendU64(out, "blocks_open", occ.open);
-    appendU64(out, "blocks_incomplete", occ.incomplete, false);
-    out += "},";
+    w.raw("\"gauges\":{");
+    w.kvU64("head_position", bt.headPosition());
+    w.kvU64("capacity_bytes", bt.capacityBytes());
+    w.kvU64("resident_bytes", bt.residentBytes());
+    w.kvU64("blocks_complete", occ.complete);
+    w.kvU64("blocks_open", occ.open);
+    w.kvU64("blocks_incomplete", occ.incomplete, false);
+    w.raw("},");
 
-    out += "\"slots\":[";
-    for (std::size_t i = 0; i < slots.size(); ++i) {
-        const MetaSlotState &s = slots[i];
-        if (i != 0) out += ",";
-        out += "{";
-        appendU64(out, "slot", i);
-        appendU64(out, "alloc_rnd", s.allocRnd);
-        appendU64(out, "alloc_pos", s.allocPos);
-        appendU64(out, "conf_rnd", s.confRnd);
-        appendU64(out, "conf_pos", s.confPos);
-        out += "\"state\":\"";
-        out += slotStateName(s, cap);
-        out += "\"}";
+    w.raw("\"slots\":[");
+    for (std::size_t i = 0; i < nslots; ++i) {
+        const MetaSlotState &s = slotScratch[i];
+        if (i != 0) w.raw(",");
+        w.raw("{");
+        w.kvU64("slot", i);
+        w.kvU64("alloc_rnd", s.allocRnd);
+        w.kvU64("alloc_pos", s.allocPos);
+        w.kvU64("conf_rnd", s.confRnd);
+        w.kvU64("conf_pos", s.confPos);
+        w.raw("\"state\":\"");
+        w.raw(slotStateName(s, block_cap));
+        w.raw("\"}");
     }
-    out += "],";
+    w.raw("],");
 
-    const std::vector<JournalRecord> tail =
-        jnl != nullptr ? jnl->lastN(opt.lastN)
-                       : std::vector<JournalRecord>{};
-    appendU64(out, "journal_emitted", jnl != nullptr ? jnl->emitted() : 0);
-    out += "\"journal\":[";
-    for (std::size_t i = 0; i < tail.size(); ++i) {
-        const JournalRecord &r = tail[i];
-        if (i != 0) out += ",";
-        out += "{\"kind\":\"";
-        out += journalEventKindName(r.kind);
-        out += "\",";
+    std::size_t ntail = jnl != nullptr
+                            ? jnl->snapshotInto(jnlScratch.data(),
+                                                jnlScratch.size())
+                            : 0;
+    std::size_t first = 0;
+    if (ntail > opt.lastN)
+        first = ntail - opt.lastN;  // keep only the newest lastN
+    w.kvU64("journal_emitted", jnl != nullptr ? jnl->emitted() : 0);
+    w.raw("\"journal\":[");
+    for (std::size_t i = first; i < ntail; ++i) {
+        const JournalRecord &r = jnlScratch[i];
+        if (i != first) w.raw(",");
+        w.raw("{\"kind\":\"");
+        w.raw(journalEventKindName(r.kind));
+        w.raw("\",");
         if (r.kind == JournalEventKind::BlockClose) {
-            out += "\"reason\":\"";
-            out += blockCloseReasonName(
-                static_cast<BlockCloseReason>(r.arg));
-            out += "\",";
+            w.raw("\"reason\":\"");
+            w.raw(blockCloseReasonName(
+                static_cast<BlockCloseReason>(r.arg)));
+            w.raw("\",");
         }
-        appendU64(out, "tsc", r.tsc);
-        appendU64(out, "seq", r.seq);
-        appendU64(out, "tid", r.tid);
-        appendU64(out, "core", r.core);
-        appendU64(out, "block", r.block);
-        appendU64(out, "arg", r.arg, false);
-        out += "}";
+        w.kvU64("tsc", r.tsc);
+        w.kvU64("seq", r.seq);
+        w.kvU64("tid", r.tid);
+        w.kvU64("core", r.core);
+        w.kvU64("block", r.block);
+        w.kvU64("arg", r.arg, false);
+        w.raw("}");
     }
-    out += "]}";
-    return out;
+    w.raw("]}");
+    return w.size();
 }
 
 bool
-FlightRecorder::dump(const std::string &trigger)
+FlightRecorder::dump(const char *trigger) noexcept
 {
+    const std::size_t n =
+        renderInto(renderBuf.data(), renderBuf.size(), trigger);
+
+    // Arena first: on an arena-backed tracer the flight region is the
+    // copy that survives the process, so it must not depend on the
+    // filesystem write below succeeding (no-op on private storage).
+    bt.writeFlightToArena(renderBuf.data(), n);
+
     if (opt.path.empty())
         return false;
-    const std::string bundle = render(trigger);
-    std::FILE *f = std::fopen(opt.path.c_str(), "w");
-    if (f == nullptr)
+    const int fd = ::open(opt.path.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
         return false;
-    const std::size_t n =
-        std::fwrite(bundle.data(), 1, bundle.size(), f);
-    const bool closed = std::fclose(f) == 0;
-    const bool ok = n == bundle.size() && closed;
+    const bool wrote = writeFully(fd, renderBuf.data(), n);
+    const bool closed = ::close(fd) == 0;
+    const bool ok = wrote && closed;
     if (ok)
         written.fetch_add(1, std::memory_order_relaxed);
     return ok;

@@ -13,11 +13,16 @@
  * hook on the first HealthWatchdog trip of a run, (b) explicitly by
  * tools (`replay --flight-out`, end-of-run), (c) by tests. Capture is
  * async-safe with respect to the tracer: it takes no tracer locks and
- * reads only relaxed atomics (countersSnapshot, slotStates, journal
- * snapshot), so it works even while producers are live or a resize is
- * wedged mid-quiesce — exactly the states worth post-morteming. The
- * file write itself uses stdio and is not signal-safe; call it from a
- * thread, not a signal handler.
+ * reads only relaxed atomics (countersSnapshot, slotStatesInto,
+ * journal snapshotInto), so it works even while producers are live or
+ * a resize is wedged mid-quiesce — exactly the states worth
+ * post-morteming. The dump path additionally never allocates: every
+ * capture buffer is sized at construction, the JSON is rendered by a
+ * bounded buffer writer, and the file write uses POSIX open/write —
+ * so a trip fired *because* the process is out of memory still
+ * produces a bundle. On an arena-backed tracer (shm/file storage,
+ * DESIGN.md §10) the bundle is also copied into the arena's flight
+ * region, where it survives process death.
  */
 
 #ifndef BTRACE_OBS_FLIGHT_RECORDER_H
@@ -47,7 +52,8 @@ class FlightRecorder
   public:
     /**
      * @p journal may be null (bundle then has an empty journal
-     * section). Both referents must outlive the recorder.
+     * section). Both referents must outlive the recorder. All capture
+     * scratch is allocated here, once — dump() never allocates.
      */
     FlightRecorder(BTrace &tracer, const EventJournal *journal,
                    FlightRecorderOptions options);
@@ -56,11 +62,28 @@ class FlightRecorder
     std::string render(const std::string &trigger) const;
 
     /**
-     * Capture and write the bundle to options.path, overwriting any
-     * previous bundle (the latest trip is the one worth keeping).
-     * Returns false when the path is empty or the write failed.
+     * Render the bundle into @p dst (at most @p cap bytes, truncating
+     * if undersized — the preallocated internal buffer never is) and
+     * return the length written. Allocation-free and lock-free; not
+     * reentrant (concurrent captures share the scratch buffers — the
+     * latest trip is the one worth keeping anyway).
      */
-    bool dump(const std::string &trigger);
+    std::size_t renderInto(char *dst, std::size_t cap,
+                           const char *trigger) const noexcept;
+
+    /**
+     * Capture the bundle, copy it into the storage arena's flight
+     * region when the tracer has one, and write it to options.path,
+     * overwriting any previous bundle. Returns false when the path is
+     * empty or the file write failed. Never allocates — safe on a
+     * watchdog trip caused by memory exhaustion.
+     */
+    bool dump(const char *trigger) noexcept;
+
+    bool dump(const std::string &trigger)
+    {
+        return dump(trigger.c_str());
+    }
 
     /** Bundles successfully written so far. */
     uint64_t dumps() const
@@ -73,6 +96,13 @@ class FlightRecorder
     const EventJournal *jnl;
     FlightRecorderOptions opt;
     std::atomic<uint64_t> written{0};
+    /**
+     * Constructor-sized capture scratch (mutable: render is logically
+     * const; the scratch is why captures are not reentrant).
+     */
+    mutable std::vector<MetaSlotState> slotScratch;
+    mutable std::vector<JournalRecord> jnlScratch;
+    mutable std::vector<char> renderBuf;
 };
 
 /** parseFlightBundle() result: the decoded view of one bundle file. */

@@ -133,11 +133,19 @@ EventJournal::emit(JournalEventKind kind, uint16_t core, uint64_t block,
 std::vector<JournalRecord>
 EventJournal::snapshot() const
 {
-    std::vector<JournalRecord> out;
-    out.reserve(capacity());
-    for (std::size_t s = 0; s < nShards; ++s) {
+    std::vector<JournalRecord> out(capacity());
+    out.resize(snapshotInto(out.data(), out.size()));
+    return out;
+}
+
+std::size_t
+EventJournal::snapshotInto(JournalRecord *out, std::size_t max) const
+    noexcept
+{
+    std::size_t n = 0;
+    for (std::size_t s = 0; s < nShards && n < max; ++s) {
         const Shard &sh = shards[s];
-        for (std::size_t i = 0; i < ringSize; ++i) {
+        for (std::size_t i = 0; i < ringSize && n < max; ++i) {
             const Slot &slot = sh.ring[i];
             const uint64_t s1 = slot.seq.load(std::memory_order_acquire);
             if (s1 == 0)
@@ -157,16 +165,18 @@ EventJournal::snapshot() const
             r.core = static_cast<uint16_t>(meta >> 32);
             r.tid = static_cast<uint32_t>(meta);
             r.shard = static_cast<uint16_t>(s);
-            out.push_back(r);
+            out[n++] = r;
         }
     }
-    std::sort(out.begin(), out.end(),
+    // In-place introsort: no heap traffic, so the async capture path
+    // stays allocation-free.
+    std::sort(out, out + n,
               [](const JournalRecord &a, const JournalRecord &b) {
                   if (a.tsc != b.tsc) return a.tsc < b.tsc;
                   if (a.shard != b.shard) return a.shard < b.shard;
                   return a.seq < b.seq;
               });
-    return out;
+    return n;
 }
 
 std::vector<JournalRecord>

@@ -121,6 +121,16 @@ class EventJournal
      */
     std::vector<JournalRecord> snapshot() const;
 
+    /**
+     * Allocation-free snapshot for async-safe captures (the flight
+     * recorder's watchdog-trip path): fill at most @p max records of
+     * @p out, sorted by tsc, and return the count written. Records
+     * beyond @p max are dropped arbitrarily — pass capacity() to get
+     * everything.
+     */
+    std::size_t snapshotInto(JournalRecord *out,
+                             std::size_t max) const noexcept;
+
     /** The most recent @p n records of snapshot(). */
     std::vector<JournalRecord> lastN(std::size_t n) const;
 

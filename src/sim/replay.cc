@@ -513,6 +513,9 @@ makeTracer(TracerKind kind, const TracerFactoryOptions &opt)
             cfg.maxBlocks = std::max(cfg.numBlocks,
                                      opt.maxBlocks - opt.maxBlocks % a);
         }
+        if (opt.storage != nullptr)
+            cfg.storage = *opt.storage;
+        cfg.arenaPath = opt.arenaPath;
         return std::make_unique<BTrace>(cfg, model);
       }
       case TracerKind::Bbq: {

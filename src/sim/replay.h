@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/storage_backend.h"
 #include "sim/schedule.h"
 #include "trace/tracer.h"
 #include "workloads/workload.h"
@@ -137,6 +138,13 @@ struct TracerFactoryOptions
     unsigned expectedThreads = 4000;        //!< VTrace provisioning
     unsigned subBuffers = 8;                //!< LTTng sub-buffers/core
     const CostModel *cost = nullptr;        //!< null = CostModel::def()
+    /**
+     * BTrace only: storage backend and (file kind) arena path. Null
+     * storage inherits the build default (BTRACE_DEFAULT_BACKEND);
+     * baselines always use private memory.
+     */
+    const StorageKind *storage = nullptr;
+    std::string arenaPath;
 };
 
 /** Instantiate a tracer with the shared evaluation geometry. */

@@ -92,10 +92,12 @@ struct Dump
     uint64_t abandonedBlocks = 0;  //!< speculative reads that failed
     uint64_t unreadableBlocks = 0; //!< unconfirmed / in-flight blocks
     /**
-     * Incremental reads only (dumpFrom): number of positions between
-     * the caller's cursor and the overwrite frontier that producers
-     * lapped before this read — data that is permanently gone, not
-     * merely unreadable right now. Zero when the consumer kept up.
+     * Incremental reads only (dumpFrom): positions whose data the
+     * producers lapped — between the caller's cursor and the
+     * overwrite frontier before this read started, or overtaken by a
+     * full buffer lap while the read was in flight. Permanently gone
+     * data, not merely unreadable right now. Zero when the consumer
+     * kept up.
      */
     uint64_t overwrittenPositions = 0;
 };

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Backend conformance suite (DESIGN.md §10): every StorageBackend must
+ * satisfy the same data-area contract — page-multiple reservation,
+ * offset-stable addressing, advisory commit, and decommit that leaves
+ * the range mapped and zero-filled. The arena backends (shm, file)
+ * additionally carry a validated header, a flight region, and support
+ * secondary attachment / offline reopening. The suite runs the shared
+ * contract over all three kinds and the arena extras over the two that
+ * have them, plus fork-based persistence tests proving a file-backed
+ * ring survives an abrupt process death.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/storage_backend.h"
+#include "core/btrace.h"
+#include "obs/flight_recorder.h"
+
+namespace btrace {
+namespace {
+
+std::unique_ptr<StorageBackend>
+makeBackend(StorageKind kind, std::size_t bytes)
+{
+    StorageOptions o;
+    o.kind = kind;
+    o.bytes = bytes;
+    return makeStorageBackend(o);  // file kind: anonymous unlinked temp
+}
+
+class StorageBackendContract
+    : public testing::TestWithParam<StorageKind>
+{
+};
+
+TEST_P(StorageBackendContract, KindNameRoundTrips)
+{
+    const StorageKind k = GetParam();
+    auto b = makeBackend(k, 1u << 16);
+    EXPECT_EQ(b->kind(), k);
+    StorageKind parsed;
+    ASSERT_TRUE(parseStorageKind(storageKindName(k), parsed));
+    EXPECT_EQ(parsed, k);
+}
+
+TEST_P(StorageBackendContract, ReservesPageMultipleAndWritable)
+{
+    auto b = makeBackend(GetParam(), 100);
+    EXPECT_EQ(b->maxSize() % StorageBackend::pageSize(), 0u);
+    EXPECT_GE(b->maxSize(), 100u);
+    ASSERT_NE(b->data(), nullptr);
+    std::memset(b->data(), 0xAB, b->maxSize());
+    EXPECT_EQ(b->data()[0], 0xAB);
+    EXPECT_EQ(b->data()[b->maxSize() - 1], 0xAB);
+}
+
+TEST_P(StorageBackendContract, OffsetsResolveStably)
+{
+    const std::size_t page = StorageBackend::pageSize();
+    auto b = makeBackend(GetParam(), 8 * page);
+    const BlockRef ref{3 * page + 40};
+    b->data()[ref.offset] = 0x5C;
+    // The same offset resolves to the same byte through any later
+    // read of data() — offsets, not pointers, are the stable names.
+    EXPECT_EQ((b->data() + ref.offset)[0], 0x5C);
+}
+
+TEST_P(StorageBackendContract, DecommitReadsZerosAndStaysMapped)
+{
+    const std::size_t page = StorageBackend::pageSize();
+    auto b = makeBackend(GetParam(), 4 * page);
+    std::memset(b->data(), 0xCD, 4 * page);
+    b->decommit(page, 2 * page);
+    EXPECT_EQ(b->data()[page], 0);
+    EXPECT_EQ(b->data()[3 * page - 1], 0);
+    EXPECT_EQ(b->data()[page - 1], 0xCD);
+    EXPECT_EQ(b->data()[3 * page], 0xCD);
+    // And the zeroed range is writable again afterwards.
+    b->data()[page] = 7;
+    EXPECT_EQ(b->data()[page], 7);
+}
+
+TEST_P(StorageBackendContract, DecommitReleasesResidentMemory)
+{
+    const std::size_t page = StorageBackend::pageSize();
+    const std::size_t pages = 256;
+    auto b = makeBackend(GetParam(), pages * page);
+    std::memset(b->data(), 1, pages * page);
+    const std::size_t before = b->residentBytes();
+    EXPECT_GE(before, pages * page / 2);
+    b->decommit(0, pages * page);
+    EXPECT_LT(b->residentBytes(), before / 4);
+}
+
+TEST_P(StorageBackendContract, CommitIsAdvisoryAndSafe)
+{
+    const std::size_t page = StorageBackend::pageSize();
+    auto b = makeBackend(GetParam(), 4 * page);
+    b->commit(0, 4 * page);
+    b->data()[0] = 9;
+    b->sync();
+    EXPECT_EQ(b->data()[0], 9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, StorageBackendContract,
+    testing::Values(StorageKind::Private, StorageKind::Shm,
+                    StorageKind::File),
+    [](const testing::TestParamInfo<StorageKind> &p) {
+        return storageKindName(p.param);
+    });
+
+TEST(PrivateBackend, HasNoArenaSurface)
+{
+    auto b = makeBackend(StorageKind::Private, 1u << 16);
+    EXPECT_EQ(b->header(), nullptr);
+    EXPECT_EQ(b->flightRegion(), nullptr);
+    EXPECT_EQ(b->shareFd(), -1);
+}
+
+class ArenaBackendContract : public testing::TestWithParam<StorageKind>
+{
+};
+
+TEST_P(ArenaBackendContract, HeaderIsValidAndSelfDescribing)
+{
+    const std::size_t page = StorageBackend::pageSize();
+    auto b = makeBackend(GetParam(), 8 * page);
+    const ArenaHeader *h = b->header();
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->magic, ArenaHeader::kMagic);
+    EXPECT_EQ(h->version, ArenaHeader::kVersion);
+    EXPECT_EQ(h->pageSize, page);
+    EXPECT_EQ(h->dataBytes, b->maxSize());
+    EXPECT_GE(h->generation.load(), 1u);
+    EXPECT_GT(h->flightCapacity, 0u);
+    EXPECT_EQ(h->flightLen.load(), 0u);
+    ASSERT_NE(b->flightRegion(), nullptr);
+    EXPECT_GE(b->shareFd(), 0);
+    // Header, flight region, and data area never overlap.
+    EXPECT_GE(h->flightOffset, sizeof(ArenaHeader));
+    EXPECT_GE(h->dataOffset, h->flightOffset + h->flightCapacity);
+}
+
+TEST_P(ArenaBackendContract, FlightRegionHoldsItsCapacity)
+{
+    auto b = makeBackend(GetParam(), 1u << 16);
+    ArenaHeader *h = b->header();
+    uint8_t *f = b->flightRegion();
+    std::memset(f, 0x77, h->flightCapacity);
+    h->flightLen.store(h->flightCapacity, std::memory_order_release);
+    EXPECT_EQ(f[0], 0x77);
+    EXPECT_EQ(f[h->flightCapacity - 1], 0x77);
+    // The flight region is outside the data area: the data base
+    // starts at dataOffset, past the flight region.
+    EXPECT_EQ(b->data()[0], 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArenaKinds, ArenaBackendContract,
+    testing::Values(StorageKind::Shm, StorageKind::File),
+    [](const testing::TestParamInfo<StorageKind> &p) {
+        return storageKindName(p.param);
+    });
+
+TEST(ShmArena, SecondAttachmentSharesDataByOffset)
+{
+    const std::size_t page = StorageBackend::pageSize();
+    auto primary = makeBackend(StorageKind::Shm, 8 * page);
+    const uint64_t gen0 = primary->header()->generation.load();
+
+    auto secondary = attachShmArena(primary->shareFd());
+    ASSERT_NE(secondary, nullptr);
+    EXPECT_EQ(secondary->kind(), StorageKind::Shm);
+    EXPECT_EQ(secondary->maxSize(), primary->maxSize());
+    EXPECT_EQ(primary->header()->generation.load(), gen0 + 1);
+
+    // Same offsets, different mappings, one storage.
+    const BlockRef ref{5 * page + 16};
+    primary->data()[ref.offset] = 0x42;
+    EXPECT_EQ(secondary->data()[ref.offset], 0x42);
+    secondary->data()[ref.offset + 1] = 0x43;
+    EXPECT_EQ(primary->data()[ref.offset + 1], 0x43);
+
+    // Decommit through one attachment zeroes the shared storage.
+    primary->decommit(4 * page, 2 * page);
+    EXPECT_EQ(secondary->data()[ref.offset], 0);
+}
+
+TEST(ShmArena, HeaderAtomicsAreSharedAcrossAttachments)
+{
+    auto primary = makeBackend(StorageKind::Shm, 1u << 16);
+    auto secondary = attachShmArena(primary->shareFd());
+    primary->header()->blockSize.store(4096, std::memory_order_release);
+    EXPECT_EQ(secondary->header()->blockSize.load(
+                  std::memory_order_acquire),
+              4096u);
+}
+
+TEST(ShmArena, SurvivesConcurrentResizeAndRecordsUnderSharedStorage)
+{
+    // Shm variant of the core resize/lease race: producers hammer
+    // record() and lease() while the owner resizes the ring in both
+    // directions. The arena decommit path (hole punching) must uphold
+    // the same stays-mapped-reads-zero contract MADV_DONTNEED does;
+    // run under TSan this also checks the header stores race-free.
+    BTraceConfig cfg;
+    cfg.blockSize = 256;
+    cfg.numBlocks = 64;
+    cfg.activeBlocks = 8;
+    cfg.maxBlocks = 64;
+    cfg.cores = 4;
+    cfg.storage = StorageKind::Shm;
+    BTrace bt(cfg);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> producers;
+    for (unsigned t = 0; t < 2; ++t) {
+        producers.emplace_back([&bt, &stop, t] {
+            uint64_t stamp = 1;
+            while (!stop.load(std::memory_order_relaxed)) {
+                bt.record(uint16_t(t), t + 1, stamp++, 40);
+                Lease l = bt.lease(uint16_t(t), t + 1, 40, 4);
+                if (!l.ok())
+                    continue;
+                for (int k = 0; k < 4; ++k) {
+                    WriteTicket w = l.allocate(40);
+                    if (!w.ok())
+                        break;
+                    l.abandon(w);
+                }
+                l.close();
+            }
+        });
+    }
+    for (int i = 0; i < 6; ++i) {
+        bt.resize(i % 2 == 0 ? 16 : 64);
+        const ArenaHeader *h = bt.arenaHeader();
+        ASSERT_NE(h, nullptr);
+        EXPECT_EQ(h->numBlocks.load(std::memory_order_acquire),
+                  i % 2 == 0 ? 16u : 64u);
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread &th : producers)
+        th.join();
+
+    const Dump d = bt.dump();
+    for (const DumpEntry &e : d.entries)
+        ASSERT_TRUE(e.payloadOk) << "torn entry at stamp " << e.stamp;
+}
+
+TEST(ArenaView, RejectsMissingAndMalformedFiles)
+{
+    ArenaView missing =
+        ArenaView::open(testing::TempDir() + "no_such_arena.ring");
+    EXPECT_FALSE(missing.ok());
+    EXPECT_FALSE(missing.error().empty());
+
+    const std::string path = testing::TempDir() + "garbage_arena.ring";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        const char junk[] = "this is not an arena";
+        std::fwrite(junk, 1, sizeof(junk), f);
+        std::fclose(f);
+    }
+    ArenaView garbage = ArenaView::open(path);
+    EXPECT_FALSE(garbage.ok());
+    EXPECT_FALSE(garbage.error().empty());
+    std::remove(path.c_str());
+}
+
+BTraceConfig
+fileRingConfig(const std::string &path)
+{
+    BTraceConfig cfg;
+    cfg.blockSize = 256;
+    cfg.numBlocks = 32;
+    cfg.activeBlocks = 8;
+    cfg.cores = 4;
+    cfg.storage = StorageKind::File;
+    cfg.arenaPath = path;
+    return cfg;
+}
+
+TEST(ArenaView, CleanShutdownLeavesDecodableRing)
+{
+    const std::string path =
+        testing::TempDir() + "btrace_clean_arena.ring";
+    std::remove(path.c_str());
+    {
+        BTrace bt(fileRingConfig(path));
+        for (uint64_t s = 1; s <= 200; ++s)
+            ASSERT_TRUE(bt.record(uint16_t(s % 4), 1, s, 40));
+    }
+    ArenaView v = ArenaView::open(path);
+    ASSERT_TRUE(v.ok()) << v.error();
+    EXPECT_TRUE(v.cleanShutdown());
+    EXPECT_EQ(v.blockSize(), 256u);
+    EXPECT_EQ(v.activeBlocks(), 8u);
+    EXPECT_EQ(v.numBlocks(), 32u);
+    EXPECT_EQ(v.dataBytes(), 32u * 256u);
+    ASSERT_NE(v.data(), nullptr);
+    EXPECT_EQ(v.block(1), v.data() + 256);
+    std::remove(path.c_str());
+}
+
+TEST(ArenaView, FlightBundleSurvivesProcessDeath)
+{
+    const std::string path =
+        testing::TempDir() + "btrace_crash_arena.ring";
+    std::remove(path.c_str());
+
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: trace into the file ring, capture a flight bundle,
+        // then die without running a single destructor — the worst
+        // case the persistent ring exists for.
+        BTrace bt(fileRingConfig(path));
+        for (uint64_t s = 1; s <= 300; ++s)
+            if (!bt.record(uint16_t(s % 4), 1, s, 40))
+                _exit(3);
+        FlightRecorder fr(bt, nullptr, FlightRecorderOptions{});
+        if (!fr.dump("pre_crash") && bt.arenaHeader() == nullptr)
+            _exit(4);
+        _exit(0);
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+
+    ArenaView v = ArenaView::open(path);
+    ASSERT_TRUE(v.ok()) << v.error();
+    EXPECT_FALSE(v.cleanShutdown());  // it crashed; the ring knows
+    EXPECT_GE(v.generation(), 1u);
+    EXPECT_EQ(v.blockSize(), 256u);
+    EXPECT_EQ(v.numBlocks(), 32u);
+
+    const std::string bundle = v.flightJson();
+    ASSERT_FALSE(bundle.empty());
+    const ParsedFlightBundle p = parseFlightBundle(bundle);
+    ASSERT_TRUE(p.ok) << p.error;
+    EXPECT_EQ(p.trigger, "pre_crash");
+    EXPECT_EQ(p.counters.at("fast_allocs"), 300.0);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace btrace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 
 #include "common/virtual_memory.h"
@@ -51,6 +52,62 @@ TEST(VirtualSpan, DecommitReleasesResidentMemory)
     span.decommit(0, pages * page);
     const std::size_t after = span.residentBytes();
     EXPECT_LT(after, before / 4);
+}
+
+// Regression: decommit used to round its range *outward* to page
+// boundaries, so decommitting one sub-page range wiped live data in
+// the partial pages it shared with its neighbors. Rounding is inward
+// now — the shared edge pages stay resident and intact.
+TEST(VirtualSpan, UnalignedDecommitPreservesAdjacentRanges)
+{
+    const std::size_t page = VirtualSpan::pageSize();
+    VirtualSpan span(6 * page);
+    std::memset(span.data(), 0xA1, 6 * page);
+
+    // Three adjacent ranges with sub-page boundaries: decommit the
+    // middle one; both neighbors must survive byte-for-byte.
+    const std::size_t mid_lo = page + page / 2;
+    const std::size_t mid_hi = 4 * page + page / 4;
+    span.decommit(mid_lo, mid_hi - mid_lo);
+
+    for (std::size_t i = 0; i < mid_lo; ++i)
+        ASSERT_EQ(span.data()[i], 0xA1) << "left neighbor at " << i;
+    for (std::size_t i = mid_hi; i < 6 * page; ++i)
+        ASSERT_EQ(span.data()[i], 0xA1) << "right neighbor at " << i;
+    // The fully-covered interior pages really were released.
+    EXPECT_EQ(span.data()[2 * page], 0);
+    EXPECT_EQ(span.data()[4 * page - 1], 0);
+}
+
+TEST(VirtualSpan, DecommitSmallerThanPageIsANoop)
+{
+    const std::size_t page = VirtualSpan::pageSize();
+    VirtualSpan span(2 * page);
+    std::memset(span.data(), 0xB2, 2 * page);
+    // No whole page is covered, so nothing may be released.
+    span.decommit(page / 4, page / 2);
+    for (std::size_t i = 0; i < 2 * page; ++i)
+        ASSERT_EQ(span.data()[i], 0xB2) << "byte " << i;
+}
+
+// Regression: offset + len used to be summed before the bounds check,
+// so a wrapping sum sailed past it and reached madvise/fallocate with
+// a wild range. Both commit and decommit must reject it.
+TEST(VirtualSpanDeathTest, RejectsOverflowingRange)
+{
+    const std::size_t page = VirtualSpan::pageSize();
+    VirtualSpan span(4 * page);
+    EXPECT_DEATH(span.decommit(page, SIZE_MAX - page / 2),
+                 "reservation");
+    EXPECT_DEATH(span.commit(SIZE_MAX - page, 2 * page), "reservation");
+}
+
+TEST(VirtualSpanDeathTest, RejectsRangePastReservation)
+{
+    const std::size_t page = VirtualSpan::pageSize();
+    VirtualSpan span(4 * page);
+    EXPECT_DEATH(span.decommit(3 * page, 2 * page), "reservation");
+    EXPECT_DEATH(span.commit(4 * page, 1), "reservation");
 }
 
 TEST(VirtualSpan, MoveTransfersOwnership)

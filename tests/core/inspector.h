@@ -79,14 +79,19 @@ class BTraceInspector
     /**
      * Direct call into the private speculative reader, with a caller-
      * controlled scratch buffer (regression surface for the scratch
-     * sizing contract).
+     * sizing contract). Classifies an Abandoned outcome the way
+     * dump() does.
      */
-    void
+    BlockReadStatus
     readBlockRaw(uint64_t phys, uint64_t window_start,
                  uint64_t window_end, std::vector<uint8_t> &scratch,
                  Dump &out)
     {
-        bt.readBlock(phys, window_start, window_end, scratch, out);
+        const BlockReadStatus r =
+            bt.readBlock(phys, window_start, window_end, scratch, out);
+        if (r == BlockReadStatus::Abandoned)
+            ++out.abandonedBlocks;
+        return r;
     }
 
   private:

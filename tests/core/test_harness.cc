@@ -186,6 +186,46 @@ TEST(Harness, AbandonedReadForced)
     expectAuditClean(bt);
 }
 
+// Wrap/lap boundary of the incremental read: a block overwritten by a
+// full producer lap while the dump is parked between its speculative
+// copy and the re-validation is permanently lost data. It must be
+// charged to overwrittenPositions — the same bucket as positions lost
+// before the read started — and never parsed into torn entries. It
+// used to be misfiled as a transient abandonedBlocks.
+TEST(Harness, LapDuringDumpSinceCountsOverwrittenNotAbandoned)
+{
+    BTrace bt(tinyConfig(1, 2, 4));
+    BTraceInspector insp(bt);
+
+    // Two full blocks plus the start of a third, so the incremental
+    // read has complete blocks to copy before it hits the active one.
+    for (uint64_t s = 1; s <= 7; ++s)
+        ASSERT_TRUE(bt.record(0, 1, s, 40));
+
+    PreemptionInjector inj;
+    inj.armPark(YieldPoint::ReadPostCopy);
+    uint64_t cursor = 0;
+    Dump d;
+    std::thread reader([&] { d = bt.dumpSince(cursor); });
+    ASSERT_TRUE(inj.awaitParked(YieldPoint::ReadPostCopy));
+
+    // Lap the parked reader: with N = 4 data blocks, advancing the
+    // head a full buffer past the copied position re-locks and
+    // overwrites its physical block.
+    uint64_t s = 8;
+    while (insp.globalWord().pos < 10)
+        ASSERT_TRUE(bt.record(0, 1, s++, 40));
+
+    inj.release(YieldPoint::ReadPostCopy);
+    reader.join();
+
+    EXPECT_GE(d.overwrittenPositions, 1u);  // the lapped copy landed here
+    EXPECT_EQ(d.abandonedBlocks, 0u);
+    expectDumpIntegrity(d, s - 1);  // no torn or duplicate entries
+    EXPECT_GT(cursor, 0u);
+    expectAuditClean(bt);
+}
+
 #endif // BTRACE_ENABLE_TEST_HOOKS
 
 // A preempted writer holding an unconfirmed reservation keeps its

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Async-safety regression for the flight recorder's dump path
+ * (DESIGN.md §9): a watchdog trip caused by memory exhaustion must
+ * still produce a bundle, so capture + render + file write must never
+ * touch the allocator.
+ *
+ * Proven with a *failing allocator*: this binary replaces the global
+ * operator new with one that, while armed, counts every call and
+ * returns null from the nothrow forms / throws from the throwing
+ * forms. The test arms it around FlightRecorder::dump() — one
+ * allocation anywhere on that path either bumps the counter (assertion
+ * failure) or throws through a noexcept frame (process abort, also a
+ * failure). This interposition is why the test lives in its own
+ * binary.
+ */
+
+// Our operator new is malloc-backed, so free() in operator delete is
+// the matching deallocator; GCC can't see through the interposition.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+
+#include "core/btrace.h"
+#include "obs/flight_recorder.h"
+#include "obs/journal.h"
+
+namespace {
+
+std::atomic<bool> g_fail_allocs{false};
+std::atomic<uint64_t> g_denied{0};
+
+void *
+allocate(std::size_t n)
+{
+    if (g_fail_allocs.load(std::memory_order_relaxed)) {
+        g_denied.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    return std::malloc(n ? n : 1);
+}
+
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    void *p = allocate(n);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t n)
+{
+    void *p = allocate(n);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new(std::size_t n, const std::nothrow_t &) noexcept
+{
+    return allocate(n);
+}
+
+void *
+operator new[](std::size_t n, const std::nothrow_t &) noexcept
+{
+    return allocate(n);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace btrace {
+namespace {
+
+class FailingAllocatorScope
+{
+  public:
+    FailingAllocatorScope()
+    {
+        g_denied.store(0, std::memory_order_relaxed);
+        g_fail_allocs.store(true, std::memory_order_relaxed);
+    }
+    ~FailingAllocatorScope()
+    {
+        g_fail_allocs.store(false, std::memory_order_relaxed);
+    }
+    uint64_t denied() const
+    {
+        return g_denied.load(std::memory_order_relaxed);
+    }
+};
+
+BTraceConfig
+smallConfig()
+{
+    BTraceConfig cfg;
+    cfg.blockSize = 256;
+    cfg.numBlocks = 32;
+    cfg.activeBlocks = 8;
+    cfg.cores = 4;
+    return cfg;
+}
+
+TEST(FlightAsync, DumpAllocatesNothingUnderFailingAllocator)
+{
+    BTrace bt(smallConfig());
+    EventJournal j;
+    bt.attachJournal(&j);
+    for (uint64_t s = 1; s <= 500; ++s)
+        ASSERT_TRUE(bt.record(uint16_t(s % 4), 1, s, 40));
+
+    FlightRecorderOptions fo;
+    fo.path = testing::TempDir() + "btrace_flight_async.json";
+    FlightRecorder fr(bt, &j, fo);
+
+    bool ok = false;
+    uint64_t denied = 0;
+    {
+        FailingAllocatorScope oom;
+        ok = fr.dump("watchdog:simulated_oom");
+        denied = oom.denied();
+    }
+    bt.attachJournal(nullptr);
+
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(denied, 0u) << "dump path hit the allocator " << denied
+                          << " time(s)";
+
+    // The bundle written under allocator failure is complete and
+    // parseable, not truncated mid-render.
+    std::ifstream in(fo.path);
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const ParsedFlightBundle p = parseFlightBundle(ss.str());
+    ASSERT_TRUE(p.ok) << p.error;
+    EXPECT_EQ(p.trigger, "watchdog:simulated_oom");
+    EXPECT_EQ(p.counters.at("fast_allocs"), 500.0);
+    EXPECT_FALSE(p.journal.empty());
+}
+
+TEST(FlightAsync, RepeatDumpsStayAllocationFree)
+{
+    // Second and later dumps reuse the same scratch: no warm-up
+    // allocation is allowed to hide in the first call either, but
+    // guard the steady state explicitly.
+    BTrace bt(smallConfig());
+    FlightRecorderOptions fo;
+    fo.path = testing::TempDir() + "btrace_flight_async2.json";
+    FlightRecorder fr(bt, nullptr, fo);
+    ASSERT_TRUE(fr.dump("first"));
+
+    FailingAllocatorScope oom;
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(fr.dump("again"));
+    EXPECT_EQ(oom.denied(), 0u);
+}
+
+} // namespace
+} // namespace btrace

@@ -6,6 +6,7 @@
  *                  [--head N] [--gaps]
  *   btrace_inspect --metrics <obs.jsonl>
  *   btrace_inspect --journal <flight.json>
+ *   btrace_inspect --arena <ring.arena>
  *
  * Prints the per-core/per-category summary of a file written by
  * TracePersister, optionally exports it for Perfetto/chrome://tracing
@@ -16,7 +17,12 @@
  * health event in the stream. With --journal, the input is a flight
  * bundle (replay --flight-out / FlightRecorder) and the tool shows the
  * trigger, counters, per-slot block states, and the journal tail — the
- * post-mortem view of why the watchdog fired.
+ * post-mortem view of why the watchdog fired. With --arena, the input
+ * is a persisted file-backed storage arena (BTraceConfig storage=file,
+ * DESIGN.md §10): the tool validates the header, reports whether the
+ * owning tracer shut down cleanly, decodes every readable block in the
+ * data area, and prints the embedded flight bundle — the full
+ * post-mortem of a process that died mid-trace.
  */
 
 #include <algorithm>
@@ -30,9 +36,11 @@
 #include <sstream>
 
 #include "analysis/export.h"
+#include "common/storage_backend.h"
 #include "core/persister.h"
 #include "obs/export.h"
 #include "obs/flight_recorder.h"
+#include "trace/event.h"
 
 using namespace btrace;
 
@@ -45,7 +53,8 @@ usage()
                  "usage: btrace_inspect <trace.bin> [--json FILE] "
                  "[--csv FILE] [--head N] [--gaps]\n"
                  "       btrace_inspect --metrics <obs.jsonl>\n"
-                 "       btrace_inspect --journal <flight.json>\n");
+                 "       btrace_inspect --journal <flight.json>\n"
+                 "       btrace_inspect --arena <ring.arena>\n");
     return 2;
 }
 
@@ -123,24 +132,10 @@ inspectMetrics(const std::string &path)
     return 0;
 }
 
-/** Pretty-print a flight bundle (replay --flight-out output). */
-int
-inspectJournal(const std::string &path)
+/** Shared pretty-printer for a parsed flight bundle. */
+void
+printFlightBundle(const ParsedFlightBundle &b)
 {
-    std::ifstream in(path);
-    if (!in) {
-        std::fprintf(stderr, "cannot read %s\n", path.c_str());
-        return 1;
-    }
-    std::stringstream ss;
-    ss << in.rdbuf();
-    const ParsedFlightBundle b = parseFlightBundle(ss.str());
-    if (!b.ok) {
-        std::fprintf(stderr, "%s: not a flight bundle: %s\n",
-                     path.c_str(), b.error.c_str());
-        return 1;
-    }
-
     std::printf("flight bundle, trigger: %s\n\n", b.trigger.c_str());
     std::printf("  %-24s %14s\n", "counter", "value");
     for (const auto &kv : b.counters)
@@ -185,6 +180,120 @@ inspectJournal(const std::string &path)
                     static_cast<unsigned long long>(e.block),
                     static_cast<unsigned long long>(e.arg));
     }
+}
+
+/** Pretty-print a flight bundle (replay --flight-out output). */
+int
+inspectJournal(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const ParsedFlightBundle b = parseFlightBundle(ss.str());
+    if (!b.ok) {
+        std::fprintf(stderr, "%s: not a flight bundle: %s\n",
+                     path.c_str(), b.error.c_str());
+        return 1;
+    }
+    printFlightBundle(b);
+    return 0;
+}
+
+/** Post-mortem view of a persisted file-backed storage arena. */
+int
+inspectArena(const std::string &path)
+{
+    ArenaView v = ArenaView::open(path);
+    if (!v.ok()) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     v.error().c_str());
+        return 1;
+    }
+
+    std::printf("arena %s\n", path.c_str());
+    std::printf("  generation      %llu\n",
+                static_cast<unsigned long long>(v.generation()));
+    std::printf("  shutdown        %s\n",
+                v.cleanShutdown() ? "clean" : "DIRTY (crashed or live)");
+    std::printf("  block size      %llu bytes\n",
+                static_cast<unsigned long long>(v.blockSize()));
+    std::printf("  active blocks   %llu\n",
+                static_cast<unsigned long long>(v.activeBlocks()));
+    std::printf("  total blocks    %llu\n",
+                static_cast<unsigned long long>(v.numBlocks()));
+    std::printf("  data area       %zu bytes\n", v.dataBytes());
+
+    if (v.blockSize() == 0) {
+        std::printf("\nno tracer ever attached; nothing to decode\n");
+        return 0;
+    }
+
+    // Decode what the ring still holds. Without the metadata words
+    // (they died with the process) this is best-effort per block:
+    // decode until the bytes stop parsing, as a human with a hex dump
+    // would. Blocks whose first byte is not an entry magic are either
+    // never-used or decommitted — count them as empty.
+    const std::size_t nblocks =
+        std::min<std::size_t>(v.numBlocks(),
+                              v.dataBytes() / v.blockSize());
+    std::size_t empty = 0, damaged = 0;
+    uint64_t normals = 0, dummies = 0, skips = 0;
+    uint64_t lo_stamp = UINT64_MAX, hi_stamp = 0;
+    for (std::size_t phys = 0; phys < nblocks; ++phys) {
+        EntryCursor cur(v.block(phys), v.blockSize());
+        EntryView e;
+        bool any = false;
+        while (cur.next(e)) {
+            any = true;
+            switch (e.type) {
+            case EntryType::Normal:
+                ++normals;
+                lo_stamp = std::min(lo_stamp, e.stamp);
+                hi_stamp = std::max(hi_stamp, e.stamp);
+                break;
+            case EntryType::Dummy:
+                ++dummies;
+                break;
+            case EntryType::Skip:
+                ++skips;
+                break;
+            default:
+                break;
+            }
+        }
+        if (!any)
+            ++empty;
+        else if (cur.malformed())
+            ++damaged;
+    }
+    std::printf("\nblocks: %zu scanned, %zu empty, %zu with torn tails\n",
+                nblocks, empty, damaged);
+    std::printf("entries: %llu normal, %llu dummy, %llu skip markers\n",
+                static_cast<unsigned long long>(normals),
+                static_cast<unsigned long long>(dummies),
+                static_cast<unsigned long long>(skips));
+    if (normals > 0)
+        std::printf("stamps: %llu .. %llu\n",
+                    static_cast<unsigned long long>(lo_stamp),
+                    static_cast<unsigned long long>(hi_stamp));
+
+    const std::string bundle = v.flightJson();
+    if (bundle.empty()) {
+        std::printf("\nno flight bundle stored\n");
+        return 0;
+    }
+    const ParsedFlightBundle b = parseFlightBundle(bundle);
+    if (!b.ok) {
+        std::fprintf(stderr, "\nstored flight bundle is damaged: %s\n",
+                     b.error.c_str());
+        return 1;
+    }
+    std::printf("\n");
+    printFlightBundle(b);
     return 0;
 }
 
@@ -199,6 +308,8 @@ main(int argc, char **argv)
         return argc == 3 ? inspectMetrics(argv[2]) : usage();
     if (std::strcmp(argv[1], "--journal") == 0)
         return argc == 3 ? inspectJournal(argv[2]) : usage();
+    if (std::strcmp(argv[1], "--arena") == 0)
+        return argc == 3 ? inspectArena(argv[2]) : usage();
     const std::string input = argv[1];
     std::string json_path, csv_path;
     long head = 0;

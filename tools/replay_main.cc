@@ -6,6 +6,7 @@
  *          [--workload=NAME] [--duration=SEC] [--scale=F] [--seed=N]
  *          [--lease=N] [--obs-interval=SEC] [--obs-json=PATH]
  *          [--obs-prom=PATH] [--journal-out=PATH] [--flight-out=PATH]
+ *          [--backend=private|shm|file] [--arena=PATH]
  *          [--list-workloads]
  *
  * The virtual-time replay engine (§5) drives the chosen tracer with
@@ -24,6 +25,10 @@
  * transitions, and --flight-out arms the flight recorder — the first
  * watchdog trip dumps a post-mortem bundle there (end of run if the
  * watchdog never fired). Both flags warn and do nothing for baselines.
+ *
+ * --backend selects the BTrace storage backend (DESIGN.md §10);
+ * --backend=file with --arena=PATH leaves a persistent ring behind
+ * that `btrace_inspect --arena PATH` decodes after the run.
  */
 
 #include <cctype>
@@ -59,6 +64,8 @@ struct Flags
     std::string obsProm;
     std::string journalOut;    //!< Chrome trace-event JSON (Perfetto)
     std::string flightOut;     //!< flight-recorder bundle path
+    std::string backend;       //!< empty = build default
+    std::string arena;         //!< file backend: persistent ring path
 };
 
 int
@@ -71,6 +78,7 @@ usage()
         "              [--seed=N] [--lease=N] [--obs-interval=SEC]\n"
         "              [--obs-json=PATH] [--obs-prom=PATH]\n"
         "              [--journal-out=PATH] [--flight-out=PATH]\n"
+        "              [--backend=private|shm|file] [--arena=PATH]\n"
         "              [--list-workloads]\n");
     return 2;
 }
@@ -123,6 +131,10 @@ main(int argc, char **argv)
             f.journalOut = v10;
         } else if (const char *v11 = val("--flight-out")) {
             f.flightOut = v11;
+        } else if (const char *v12 = val("--backend")) {
+            f.backend = v12;
+        } else if (const char *v13 = val("--arena")) {
+            f.arena = v13;
         } else if (std::strcmp(a, "--list-workloads") == 0) {
             for (const Workload &w : workloadCatalog())
                 std::printf("%s\n", w.name.c_str());
@@ -134,7 +146,28 @@ main(int argc, char **argv)
 
     const TracerKind kind = kindByName(f.tracer);
     const Workload &wl = workloadByName(f.workload);
-    auto tracer = makeTracer(kind, TracerFactoryOptions{});
+    TracerFactoryOptions topt;
+    StorageKind storage = StorageKind::Private;
+    if (!f.backend.empty()) {
+        if (!parseStorageKind(f.backend, storage)) {
+            std::fprintf(stderr, "unknown backend '%s'\n",
+                         f.backend.c_str());
+            return 2;
+        }
+        if (kind != TracerKind::BTrace) {
+            std::fprintf(stderr,
+                         "warning: --backend/--arena need the btrace "
+                         "tracer; ignored for '%s'\n",
+                         f.tracer.c_str());
+        } else {
+            topt.storage = &storage;
+            topt.arenaPath = f.arena;
+        }
+    } else if (!f.arena.empty()) {
+        std::fprintf(stderr, "--arena requires --backend=file\n");
+        return 2;
+    }
+    auto tracer = makeTracer(kind, topt);
 
     // The observer hook is Tracer-level: every tracer gets sampled
     // write latency. The counter/gauge registry is BTrace-specific.
@@ -189,9 +222,14 @@ main(int argc, char **argv)
     if (flight) {
         // First watchdog trip captures the post-mortem bundle; later
         // trips overwrite it (the freshest state is the useful one).
+        // The trigger is formatted into a stack buffer: the trip path
+        // is allocation-free end to end, so it still works when the
+        // trip is caused by memory exhaustion.
         sampler.setHealthEventHook([&flight](const HealthEvent &e) {
-            flight->dump(std::string("watchdog:") +
-                         healthKindName(e.kind));
+            char trigger[64];
+            std::snprintf(trigger, sizeof(trigger), "watchdog:%s",
+                          healthKindName(e.kind));
+            flight->dump(trigger);
         });
     }
     if (f.obsInterval > 0)
