@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Recoverable-error primitives for the arena create/attach/open paths.
+ *
+ * The tracer's internal invariants stay panics (panic.h): a violated
+ * accounting invariant is a bug and must abort. But whether an arena
+ * file exists, parses, or matches this build is decided by the
+ * *environment*, and a session daemon that dies on a missing file is
+ * useless. Those paths return Status / Expected<T> instead and let the
+ * caller decide — tools map the code to a distinct process exit code
+ * so scripts can tell "not found" from "corrupt" from "incompatible".
+ */
+
+#ifndef BTRACE_COMMON_STATUS_H
+#define BTRACE_COMMON_STATUS_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/panic.h"
+
+namespace btrace {
+
+/** Category of a recoverable failure. Stable; tools map to exit codes. */
+enum class StatusCode : uint8_t
+{
+    Ok = 0,
+    InvalidArgument,  //!< caller-supplied config/arguments inconsistent
+    NotFound,         //!< named arena/file does not exist
+    IoError,          //!< open/mmap/ftruncate/read failed (see message)
+    Corruption,       //!< object exists but its contents do not parse
+    Incompatible,     //!< parses, but version/generation/geometry mismatch
+    Busy,             //!< a bounded shared resource (registry) is full
+    Unsupported,      //!< valid request this backend cannot serve
+};
+
+/** Stable lowercase name of a StatusCode ("ok", "not-found", ...). */
+inline const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+    case StatusCode::Ok: return "ok";
+    case StatusCode::InvalidArgument: return "invalid-argument";
+    case StatusCode::NotFound: return "not-found";
+    case StatusCode::IoError: return "io-error";
+    case StatusCode::Corruption: return "corruption";
+    case StatusCode::Incompatible: return "incompatible";
+    case StatusCode::Busy: return "busy";
+    case StatusCode::Unsupported: return "unsupported";
+    }
+    return "?";
+}
+
+/**
+ * Process exit code for a failed operation, used by replay, btraced
+ * and btrace_inspect so scripts can branch on the failure class:
+ * 0 ok, 2 invalid-argument, 3 not-found, 4 io-error, 5 corruption,
+ * 6 incompatible, 7 busy, 8 unsupported. (1 stays reserved for
+ * BTRACE_FATAL and generic tool errors.)
+ */
+inline int
+exitCodeFor(StatusCode code)
+{
+    switch (code) {
+    case StatusCode::Ok: return 0;
+    case StatusCode::InvalidArgument: return 2;
+    case StatusCode::NotFound: return 3;
+    case StatusCode::IoError: return 4;
+    case StatusCode::Corruption: return 5;
+    case StatusCode::Incompatible: return 6;
+    case StatusCode::Busy: return 7;
+    case StatusCode::Unsupported: return 8;
+    }
+    return 1;
+}
+
+/** Outcome of a fallible operation: a code plus a human diagnostic. */
+class Status
+{
+  public:
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : c(code), msg(std::move(message))
+    {
+    }
+
+    bool ok() const { return c == StatusCode::Ok; }
+    StatusCode code() const { return c; }
+    const std::string &message() const { return msg; }
+
+    /** "not-found: no such arena: /tmp/x" (or "ok"). */
+    std::string
+    toString() const
+    {
+        if (ok())
+            return "ok";
+        return std::string(statusCodeName(c)) + ": " + msg;
+    }
+
+  private:
+    StatusCode c = StatusCode::Ok;
+    std::string msg;
+};
+
+inline Status
+errInvalidArgument(std::string msg)
+{
+    return Status(StatusCode::InvalidArgument, std::move(msg));
+}
+
+inline Status
+errNotFound(std::string msg)
+{
+    return Status(StatusCode::NotFound, std::move(msg));
+}
+
+inline Status
+errIo(std::string msg)
+{
+    return Status(StatusCode::IoError, std::move(msg));
+}
+
+inline Status
+errCorruption(std::string msg)
+{
+    return Status(StatusCode::Corruption, std::move(msg));
+}
+
+inline Status
+errIncompatible(std::string msg)
+{
+    return Status(StatusCode::Incompatible, std::move(msg));
+}
+
+inline Status
+errBusy(std::string msg)
+{
+    return Status(StatusCode::Busy, std::move(msg));
+}
+
+inline Status
+errUnsupported(std::string msg)
+{
+    return Status(StatusCode::Unsupported, std::move(msg));
+}
+
+/**
+ * A value or the Status explaining its absence. Deliberately minimal:
+ * construct from a T (success) or a non-ok Status (failure); value()
+ * asserts on a failed Expected, so callers check ok() first — the
+ * pattern every create/attach path in this library follows.
+ */
+template <typename T>
+class Expected
+{
+  public:
+    Expected(T value) : val(std::move(value)), has(true) {}
+
+    Expected(Status status) : st(std::move(status))
+    {
+        BTRACE_ASSERT(!st.ok(),
+                      "Expected built from an ok Status carries no value");
+    }
+
+    bool ok() const { return has; }
+
+    /** Status::ok() when a value is present. */
+    const Status &status() const { return st; }
+
+    T &
+    value()
+    {
+        BTRACE_ASSERT(has, "value() on a failed Expected");
+        return val;
+    }
+
+    const T &
+    value() const
+    {
+        BTRACE_ASSERT(has, "value() on a failed Expected");
+        return val;
+    }
+
+    /** Move the value out (consumes this Expected). */
+    T
+    take()
+    {
+        BTRACE_ASSERT(has, "take() on a failed Expected");
+        has = false;
+        return std::move(val);
+    }
+
+  private:
+    Status st;
+    T val{};
+    bool has = false;
+};
+
+} // namespace btrace
+
+#endif // BTRACE_COMMON_STATUS_H

@@ -128,7 +128,7 @@ class PrivateAnonBackend final : public StorageBackend
 /**
  * Shared arena layout and plumbing common to shm and file backends:
  * one fd, one MAP_SHARED mapping of [header page | flight region |
- * data area], hole-punch decommit.
+ * control region | data area], hole-punch decommit.
  */
 class ArenaBackend : public StorageBackend
 {
@@ -148,7 +148,12 @@ class ArenaBackend : public StorageBackend
     {
         return base + hdr->flightOffset;
     }
+    uint8_t *ctrlRegion() const override
+    {
+        return hdr->ctrlBytes ? base + hdr->ctrlOffset : nullptr;
+    }
     int shareFd() const override { return fd; }
+    uint64_t attachGeneration() const override { return gen_; }
 
     void
     commit(std::size_t offset, std::size_t len) override
@@ -175,25 +180,29 @@ class ArenaBackend : public StorageBackend
             std::memset(data() + offset, 0, len);
     }
 
-  protected:
+    // create/attach are public: the class is TU-local (anonymous
+    // namespace); only the factory functions below ever see it.
+
     /** Size and initialize a fresh arena on @p backing_fd (owned). */
-    void
+    Status
     create(int backing_fd, std::size_t data_bytes,
-           std::size_t flight_bytes)
+           std::size_t flight_bytes, std::size_t ctrl_bytes)
     {
         const std::size_t page = pageSize();
         const std::size_t header_bytes =
             alignUp(sizeof(ArenaHeader), page);
         const std::size_t flight_cap = alignUp(flight_bytes, page);
-        const std::size_t data_cap =
-            alignUp(data_bytes, page);
-        BTRACE_ASSERT(data_cap > 0, "empty span");
+        const std::size_t ctrl_cap = alignUp(ctrl_bytes, page);
+        const std::size_t data_cap = alignUp(data_bytes, page);
+        if (data_cap == 0)
+            return errInvalidArgument("arena data area must be non-empty");
 
         fd = backing_fd;
-        total = header_bytes + flight_cap + data_cap;
+        total = header_bytes + flight_cap + ctrl_cap + data_cap;
         if (::ftruncate(fd, static_cast<off_t>(total)) != 0)
-            BTRACE_FATAL("ftruncate failed sizing the arena");
-        map();
+            return errIo("ftruncate failed sizing the arena");
+        if (Status st = map(); !st.ok())
+            return st;
 
         ArenaHeader *h = new (base) ArenaHeader();
         h->magic = ArenaHeader::kMagic;
@@ -201,89 +210,72 @@ class ArenaBackend : public StorageBackend
         h->pageSize = static_cast<uint32_t>(page);
         h->flightOffset = header_bytes;
         h->flightCapacity = flight_cap;
-        h->dataOffset = header_bytes + flight_cap;
+        h->ctrlOffset = header_bytes + flight_cap;
+        h->ctrlBytes = ctrl_cap;
+        h->dataOffset = header_bytes + flight_cap + ctrl_cap;
         h->dataBytes = data_cap;
         h->generation.store(1, std::memory_order_release);
+        gen_ = 1;
         hdr = h;
+        return Status();
     }
 
     /** Map and validate an existing arena on @p backing_fd (owned). */
-    void
+    Status
     attach(int backing_fd)
     {
         fd = backing_fd;
         struct stat st;
         if (::fstat(fd, &st) != 0 ||
             st.st_size < static_cast<off_t>(sizeof(ArenaHeader)))
-            BTRACE_FATAL("arena attach: fstat failed or object too small");
+            return errCorruption(
+                "arena attach: fstat failed or object too small");
         total = static_cast<std::size_t>(st.st_size);
-        map();
+        if (Status s = map(); !s.ok())
+            return s;
         auto *h = reinterpret_cast<ArenaHeader *>(base);
-        BTRACE_ASSERT(h->magic == ArenaHeader::kMagic &&
-                      h->version == ArenaHeader::kVersion,
-                      "arena attach: bad magic or version");
-        BTRACE_ASSERT(h->dataOffset + h->dataBytes <= total,
-                      "arena attach: header geometry exceeds the object");
+        if (h->magic != ArenaHeader::kMagic)
+            return errCorruption("arena attach: bad magic");
+        if (h->version != ArenaHeader::kVersion)
+            return errIncompatible(
+                "arena attach: unsupported arena version");
+        if (h->dataOffset + h->dataBytes > total ||
+            h->ctrlOffset + h->ctrlBytes > h->dataOffset)
+            return errCorruption(
+                "arena attach: header geometry exceeds the object");
         hdr = h;
-        hdr->generation.fetch_add(1, std::memory_order_acq_rel);
+        gen_ = hdr->generation.fetch_add(1, std::memory_order_acq_rel) +
+               1;
+        return Status();
     }
 
-    void
+    Status
     map()
     {
         void *p = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
                          MAP_SHARED | MAP_NORESERVE, fd, 0);
         if (p == MAP_FAILED)
-            BTRACE_FATAL("mmap failed mapping the arena");
+            return errIo("mmap failed mapping the arena");
         base = static_cast<uint8_t *>(p);
+        return Status();
     }
 
     int fd = -1;
     uint8_t *base = nullptr;
     std::size_t total = 0;
     ArenaHeader *hdr = nullptr;
+    uint64_t gen_ = 0;
 };
 
 class ShmArenaBackend final : public ArenaBackend
 {
   public:
-    ShmArenaBackend(std::size_t bytes, std::size_t flight_bytes)
-    {
-        const int mfd = ::memfd_create("btrace-arena", MFD_CLOEXEC);
-        if (mfd < 0)
-            BTRACE_FATAL("memfd_create failed for the shm arena");
-        create(mfd, bytes, flight_bytes);
-    }
-
-    explicit ShmArenaBackend(int dup_fd) { attach(dup_fd); }
-
     StorageKind kind() const override { return StorageKind::Shm; }
 };
 
 class FileRingBackend final : public ArenaBackend
 {
   public:
-    FileRingBackend(const std::string &path, std::size_t bytes,
-                    std::size_t flight_bytes)
-    {
-        int ffd;
-        if (path.empty()) {
-            // Anonymous scratch ring: same code path, no litter. Not
-            // reopenable — name the file to persist it.
-            char tmpl[] = "/tmp/btrace-arena-XXXXXX";
-            ffd = ::mkstemp(tmpl);
-            if (ffd < 0)
-                BTRACE_FATAL("mkstemp failed for the file ring");
-            ::unlink(tmpl);
-        } else {
-            ffd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC,
-                         0644);
-            if (ffd < 0)
-                BTRACE_FATAL("open failed for the file ring");
-        }
-        create(ffd, bytes, flight_bytes);
-    }
-
     ~FileRingBackend() override
     {
         // Post-mortem contract: whatever the ring holds at detach is
@@ -303,28 +295,94 @@ class FileRingBackend final : public ArenaBackend
 
 } // namespace
 
-std::unique_ptr<StorageBackend>
-makeStorageBackend(const StorageOptions &o)
+Expected<std::unique_ptr<StorageBackend>>
+tryMakeStorageBackend(const StorageOptions &o)
 {
     switch (o.kind) {
     case StorageKind::Private:
-        return std::make_unique<PrivateAnonBackend>(o.bytes);
-    case StorageKind::Shm:
-        return std::make_unique<ShmArenaBackend>(o.bytes, o.flightBytes);
-    case StorageKind::File:
-        return std::make_unique<FileRingBackend>(o.path, o.bytes,
-                                                 o.flightBytes);
+        return {std::make_unique<PrivateAnonBackend>(o.bytes)};
+    case StorageKind::Shm: {
+        const int mfd = ::memfd_create("btrace-arena", MFD_CLOEXEC);
+        if (mfd < 0)
+            return errIo("memfd_create failed for the shm arena");
+        auto b = std::make_unique<ShmArenaBackend>();
+        if (Status st = b->create(mfd, o.bytes, o.flightBytes,
+                                  o.ctrlBytes);
+            !st.ok())
+            return st;
+        return {std::unique_ptr<StorageBackend>(std::move(b))};
     }
-    BTRACE_FATAL("unknown storage kind");
+    case StorageKind::File: {
+        int ffd;
+        if (o.path.empty()) {
+            // Anonymous scratch ring: same code path, no litter. Not
+            // reopenable — name the file to persist it.
+            char tmpl[] = "/tmp/btrace-arena-XXXXXX";
+            ffd = ::mkstemp(tmpl);
+            if (ffd < 0)
+                return errIo("mkstemp failed for the file ring");
+            ::unlink(tmpl);
+        } else {
+            ffd = ::open(o.path.c_str(), O_RDWR | O_CREAT | O_TRUNC,
+                         0644);
+            if (ffd < 0)
+                return errIo("open failed for the file ring: " + o.path);
+        }
+        auto b = std::make_unique<FileRingBackend>();
+        if (Status st = b->create(ffd, o.bytes, o.flightBytes,
+                                  o.ctrlBytes);
+            !st.ok())
+            return st;
+        return {std::unique_ptr<StorageBackend>(std::move(b))};
+    }
+    }
+    return errInvalidArgument("unknown storage kind");
+}
+
+std::unique_ptr<StorageBackend>
+makeStorageBackend(const StorageOptions &o)
+{
+    auto r = tryMakeStorageBackend(o);
+    if (!r.ok()) {
+        std::fprintf(stderr, "btrace: %s\n", r.status().toString().c_str());
+        BTRACE_FATAL("storage backend creation failed");
+    }
+    return r.take();
+}
+
+Expected<std::unique_ptr<StorageBackend>>
+tryAttachShmArena(int fd)
+{
+    const int dup_fd = ::fcntl(fd, F_DUPFD_CLOEXEC, 0);
+    if (dup_fd < 0)
+        return errIo("dup failed attaching the shm arena");
+    auto b = std::make_unique<ShmArenaBackend>();
+    if (Status st = b->attach(dup_fd); !st.ok())
+        return st;
+    return {std::unique_ptr<StorageBackend>(std::move(b))};
 }
 
 std::unique_ptr<StorageBackend>
 attachShmArena(int fd)
 {
-    const int dup_fd = ::fcntl(fd, F_DUPFD_CLOEXEC, 0);
-    if (dup_fd < 0)
-        BTRACE_FATAL("dup failed attaching the shm arena");
-    return std::make_unique<ShmArenaBackend>(dup_fd);
+    auto r = tryAttachShmArena(fd);
+    if (!r.ok()) {
+        std::fprintf(stderr, "btrace: %s\n", r.status().toString().c_str());
+        BTRACE_FATAL("shm arena attach failed");
+    }
+    return r.take();
+}
+
+Expected<std::unique_ptr<StorageBackend>>
+tryAttachFileArena(const std::string &path)
+{
+    const int ffd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+    if (ffd < 0)
+        return errNotFound("no such arena: " + path);
+    auto b = std::make_unique<FileRingBackend>();
+    if (Status st = b->attach(ffd); !st.ok())
+        return st;
+    return {std::unique_ptr<StorageBackend>(std::move(b))};
 }
 
 ArenaView::~ArenaView()
@@ -336,7 +394,7 @@ ArenaView::~ArenaView()
 ArenaView::ArenaView(ArenaView &&other) noexcept
     : base(std::exchange(other.base, nullptr)),
       mapped(std::exchange(other.mapped, 0)),
-      err(std::move(other.err))
+      st(std::move(other.st))
 {
 }
 
@@ -348,7 +406,7 @@ ArenaView::operator=(ArenaView &&other) noexcept
             ::munmap(base, mapped);
         base = std::exchange(other.base, nullptr);
         mapped = std::exchange(other.mapped, 0);
-        err = std::move(other.err);
+        st = std::move(other.st);
     }
     return *this;
 }
@@ -359,38 +417,39 @@ ArenaView::open(const std::string &path)
     ArenaView v;
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0) {
-        v.err = "cannot open " + path;
+        v.st = errNotFound("cannot open " + path);
         return v;
     }
-    struct stat st;
-    if (::fstat(fd, &st) != 0 ||
-        st.st_size < static_cast<off_t>(sizeof(ArenaHeader))) {
+    struct stat sb;
+    if (::fstat(fd, &sb) != 0 ||
+        sb.st_size < static_cast<off_t>(sizeof(ArenaHeader))) {
         ::close(fd);
-        v.err = "file too small for an arena header";
+        v.st = errCorruption("file too small for an arena header");
         return v;
     }
-    const auto len = static_cast<std::size_t>(st.st_size);
+    const auto len = static_cast<std::size_t>(sb.st_size);
     void *p = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
     ::close(fd);
     if (p == MAP_FAILED) {
-        v.err = "mmap failed";
+        v.st = errIo("mmap failed");
         return v;
     }
     const auto *h = static_cast<const ArenaHeader *>(p);
     if (h->magic != ArenaHeader::kMagic) {
         ::munmap(p, len);
-        v.err = "bad arena magic";
+        v.st = errCorruption("bad arena magic");
         return v;
     }
     if (h->version != ArenaHeader::kVersion) {
         ::munmap(p, len);
-        v.err = "unsupported arena version";
+        v.st = errIncompatible("unsupported arena version");
         return v;
     }
     if (h->dataOffset + h->dataBytes > len ||
-        h->flightOffset + h->flightCapacity > h->dataOffset) {
+        h->flightOffset + h->flightCapacity > h->dataOffset ||
+        h->ctrlOffset + h->ctrlBytes > h->dataOffset) {
         ::munmap(p, len);
-        v.err = "arena header geometry exceeds the file";
+        v.st = errCorruption("arena header geometry exceeds the file");
         return v;
     }
     v.base = static_cast<uint8_t *>(p);

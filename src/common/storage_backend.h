@@ -40,6 +40,8 @@
 #include <memory>
 #include <string>
 
+#include "common/status.h"
+
 namespace btrace {
 
 /** Which StorageBackend implementation backs a trace buffer. */
@@ -79,12 +81,13 @@ struct BlockRef
 struct ArenaHeader
 {
     static constexpr uint64_t kMagic = 0x31414E4552415442ull;  // "BTARENA1"
-    static constexpr uint32_t kVersion = 1;
+    /** v2 added the control region (multi-process rendezvous state). */
+    static constexpr uint32_t kVersion = 2;
 
     uint64_t magic = 0;
     uint32_t version = 0;
     uint32_t pageSize = 0;
-    /** Writer attachments so far; creation counts as the first. */
+    /** Attachments so far; creation counts as the first. */
     std::atomic<uint64_t> generation{0};
     uint64_t dataOffset = 0;      //!< arena-relative start of the data area
     uint64_t dataBytes = 0;       //!< reserved data bytes
@@ -92,6 +95,14 @@ struct ArenaHeader
     uint64_t flightCapacity = 0;  //!< flight region bytes
     /** Valid bytes of the stored flight bundle (0 = none). */
     std::atomic<uint64_t> flightLen{0};
+    /**
+     * Control region: the tracer's shared rendezvous state — global
+     * ratio_and_pos, core-local words, metadata blocks, the producer
+     * attach registry, and the lease-owner table (DESIGN.md §11).
+     * Zero bytes on arenas created before a tracer sized them.
+     */
+    uint64_t ctrlOffset = 0;
+    uint64_t ctrlBytes = 0;
 
     // Geometry of the owning tracer, for offline decode; zero until a
     // tracer attaches.
@@ -152,10 +163,24 @@ class StorageBackend
     virtual uint8_t *flightRegion() const { return nullptr; }
 
     /**
+     * Control-region base (ArenaHeader::ctrlOffset), or nullptr for
+     * the private backend and for arenas created with ctrlBytes == 0.
+     */
+    virtual uint8_t *ctrlRegion() const { return nullptr; }
+
+    /**
      * Backing fd for cross-process / secondary attachment, or -1 for
      * the private backend. The fd stays owned by the backend.
      */
     virtual int shareFd() const { return -1; }
+
+    /**
+     * The unique generation number this backend drew from
+     * ArenaHeader::generation when it created (1) or attached (> 1)
+     * the arena; 0 for the private backend. Identifies one attachment
+     * in the producer registry (arena_control.h).
+     */
+    virtual uint64_t attachGeneration() const { return 0; }
 
     /** System page size. */
     static std::size_t pageSize();
@@ -178,9 +203,24 @@ struct StorageOptions
     std::string path;
     /** Arena backends: flight-recorder region bytes (page-rounded). */
     std::size_t flightBytes = 1u << 16;
+    /**
+     * Arena backends: control-region bytes (page-rounded). Zero means
+     * no control region; the arena then only shares data blocks, not
+     * the tracer's rendezvous state. BTrace sizes this from its
+     * geometry (arena_control.h).
+     */
+    std::size_t ctrlBytes = 0;
 };
 
-/** Build a backend; fatal (BTRACE_FATAL) on unrecoverable OS errors. */
+/**
+ * Build a backend. Errors (unopenable path, failed mmap/ftruncate)
+ * come back as a Status instead of a panic, so a session daemon can
+ * report them and keep running.
+ */
+Expected<std::unique_ptr<StorageBackend>>
+tryMakeStorageBackend(const StorageOptions &o);
+
+/** tryMakeStorageBackend, fatal (BTRACE_FATAL) on any error. */
 std::unique_ptr<StorageBackend> makeStorageBackend(const StorageOptions &o);
 
 /**
@@ -190,7 +230,20 @@ std::unique_ptr<StorageBackend> makeStorageBackend(const StorageOptions &o);
  * offsets against its own mapping; @p fd is dup'd, the caller keeps
  * ownership of the original.
  */
+Expected<std::unique_ptr<StorageBackend>> tryAttachShmArena(int fd);
+
+/** tryAttachShmArena, fatal (BTRACE_FATAL) on any error. */
 std::unique_ptr<StorageBackend> attachShmArena(int fd);
+
+/**
+ * Map an existing *named file* arena (created by a FileRingBackend)
+ * as an additional attachment — the path-rendezvous used by btraced
+ * and by producer processes that were not handed an fd. Bumps the
+ * header generation. Unlike makeStorageBackend(StorageKind::File),
+ * the file is opened as-is, never truncated or re-initialized.
+ */
+Expected<std::unique_ptr<StorageBackend>>
+tryAttachFileArena(const std::string &path);
 
 /**
  * Offline, read-only view of a persisted file-backed arena: validates
@@ -211,12 +264,14 @@ class ArenaView
 
     /**
      * Open @p path; on failure returns a view with ok() == false and
-     * the first problem in error().
+     * the first problem in status() (error() is its message).
      */
     static ArenaView open(const std::string &path);
 
     bool ok() const { return base != nullptr; }
-    const std::string &error() const { return err; }
+    const std::string &error() const { return st.message(); }
+    /** Why the open failed (Status::ok() on a usable view). */
+    const Status &status() const { return st; }
 
     uint64_t generation() const;
     bool cleanShutdown() const;
@@ -239,7 +294,7 @@ class ArenaView
 
     uint8_t *base = nullptr;   //!< whole-arena mapping
     std::size_t mapped = 0;
-    std::string err;
+    Status st;
 };
 
 } // namespace btrace

@@ -1,7 +1,11 @@
 #include "core/btrace.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+
+#include <unistd.h>
 
 #include "common/test_hooks.h"
 
@@ -81,16 +85,53 @@ BTrace::makeSpan(const BTraceConfig &config)
     o.kind = config.storage;
     o.bytes = config.effectiveMaxBlocks() * config.blockSize;
     o.path = config.arenaPath;
+    // Arena backends carve a control region between the flight region
+    // and the data area; the tracer's coordination words live there so
+    // other processes can attach (arena_control.h).
+    if (config.storage != StorageKind::Private)
+        o.ctrlBytes = ctrlBytesFor(config.cores, config.activeBlocks);
     return VirtualSpan(makeStorageBackend(o));
+}
+
+void
+BTrace::bindControl()
+{
+    const std::size_t need = ctrlBytesFor(cfg.cores, numActive);
+    uint8_t *base = span.backend()->ctrlRegion();
+    if (base != nullptr) {
+        shared = true;
+    } else {
+        // Private backend: same layout on the heap. The registry and
+        // owner-table sections exist but are never touched (shared ==
+        // false gates every use), so the fast path is byte-identical
+        // to the pre-multiprocess tracer.
+        const std::size_t bytes = alignUp(need, std::size_t(128));
+        auto *p = static_cast<uint8_t *>(std::aligned_alloc(128, bytes));
+        BTRACE_ASSERT(p != nullptr, "control-state allocation failed");
+        std::memset(p, 0, bytes);
+        ctrlHeap = std::unique_ptr<uint8_t, void (*)(uint8_t *)>(
+            p, +[](uint8_t *q) { std::free(q); });
+        base = p;
+    }
+    ctrl = ControlView::bind(base, cfg.cores, numActive);
+    meta = ctrl.meta;
+    global = &**ctrl.global;
+    coreLocal = ctrl.coreLocal;
 }
 
 BTrace::BTrace(const BTraceConfig &config, const CostModel &model)
     : Tracer(model), cfg(config), cap(config.blockSize),
       numActive(config.activeBlocks), maxN(config.effectiveMaxBlocks()),
-      span(makeSpan(config)),
-      meta(config.activeBlocks), coreLocal(config.cores)
+      span(makeSpan(config))
 {
-    cfg.validate();
+    if (const Status vst = cfg.validate(); !vst.ok()) {
+        std::fprintf(stderr, "btrace: %s\n", vst.toString().c_str());
+        BTRACE_FATAL("invalid BTraceConfig (use Session::create for a "
+                     "recoverable Status)");
+    }
+
+    pid_ = static_cast<uint32_t>(::getpid());
+    bindControl();
 
     // Make a dead arena self-describing: record the geometry an
     // offline decoder needs and drop any clean-shutdown mark left by
@@ -102,17 +143,37 @@ BTrace::BTrace(const BTraceConfig &config, const CostModel &model)
         h->cleanShutdown.store(0, std::memory_order_release);
     }
 
+    if (shared) {
+        // Owner initialization of the shared control region. The
+        // mapping starts zero-filled on a fresh backing object, but a
+        // reused file path may carry a previous life's tables: clear
+        // them before publishing ready below.
+        std::memset(static_cast<void *>(ctrl.producers), 0,
+                    kMaxAttachments * sizeof(ProducerSlot));
+        std::memset(static_cast<void *>(ctrl.owners), 0,
+                    kLeaseOwnerSlots * sizeof(LeaseOwnerRecord));
+        ctrl.hdr->magic = ControlHeader::kMagic;
+        ctrl.hdr->version = ControlHeader::kVersion;
+        ctrl.hdr->cores = cfg.cores;
+        ctrl.hdr->activeBlocks = numActive;
+        ctrl.hdr->leaseSeq.store(0, std::memory_order_relaxed);
+        ctrl.hdr->sweeps.store(0, std::memory_order_relaxed);
+        ctrl.hdr->reclaimedLeases.store(0, std::memory_order_relaxed);
+        ctrl.hdr->ready.store(0, std::memory_order_relaxed);
+        attachGen = span.backend()->attachGeneration();
+    }
+
     const auto ratio = static_cast<uint32_t>(cfg.ratio());
     BTRACE_ASSERT(ratio <= RatioPos::maxRatio, "ratio exceeds packing");
 
     // Round 0 is a synthetic, already-complete round: Confirmed.pos ==
     // capacity everywhere, so the first advancement per metadata block
     // locks round >= 1 with no special cases.
-    for (auto &m : meta) {
-        m.allocated.store(RndPos::pack(0, uint32_t(cap)),
-                          std::memory_order_relaxed);
-        m.confirmed.store(RndPos::pack(0, uint32_t(cap)),
-                          std::memory_order_relaxed);
+    for (std::size_t i = 0; i < numActive; ++i) {
+        meta[i].allocated.store(RndPos::pack(0, uint32_t(cap)),
+                                std::memory_order_relaxed);
+        meta[i].confirmed.store(RndPos::pack(0, uint32_t(cap)),
+                                std::memory_order_relaxed);
     }
 
     ratioLog.stage(0, ratio);
@@ -127,13 +188,28 @@ BTrace::BTrace(const BTraceConfig &config, const CostModel &model)
                   std::memory_order_release);
 
     span.commit(0, cfg.numBlocks * cap);
+
+    if (shared) {
+        // The registry can't be full here: the region was just wiped.
+        const bool ok = registerAttachment(/*is_owner=*/true);
+        BTRACE_ASSERT(ok, "owner registration failed on a fresh arena");
+        // Publish: attachments spin-check ready == 1 (attachArena).
+        ctrl.hdr->ready.store(1, std::memory_order_release);
+    }
 }
 
 BTrace::~BTrace()
 {
+    if (shared)
+        deregisterAttachment();
     if (ArenaHeader *h = span.backend()->header()) {
-        h->numBlocks.store(numBlocks(), std::memory_order_relaxed);
-        h->cleanShutdown.store(1, std::memory_order_release);
+        // Only the owner stamps the clean-shutdown mark: a detaching
+        // secondary leaves the ring live (the owner or other
+        // attachments keep producing into it).
+        if (owner_) {
+            h->numBlocks.store(numBlocks(), std::memory_order_relaxed);
+            h->cleanShutdown.store(1, std::memory_order_release);
+        }
         span.backend()->sync();
     }
 }
@@ -187,7 +263,8 @@ BTrace::occupancy() const
     // (one Confirmed load, one Allocated load), the set of slots is
     // not a linearizable cut. Safe concurrently with producers.
     ActiveBlockOccupancy occ;
-    for (const MetadataBlock &m : meta) {
+    for (std::size_t i = 0; i < numActive; ++i) {
+        const MetadataBlock &m = meta[i];
         const RndPos conf = m.loadConfirmed();
         if (conf.pos >= cap) {
             ++occ.complete;
@@ -205,7 +282,7 @@ BTrace::occupancy() const
 std::vector<MetaSlotState>
 BTrace::slotStates() const
 {
-    std::vector<MetaSlotState> out(meta.size());
+    std::vector<MetaSlotState> out(numActive);
     out.resize(slotStatesInto(out.data(), out.size()));
     return out;
 }
@@ -218,7 +295,7 @@ BTrace::slotStatesInto(MetaSlotState *out, std::size_t max) const noexcept
     // linearizable cut. Safe concurrently with producers; used on the
     // flight-recorder capture path, which must never take tracer
     // locks or allocate.
-    const std::size_t n = std::min(meta.size(), max);
+    const std::size_t n = std::min(numActive, max);
     for (std::size_t i = 0; i < n; ++i) {
         const MetadataBlock &m = meta[i];
         const RndPos alloc = m.loadAllocated(std::memory_order_relaxed);
@@ -489,6 +566,15 @@ BTrace::lease(uint16_t core, uint32_t thread, uint32_t payload_hint,
                             local.pos, grant);
                 TicketHandle handle;
                 handle.slot = static_cast<uint32_t>(meta_idx);
+                // Multi-process arenas stamp an ownership record so a
+                // sweeper can reclaim the span if we die holding it.
+                // aux == 0 means untracked (private backend, or the
+                // owner table was full). Not charged to sharedRmws:
+                // robustness plane, not the §4.1 write protocol.
+                if (shared)
+                    handle.aux = registerLeaseOwner(
+                        static_cast<uint32_t>(meta_idx), exp_rnd,
+                        old.pos, grant, local.pos);
                 return grantLease(*this, core, thread,
                                   blockData(phys) + old.pos, grant,
                                   handle, cost);
@@ -573,15 +659,48 @@ BTrace::leaseClose(Lease &l)
     }
     // Critical window: the remainder dummy is written but the bulk
     // confirm has not landed; the block stays incomplete and must be
-    // skipped, never re-locked, until the fetch_add below.
+    // skipped, never re-locked, until the fetch_add below. A producer
+    // killed here is still Active in the owner table, so a sweeper
+    // reclaims the whole span cleanly.
     BTRACE_TEST_YIELD(LeasePreCloseConfirm);
     const uint32_t publish = v.confirmedBytes + remainder;
+
+    // Owner-record close protocol (DESIGN.md §11): Active -> Closing
+    // immediately before the bulk confirm, Free after it. A sweeper
+    // only ever claims Active records, so once our CAS lands it can
+    // never confirm this span a second time. Not charged to
+    // sharedRmws: robustness plane, never executed on the private
+    // backend.
+    LeaseOwnerRecord *rec = nullptr;
+    if (shared && v.handle.aux != 0) {
+        rec = &ctrl.owners[v.handle.aux - 1];
+        uint32_t expect = LeaseOwnerRecord::Active;
+        if (!rec->state.compare_exchange_strong(
+                expect, LeaseOwnerRecord::Closing,
+                std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+            // A sweeper concluded we were dead (pid reuse, or a
+            // registry mishap) and owns the record: it dummy-fills
+            // and confirms the span on our behalf. Publishing too
+            // would double-confirm, so drop ours; keep the level
+            // counter and the entry tally sane.
+            ctrs.leasedOutstanding.fetch_sub(
+                publish, std::memory_order_relaxed);
+            ctrs.leaseEntries.fetch_add(v.served,
+                                        std::memory_order_relaxed);
+            chargeLease(l, cost);
+            return;
+        }
+    }
     if (publish > 0) {
         meta[v.handle.slot].confirmed.fetch_add(
             publish, std::memory_order_acq_rel);
         ctrs.sharedRmws.fetch_add(1, std::memory_order_relaxed);
         cost += costs.atomicLocal;
     }
+    if (rec != nullptr)
+        rec->state.store(LeaseOwnerRecord::Free,
+                         std::memory_order_release);
     ctrs.leaseEntries.fetch_add(v.served, std::memory_order_relaxed);
     if (v.dummyBytes + remainder > 0) {
         ctrs.dummyBytes.fetch_add(v.dummyBytes + remainder,

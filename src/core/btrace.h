@@ -30,7 +30,9 @@
 #include <vector>
 
 #include "common/cacheline.h"
+#include "common/status.h"
 #include "common/virtual_memory.h"
+#include "core/arena_control.h"
 #include "core/config.h"
 #include "core/epoch.h"
 #include "core/metadata.h"
@@ -158,8 +160,29 @@ struct MetaSlotState
 class BTrace : public Tracer
 {
   public:
+    /**
+     * Create a tracer that owns its buffer. Arena-backed storage
+     * (shm / file) places the coordination state in the arena's
+     * control region, making the instance multi-process capable;
+     * other processes join via attachArena(). Internal API — prefer
+     * btrace::Session::create (session.h), which reports invalid
+     * configurations as a Status instead of dying.
+     */
     explicit BTrace(const BTraceConfig &config,
                     const CostModel &model = CostModel::def());
+
+    /**
+     * Attach to the tracer living inside an existing arena (obtained
+     * via tryAttachShmArena / tryAttachFileArena): bind the shared
+     * control region, register this attachment in the producer
+     * registry, and derive the geometry from the arena header. The
+     * attachment can produce, consume, and sweep; it must not resize
+     * (the RatioLog is per-process, see DESIGN.md §11). Internal API —
+     * prefer btrace::Session::attachFile / attachFd.
+     */
+    static Expected<std::unique_ptr<BTrace>>
+    attachArena(std::unique_ptr<StorageBackend> backend,
+                const CostModel &model = CostModel::def());
 
     /**
      * Arena-backed instances stamp the header on the way out: current
@@ -189,24 +212,35 @@ class BTrace : public Tracer
     Lease lease(uint16_t core, uint32_t thread, uint32_t payload_hint,
                 uint32_t n) override;
 
+    /**
+     * Non-destructive snapshot: dumpFrom with a fresh cursor in
+     * snapshot-peek mode (DumpOptions::readOpen) — every readable
+     * block of the retention window, open blocks included, nothing
+     * closed, no loss accounting.
+     */
     Dump dump() override;
-
-    /** Positional incremental read; see dumpSince(). */
-    Dump dumpFrom(DumpCursor &cursor, bool close_active = false) override;
 
     /**
      * Incremental consumer read (§4.3, daemon-collector mode): return
      * the blocks completed at positions >= @p cursor, advancing
      * @p cursor past everything read. A cursor that fell behind the
-     * overwrite frontier snaps forward to the last-N window (the
-     * skipped span is data the producer already overwrote).
+     * overwrite frontier snaps forward to the last-N window and the
+     * skipped span is charged to Dump::overwrittenPositions (data the
+     * producers already overwrote).
      *
-     * With @p close_active, non-filled blocks whose writes are all
-     * confirmed are read too and then *closed* by filling their
-     * remaining space with dummy data, exactly as the paper's
+     * With DumpOptions::closeActive, non-filled blocks whose writes
+     * are all confirmed are read too and then *closed* by filling
+     * their remaining space with dummy data, exactly as the paper's
      * consumer does — producers move on to fresh blocks. Blocks with
-     * unconfirmed in-flight writes are always skipped.
+     * unconfirmed in-flight writes are always skipped. With
+     * DumpOptions::readOpen, such blocks are instead read in place
+     * and the walk continues past them (snapshot semantics).
      */
+    Dump dumpFrom(DumpCursor &cursor,
+                  const DumpOptions &opts = {}) override;
+
+    /** Legacy spelling of dumpFrom; use the DumpCursor overload. */
+    [[deprecated("use dumpFrom(DumpCursor&, DumpOptions)")]]
     Dump dumpSince(uint64_t &cursor, bool close_active = false);
 
     /**
@@ -215,9 +249,33 @@ class BTrace : public Tracer
      * quiesces all active blocks, swings the ratio, and for shrinks
      * waits for consumer epochs before releasing physical memory
      * (§4.4). Producers keep running; only in-flight advancement backs
-     * off briefly (see DESIGN.md §3).
+     * off briefly (see DESIGN.md §3). Multi-process arenas: only
+     * allowed while this is the sole live attachment — the RatioLog
+     * that maps positions to physical blocks is per-process, so other
+     * attachments would mis-resolve post-resize positions.
      */
     void resize(std::size_t new_num_blocks);
+
+    /**
+     * Scan the arena's lease-owner table and attach registry for dead
+     * owners (registry slot gone, or kill(pid, 0) says the process no
+     * longer exists) and reclaim their leased spans: dummy-fill the
+     * span, confirm it on the dead owner's behalf, and close the
+     * block through the graveyard path so the active set recovers
+     * (DESIGN.md §11). Safe from any attachment, concurrently with
+     * producers; serialized per record by a CAS. No-op (all-zero
+     * report) on a private-backend tracer.
+     */
+    SweepReport sweepDeadOwners();
+
+    /** True when the coordination state lives in a shared arena. */
+    bool multiprocess() const { return shared; }
+
+    /** This attachment's unique arena generation number (0=private). */
+    uint64_t attachGeneration() const { return attachGen; }
+
+    /** True for the attachment that created and initialized the arena. */
+    bool arenaOwner() const { return owner_; }
 
     /** Current number of data blocks (N). */
     std::size_t numBlocks() const;
@@ -304,8 +362,53 @@ class BTrace : public Tracer
 
     enum class AdvanceResult { Advanced, LostRace, WouldBlock };
 
+    /** Tag selecting the attach-to-existing-arena constructor. */
+    struct AttachTag
+    {
+    };
+
+    /**
+     * Attach-mode constructor (attachArena only): adopt @p backend,
+     * bind the already-initialized control region, and derive the
+     * geometry from the arena header. Registration in the producer
+     * registry is NOT done here — attachArena() calls
+     * registerAttachment() afterwards so a full table surfaces as a
+     * Status instead of a fatal.
+     */
+    BTrace(AttachTag, std::unique_ptr<StorageBackend> backend,
+           const BTraceConfig &derived, const CostModel &model);
+
     /** Build the storage span described by @p config. */
     static VirtualSpan makeSpan(const BTraceConfig &config);
+
+    /**
+     * Point meta/global/coreLocal at the control region (arena
+     * backends) or at a private heap blob of the same layout.
+     */
+    void bindControl();
+
+    /** Claim a ProducerSlot; false when the registry is full. */
+    bool registerAttachment(bool is_owner);
+
+    /** Clear this attachment's ProducerSlot (clean detach). */
+    void deregisterAttachment();
+
+    /**
+     * Liveness of the attachment that drew @p gen: true iff its
+     * registry slot is present and its pid still exists. A missing
+     * slot means a clean detach (leases were closed first), so its
+     * leases — if any record still names it — are reclaimable.
+     */
+    bool attachmentAlive(uint64_t gen) const;
+
+    /**
+     * Stamp an owner record for a just-granted lease span. Returns
+     * index+1 (stored in TicketHandle::aux; 0 = untracked, table
+     * full — the lease proceeds exactly like a pre-owner-table one).
+     */
+    uint32_t registerLeaseOwner(uint32_t slot, uint32_t rnd,
+                                uint32_t span_start, uint32_t span_len,
+                                uint64_t block_pos);
 
     /**
      * Offset-based address of physical block @p phys — the form that
@@ -372,9 +475,30 @@ class BTrace : public Tracer
     std::size_t maxN;          //!< resize ceiling in blocks
 
     VirtualSpan span;
-    std::vector<MetadataBlock> meta;
-    CacheAligned<std::atomic<uint64_t>> global;  //!< RatioPos packed
-    std::vector<CacheAligned<std::atomic<uint64_t>>> coreLocal;
+
+    /**
+     * Coordination state (§3.2's A metadata blocks, the global packed
+     * RatioPos, and the per-core words). The pointers resolve into the
+     * arena's control region for shm/file backends — the very same
+     * cache lines in every attachment — and into ctrlHeap for the
+     * private backend. Bound once by bindControl(); the access syntax
+     * (meta[i], global->load, coreLocal[c]->store) is identical either
+     * way.
+     */
+    ControlView ctrl;
+    MetadataBlock *meta = nullptr;
+    std::atomic<uint64_t> *global = nullptr;  //!< RatioPos packed
+    CacheAligned<std::atomic<uint64_t>> *coreLocal = nullptr;
+    /** Private-backend backing for the control layout (else null). */
+    std::unique_ptr<uint8_t, void (*)(uint8_t *)> ctrlHeap{
+        nullptr, +[](uint8_t *) {}};
+
+    bool shared = false;   //!< control state lives in a shared arena
+    bool owner_ = true;    //!< this attachment created the arena
+    uint64_t attachGen = 0;  //!< generation drawn at map time (0=private)
+    uint32_t pid_ = 0;
+    /** Index of this attachment's ProducerSlot (registry). */
+    std::size_t producerSlotIdx = 0;
 
     RatioLog ratioLog;
     std::mutex resizeMutex;

@@ -59,21 +59,49 @@ struct BTraceConfig
         return maxBlocks ? maxBlocks : numBlocks;
     }
 
-    /** Abort with a diagnostic if the configuration is inconsistent. */
-    void
+    /**
+     * Check the configuration for consistency. The defaults above are
+     * always valid; the rules a caller can break:
+     *
+     *  - blockSize >= 64 and a multiple of 8 (entry alignment);
+     *  - cores >= 1 and activeBlocks >= cores (§3.2: every core must
+     *    be able to hold a distinct active block);
+     *  - numBlocks a positive multiple of activeBlocks (the N : A
+     *    mapping ratio must be integral, §3.3);
+     *  - maxBlocks (when set) a multiple of activeBlocks and
+     *    >= numBlocks — it is the resize ceiling, and resize swings
+     *    between multiples of A only (§4.4);
+     *  - arenaPath is only meaningful for StorageKind::File; empty
+     *    means an anonymous unlinked ring (valid but not reopenable,
+     *    so `Session::attachFile` and post-mortem inspection need a
+     *    named path). Shm arenas rendezvous by fd, never by path.
+     *
+     * Returns the first violation as InvalidArgument; direct BTrace
+     * construction still treats that as fatal, while Session::create
+     * surfaces it to the caller.
+     */
+    Status
     validate() const
     {
-        BTRACE_ASSERT(blockSize >= 64 && blockSize % 8 == 0,
-                      "blockSize must be >= 64 and 8-byte aligned");
-        BTRACE_ASSERT(activeBlocks >= cores,
-                      "activeBlocks (A) must be >= cores (§3.2)");
-        BTRACE_ASSERT(numBlocks >= activeBlocks &&
-                      numBlocks % activeBlocks == 0,
-                      "numBlocks must be a positive multiple of A");
-        BTRACE_ASSERT(effectiveMaxBlocks() >= numBlocks &&
-                      effectiveMaxBlocks() % activeBlocks == 0,
-                      "maxBlocks must be a multiple of A and >= numBlocks");
-        BTRACE_ASSERT(cores >= 1, "need at least one core");
+        if (blockSize < 64 || blockSize % 8 != 0)
+            return errInvalidArgument(
+                "blockSize must be >= 64 and 8-byte aligned");
+        if (cores < 1)
+            return errInvalidArgument("need at least one core");
+        if (activeBlocks < cores)
+            return errInvalidArgument(
+                "activeBlocks (A) must be >= cores (§3.2)");
+        if (numBlocks < activeBlocks || numBlocks % activeBlocks != 0)
+            return errInvalidArgument(
+                "numBlocks must be a positive multiple of A");
+        if (effectiveMaxBlocks() < numBlocks ||
+            effectiveMaxBlocks() % activeBlocks != 0)
+            return errInvalidArgument(
+                "maxBlocks must be a multiple of A and >= numBlocks");
+        if (!arenaPath.empty() && storage != StorageKind::File)
+            return errInvalidArgument(
+                "arenaPath is only meaningful for the file backend");
+        return Status();
     }
 
     /** Largest normal-entry payload this geometry can store. */

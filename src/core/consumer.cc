@@ -148,32 +148,17 @@ BTrace::readBlock(uint64_t phys, uint64_t window_start,
 Dump
 BTrace::dump()
 {
-    Dump out;
-    EpochRegistry::Guard guard(consumers);
-
-    const RatioPos g =
-        RatioPos::unpack(global->load(std::memory_order_acquire));
-    const uint64_t n = numActive * g.ratio;
-    const uint64_t window_end = g.pos;
-    const uint64_t window_start = window_end > n ? window_end - n : 0;
-
-    std::vector<uint8_t> scratch(cap);
-    for (uint64_t phys = 0; phys < n; ++phys) {
-        if (readBlock(phys, window_start, window_end, scratch, out) ==
-            BlockReadStatus::Abandoned)
-            ++out.abandonedBlocks;
-    }
-    return out;
+    // Snapshot-peek over the whole retention window: a fresh cursor in
+    // readOpen mode reads every readable block (open ones included),
+    // closes nothing, and reports no loss accounting.
+    DumpCursor fresh;
+    DumpOptions opts;
+    opts.readOpen = true;
+    return dumpFrom(fresh, opts);
 }
 
 Dump
-BTrace::dumpFrom(DumpCursor &cursor, bool close_active)
-{
-    return dumpSince(cursor.position, close_active);
-}
-
-Dump
-BTrace::dumpSince(uint64_t &cursor, bool close_active)
+BTrace::dumpFrom(DumpCursor &cursor, const DumpOptions &opts)
 {
     Dump out;
     EpochRegistry::Guard guard(consumers);
@@ -183,13 +168,20 @@ BTrace::dumpSince(uint64_t &cursor, bool close_active)
     const uint64_t n = numActive * g.ratio;
     const uint64_t window_end = g.pos;
     const uint64_t window_start = window_end > n ? window_end - n : 0;
+
+    // Snapshot-peek mode (closeActive wins when both are set): read
+    // open blocks in place, keep walking past them, and suppress the
+    // loss accounting — a snapshot re-reads the same window later, so
+    // charging overwrittenPositions would misreport retention churn as
+    // data loss.
+    const bool peek = opts.readOpen && !opts.closeActive;
 
     // Catch up to the overwrite frontier (§4.3): positions the
     // producers already lapped are gone. Report how many, so the
     // caller sees the data loss instead of a silent cursor jump.
-    if (window_start > cursor)
-        out.overwrittenPositions = window_start - cursor;
-    uint64_t q = std::max(cursor, window_start);
+    if (!peek && window_start > cursor.position)
+        out.overwrittenPositions = window_start - cursor.position;
+    uint64_t q = std::max(cursor.position, window_start);
 
     std::vector<uint8_t> scratch(cap);
     double close_cost = 0.0;
@@ -201,27 +193,33 @@ BTrace::dumpSince(uint64_t &cursor, bool close_active)
 
         if (conf.rnd == rnd && conf.pos < cap) {
             // Current-round block, still being filled. With
-            // close_active we shut it (§4.3 non-filled handling) so
+            // closeActive we shut it (§4.3 non-filled handling) so
             // its contents can be returned now and producers move to
-            // a fresh block; otherwise stop here — consuming a
-            // partial block would lose its later entries.
-            if (close_active) {
+            // a fresh block; a snapshot-peek reads it in place and
+            // walks on; an incremental consumer stops here —
+            // consuming a partial block would lose its later entries.
+            if (opts.closeActive) {
                 const RndPos alloc = m.loadAllocated();
                 if (alloc.rnd == rnd && alloc.pos == conf.pos)
                     closeRound(meta_idx, rnd, close_cost,
                                BlockCloseReason::Consumer);
                 // An in-flight writer keeps the block incomplete;
                 // fall through — readBlock will classify it.
-            } else {
+            } else if (!peek) {
                 break;
             }
         } else if (conf.rnd < rnd) {
             // Metadata has not reached this round: either an
             // advancement in flight (worth waiting for near the
-            // frontier) or a permanently orphaned candidate.
-            if (window_end - q <= 2 * numActive)
-                break;
-            continue;
+            // frontier) or a permanently orphaned candidate. A
+            // snapshot never waits — it still reads the position (the
+            // physical block may hold a countable skip marker) and
+            // keeps walking.
+            if (!peek) {
+                if (window_end - q <= 2 * numActive)
+                    break;
+                continue;
+            }
         }
 
         const BlockReadStatus r =
@@ -230,6 +228,14 @@ BTrace::dumpSince(uint64_t &cursor, bool close_active)
             r == BlockReadStatus::Skipped ||
             r == BlockReadStatus::Unreadable)
             continue;
+
+        if (peek) {
+            // Snapshot semantics: a vanished or invalidated block is
+            // a transient abandoned read, never charged as loss.
+            if (r == BlockReadStatus::Abandoned)
+                ++out.abandonedBlocks;
+            continue;
+        }
 
         // The block for q yielded nothing (vanished header, header
         // from another lap, or a copy invalidated mid-read). If the
@@ -247,10 +253,23 @@ BTrace::dumpSince(uint64_t &cursor, bool close_active)
         else if (r == BlockReadStatus::Abandoned)
             ++out.abandonedBlocks;
     }
-    journalEmit(JournalEventKind::ConsumerPass, EventJournal::kNoCore,
-                q, out.entries.size());
-    cursor = q;
+    if (!peek)
+        journalEmit(JournalEventKind::ConsumerPass,
+                    EventJournal::kNoCore, q, out.entries.size());
+    cursor.position = q;
     return out;
+}
+
+Dump
+BTrace::dumpSince(uint64_t &cursor, bool close_active)
+{
+    DumpCursor c;
+    c.position = cursor;
+    DumpOptions opts;
+    opts.closeActive = close_active;
+    Dump d = dumpFrom(c, opts);
+    cursor = c.position;
+    return d;
 }
 
 } // namespace btrace

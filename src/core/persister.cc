@@ -4,38 +4,22 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 
+#include "trace/trace_file.h"
+
 namespace btrace {
-
-namespace {
-
-constexpr uint64_t fileMagic = 0x31765052'54425442ull;  // "BTBTRPv1"
-
-/** Fixed 24-byte on-disk record. */
-struct DiskRecord
-{
-    uint64_t stamp;
-    uint32_t size;
-    uint16_t core;
-    uint16_t category;
-    uint32_t thread;
-    uint32_t flags;  // bit 0: payloadOk
-};
-
-static_assert(sizeof(DiskRecord) == 24, "disk record must be packed");
-
-} // namespace
 
 TracePersister::TracePersister(Tracer &tracer_, const std::string &path_,
                                const PersisterOptions &options)
     : tracer(tracer_), opt(options), path(path_)
 {
-    fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC,
+                0644);
     if (fd < 0)
         BTRACE_FATAL("cannot open persistence file");
-    if (::write(fd, &fileMagic, sizeof(fileMagic)) !=
-        ssize_t(sizeof(fileMagic)))
+    if (Status st = writeTraceFileHeader(fd); !st.ok())
         BTRACE_FATAL("cannot write persistence header");
     worker = std::thread([this]() { run(); });
 }
@@ -51,7 +35,8 @@ TracePersister::run()
     const auto interval = std::chrono::duration<double>(
         opt.pollIntervalSec);
     while (!stopping.load(std::memory_order_acquire)) {
-        const Dump d = tracer.dumpFrom(cursor, opt.closeActive);
+        const Dump d = tracer.dumpFrom(
+            cursor, DumpOptions{opt.closeActive, false});
         append(d.entries);
         std::this_thread::sleep_for(interval);
     }
@@ -62,15 +47,7 @@ TracePersister::append(const std::vector<DumpEntry> &entries)
 {
     if (entries.empty())
         return;
-    std::vector<DiskRecord> records;
-    records.reserve(entries.size());
-    for (const DumpEntry &e : entries) {
-        records.push_back(DiskRecord{e.stamp, e.size, e.core,
-                                     e.category, e.thread,
-                                     e.payloadOk ? 1u : 0u});
-    }
-    const auto bytes = records.size() * sizeof(DiskRecord);
-    if (::write(fd, records.data(), bytes) != ssize_t(bytes))
+    if (Status st = appendTraceRecords(fd, entries); !st.ok())
         BTRACE_FATAL("short write to persistence file");
     persisted.fetch_add(entries.size(), std::memory_order_acq_rel);
 }
@@ -84,41 +61,28 @@ TracePersister::stop()
     if (worker.joinable())
         worker.join();
     // Final poll with close-on-read so the newest entries land too.
-    const Dump d = tracer.dumpFrom(cursor, true);
+    const Dump d = tracer.dumpFrom(cursor, DumpOptions{true, false});
     append(d.entries);
     ::close(fd);
     fd = -1;
 }
 
+Expected<std::vector<DumpEntry>>
+TracePersister::tryLoad(const std::string &path)
+{
+    return readTraceFile(path);
+}
+
 std::vector<DumpEntry>
 TracePersister::load(const std::string &path)
 {
-    const int fd = ::open(path.c_str(), O_RDONLY);
-    if (fd < 0)
-        BTRACE_FATAL("cannot open persisted trace");
-    uint64_t magic = 0;
-    if (::read(fd, &magic, sizeof(magic)) != ssize_t(sizeof(magic)) ||
-        magic != fileMagic) {
-        ::close(fd);
-        BTRACE_FATAL("not a btrace persistence file");
+    auto r = readTraceFile(path);
+    if (!r.ok()) {
+        std::fprintf(stderr, "btrace: %s\n",
+                     r.status().toString().c_str());
+        BTRACE_FATAL("cannot load persisted trace");
     }
-
-    std::vector<DumpEntry> out;
-    DiskRecord rec;
-    for (;;) {
-        const ssize_t got = ::read(fd, &rec, sizeof(rec));
-        if (got == 0)
-            break;
-        if (got != ssize_t(sizeof(rec))) {
-            ::close(fd);
-            BTRACE_FATAL("truncated persistence record");
-        }
-        out.push_back(DumpEntry{rec.stamp, rec.size, rec.core,
-                                rec.thread, rec.category,
-                                (rec.flags & 1u) != 0});
-    }
-    ::close(fd);
-    return out;
+    return r.take();
 }
 
 } // namespace btrace

@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
 #include "trace/tracer.h"
 
 namespace btrace {
@@ -63,7 +64,15 @@ class TracePersister
         return persisted.load(std::memory_order_acquire);
     }
 
-    /** Read a persisted file back; fatal on a malformed file. */
+    /**
+     * Read a persisted file back: NotFound / Corruption as a Status
+     * (trace_file.h does the decoding; daemon segments read the same
+     * way).
+     */
+    static Expected<std::vector<DumpEntry>>
+    tryLoad(const std::string &path);
+
+    /** tryLoad, fatal on any error (legacy convenience). */
     static std::vector<DumpEntry> load(const std::string &path);
 
   private:

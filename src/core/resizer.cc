@@ -28,6 +28,21 @@ BTrace::resize(std::size_t new_num_blocks)
                   new_num_blocks <= maxN,
                   "resize target must be a multiple of A within "
                   "[A, maxBlocks]");
+
+    // Multi-process arenas: the RatioLog that maps positions to
+    // physical blocks is per-process, so a resize would silently
+    // mis-resolve positions in every other attachment. Allowed only
+    // while this is the sole live attachment (DESIGN.md §11).
+    if (shared) {
+        std::size_t live = 0;
+        for (std::size_t i = 0; i < kMaxAttachments; ++i)
+            if (ctrl.producers[i].attachGen.load(
+                    std::memory_order_acquire) != 0)
+                ++live;
+        BTRACE_ASSERT(live <= 1,
+                      "resize requires being the arena's sole live "
+                      "attachment (per-process RatioLog)");
+    }
     const auto new_ratio =
         static_cast<uint32_t>(new_num_blocks / numActive);
 

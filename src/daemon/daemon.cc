@@ -1,0 +1,259 @@
+#include "daemon/daemon.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+
+#include "trace/trace_file.h"
+
+namespace btrace {
+
+namespace {
+
+/** mkdir -p: create every missing component of @p dir. */
+Status
+makeDirs(const std::string &dir)
+{
+    if (dir.empty() || dir == "." || dir == "/")
+        return Status();
+    std::string prefix;
+    prefix.reserve(dir.size());
+    std::size_t i = 0;
+    while (i < dir.size()) {
+        const std::size_t slash = dir.find('/', i + 1);
+        prefix = dir.substr(0, slash == std::string::npos ? dir.size()
+                                                          : slash);
+        if (!prefix.empty() && prefix != "/" &&
+            ::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST)
+            return errIo("cannot create output directory " + prefix);
+        if (slash == std::string::npos)
+            break;
+        i = slash;
+    }
+    return Status();
+}
+
+} // namespace
+
+std::string
+daemonSegmentPath(const std::string &out_dir, uint64_t index)
+{
+    char name[64];
+    std::snprintf(name, sizeof(name), "segment-%06llu.btrace",
+                  static_cast<unsigned long long>(index));
+    return out_dir + "/" + name;
+}
+
+Expected<std::unique_ptr<ConsumerDaemon>>
+ConsumerDaemon::make(Session session, const DaemonOptions &opts)
+{
+    if (!session.valid())
+        return errInvalidArgument("daemon needs a valid session");
+    if (Status st = makeDirs(opts.outDir); !st.ok())
+        return st;
+    std::unique_ptr<ConsumerDaemon> d(
+        new ConsumerDaemon(std::move(session), opts));
+    if (Status st = d->openSegment(); !st.ok())
+        return st;
+    return Expected<std::unique_ptr<ConsumerDaemon>>(std::move(d));
+}
+
+ConsumerDaemon::ConsumerDaemon(Session s, const DaemonOptions &o)
+    : sess(std::move(s)), opt(o)
+{
+}
+
+ConsumerDaemon::~ConsumerDaemon()
+{
+    stop();
+}
+
+Status
+ConsumerDaemon::openSegment()
+{
+    const std::string path = daemonSegmentPath(opt.outDir, segIndex);
+    segFd = ::open(path.c_str(),
+                   O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+    if (segFd < 0)
+        return errIo("cannot open segment " + path);
+    if (Status s = writeTraceFileHeader(segFd); !s.ok()) {
+        ::close(segFd);
+        segFd = -1;
+        return s;
+    }
+    segBytes = 0;
+    ++st.segmentsOpened;
+    return Status();
+}
+
+Status
+ConsumerDaemon::rotateIfNeeded()
+{
+    if (segBytes < opt.segmentBytes)
+        return Status();
+    ::close(segFd);
+    segFd = -1;
+    ++segIndex;
+    if (Status s = openSegment(); !s.ok())
+        return s;
+    // Age out the oldest finished segments beyond the retention cap.
+    if (opt.maxSegments != 0) {
+        while (segIndex - oldestSegIndex > opt.maxSegments) {
+            const std::string victim =
+                daemonSegmentPath(opt.outDir, oldestSegIndex);
+            if (::unlink(victim.c_str()) == 0)
+                ++st.segmentsDeleted;
+            ++oldestSegIndex;
+        }
+    }
+    return Status();
+}
+
+Expected<uint64_t>
+ConsumerDaemon::drainOnce()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (segFd < 0)
+        return errInvalidArgument("daemon already stopped");
+    if (Status s = rotateIfNeeded(); !s.ok())
+        return s;
+    const Dump d =
+        sess->dumpFrom(cursor, DumpOptions{opt.closeActive, false});
+    if (!d.entries.empty()) {
+        if (Status s = appendTraceRecords(segFd, d.entries); !s.ok())
+            return s;
+        segBytes += d.entries.size() * sizeof(TraceDiskRecord);
+    }
+    ++st.drains;
+    st.entries += d.entries.size();
+    st.overwrittenPositions += d.overwrittenPositions;
+    st.skippedBlocks += d.skippedBlocks;
+    st.abandonedBlocks += d.abandonedBlocks;
+    return Expected<uint64_t>(uint64_t(d.entries.size()));
+}
+
+SweepReport
+ConsumerDaemon::sweepNow()
+{
+    const SweepReport r = sess.sweepDeadOwners();
+    std::lock_guard<std::mutex> lock(mu);
+    ++st.sweeps;
+    st.reclaimedLeases += r.reclaimedLeases;
+    st.reclaimedBytes += r.reclaimedBytes;
+    st.clearedAttachments += r.clearedAttachments;
+    return r;
+}
+
+void
+ConsumerDaemon::run()
+{
+    const auto interval =
+        std::chrono::duration<double>(opt.drainIntervalSec);
+    uint64_t ticks = 0;
+    while (!stopping.load(std::memory_order_acquire)) {
+        (void)drainOnce();
+        ++ticks;
+        if (opt.sweepEveryNDrains != 0 &&
+            ticks % opt.sweepEveryNDrains == 0)
+            (void)sweepNow();
+        std::this_thread::sleep_for(interval);
+    }
+}
+
+void
+ConsumerDaemon::start()
+{
+    if (running.exchange(true, std::memory_order_acq_rel))
+        return;
+    stopping.store(false, std::memory_order_release);
+    worker = std::thread([this]() { run(); });
+}
+
+void
+ConsumerDaemon::stop()
+{
+    stopping.store(true, std::memory_order_release);
+    if (worker.joinable())
+        worker.join();
+    running.store(false, std::memory_order_release);
+
+    std::lock_guard<std::mutex> lock(mu);
+    if (segFd < 0)
+        return;
+    // Final close-active drain so the tail of every open block lands.
+    const Dump d = sess->dumpFrom(cursor, DumpOptions{true, false});
+    if (!d.entries.empty() &&
+        appendTraceRecords(segFd, d.entries).ok()) {
+        segBytes += d.entries.size() * sizeof(TraceDiskRecord);
+        ++st.drains;
+        st.entries += d.entries.size();
+        st.overwrittenPositions += d.overwrittenPositions;
+        st.skippedBlocks += d.skippedBlocks;
+        st.abandonedBlocks += d.abandonedBlocks;
+    }
+    ::fsync(segFd);
+    ::close(segFd);
+    segFd = -1;
+}
+
+DaemonStats
+ConsumerDaemon::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return st;
+}
+
+std::string
+ConsumerDaemon::currentSegmentPath() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return daemonSegmentPath(opt.outDir, segIndex);
+}
+
+void
+ConsumerDaemon::registerMetrics(MetricsRegistry &registry)
+{
+    auto counter = [this, &registry](const char *name, const char *help,
+                                     uint64_t DaemonStats::*field) {
+        registry.addCounter(name, help, [this, field]() {
+            std::lock_guard<std::mutex> lock(mu);
+            return double(st.*field);
+        });
+    };
+    counter("btraced_drains_total", "consumer drain passes",
+            &DaemonStats::drains);
+    counter("btraced_entries_total", "entries written to segments",
+            &DaemonStats::entries);
+    counter("btraced_segments_opened_total", "segment files opened",
+            &DaemonStats::segmentsOpened);
+    counter("btraced_segments_deleted_total",
+            "segments aged out by retention", &DaemonStats::segmentsDeleted);
+    counter("btraced_sweeps_total", "dead-producer sweep passes",
+            &DaemonStats::sweeps);
+    counter("btraced_reclaimed_leases_total",
+            "leases reclaimed from dead producers",
+            &DaemonStats::reclaimedLeases);
+    counter("btraced_reclaimed_bytes_total",
+            "bytes confirmed on behalf of dead producers",
+            &DaemonStats::reclaimedBytes);
+    counter("btraced_cleared_attachments_total",
+            "crashed attachments swept from the registry",
+            &DaemonStats::clearedAttachments);
+    counter("btraced_overwritten_positions_total",
+            "positions lost to producer overwrite (data loss)",
+            &DaemonStats::overwrittenPositions);
+    counter("btraced_skipped_blocks_total",
+            "blocks lost to SKP markers (data loss)",
+            &DaemonStats::skippedBlocks);
+    registry.addGauge("btraced_segment_bytes",
+                      "payload bytes in the open segment", [this]() {
+                          std::lock_guard<std::mutex> lock(mu);
+                          return double(segBytes);
+                      });
+}
+
+} // namespace btrace

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * ConsumerDaemon: the collection half of btraced, the out-of-process
+ * consumer (DESIGN.md §11).
+ *
+ * A daemon attaches to a shared arena as one more Session and runs a
+ * drain loop: each tick pulls everything new through the incremental
+ * consumer (dumpFrom with a persistent cursor), appends the decoded
+ * entries to a bounded rotating segment file (trace_file.h format,
+ * same as TracePersister), and every few ticks sweeps the arena for
+ * leases held by producers that died (Session::sweepDeadOwners).
+ * Producers in other processes never block on any of it — the §4.3
+ * consumer contract.
+ *
+ * Observability rides the PR 4/5 planes: a MetricsRegistry gauge/
+ * counter set (drains, entries, segments, reclaimed leases, data
+ * loss) and an optional EventJournal attached to the daemon's tracer
+ * view for the lifecycle timeline.
+ */
+
+#ifndef BTRACE_DAEMON_DAEMON_H
+#define BTRACE_DAEMON_DAEMON_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "core/session.h"
+#include "obs/metrics.h"
+
+namespace btrace {
+
+/** Knobs of the btraced drain loop. */
+struct DaemonOptions
+{
+    /** Directory receiving segment files (created if missing). */
+    std::string outDir = ".";
+    /** Rotate to a fresh segment once the current one exceeds this. */
+    std::size_t segmentBytes = 4u << 20;
+    /** Keep at most this many finished segments (0 = unbounded). */
+    std::size_t maxSegments = 8;
+    /** Seconds between drains of the run loop. */
+    double drainIntervalSec = 0.01;
+    /** Sweep dead producers every N drains (0 = never). */
+    unsigned sweepEveryNDrains = 16;
+    /**
+     * Close partially filled blocks on each drain (§4.3 close-on-read)
+     * so the newest entries don't wait in their active blocks.
+     */
+    bool closeActive = true;
+};
+
+/** Monotonic totals of one daemon's lifetime. */
+struct DaemonStats
+{
+    uint64_t drains = 0;
+    uint64_t entries = 0;           //!< entries written to segments
+    uint64_t segmentsOpened = 0;
+    uint64_t segmentsDeleted = 0;   //!< rotated out by maxSegments
+    uint64_t sweeps = 0;
+    uint64_t reclaimedLeases = 0;
+    uint64_t reclaimedBytes = 0;
+    uint64_t clearedAttachments = 0;
+    uint64_t overwrittenPositions = 0;  //!< data loss seen by the cursor
+    uint64_t skippedBlocks = 0;  //!< blocks lost to SKP markers
+    uint64_t abandonedBlocks = 0;
+};
+
+/**
+ * The drain loop around one attached Session. Use either the
+ * synchronous surface (drainOnce / sweepNow, caller-driven — what
+ * tests and single-shot tools want) or start()/stop() for the
+ * background thread btraced runs.
+ */
+class ConsumerDaemon
+{
+  public:
+    /**
+     * Wrap @p session (must be valid; typically Session::attachFile
+     * or attachFd, but the owner session works too). Fails with
+     * IoError when outDir cannot be created or the first segment
+     * cannot be opened.
+     */
+    static Expected<std::unique_ptr<ConsumerDaemon>>
+    make(Session session, const DaemonOptions &opts = {});
+
+    ~ConsumerDaemon();
+
+    ConsumerDaemon(const ConsumerDaemon &) = delete;
+    ConsumerDaemon &operator=(const ConsumerDaemon &) = delete;
+
+    /**
+     * One synchronous drain: dumpFrom into the current segment,
+     * rotating first when it is over budget. Returns the entries
+     * drained this call.
+     */
+    Expected<uint64_t> drainOnce();
+
+    /** One synchronous dead-producer sweep. */
+    SweepReport sweepNow();
+
+    /** Start the background drain thread (idempotent). */
+    void start();
+
+    /**
+     * Stop the thread, run one final close-active drain so the tail
+     * of every open block is captured, and sync the segment.
+     * Idempotent; the destructor calls it.
+     */
+    void stop();
+
+    DaemonStats stats() const;
+
+    /** The daemon's own attachment (e.g. for attachJournal). */
+    Session &session() { return sess; }
+
+    /** Path of the segment currently being appended to. */
+    std::string currentSegmentPath() const;
+
+    /** Register drain/reclaim counters on @p registry (PR 4 plane). */
+    void registerMetrics(MetricsRegistry &registry);
+
+  private:
+    ConsumerDaemon(Session s, const DaemonOptions &o);
+
+    Status openSegment();
+    Status rotateIfNeeded();
+    void run();
+
+    Session sess;
+    DaemonOptions opt;
+
+    int segFd = -1;
+    uint64_t segIndex = 0;       //!< index of the *open* segment
+    uint64_t oldestSegIndex = 0; //!< oldest segment still on disk
+    std::size_t segBytes = 0;    //!< payload bytes in the open segment
+    DumpCursor cursor;
+
+    mutable std::mutex mu;       //!< serializes drains vs stop()
+    DaemonStats st;
+
+    std::atomic<bool> running{false};
+    std::atomic<bool> stopping{false};
+    std::thread worker;
+};
+
+/** "%s/segment-%06llu.btrace" — segment path naming, shared with tests. */
+std::string daemonSegmentPath(const std::string &out_dir,
+                              uint64_t index);
+
+} // namespace btrace
+
+#endif // BTRACE_DAEMON_DAEMON_H

@@ -1,0 +1,84 @@
+#include "trace/trace_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace btrace {
+
+Status
+writeTraceFileHeader(int fd)
+{
+    const uint64_t magic = kTraceFileMagic;
+    if (::write(fd, &magic, sizeof(magic)) != ssize_t(sizeof(magic)))
+        return errIo("cannot write trace file header");
+    return Status();
+}
+
+Status
+appendTraceRecords(int fd, const std::vector<DumpEntry> &entries)
+{
+    if (entries.empty())
+        return Status();
+    std::vector<TraceDiskRecord> records;
+    records.reserve(entries.size());
+    for (const DumpEntry &e : entries)
+        records.push_back(TraceDiskRecord::fromEntry(e));
+    const auto bytes = records.size() * sizeof(TraceDiskRecord);
+    if (::write(fd, records.data(), bytes) != ssize_t(bytes))
+        return errIo("short write appending trace records");
+    return Status();
+}
+
+namespace {
+
+Expected<std::vector<DumpEntry>>
+readImpl(const std::string &path, bool *torn, bool fail_on_torn)
+{
+    if (torn != nullptr)
+        *torn = false;
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return errNotFound("no such trace file: " + path);
+    uint64_t magic = 0;
+    if (::read(fd, &magic, sizeof(magic)) != ssize_t(sizeof(magic)) ||
+        magic != kTraceFileMagic) {
+        ::close(fd);
+        return errCorruption("not a btrace trace file: " + path);
+    }
+
+    std::vector<DumpEntry> out;
+    TraceDiskRecord rec;
+    for (;;) {
+        const ssize_t got = ::read(fd, &rec, sizeof(rec));
+        if (got == 0)
+            break;
+        if (got != ssize_t(sizeof(rec))) {
+            ::close(fd);
+            if (fail_on_torn)
+                return errCorruption(
+                    "torn trace record at the end of " + path);
+            if (torn != nullptr)
+                *torn = true;
+            return Expected<std::vector<DumpEntry>>(std::move(out));
+        }
+        out.push_back(rec.toEntry());
+    }
+    ::close(fd);
+    return Expected<std::vector<DumpEntry>>(std::move(out));
+}
+
+} // namespace
+
+Expected<std::vector<DumpEntry>>
+readTraceFile(const std::string &path)
+{
+    return readImpl(path, nullptr, /*fail_on_torn=*/true);
+}
+
+Expected<std::vector<DumpEntry>>
+readTraceFileLossy(const std::string &path, bool *torn)
+{
+    return readImpl(path, torn, /*fail_on_torn=*/false);
+}
+
+} // namespace btrace

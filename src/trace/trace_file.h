@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The on-disk trace file format ("BTBTRPv1") shared by TracePersister
+ * and the btraced consumer daemon's rotating segments: an 8-byte magic
+ * followed by fixed 24-byte records, one per DumpEntry. Writers append
+ * with plain write(2); readers get every fully written record of a
+ * file that was cut off mid-write (truncated tails surface as
+ * Corruption, not a crash), which is what a crash-robust collector
+ * needs.
+ */
+
+#ifndef BTRACE_TRACE_TRACE_FILE_H
+#define BTRACE_TRACE_TRACE_FILE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "trace/tracer.h"
+
+namespace btrace {
+
+/** File magic of a persisted trace ("BTBTRPv1"). */
+constexpr uint64_t kTraceFileMagic = 0x31765052'54425442ull;
+
+/** Fixed 24-byte on-disk record. */
+struct TraceDiskRecord
+{
+    uint64_t stamp;
+    uint32_t size;
+    uint16_t core;
+    uint16_t category;
+    uint32_t thread;
+    uint32_t flags;  // bit 0: payloadOk
+
+    static TraceDiskRecord
+    fromEntry(const DumpEntry &e)
+    {
+        return TraceDiskRecord{e.stamp,    e.size,
+                               e.core,     e.category,
+                               e.thread,   e.payloadOk ? 1u : 0u};
+    }
+
+    DumpEntry
+    toEntry() const
+    {
+        return DumpEntry{stamp, size,     core,
+                         thread, category, (flags & 1u) != 0};
+    }
+};
+
+static_assert(sizeof(TraceDiskRecord) == 24,
+              "disk record must be packed");
+
+/** Write the 8-byte magic to @p fd (fresh file / segment). */
+Status writeTraceFileHeader(int fd);
+
+/** Append @p entries as records to @p fd; short writes are IoError. */
+Status appendTraceRecords(int fd, const std::vector<DumpEntry> &entries);
+
+/**
+ * Read a persisted trace file back. NotFound for a missing path,
+ * Corruption for a bad magic or a torn (non-record-multiple) tail —
+ * in the torn case every complete record before the tear was already
+ * appended to the result by the time the error is built, so callers
+ * that want best-effort recovery can keep value() semantics by
+ * reading through readTraceFileLossy().
+ */
+Expected<std::vector<DumpEntry>> readTraceFile(const std::string &path);
+
+/**
+ * Best-effort variant: same decoding, but a torn tail is reported via
+ * @p torn (when non-null) instead of failing the whole read. Missing
+ * files and bad magic still fail.
+ */
+Expected<std::vector<DumpEntry>>
+readTraceFileLossy(const std::string &path, bool *torn);
+
+} // namespace btrace
+
+#endif // BTRACE_TRACE_TRACE_FILE_H

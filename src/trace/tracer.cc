@@ -34,9 +34,9 @@ Tracer::lease(uint16_t core, uint32_t thread, uint32_t payload_hint,
 }
 
 Dump
-Tracer::dumpFrom(DumpCursor &cursor, bool close_active)
+Tracer::dumpFrom(DumpCursor &cursor, const DumpOptions &opts)
 {
-    (void)close_active;
+    (void)opts;
     // Trivial full-snapshot cursor: re-dump and keep entries above the
     // stamp high-water mark. Stamps are the replay's monotone logic
     // clock, so this returns exactly the new entries for every

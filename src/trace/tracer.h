@@ -114,6 +114,31 @@ struct DumpCursor
     uint64_t position = 0;  //!< tracer-private progress marker
 };
 
+/**
+ * Behavior switches for Tracer::dumpFrom(). The default (both off) is
+ * the conservative streaming read: completed blocks only, stop at the
+ * first still-open block.
+ */
+struct DumpOptions
+{
+    /**
+     * Close partially filled blocks whose writes are all confirmed,
+     * then read them (§4.3 non-filled handling): the newest entries
+     * are returned now and producers move on to fresh blocks. Blocks
+     * with unconfirmed in-flight writes are always left alone.
+     */
+    bool closeActive = false;
+    /**
+     * Snapshot-peek mode: read open blocks *without* closing them and
+     * keep walking past them instead of stopping. Entries of a block
+     * read this way will be returned again by a later pass once the
+     * block completes, and the pass performs no loss accounting —
+     * this is what makes dump() a plain non-destructive snapshot.
+     * Mutually exclusive with closeActive (closeActive wins).
+     */
+    bool readOpen = false;
+};
+
 class Tracer;
 
 /**
@@ -303,14 +328,14 @@ class Tracer
     /**
      * Incremental consumer read: return entries that appeared since
      * the last call with the same @p cursor, advancing the cursor.
-     * With @p close_active, tracers that support it (BTrace) also
-     * close partially filled blocks so the newest entries are
-     * returned now. The base implementation is a trivial full-
-     * snapshot cursor — dump() filtered to stamps above the cursor's
-     * high-water mark — so callers can stream from any tracer without
-     * special-casing BTrace.
+     * @p opts selects close-on-read or snapshot-peek behavior for
+     * tracers that support it (BTrace). The base implementation is a
+     * trivial full-snapshot cursor — dump() filtered to stamps above
+     * the cursor's high-water mark — so callers can stream from any
+     * tracer without special-casing BTrace.
      */
-    virtual Dump dumpFrom(DumpCursor &cursor, bool close_active = false);
+    virtual Dump dumpFrom(DumpCursor &cursor,
+                          const DumpOptions &opts = {});
 
     /**
      * Convenience blocking write: allocate (spinning on Retry, with

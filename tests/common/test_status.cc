@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for Status/Expected (common/status.h): code/message
+ * plumbing, the err* constructors, the exit-code mapping the tools
+ * share, and Expected's value/error duality.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+
+namespace btrace {
+namespace {
+
+TEST(Status, DefaultIsOk)
+{
+    Status st;
+    EXPECT_TRUE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::Ok);
+    EXPECT_TRUE(st.message().empty());
+}
+
+TEST(Status, ErrHelpersCarryCodeAndMessage)
+{
+    EXPECT_EQ(errInvalidArgument("x").code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(errNotFound("x").code(), StatusCode::NotFound);
+    EXPECT_EQ(errIo("x").code(), StatusCode::IoError);
+    EXPECT_EQ(errCorruption("x").code(), StatusCode::Corruption);
+    EXPECT_EQ(errIncompatible("x").code(), StatusCode::Incompatible);
+    EXPECT_EQ(errBusy("x").code(), StatusCode::Busy);
+    EXPECT_EQ(errUnsupported("x").code(), StatusCode::Unsupported);
+
+    const Status st = errNotFound("no such arena: ring");
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.message(), "no such arena: ring");
+    // toString carries both the class and the detail.
+    EXPECT_NE(st.toString().find("no such arena"), std::string::npos);
+}
+
+TEST(Status, ExitCodesAreDistinctAndStable)
+{
+    // Scripts branch on these; the mapping is part of the tool
+    // contract (btraced, btrace_producer, btrace_inspect, replay).
+    EXPECT_EQ(exitCodeFor(StatusCode::Ok), 0);
+    EXPECT_EQ(exitCodeFor(StatusCode::InvalidArgument), 2);
+    EXPECT_EQ(exitCodeFor(StatusCode::NotFound), 3);
+    EXPECT_EQ(exitCodeFor(StatusCode::IoError), 4);
+    EXPECT_EQ(exitCodeFor(StatusCode::Corruption), 5);
+    EXPECT_EQ(exitCodeFor(StatusCode::Incompatible), 6);
+    EXPECT_EQ(exitCodeFor(StatusCode::Busy), 7);
+    EXPECT_EQ(exitCodeFor(StatusCode::Unsupported), 8);
+
+    // All distinct, and 1 stays reserved for BTRACE_FATAL.
+    std::set<int> codes;
+    for (const StatusCode c :
+         {StatusCode::Ok, StatusCode::InvalidArgument,
+          StatusCode::NotFound, StatusCode::IoError,
+          StatusCode::Corruption, StatusCode::Incompatible,
+          StatusCode::Busy, StatusCode::Unsupported}) {
+        EXPECT_NE(exitCodeFor(c), 1);
+        codes.insert(exitCodeFor(c));
+    }
+    EXPECT_EQ(codes.size(), 8u);
+}
+
+TEST(Expected, HoldsValue)
+{
+    Expected<int> e(42);
+    ASSERT_TRUE(e.ok());
+    EXPECT_TRUE(e.status().ok());
+    EXPECT_EQ(e.value(), 42);
+    EXPECT_EQ(e.take(), 42);
+}
+
+TEST(Expected, HoldsError)
+{
+    Expected<int> e(errBusy("arena still initializing"));
+    ASSERT_FALSE(e.ok());
+    EXPECT_EQ(e.status().code(), StatusCode::Busy);
+    EXPECT_EQ(e.status().message(), "arena still initializing");
+}
+
+TEST(Expected, MoveOnlyPayload)
+{
+    Expected<std::unique_ptr<int>> e(std::make_unique<int>(7));
+    ASSERT_TRUE(e.ok());
+    std::unique_ptr<int> p = e.take();
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, 7);
+}
+
+} // namespace
+} // namespace btrace

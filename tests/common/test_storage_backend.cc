@@ -207,6 +207,29 @@ TEST(ShmArena, HeaderAtomicsAreSharedAcrossAttachments)
               4096u);
 }
 
+TEST(ShmArena, AttachGenerationsAreSequentialAndUnique)
+{
+    // The creator draws generation 1; every later attachment draws the
+    // next value from the shared header counter. The draw is what
+    // identifies an attachment in the producer registry, so two
+    // attachments must never share one.
+    auto primary = makeBackend(StorageKind::Shm, 1u << 16);
+    EXPECT_EQ(primary->attachGeneration(), 1u);
+
+    auto second = attachShmArena(primary->shareFd());
+    ASSERT_NE(second, nullptr);
+    EXPECT_EQ(second->attachGeneration(), 2u);
+
+    auto third = attachShmArena(primary->shareFd());
+    ASSERT_NE(third, nullptr);
+    EXPECT_EQ(third->attachGeneration(), 3u);
+
+    // The private backend has no arena and no registry slot: its
+    // generation is the virtual default, 0.
+    auto priv = makeBackend(StorageKind::Private, 1u << 16);
+    EXPECT_EQ(priv->attachGeneration(), 0u);
+}
+
 TEST(ShmArena, SurvivesConcurrentResizeAndRecordsUnderSharedStorage)
 {
     // Shm variant of the core resize/lease race: producers hammer

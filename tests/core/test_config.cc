@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/btrace.h"
 #include "core/config.h"
 
 namespace btrace {
@@ -25,7 +26,7 @@ TEST(BTraceConfig, DefaultsMatchPaperProduction)
     EXPECT_EQ(cfg.activeBlocks, 16u * 12); // A = 16 x C (§5.1)
     EXPECT_EQ(cfg.cores, 12u);             // 12-core phone (§5)
     EXPECT_EQ(cfg.capacityBytes(), 12u << 20);  // 12 MB buffer (§5)
-    cfg.validate();
+    EXPECT_TRUE(cfg.validate().ok());
 }
 
 TEST(BTraceConfig, DerivedValues)
@@ -42,37 +43,78 @@ TEST(BTraceConfig, MaxBlocksOverridesCeiling)
     BTraceConfig cfg = smallConfig();
     cfg.maxBlocks = 64;
     EXPECT_EQ(cfg.effectiveMaxBlocks(), 64u);
-    cfg.validate();
+    EXPECT_TRUE(cfg.validate().ok());
 }
 
-using BTraceConfigDeath = ::testing::Test;
+// validate() reports the first violated rule as InvalidArgument with
+// the offending field in the message (the old behavior — dying inside
+// validate() — moved to the BTrace constructor; Session::create
+// surfaces the Status to the caller instead).
 
-TEST(BTraceConfigDeath, RejectsNonMultipleBlocks)
+TEST(BTraceConfigValidate, RejectsNonMultipleBlocks)
 {
     BTraceConfig cfg = smallConfig();
     cfg.numBlocks = 33;
-    EXPECT_DEATH(cfg.validate(), "multiple of A");
+    const Status st = cfg.validate();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(st.message().find("multiple of A"), std::string::npos);
 }
 
-TEST(BTraceConfigDeath, RejectsTooFewActiveBlocks)
+TEST(BTraceConfigValidate, RejectsTooFewActiveBlocks)
 {
     BTraceConfig cfg = smallConfig();
     cfg.activeBlocks = 2;  // fewer than cores
-    EXPECT_DEATH(cfg.validate(), "cores");
+    const Status st = cfg.validate();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(st.message().find("cores"), std::string::npos);
 }
 
-TEST(BTraceConfigDeath, RejectsMisalignedBlockSize)
+TEST(BTraceConfigValidate, RejectsMisalignedBlockSize)
 {
     BTraceConfig cfg = smallConfig();
     cfg.blockSize = 100;
-    EXPECT_DEATH(cfg.validate(), "blockSize");
+    const Status st = cfg.validate();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(st.message().find("blockSize"), std::string::npos);
 }
 
-TEST(BTraceConfigDeath, RejectsBadMaxBlocks)
+TEST(BTraceConfigValidate, RejectsBadMaxBlocks)
 {
     BTraceConfig cfg = smallConfig();
     cfg.maxBlocks = 33;  // not a multiple of A
-    EXPECT_DEATH(cfg.validate(), "maxBlocks");
+    const Status st = cfg.validate();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(st.message().find("maxBlocks"), std::string::npos);
+}
+
+TEST(BTraceConfigValidate, RejectsArenaPathOnNonFileBackend)
+{
+    BTraceConfig cfg = smallConfig();
+    cfg.storage = StorageKind::Private;
+    cfg.arenaPath = "/tmp/some-arena";
+    const Status st = cfg.validate();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(st.message().find("arenaPath"), std::string::npos);
+
+    cfg.storage = StorageKind::File;
+    EXPECT_TRUE(cfg.validate().ok());
+}
+
+// The constructor stays fatal on an invalid configuration: direct
+// BTrace construction is the internal API and an invalid geometry
+// there is a programming error.
+using BTraceConfigDeath = ::testing::Test;
+
+TEST(BTraceConfigDeath, ConstructorDiesOnInvalidConfig)
+{
+    BTraceConfig cfg = smallConfig();
+    cfg.numBlocks = 33;
+    EXPECT_DEATH(BTrace bt(cfg), "invalid BTraceConfig");
 }
 
 } // namespace

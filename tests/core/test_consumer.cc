@@ -147,23 +147,23 @@ TEST(Consumer, DumpSinceReportsOverwrittenPositions)
         ASSERT_TRUE(bt.record(0, 1, s, 16));
 
     // A cursor at 0 lost everything before the overwrite frontier.
-    uint64_t cursor = 0;
+    DumpCursor cursor;
     const uint64_t frontier1 = insp.globalWord().pos - n;
-    const Dump d1 = bt.dumpSince(cursor);
+    const Dump d1 = bt.dumpFrom(cursor);
     EXPECT_EQ(d1.overwrittenPositions, frontier1 - 0);
     EXPECT_FALSE(d1.entries.empty());
 
     // A consumer that kept up loses nothing.
-    const Dump d2 = bt.dumpSince(cursor);
+    const Dump d2 = bt.dumpFrom(cursor);
     EXPECT_EQ(d2.overwrittenPositions, 0u);
 
     // Fall behind again: the loss is exactly cursor-to-frontier.
-    const uint64_t lagging = cursor;
+    const uint64_t lagging = cursor.position;
     for (uint64_t s = 5001; s <= 10000; ++s)
         ASSERT_TRUE(bt.record(0, 1, s, 16));
     const uint64_t frontier2 = insp.globalWord().pos - n;
     ASSERT_GT(frontier2, lagging);
-    const Dump d3 = bt.dumpSince(cursor);
+    const Dump d3 = bt.dumpFrom(cursor);
     EXPECT_EQ(d3.overwrittenPositions, frontier2 - lagging);
 }
 

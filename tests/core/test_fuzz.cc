@@ -34,7 +34,7 @@ TEST_P(FuzzCase, RandomOpSequenceKeepsInvariants)
     BTrace bt(cfg);
 
     uint64_t stamp = 0;
-    uint64_t cursor = 0;
+    DumpCursor cursor;
     std::set<uint64_t> streamed;
     std::deque<WriteTicket> held;
     const uint32_t max_payload =
@@ -96,7 +96,10 @@ TEST_P(FuzzCase, RandomOpSequenceKeepsInvariants)
         } else if (dice < 96) {
             check_dump(bt.dump(), false);
         } else if (dice < 99) {
-            check_dump(bt.dumpSince(cursor, rng.chance(0.5)), true);
+            check_dump(
+                bt.dumpFrom(cursor,
+                            DumpOptions{rng.chance(0.5), false}),
+                true);
         } else if (held.empty()) {
             // Resize needs all writers quiescent (blocking op).
             const std::size_t target =

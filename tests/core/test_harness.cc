@@ -204,9 +204,9 @@ TEST(Harness, LapDuringDumpSinceCountsOverwrittenNotAbandoned)
 
     PreemptionInjector inj;
     inj.armPark(YieldPoint::ReadPostCopy);
-    uint64_t cursor = 0;
+    DumpCursor cursor;
     Dump d;
-    std::thread reader([&] { d = bt.dumpSince(cursor); });
+    std::thread reader([&] { d = bt.dumpFrom(cursor); });
     ASSERT_TRUE(inj.awaitParked(YieldPoint::ReadPostCopy));
 
     // Lap the parked reader: with N = 4 data blocks, advancing the
@@ -222,7 +222,7 @@ TEST(Harness, LapDuringDumpSinceCountsOverwrittenNotAbandoned)
     EXPECT_GE(d.overwrittenPositions, 1u);  // the lapped copy landed here
     EXPECT_EQ(d.abandonedBlocks, 0u);
     expectDumpIntegrity(d, s - 1);  // no torn or duplicate entries
-    EXPECT_GT(cursor, 0u);
+    EXPECT_GT(cursor.position, 0u);
     expectAuditClean(bt);
 }
 
@@ -336,9 +336,9 @@ TEST(Harness, AuditorStressWithResizes)
         });
     }
     std::thread consumer([&] {
-        uint64_t cursor = 0;
+        DumpCursor cursor;
         while (!stop.load(std::memory_order_acquire)) {
-            const Dump d = bt.dumpSince(cursor);
+            const Dump d = bt.dumpFrom(cursor);
             lost.fetch_add(d.overwrittenPositions,
                            std::memory_order_relaxed);
             for (const DumpEntry &e : d.entries)

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Unit tests for btrace::Session (core/session.h): the factory API
+ * over create/attach, its Status contract (never BTRACE_FATAL on bad
+ * input), generation accounting, and the fd handoff round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/session.h"
+
+namespace btrace {
+namespace {
+
+BTraceConfig
+smallConfig(StorageKind storage = StorageKind::Private)
+{
+    BTraceConfig cfg;
+    cfg.blockSize = 256;
+    cfg.numBlocks = 32;
+    cfg.activeBlocks = 8;
+    cfg.cores = 4;
+    cfg.storage = storage;
+    return cfg;
+}
+
+TEST(Session, CreatePrivateBackend)
+{
+    auto s = Session::create(smallConfig());
+    ASSERT_TRUE(s.ok()) << s.status().toString();
+    Session sess = s.take();
+    EXPECT_TRUE(sess.valid());
+    EXPECT_TRUE(sess.owner());
+    EXPECT_FALSE(sess->multiprocess());
+    EXPECT_EQ(sess.generation(), 0u);  // private: no arena generations
+    EXPECT_EQ(sess.shareFd(), -1);
+
+    ASSERT_TRUE(sess->record(0, 1, 42, 16));
+    const Dump d = sess->dump();
+    ASSERT_EQ(d.entries.size(), 1u);
+    EXPECT_EQ(d.entries[0].stamp, 42u);
+}
+
+TEST(Session, CreateRejectsInvalidConfig)
+{
+    BTraceConfig cfg = smallConfig();
+    cfg.numBlocks = 33;  // not a multiple of activeBlocks
+    auto s = Session::create(cfg);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.status().code(), StatusCode::InvalidArgument);
+}
+
+TEST(Session, DefaultConstructedIsInvalid)
+{
+    Session s;
+    EXPECT_FALSE(s.valid());
+}
+
+TEST(Session, AttachFileNotFound)
+{
+    auto s = Session::attachFile(testing::TempDir() +
+                                 "no_such_session_arena.ring");
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.status().code(), StatusCode::NotFound);
+}
+
+TEST(Session, AttachFileRejectsGarbage)
+{
+    const std::string path =
+        testing::TempDir() + "session_garbage.ring";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is not an arena, not even close, padding padding";
+    }
+    auto s = Session::attachFile(path);
+    ASSERT_FALSE(s.ok());
+    EXPECT_TRUE(s.status().code() == StatusCode::Corruption ||
+                s.status().code() == StatusCode::Incompatible)
+        << s.status().toString();
+    std::remove(path.c_str());
+}
+
+TEST(Session, AttachFdRoundTrip)
+{
+    auto owner = Session::create(smallConfig(StorageKind::Shm));
+    ASSERT_TRUE(owner.ok()) << owner.status().toString();
+    Session o = owner.take();
+    EXPECT_TRUE(o.owner());
+    EXPECT_TRUE(o->multiprocess());
+    EXPECT_EQ(o.generation(), 1u);  // creator always draws 1
+    ASSERT_GE(o.shareFd(), 0);
+
+    auto attached = Session::attachFd(o.shareFd());
+    ASSERT_TRUE(attached.ok()) << attached.status().toString();
+    Session a = attached.take();
+    EXPECT_FALSE(a.owner());
+    EXPECT_TRUE(a->multiprocess());
+    EXPECT_EQ(a.generation(), 2u);
+
+    // Entries written through the attachment are visible to the
+    // owner's consumer — the same blocks, through a second mapping.
+    for (uint64_t s = 1; s <= 50; ++s)
+        ASSERT_TRUE(a->record(0, 7, s, 16));
+    const Dump d = o->dump();
+    EXPECT_EQ(d.entries.size(), 50u);
+
+    // And the other direction: owner writes, attachment reads.
+    for (uint64_t s = 51; s <= 60; ++s)
+        ASSERT_TRUE(o->record(1, 8, s, 16));
+    const Dump d2 = a->dump();
+    EXPECT_EQ(d2.entries.size(), 60u);
+}
+
+TEST(Session, AttachFdGenerationContract)
+{
+    auto owner = Session::create(smallConfig(StorageKind::Shm));
+    ASSERT_TRUE(owner.ok());
+    Session o = owner.take();
+
+    // A coordinator that planned for generation 5 must notice the
+    // arena actually hands out 2 (recycled arena / raced attacher).
+    AttachOptions opts;
+    opts.expectGeneration = 5;
+    auto stale = Session::attachFd(o.shareFd(), opts);
+    ASSERT_FALSE(stale.ok());
+    EXPECT_EQ(stale.status().code(), StatusCode::Incompatible);
+
+    // The failed attach still consumed a generation number (the draw
+    // is the rendezvous, not the registration); the next one gets 3.
+    auto next = Session::attachFd(o.shareFd());
+    ASSERT_TRUE(next.ok()) << next.status().toString();
+    EXPECT_EQ(next.value().generation(), 3u);
+
+    // Expecting the right number succeeds.
+    AttachOptions right;
+    right.expectGeneration = 4;
+    auto fourth = Session::attachFd(o.shareFd(), right);
+    ASSERT_TRUE(fourth.ok()) << fourth.status().toString();
+}
+
+TEST(Session, AttachFileRoundTrip)
+{
+    const std::string path =
+        testing::TempDir() + "session_file_arena.ring";
+    BTraceConfig cfg = smallConfig(StorageKind::File);
+    cfg.arenaPath = path;
+    auto owner = Session::create(cfg);
+    ASSERT_TRUE(owner.ok()) << owner.status().toString();
+    Session o = owner.take();
+
+    auto attached = Session::attachFile(path);
+    ASSERT_TRUE(attached.ok()) << attached.status().toString();
+    Session a = attached.take();
+    EXPECT_EQ(a.generation(), 2u);
+
+    for (uint64_t s = 1; s <= 25; ++s)
+        ASSERT_TRUE(a->record(0, 9, s, 16));
+    EXPECT_EQ(o->dump().entries.size(), 25u);
+    std::remove(path.c_str());
+}
+
+TEST(Session, CreateReportsUnwritableArenaPath)
+{
+    BTraceConfig cfg = smallConfig(StorageKind::File);
+    cfg.arenaPath = testing::TempDir() +
+                    "no_such_dir_zzz/session_arena.ring";
+    auto s = Session::create(cfg);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.status().code(), StatusCode::IoError);
+}
+
+TEST(Session, SweepOnHealthyArenaIsANoop)
+{
+    auto owner = Session::create(smallConfig(StorageKind::Shm));
+    ASSERT_TRUE(owner.ok());
+    Session o = owner.take();
+    auto attached = Session::attachFd(o.shareFd());
+    ASSERT_TRUE(attached.ok());
+    Session a = attached.take();
+
+    ASSERT_TRUE(a->record(0, 1, 1, 16));
+    const SweepReport r = o.sweepDeadOwners();
+    EXPECT_EQ(r.reclaimedLeases, 0u);
+    EXPECT_EQ(r.clearedAttachments, 0u);
+}
+
+TEST(Session, CleanDetachFreesRegistrySlot)
+{
+    auto owner = Session::create(smallConfig(StorageKind::Shm));
+    ASSERT_TRUE(owner.ok());
+    Session o = owner.take();
+    {
+        auto attached = Session::attachFd(o.shareFd());
+        ASSERT_TRUE(attached.ok());
+        Session a = attached.take();
+        ASSERT_TRUE(a->record(0, 1, 1, 16));
+        // a detaches cleanly here.
+    }
+    // Nothing for the sweeper to find: the slot was released on
+    // detach, not abandoned.
+    const SweepReport r = o.sweepDeadOwners();
+    EXPECT_EQ(r.clearedAttachments, 0u);
+    EXPECT_EQ(r.reclaimedLeases, 0u);
+}
+
+} // namespace
+} // namespace btrace

@@ -1,6 +1,6 @@
 /**
  * @file
- * Unit tests for the incremental consumer dumpSince() (§4.3
+ * Unit tests for the incremental consumer dumpFrom() (§4.3
  * daemon-collector mode): cursor semantics, no duplicates across
  * polls, close-on-read of active blocks, and frontier catch-up.
  */
@@ -28,7 +28,7 @@ smallConfig()
 TEST(StreamReader, PollsAreDisjointAndOrdered)
 {
     BTrace bt(smallConfig());
-    uint64_t cursor = 0;
+    DumpCursor cursor;
     std::set<uint64_t> seen;
     uint64_t stamp = 0;
     for (int round = 0; round < 20; ++round) {
@@ -36,7 +36,7 @@ TEST(StreamReader, PollsAreDisjointAndOrdered)
             const uint64_t s = ++stamp;
             ASSERT_TRUE(bt.record(uint16_t(s % 4), 1, s, 16));
         }
-        const Dump d = bt.dumpSince(cursor);
+        const Dump d = bt.dumpFrom(cursor);
         for (const DumpEntry &e : d.entries) {
             EXPECT_TRUE(e.payloadOk);
             EXPECT_TRUE(seen.insert(e.stamp).second)
@@ -52,19 +52,19 @@ TEST(StreamReader, CloseActiveFlushesCurrentBlocks)
         ASSERT_TRUE(bt.record(0, 1, s, 16));
 
     // Passive poll cannot return the core's current (partial) block.
-    uint64_t passive_cursor = 0;
-    const Dump passive = bt.dumpSince(passive_cursor, false);
+    DumpCursor passive_cursor;
+    const Dump passive = bt.dumpFrom(passive_cursor);
     EXPECT_LT(passive.entries.size(), 10u);
 
     // Close-on-read forces the block shut and returns everything.
-    uint64_t cursor = 0;
-    const Dump flushed = bt.dumpSince(cursor, true);
+    DumpCursor cursor;
+    const Dump flushed = bt.dumpFrom(cursor, DumpOptions{true, false});
     EXPECT_EQ(flushed.entries.size(), 10u);
     EXPECT_GT(bt.countersSnapshot().closes, 0u);
 
     // Producers keep working afterwards, in a fresh block.
     ASSERT_TRUE(bt.record(0, 1, 11, 16));
-    const Dump next = bt.dumpSince(cursor, true);
+    const Dump next = bt.dumpFrom(cursor, DumpOptions{true, false});
     ASSERT_EQ(next.entries.size(), 1u);
     EXPECT_EQ(next.entries[0].stamp, 11u);
 }
@@ -72,17 +72,17 @@ TEST(StreamReader, CloseActiveFlushesCurrentBlocks)
 TEST(StreamReader, StaleCursorSnapsToWindow)
 {
     BTrace bt(smallConfig());
-    uint64_t cursor = 0;
+    DumpCursor cursor;
     uint64_t stamp = 0;
     for (int i = 0; i < 50; ++i)
         ASSERT_TRUE(bt.record(0, 1, ++stamp, 16));
-    bt.dumpSince(cursor, true);
+    bt.dumpFrom(cursor, DumpOptions{true, false});
 
     // Lap the buffer several times while the reader sleeps.
     for (int i = 0; i < 5000; ++i)
         ASSERT_TRUE(bt.record(0, 1, ++stamp, 16));
 
-    const Dump d = bt.dumpSince(cursor, true);
+    const Dump d = bt.dumpFrom(cursor, DumpOptions{true, false});
     ASSERT_FALSE(d.entries.empty());
     uint64_t newest = 0;
     for (const DumpEntry &e : d.entries)
@@ -99,10 +99,10 @@ TEST(StreamReader, StaleCursorSnapsToWindow)
 TEST(StreamReader, EmptyPollOnQuiescentTracer)
 {
     BTrace bt(smallConfig());
-    uint64_t cursor = 0;
+    DumpCursor cursor;
     ASSERT_TRUE(bt.record(0, 1, 1, 16));
-    bt.dumpSince(cursor, true);
-    const Dump d = bt.dumpSince(cursor, true);
+    bt.dumpFrom(cursor, DumpOptions{true, false});
+    const Dump d = bt.dumpFrom(cursor, DumpOptions{true, false});
     EXPECT_TRUE(d.entries.empty());
 }
 
@@ -111,7 +111,7 @@ TEST(StreamReader, StreamUnionMatchesProducedSuffix)
     // Poll frequently enough that nothing is overwritten between
     // polls: the union of all polls must be every produced stamp.
     BTrace bt(smallConfig());
-    uint64_t cursor = 0;
+    DumpCursor cursor;
     std::set<uint64_t> seen;
     uint64_t stamp = 0;
     for (int round = 0; round < 100; ++round) {
@@ -119,7 +119,7 @@ TEST(StreamReader, StreamUnionMatchesProducedSuffix)
             const uint64_t s = ++stamp;
             ASSERT_TRUE(bt.record(uint16_t(s % 4), 1, s, 16));
         }
-        const Dump d = bt.dumpSince(cursor, true);
+        const Dump d = bt.dumpFrom(cursor, DumpOptions{true, false});
         for (const DumpEntry &e : d.entries)
             seen.insert(e.stamp);
     }
@@ -137,7 +137,7 @@ TEST(StreamReader, WorksAcrossResize)
     cfg.maxBlocks = 128;
     cfg.cores = 2;
     BTrace bt(cfg);
-    uint64_t cursor = 0;
+    DumpCursor cursor;
     uint64_t stamp = 0;
     std::set<uint64_t> seen;
     auto write_and_poll = [&]() {
@@ -145,7 +145,7 @@ TEST(StreamReader, WorksAcrossResize)
             const uint64_t s = ++stamp;
             ASSERT_TRUE(bt.record(uint16_t(s % 2), 1, s, 64));
         }
-        const Dump d = bt.dumpSince(cursor, true);
+        const Dump d = bt.dumpFrom(cursor, DumpOptions{true, false});
         for (const DumpEntry &e : d.entries) {
             EXPECT_TRUE(e.payloadOk);
             EXPECT_TRUE(seen.insert(e.stamp).second);

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Unit tests for the btraced drain loop (daemon/daemon.h): segment
+ * writing and rotation, retention, the final close-active drain on
+ * stop, stats accounting, and the shared trace-file codec's torn-tail
+ * behavior that crash-robust collection depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "daemon/daemon.h"
+#include "trace/trace_file.h"
+
+namespace btrace {
+namespace {
+
+BTraceConfig
+smallConfig(StorageKind storage = StorageKind::Private)
+{
+    BTraceConfig cfg;
+    cfg.blockSize = 256;
+    cfg.numBlocks = 64;
+    cfg.activeBlocks = 8;
+    cfg.cores = 4;
+    cfg.storage = storage;
+    return cfg;
+}
+
+class DaemonTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = testing::TempDir() + "btraced_test_" +
+              std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()
+                  ->current_test_info()
+                  ->name();
+    }
+
+    void
+    TearDown() override
+    {
+        // Best-effort cleanup of the segment directory.
+        for (uint64_t i = 0; i < 64; ++i)
+            std::remove(daemonSegmentPath(dir, i).c_str());
+        ::rmdir(dir.c_str());
+    }
+
+    std::string dir;
+};
+
+TEST_F(DaemonTest, DrainsIntoSegment)
+{
+    auto s = Session::create(smallConfig());
+    ASSERT_TRUE(s.ok());
+    Session sess = s.take();
+    for (uint64_t st = 1; st <= 100; ++st)
+        ASSERT_TRUE(sess->record(0, 1, st, 16));
+
+    DaemonOptions opts;
+    opts.outDir = dir;
+    opts.closeActive = true;
+    auto d = ConsumerDaemon::make(std::move(sess), opts);
+    ASSERT_TRUE(d.ok()) << d.status().toString();
+    ConsumerDaemon &daemon = *d.value();
+
+    auto n = daemon.drainOnce();
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(n.value(), 100u);
+    daemon.stop();
+
+    const DaemonStats st = daemon.stats();
+    EXPECT_EQ(st.entries, 100u);
+    EXPECT_EQ(st.segmentsOpened, 1u);
+
+    auto loaded = readTraceFile(daemonSegmentPath(dir, 0));
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    EXPECT_EQ(loaded.value().size(), 100u);
+    EXPECT_EQ(loaded.value()[0].stamp, 1u);
+}
+
+TEST_F(DaemonTest, SecondDrainSeesOnlyNewEntries)
+{
+    auto s = Session::create(smallConfig());
+    ASSERT_TRUE(s.ok());
+    Session sess = s.take();
+
+    DaemonOptions opts;
+    opts.outDir = dir;
+    opts.closeActive = true;
+    auto d = ConsumerDaemon::make(std::move(sess), opts);
+    ASSERT_TRUE(d.ok());
+    ConsumerDaemon &daemon = *d.value();
+
+    for (uint64_t st = 1; st <= 50; ++st)
+        ASSERT_TRUE(daemon.session()->record(0, 1, st, 16));
+    ASSERT_TRUE(daemon.drainOnce().ok());
+
+    for (uint64_t st = 51; st <= 80; ++st)
+        ASSERT_TRUE(daemon.session()->record(0, 1, st, 16));
+    auto n = daemon.drainOnce();
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(n.value(), 30u);  // incremental, not a re-read
+
+    daemon.stop();
+    EXPECT_EQ(daemon.stats().entries, 80u);
+}
+
+TEST_F(DaemonTest, RotatesAndAgesOutSegments)
+{
+    auto s = Session::create(smallConfig());
+    ASSERT_TRUE(s.ok());
+
+    DaemonOptions opts;
+    opts.outDir = dir;
+    opts.closeActive = true;
+    // Tiny budget: ~10 records per segment forces many rotations.
+    opts.segmentBytes = 10 * sizeof(TraceDiskRecord);
+    opts.maxSegments = 2;
+    auto d = ConsumerDaemon::make(s.take(), opts);
+    ASSERT_TRUE(d.ok());
+    ConsumerDaemon &daemon = *d.value();
+
+    for (int round = 0; round < 12; ++round) {
+        for (uint64_t k = 1; k <= 10; ++k)
+            ASSERT_TRUE(daemon.session()->record(
+                0, 1, uint64_t(round) * 10 + k, 16));
+        ASSERT_TRUE(daemon.drainOnce().ok());
+    }
+    daemon.stop();
+
+    const DaemonStats st = daemon.stats();
+    EXPECT_EQ(st.entries, 120u);
+    EXPECT_GT(st.segmentsOpened, 2u);
+    EXPECT_GT(st.segmentsDeleted, 0u);
+    // Retention: at most maxSegments finished segments plus the open
+    // one survive on disk.
+    uint64_t onDisk = 0;
+    for (uint64_t i = 0; i < st.segmentsOpened; ++i) {
+        struct stat sb;
+        if (::stat(daemonSegmentPath(dir, i).c_str(), &sb) == 0)
+            ++onDisk;
+    }
+    EXPECT_LE(onDisk, opts.maxSegments + 1);
+
+    // Every surviving segment decodes, and the newest one holds the
+    // newest stamps.
+    auto last = readTraceFile(
+        daemonSegmentPath(dir, st.segmentsOpened - 1));
+    ASSERT_TRUE(last.ok()) << last.status().toString();
+    ASSERT_FALSE(last.value().empty());
+    EXPECT_EQ(last.value().back().stamp, 120u);
+}
+
+TEST_F(DaemonTest, StopRunsFinalCloseActiveDrain)
+{
+    auto s = Session::create(smallConfig());
+    ASSERT_TRUE(s.ok());
+
+    DaemonOptions opts;
+    opts.outDir = dir;
+    auto d = ConsumerDaemon::make(s.take(), opts);
+    ASSERT_TRUE(d.ok());
+    ConsumerDaemon &daemon = *d.value();
+
+    // Entries sit in open blocks; no explicit drain happened.
+    for (uint64_t st = 1; st <= 25; ++st)
+        ASSERT_TRUE(daemon.session()->record(0, 1, st, 16));
+    daemon.stop();
+
+    auto loaded = readTraceFile(daemonSegmentPath(dir, 0));
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value().size(), 25u);
+}
+
+TEST_F(DaemonTest, BackgroundThreadDrainsAndSweeps)
+{
+    auto s = Session::create(smallConfig(StorageKind::Shm));
+    ASSERT_TRUE(s.ok());
+
+    DaemonOptions opts;
+    opts.outDir = dir;
+    opts.drainIntervalSec = 0.001;
+    opts.sweepEveryNDrains = 2;
+    opts.closeActive = true;
+    auto d = ConsumerDaemon::make(s.take(), opts);
+    ASSERT_TRUE(d.ok());
+    ConsumerDaemon &daemon = *d.value();
+
+    daemon.start();
+    for (uint64_t st = 1; st <= 200; ++st)
+        ASSERT_TRUE(daemon.session()->record(0, 1, st, 16));
+    // Let the loop take a few passes, then stop (joins + final drain).
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    daemon.stop();
+
+    const DaemonStats st = daemon.stats();
+    EXPECT_GT(st.drains, 1u);
+    EXPECT_GT(st.sweeps, 0u);
+    EXPECT_EQ(st.entries, 200u);
+    EXPECT_EQ(st.reclaimedLeases, 0u);  // nobody died
+}
+
+TEST_F(DaemonTest, DrainAfterStopFails)
+{
+    auto s = Session::create(smallConfig());
+    ASSERT_TRUE(s.ok());
+    DaemonOptions opts;
+    opts.outDir = dir;
+    auto d = ConsumerDaemon::make(s.take(), opts);
+    ASSERT_TRUE(d.ok());
+    d.value()->stop();
+    auto n = d.value()->drainOnce();
+    ASSERT_FALSE(n.ok());
+    EXPECT_EQ(n.status().code(), StatusCode::InvalidArgument);
+}
+
+TEST_F(DaemonTest, MakeRejectsInvalidSession)
+{
+    DaemonOptions opts;
+    opts.outDir = dir;
+    auto d = ConsumerDaemon::make(Session(), opts);
+    ASSERT_FALSE(d.ok());
+    EXPECT_EQ(d.status().code(), StatusCode::InvalidArgument);
+}
+
+TEST_F(DaemonTest, MakeReportsUnusableOutDir)
+{
+    // A regular file where the directory should go.
+    const std::string clash = dir;
+    {
+        FILE *f = std::fopen(clash.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fclose(f);
+    }
+    auto s = Session::create(smallConfig());
+    ASSERT_TRUE(s.ok());
+    DaemonOptions opts;
+    opts.outDir = clash + "/sub";
+    auto d = ConsumerDaemon::make(s.take(), opts);
+    ASSERT_FALSE(d.ok());
+    EXPECT_EQ(d.status().code(), StatusCode::IoError);
+    std::remove(clash.c_str());
+}
+
+TEST(TraceFileCodec, TornTailIsCorruptionStrictButReadableLossy)
+{
+    const std::string path =
+        testing::TempDir() + "torn_tail.btrace";
+    {
+        const int fd = ::open(path.c_str(),
+                              O_CREAT | O_TRUNC | O_WRONLY, 0644);
+        ASSERT_GE(fd, 0);
+        ASSERT_TRUE(writeTraceFileHeader(fd).ok());
+        std::vector<DumpEntry> entries;
+        for (uint64_t st = 1; st <= 5; ++st)
+            entries.push_back(DumpEntry{st, 40, 0, 1, 0, true});
+        ASSERT_TRUE(appendTraceRecords(fd, entries).ok());
+        ::close(fd);
+    }
+    // Tear the last record in half — the shape a crash mid-write
+    // leaves behind.
+    ASSERT_EQ(::truncate(path.c_str(),
+                         off_t(8 + 5 * sizeof(TraceDiskRecord) -
+                               sizeof(TraceDiskRecord) / 2)),
+              0);
+
+    auto strict = readTraceFile(path);
+    ASSERT_FALSE(strict.ok());
+    EXPECT_EQ(strict.status().code(), StatusCode::Corruption);
+
+    bool torn = false;
+    auto lossy = readTraceFileLossy(path, &torn);
+    ASSERT_TRUE(lossy.ok()) << lossy.status().toString();
+    EXPECT_TRUE(torn);
+    EXPECT_EQ(lossy.value().size(), 4u);  // every complete record
+    EXPECT_EQ(lossy.value().back().stamp, 4u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileCodec, RejectsForeignFile)
+{
+    const std::string path =
+        testing::TempDir() + "foreign.btrace";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "definitely not a trace";
+    }
+    auto r = readTraceFile(path);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::Corruption);
+
+    auto missing = readTraceFile(testing::TempDir() +
+                                 "nonexistent.btrace");
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.status().code(), StatusCode::NotFound);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace btrace

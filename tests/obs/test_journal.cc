@@ -145,8 +145,8 @@ TEST(Journal, CoversTransitionSitesOnLiveTracer)
     }
 
     // An incremental consumer pass journals its cursor advance.
-    uint64_t cursor = 0;
-    (void)bt.dumpSince(cursor);
+    DumpCursor cursor;
+    (void)bt.dumpFrom(cursor);
 
     const std::vector<JournalRecord> recs = j.snapshot();
     EXPECT_GT(countKind(recs, JournalEventKind::BlockOpen), 0u);

@@ -211,7 +211,7 @@ inspectArena(const std::string &path)
     if (!v.ok()) {
         std::fprintf(stderr, "%s: %s\n", path.c_str(),
                      v.error().c_str());
-        return 1;
+        return exitCodeFor(v.status().code());
     }
 
     std::printf("arena %s\n", path.c_str());
@@ -329,7 +329,12 @@ main(int argc, char **argv)
         }
     }
 
-    const auto entries = TracePersister::load(input);
+    auto loaded = TracePersister::tryLoad(input);
+    if (!loaded.ok()) {
+        std::fprintf(stderr, "%s\n", loaded.status().toString().c_str());
+        return exitCodeFor(loaded.status().code());
+    }
+    const auto entries = loaded.take();
     Dump dump;
     dump.entries = entries;
     std::printf("%s\n", summarizeDump(dump).c_str());

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * btrace_producer — scriptable producer for multi-process smoke tests.
+ *
+ *   btrace_producer --arena PATH --events N [--payload N] [--core C]
+ *                   [--lease N] [--expect-generation N] [--hold-lease]
+ *
+ * Attaches to a shared file arena and writes N events through batched
+ * leases, then detaches cleanly — unless --hold-lease is given, in
+ * which case it writes half a lease, prints "HOLDING\n" on stdout and
+ * sleeps forever *without closing the lease*: the SIGKILL target of
+ * the crash-reclamation smoke test (scripts/multiproc_smoke.sh). The
+ * daemon's sweep must then prove this process dead and reclaim the
+ * block its lease pinned.
+ *
+ * Exit codes follow exitCodeFor() like btraced and btrace_inspect.
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/session.h"
+
+using namespace btrace;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: btrace_producer --arena PATH --events N\n"
+                 "                       [--payload N] [--core C] "
+                 "[--lease N]\n"
+                 "                       [--expect-generation N] "
+                 "[--hold-lease]\n");
+    return exitCodeFor(StatusCode::InvalidArgument);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string arena;
+    uint64_t events = 0;
+    uint32_t payload = 16;
+    uint16_t core = 0;
+    uint32_t leaseN = 32;
+    uint64_t expectGeneration = 0;
+    bool holdLease = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        const char *v = nullptr;
+        if (std::strcmp(a, "--arena") == 0 && (v = next())) {
+            arena = v;
+        } else if (std::strcmp(a, "--events") == 0 && (v = next())) {
+            events = std::strtoull(v, nullptr, 10);
+        } else if (std::strcmp(a, "--payload") == 0 && (v = next())) {
+            payload = uint32_t(std::atoi(v));
+        } else if (std::strcmp(a, "--core") == 0 && (v = next())) {
+            core = uint16_t(std::atoi(v));
+        } else if (std::strcmp(a, "--lease") == 0 && (v = next())) {
+            leaseN = uint32_t(std::atoi(v));
+        } else if (std::strcmp(a, "--expect-generation") == 0 &&
+                   (v = next())) {
+            expectGeneration = std::strtoull(v, nullptr, 10);
+        } else if (std::strcmp(a, "--hold-lease") == 0) {
+            holdLease = true;
+        } else {
+            return usage();
+        }
+    }
+    if (arena.empty() || (events == 0 && !holdLease))
+        return usage();
+
+    AttachOptions ao;
+    ao.expectGeneration = expectGeneration;
+    auto sess = Session::attachFile(arena, ao);
+    if (!sess.ok()) {
+        std::fprintf(stderr, "btrace_producer: %s\n",
+                     sess.status().toString().c_str());
+        return exitCodeFor(sess.status().code());
+    }
+    Session s = sess.take();
+    const uint32_t tid = uint32_t(::getpid());
+
+    uint64_t written = 0, stamp = 1;
+    while (written < events) {
+        Lease l = s->lease(core, tid, payload, leaseN);
+        if (!l.ok()) {
+            // Arena saturated: yield to the consumer and retry.
+            ::usleep(1000);
+            continue;
+        }
+        while (written < events) {
+            WriteTicket t = l.allocate(payload);
+            if (!t.ok())
+                break;  // span exhausted; renew the lease
+            writeNormal(t.dst, stamp++, core, tid, 0, payload);
+            l.confirm(t);
+            ++written;
+        }
+        l.close();
+    }
+
+    if (holdLease) {
+        // Take a lease, use part of it, and never close it. The
+        // parent reads "HOLDING" then SIGKILLs us; only the sweeper
+        // can complete the block after that.
+        Lease l = s->lease(core, tid, payload, leaseN);
+        while (!l.ok()) {
+            ::usleep(1000);
+            l = s->lease(core, tid, payload, leaseN);
+        }
+        for (int k = 0; k < 3; ++k) {
+            WriteTicket t = l.allocate(payload);
+            if (!t.ok())
+                break;
+            writeNormal(t.dst, stamp++, core, tid, 0, payload);
+            l.confirm(t);
+        }
+        std::printf("HOLDING\n");
+        std::fflush(stdout);
+        for (;;)
+            ::pause();
+    }
+
+    std::printf("%llu\n", static_cast<unsigned long long>(written));
+    return 0;
+}

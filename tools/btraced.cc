@@ -1,0 +1,217 @@
+/**
+ * @file
+ * btraced — the out-of-process consumer daemon (DESIGN.md §11).
+ *
+ *   btraced --arena PATH [--out DIR] [options]     attach and drain
+ *   btraced --arena PATH --create [geometry]       create, then drain
+ *   btraced --fd N [--out DIR] [options]           inherited arena fd
+ *
+ * Attaches to a shared file arena (or creates one for producers to
+ * join), then drains it continuously into rotating bounded segment
+ * files (trace_file.h format — btrace_inspect reads them directly) and
+ * sweeps leases of producers that died, until the duration elapses or
+ * SIGINT/SIGTERM arrives. Exit codes follow exitCodeFor(): scripts can
+ * branch on 3 (no such arena), 5 (corrupt), 6 (incompatible
+ * generation), 7 (arena busy / registry full), ...
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "daemon/daemon.h"
+#include "obs/export.h"
+
+using namespace btrace;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: btraced --arena PATH [--create] [--fd N]\n"
+        "               [--out DIR] [--segment-bytes N] "
+        "[--max-segments N]\n"
+        "               [--interval-ms N] [--sweep-every N]\n"
+        "               [--duration SEC] [--close-active 0|1]\n"
+        "               [--expect-generation N] [--metrics-out PATH]\n"
+        "create-mode geometry: [--blocks N] [--active N]\n"
+        "               [--block-bytes N] [--cores N]\n");
+    return exitCodeFor(StatusCode::InvalidArgument);
+}
+
+struct Flags
+{
+    std::string arena;
+    int fd = -1;
+    bool create = false;
+    std::string outDir = "btraced-out";
+    std::string metricsOut;
+    DaemonOptions daemon;
+    double durationSec = 0.0;  // 0 = until signal
+    uint64_t expectGeneration = 0;
+    // create-mode geometry
+    std::size_t blocks = 3072, active = 192, blockBytes = 4096;
+    unsigned cores = 12;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Flags f;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        const char *v = nullptr;
+        if (std::strcmp(a, "--arena") == 0 && (v = next())) {
+            f.arena = v;
+        } else if (std::strcmp(a, "--fd") == 0 && (v = next())) {
+            f.fd = std::atoi(v);
+        } else if (std::strcmp(a, "--create") == 0) {
+            f.create = true;
+        } else if (std::strcmp(a, "--out") == 0 && (v = next())) {
+            f.outDir = v;
+        } else if (std::strcmp(a, "--segment-bytes") == 0 &&
+                   (v = next())) {
+            f.daemon.segmentBytes = std::strtoull(v, nullptr, 10);
+        } else if (std::strcmp(a, "--max-segments") == 0 &&
+                   (v = next())) {
+            f.daemon.maxSegments = std::strtoull(v, nullptr, 10);
+        } else if (std::strcmp(a, "--interval-ms") == 0 &&
+                   (v = next())) {
+            f.daemon.drainIntervalSec = std::atof(v) / 1000.0;
+        } else if (std::strcmp(a, "--sweep-every") == 0 &&
+                   (v = next())) {
+            f.daemon.sweepEveryNDrains = unsigned(std::atoi(v));
+        } else if (std::strcmp(a, "--duration") == 0 && (v = next())) {
+            f.durationSec = std::atof(v);
+        } else if (std::strcmp(a, "--close-active") == 0 &&
+                   (v = next())) {
+            f.daemon.closeActive = std::atoi(v) != 0;
+        } else if (std::strcmp(a, "--expect-generation") == 0 &&
+                   (v = next())) {
+            f.expectGeneration = std::strtoull(v, nullptr, 10);
+        } else if (std::strcmp(a, "--metrics-out") == 0 &&
+                   (v = next())) {
+            f.metricsOut = v;
+        } else if (std::strcmp(a, "--blocks") == 0 && (v = next())) {
+            f.blocks = std::strtoull(v, nullptr, 10);
+        } else if (std::strcmp(a, "--active") == 0 && (v = next())) {
+            f.active = std::strtoull(v, nullptr, 10);
+        } else if (std::strcmp(a, "--block-bytes") == 0 &&
+                   (v = next())) {
+            f.blockBytes = std::strtoull(v, nullptr, 10);
+        } else if (std::strcmp(a, "--cores") == 0 && (v = next())) {
+            f.cores = unsigned(std::atoi(v));
+        } else {
+            return usage();
+        }
+    }
+    if (f.arena.empty() && f.fd < 0)
+        return usage();
+    f.daemon.outDir = f.outDir;
+
+    // Rendezvous: create the arena, or join one that exists.
+    Expected<Session> sess = Expected<Session>(Session());
+    if (f.create) {
+        BTraceConfig cfg;
+        cfg.storage = StorageKind::File;
+        cfg.arenaPath = f.arena;
+        cfg.numBlocks = f.blocks;
+        cfg.activeBlocks = f.active;
+        cfg.blockSize = f.blockBytes;
+        cfg.cores = f.cores;
+        sess = Session::create(cfg);
+    } else {
+        AttachOptions ao;
+        ao.expectGeneration = f.expectGeneration;
+        sess = f.fd >= 0 ? Session::attachFd(f.fd, ao)
+                         : Session::attachFile(f.arena, ao);
+    }
+    if (!sess.ok()) {
+        std::fprintf(stderr, "btraced: %s\n",
+                     sess.status().toString().c_str());
+        return exitCodeFor(sess.status().code());
+    }
+    std::fprintf(stderr,
+                 "btraced: %s arena (generation %llu), draining to %s\n",
+                 sess.value().owner() ? "created" : "attached",
+                 static_cast<unsigned long long>(
+                     sess.value().generation()),
+                 f.outDir.c_str());
+
+    auto daemon = ConsumerDaemon::make(sess.take(), f.daemon);
+    if (!daemon.ok()) {
+        std::fprintf(stderr, "btraced: %s\n",
+                     daemon.status().toString().c_str());
+        return exitCodeFor(daemon.status().code());
+    }
+    ConsumerDaemon &d = *daemon.value();
+
+    MetricsRegistry registry;
+    d.registerMetrics(registry);
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    d.start();
+    const auto t0 = std::chrono::steady_clock::now();
+    while (g_stop == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        if (f.durationSec > 0.0 &&
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                    .count() >= f.durationSec)
+            break;
+    }
+    d.stop();
+
+    const DaemonStats st = d.stats();
+    std::fprintf(stderr,
+                 "btraced: %llu drains, %llu entries, %llu segments, "
+                 "%llu sweeps, %llu leases reclaimed (%llu bytes), "
+                 "%llu attachments cleared, %llu positions lost, "
+                 "%llu blocks skipped\n",
+                 static_cast<unsigned long long>(st.drains),
+                 static_cast<unsigned long long>(st.entries),
+                 static_cast<unsigned long long>(st.segmentsOpened),
+                 static_cast<unsigned long long>(st.sweeps),
+                 static_cast<unsigned long long>(st.reclaimedLeases),
+                 static_cast<unsigned long long>(st.reclaimedBytes),
+                 static_cast<unsigned long long>(st.clearedAttachments),
+                 static_cast<unsigned long long>(
+                     st.overwrittenPositions),
+                 static_cast<unsigned long long>(st.skippedBlocks));
+
+    if (!f.metricsOut.empty()) {
+        std::ofstream out(f.metricsOut);
+        if (!out) {
+            std::fprintf(stderr, "btraced: cannot write %s\n",
+                         f.metricsOut.c_str());
+            return exitCodeFor(StatusCode::IoError);
+        }
+        out << renderPrometheus(registry.collect(),
+                                {{"daemon", "btraced"}});
+    }
+    return 0;
+}

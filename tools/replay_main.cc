@@ -39,6 +39,7 @@
 #include <string>
 
 #include "analysis/continuity.h"
+#include "common/status.h"
 #include "analysis/export.h"
 #include "obs/btrace_metrics.h"
 #include "obs/flight_recorder.h"
@@ -80,7 +81,7 @@ usage()
         "              [--journal-out=PATH] [--flight-out=PATH]\n"
         "              [--backend=private|shm|file] [--arena=PATH]\n"
         "              [--list-workloads]\n");
-    return 2;
+    return exitCodeFor(StatusCode::InvalidArgument);
 }
 
 TracerKind
@@ -92,7 +93,7 @@ kindByName(const std::string &name)
         if (n == name) return k;
     }
     std::fprintf(stderr, "unknown tracer '%s'\n", name.c_str());
-    std::exit(2);
+    std::exit(exitCodeFor(StatusCode::InvalidArgument));
 }
 
 } // namespace
@@ -152,7 +153,7 @@ main(int argc, char **argv)
         if (!parseStorageKind(f.backend, storage)) {
             std::fprintf(stderr, "unknown backend '%s'\n",
                          f.backend.c_str());
-            return 2;
+            return exitCodeFor(StatusCode::InvalidArgument);
         }
         if (kind != TracerKind::BTrace) {
             std::fprintf(stderr,
@@ -165,7 +166,7 @@ main(int argc, char **argv)
         }
     } else if (!f.arena.empty()) {
         std::fprintf(stderr, "--arena requires --backend=file\n");
-        return 2;
+        return exitCodeFor(StatusCode::InvalidArgument);
     }
     auto tracer = makeTracer(kind, topt);
 
