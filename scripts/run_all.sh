@@ -1,16 +1,20 @@
 #!/bin/sh
 # Regenerate the full reproduction: build, tests, every experiment.
 # Outputs land in test_output.txt and bench_output.txt at the repo
-# root (the files referenced by EXPERIMENTS.md); bench binaries also
-# drop their BENCH_*.json next to the working directory.
+# root (the files referenced by EXPERIMENTS.md), and the bench result
+# files BENCH_main.json / BENCH_latency.json / BENCH_throughput.json
+# are pinned to the repo root with explicit output flags — not left to
+# whatever working directory a bench happens to inherit.
 #
 # Any --obs-* argument (e.g. --obs-interval=0.5 --obs-json=obs.jsonl)
 # is forwarded to every bench binary, so one invocation produces the
 # observability stream alongside the results; the stream is then
-# schema-checked. A bench exiting nonzero fails the script — loudly,
-# at the end, after every bench has had its chance to run.
+# schema-checked. --quick is forwarded too (CI-sized runs). A bench
+# exiting nonzero — or a missing BENCH_*.json — fails the script:
+# loudly, at the end, after every bench has had its chance to run.
 set -eu
 cd "$(dirname "$0")/.."
+ROOT=$(pwd)
 
 OBS_FLAGS=
 OBS_JSON=
@@ -23,8 +27,12 @@ for arg in "$@"; do
         --obs-*)
             OBS_FLAGS="$OBS_FLAGS $arg"
             ;;
+        --quick)
+            OBS_FLAGS="$OBS_FLAGS $arg"
+            ;;
         *)
-            echo "unknown argument: $arg (only --obs-* is accepted)" >&2
+            echo "unknown argument: $arg (only --obs-* and --quick" \
+                 "are accepted)" >&2
             exit 2
             ;;
     esac
@@ -50,12 +58,26 @@ tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
-    echo "### $b $OBS_FLAGS" | tee -a bench_output.txt
+    # Pin each bench's result file to the repo root explicitly. The
+    # benches default to writing into their *working directory*, so a
+    # run from anywhere else (CI step, build dir, IDE) silently
+    # deposits the JSON where nothing reads it.
+    OUT_FLAGS=
+    case "$(basename "$b")" in
+        micro_throughput)
+            OUT_FLAGS="--json=$ROOT/BENCH_throughput.json"
+            ;;
+        micro_latency)
+            OUT_FLAGS="--benchmark_out=$ROOT/BENCH_latency.json"
+            OUT_FLAGS="$OUT_FLAGS --benchmark_out_format=json"
+            ;;
+    esac
+    echo "### $b $OBS_FLAGS $OUT_FLAGS" | tee -a bench_output.txt
     # Run to a temp file first: a tee pipeline would swallow the exit
     # status under plain POSIX sh.
     status=0
-    # shellcheck disable=SC2086  # OBS_FLAGS is intentionally split
-    "$b" $OBS_FLAGS > "$tmp" 2>&1 || status=$?
+    # shellcheck disable=SC2086  # flag lists are intentionally split
+    "$b" $OBS_FLAGS $OUT_FLAGS > "$tmp" 2>&1 || status=$?
     tee -a bench_output.txt < "$tmp"
     if [ "$status" -ne 0 ]; then
         echo "FAILED: $b exited $status" | tee -a bench_output.txt >&2
@@ -69,11 +91,14 @@ if [ -n "$OBS_JSON" ] && [ -s "$OBS_JSON" ]; then
         failures="$failures obs-schema"
 fi
 
-# Collect the bench result files at the repo root (the paths CI
-# uploads and EXPERIMENTS.md references). Benches write to the
-# working directory, so normally they are already here; a bench run
-# from inside build/ is swept up too. Missing files are loud but not
-# fatal — a bench that failed above already recorded its failure.
+# Verify the bench result files landed at the repo root (the paths
+# CI uploads and EXPERIMENTS.md references). micro_throughput and
+# micro_latency were pinned there explicitly above; table2_main
+# writes BENCH_main.json into the working directory, which this
+# script pinned to the root with the cd at the top. A stray copy in
+# build/ (from a bench run by hand) is swept up as a fallback. A
+# missing artifact fails the run — this is exactly the silent
+# publication gap this check exists to catch.
 for j in BENCH_main.json BENCH_latency.json BENCH_throughput.json; do
     if [ ! -s "$j" ] && [ -s "build/$j" ]; then
         cp "build/$j" "$j"
@@ -81,7 +106,8 @@ for j in BENCH_main.json BENCH_latency.json BENCH_throughput.json; do
     if [ -s "$j" ]; then
         echo "bench results: $j"
     else
-        echo "WARNING: $j was not produced" >&2
+        echo "FAILED: $j was not produced" >&2
+        failures="$failures $j"
     fi
 done
 

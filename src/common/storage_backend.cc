@@ -516,6 +516,19 @@ ArenaView::block(uint64_t phys) const
     return data() + phys * bs;
 }
 
+const uint8_t *
+ArenaView::ctrlRegion() const
+{
+    const ArenaHeader *h = hdr();
+    return h->ctrlBytes ? base + h->ctrlOffset : nullptr;
+}
+
+std::size_t
+ArenaView::ctrlBytes() const
+{
+    return hdr()->ctrlBytes;
+}
+
 std::string
 ArenaView::flightJson() const
 {

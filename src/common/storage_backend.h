@@ -289,6 +289,15 @@ class ArenaView
     /** Stored flight bundle JSON; empty if none was ever written. */
     std::string flightJson() const;
 
+    /**
+     * Control-region base (nullptr for arenas created without one)
+     * and its byte size — the offline read-only view behind
+     * `btrace_inspect --control` (the ControlHeader, and from layout
+     * v2 the control page, live here).
+     */
+    const uint8_t *ctrlRegion() const;
+    std::size_t ctrlBytes() const;
+
   private:
     const ArenaHeader *hdr() const;
 

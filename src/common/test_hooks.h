@@ -47,6 +47,7 @@ enum class YieldPoint : int
     ResizePreDecommit,        //!< resize: epochs synchronized, decommit next
     LeasePreClaim,            //!< lease: core-local read done, span FAA next
     LeasePreCloseConfirm,     //!< leaseClose: remainder dummied, confirm next
+    ControlPreSwap,           //!< applyControl: snapshot built, pointer swap next
     Count
 };
 

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Runtime-tunable control knobs of a tracer (DESIGN.md §12).
+ *
+ * A ControlConfig is the *value* side of the dynamic control plane:
+ * everything an operator may retune while producers are live — sample
+ * rates, the first-K-per-interval guarantee, the record-rate budget,
+ * and the bounds the adaptive-sizing governor must respect. The
+ * defaults mean "trace everything, never throttle, never resize":
+ * a tracer whose control stays at defaults pays nothing for the plane
+ * existing (the published snapshot pointer is null, see snapshot.h).
+ *
+ * The shape is modeled on ytsaurus's TSamplingConfig (SNIPPETS.md §3):
+ * a global sample probability, per-category overrides, and a minimum
+ * guaranteed trace count per interval so rare-but-important categories
+ * survive aggressive downsampling.
+ */
+
+#ifndef BTRACE_CONTROL_CONTROL_CONFIG_H
+#define BTRACE_CONTROL_CONTROL_CONFIG_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace btrace {
+
+/**
+ * Categories the control plane distinguishes. Event categories are
+ * 16-bit; rates are kept per category modulo this slot count, so two
+ * categories 16 apart share a knob. Power of two (mask, not divide).
+ */
+constexpr std::size_t kControlCategorySlots = 16;
+
+/** The runtime-reconfigurable knobs. All defaults mean "no effect". */
+struct ControlConfig
+{
+    /** Probability an event is recorded, in [0, 1]. */
+    double sampleRate = 1.0;
+
+    /**
+     * Per-category override of sampleRate, indexed by
+     * category % kControlCategorySlots. Negative = inherit the global
+     * rate (the default for every slot).
+     */
+    std::array<double, kControlCategorySlots> categoryRate = [] {
+        std::array<double, kControlCategorySlots> a{};
+        for (double &r : a) r = -1.0;
+        return a;
+    }();
+
+    /**
+     * First-K guarantee: the first K events of each category slot in
+     * every interval are recorded regardless of the sample rate, so a
+     * rate of 0.01 still keeps at least K exemplars per interval.
+     * 0 disables the guarantee.
+     */
+    uint32_t firstK = 0;
+
+    /** Interval of the first-K guarantee and the record budget. */
+    double intervalSec = 1.0;
+
+    /**
+     * Hard ceiling on recorded events per interval across all
+     * categories (the budget of "Budgeted Dynamic Trace Structures").
+     * Applied after sampling; 0 = unlimited.
+     */
+    uint64_t recordBudget = 0;
+
+    /**
+     * Ring-size bounds the governor may move numBlocks within, in
+     * blocks. 0 = derive from the static geometry (min = initial
+     * numBlocks, max = effectiveMaxBlocks). Both must be multiples of
+     * activeBlocks when set.
+     */
+    std::size_t ringMinBlocks = 0;
+    std::size_t ringMaxBlocks = 0;
+
+    /** Tool-level toggles (btraced/replay honor them; see DESIGN.md §12). */
+    bool journalEnabled = true;
+    bool watchdogEnabled = true;
+
+    /** True iff every knob still has its default (no-effect) value. */
+    bool
+    isDefault() const
+    {
+        if (sampleRate != 1.0 || firstK != 0 || recordBudget != 0 ||
+            ringMinBlocks != 0 || ringMaxBlocks != 0 ||
+            !journalEnabled || !watchdogEnabled)
+            return false;
+        for (double r : categoryRate)
+            if (r >= 0.0)
+                return false;
+        return true;
+    }
+
+    /**
+     * Self-contained validity rules (the cross-field rules against the
+     * tracer geometry live in BTraceConfig::validate):
+     *
+     *  - sampleRate in [0, 1]; category overrides negative (inherit)
+     *    or in [0, 1];
+     *  - intervalSec > 0;
+     *  - firstK <= recordBudget when a budget is set (the guarantee
+     *    cannot exceed the interval's record capacity);
+     *  - ringMinBlocks <= ringMaxBlocks when both are set.
+     *
+     * Returns the first violation as InvalidArgument.
+     */
+    Status
+    validate() const
+    {
+        if (sampleRate < 0.0 || sampleRate > 1.0)
+            return errInvalidArgument(
+                "control: sampleRate must be in [0, 1]");
+        for (std::size_t i = 0; i < categoryRate.size(); ++i)
+            if (categoryRate[i] > 1.0)
+                return errInvalidArgument(
+                    "control: categoryRate[" + std::to_string(i) +
+                    "] must be in [0, 1] (or negative to inherit)");
+        if (!(intervalSec > 0.0))
+            return errInvalidArgument(
+                "control: intervalSec must be positive");
+        if (recordBudget != 0 && firstK > recordBudget)
+            return errInvalidArgument(
+                "control: firstK exceeds the interval's record budget");
+        if (ringMinBlocks != 0 && ringMaxBlocks != 0 &&
+            ringMinBlocks > ringMaxBlocks)
+            return errInvalidArgument(
+                "control: ringMinBlocks > ringMaxBlocks");
+        return Status();
+    }
+};
+
+} // namespace btrace
+
+#endif // BTRACE_CONTROL_CONTROL_CONFIG_H

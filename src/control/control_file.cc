@@ -1,0 +1,178 @@
+#include "control/control_file.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "common/format.h"
+
+namespace btrace {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    const char *ws = " \t\r";
+    const std::size_t b = s.find_first_not_of(ws);
+    if (b == std::string::npos)
+        return "";
+    const std::size_t e = s.find_last_not_of(ws);
+    return s.substr(b, e - b + 1);
+}
+
+Status
+lineError(int line, const std::string &what)
+{
+    return errInvalidArgument("control file line " +
+                              std::to_string(line) + ": " + what);
+}
+
+bool
+parseDouble(const std::string &v, double &out)
+{
+    char *end = nullptr;
+    errno = 0;
+    out = std::strtod(v.c_str(), &end);
+    return errno == 0 && end != nullptr && *end == '\0' && !v.empty();
+}
+
+bool
+parseU64(const std::string &v, uint64_t &out)
+{
+    char *end = nullptr;
+    errno = 0;
+    out = std::strtoull(v.c_str(), &end, 10);
+    return errno == 0 && end != nullptr && *end == '\0' && !v.empty();
+}
+
+bool
+parseBool(const std::string &v, bool &out)
+{
+    if (v == "on" || v == "true" || v == "1") {
+        out = true;
+        return true;
+    }
+    if (v == "off" || v == "false" || v == "0") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+Expected<ControlConfig>
+parseControlText(const std::string &text)
+{
+    ControlConfig c;
+    std::istringstream in(text);
+    std::string raw;
+    int lineno = 0;
+    while (std::getline(in, raw)) {
+        ++lineno;
+        std::string line = raw;
+        if (const std::size_t hash = line.find('#');
+            hash != std::string::npos)
+            line.resize(hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            return lineError(lineno, "expected key = value");
+        const std::string key = trim(line.substr(0, eq));
+        const std::string val = trim(line.substr(eq + 1));
+        if (key.empty() || val.empty())
+            return lineError(lineno, "expected key = value");
+
+        if (key == "sample_rate") {
+            if (!parseDouble(val, c.sampleRate))
+                return lineError(lineno, "bad number: " + val);
+        } else if (key.rfind("category_rate.", 0) == 0) {
+            uint64_t slot = 0;
+            if (!parseU64(key.substr(14), slot) ||
+                slot >= kControlCategorySlots)
+                return lineError(lineno,
+                                 "category slot must be 0.." +
+                                     std::to_string(
+                                         kControlCategorySlots - 1));
+            if (!parseDouble(val, c.categoryRate[slot]))
+                return lineError(lineno, "bad number: " + val);
+        } else if (key == "first_k") {
+            uint64_t k = 0;
+            if (!parseU64(val, k) || k > 0xffffffffull)
+                return lineError(lineno, "bad count: " + val);
+            c.firstK = static_cast<uint32_t>(k);
+        } else if (key == "interval_sec") {
+            if (!parseDouble(val, c.intervalSec))
+                return lineError(lineno, "bad number: " + val);
+        } else if (key == "record_budget") {
+            if (!parseU64(val, c.recordBudget))
+                return lineError(lineno, "bad count: " + val);
+        } else if (key == "ring_min_blocks") {
+            uint64_t n = 0;
+            if (!parseU64(val, n))
+                return lineError(lineno, "bad count: " + val);
+            c.ringMinBlocks = static_cast<std::size_t>(n);
+        } else if (key == "ring_max_blocks") {
+            uint64_t n = 0;
+            if (!parseU64(val, n))
+                return lineError(lineno, "bad count: " + val);
+            c.ringMaxBlocks = static_cast<std::size_t>(n);
+        } else if (key == "journal") {
+            if (!parseBool(val, c.journalEnabled))
+                return lineError(lineno, "expected on/off: " + val);
+        } else if (key == "watchdog") {
+            if (!parseBool(val, c.watchdogEnabled))
+                return lineError(lineno, "expected on/off: " + val);
+        } else {
+            return lineError(lineno, "unknown key: " + key);
+        }
+    }
+    if (Status st = c.validate(); !st.ok())
+        return st;
+    return Expected<ControlConfig>(c);
+}
+
+Expected<ControlConfig>
+loadControlFile(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return errNotFound("control file not found: " + path);
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return parseControlText(text);
+}
+
+bool
+ControlFileWatcher::changed()
+{
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0)
+        return false;  // absent: no change until it appears
+    const long long mtime_ns =
+        static_cast<long long>(st.st_mtim.tv_sec) * 1000000000ll +
+        st.st_mtim.tv_nsec;
+    const long long size = static_cast<long long>(st.st_size);
+    if (mtime_ns == lastMtimeNs && size == lastSize)
+        return false;
+    const bool first = lastMtimeNs < 0;
+    lastMtimeNs = mtime_ns;
+    lastSize = size;
+    // The first successful stat primes the watcher; the initial load
+    // is the caller's explicit startup step, not a "change".
+    return !first;
+}
+
+} // namespace btrace

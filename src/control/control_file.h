@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Control file: the operator-facing reconfiguration source
+ * (DESIGN.md §12.2). A flat key=value file that btraced / replay
+ * parse into a ControlConfig and feed to Session::applyControl —
+ * rewrite the file (or send btraced SIGHUP) and the running tracer
+ * retunes without a restart.
+ *
+ * Grammar, one `key = value` per line, `#` comments, blank lines
+ * ignored:
+ *
+ *     sample_rate      = 0.01      # global rate in [0, 1]
+ *     category_rate.3  = 1.0       # per-slot override, slot 0..15
+ *     first_k          = 10        # first-K-per-interval guarantee
+ *     interval_sec     = 1.0       # first-K / budget interval
+ *     record_budget    = 100000    # records per interval, 0 = off
+ *     ring_min_blocks  = 192       # governor floor (multiple of A)
+ *     ring_max_blocks  = 6144      # governor ceiling (multiple of A)
+ *     journal          = on        # on/off/true/false/1/0
+ *     watchdog         = on
+ *
+ * Unknown keys, malformed values, and out-of-range rates are
+ * InvalidArgument with the line number — callers map that through
+ * exitCodeFor like every other config error.
+ */
+
+#ifndef BTRACE_CONTROL_CONTROL_FILE_H
+#define BTRACE_CONTROL_CONTROL_FILE_H
+
+#include <string>
+
+#include "common/status.h"
+#include "control/control_config.h"
+
+namespace btrace {
+
+/** Parse control-file text (not a path) into a validated config. */
+Expected<ControlConfig> parseControlText(const std::string &text);
+
+/** Load and parse @p path; NotFound when it does not exist. */
+Expected<ControlConfig> loadControlFile(const std::string &path);
+
+/**
+ * Poll-based change watcher: changed() stats the file and reports
+ * true when the (mtime, size) pair moved since the last call — the
+ * cheap primitive behind btraced's --control-file loop. A missing
+ * file is "no change" until it appears.
+ */
+class ControlFileWatcher
+{
+  public:
+    explicit ControlFileWatcher(std::string path_)
+        : path(std::move(path_))
+    {
+    }
+
+    /** True when the file changed since the previous call. */
+    bool changed();
+
+    const std::string &file() const { return path; }
+
+  private:
+    std::string path;
+    long long lastMtimeNs = -1;
+    long long lastSize = -1;
+};
+
+} // namespace btrace
+
+#endif // BTRACE_CONTROL_CONTROL_FILE_H

@@ -114,7 +114,8 @@ static_assert(sizeof(LeaseOwnerRecord) == cacheLineSize,
 struct alignas(cacheLineSize) ControlHeader
 {
     static constexpr uint64_t kMagic = 0x314C525443544224ull; // "$BTCTRL1"
-    static constexpr uint32_t kVersion = 1;
+    /** v2 added the control page (runtime-tuning snapshots, §12). */
+    static constexpr uint32_t kVersion = 2;
 
     uint64_t magic = 0;
     uint32_t version = 0;
@@ -141,6 +142,57 @@ constexpr std::size_t kMaxAttachments = 64;
 constexpr std::size_t kLeaseOwnerSlots = 256;
 
 /**
+ * One serialized ControlSnapshot in the arena's control page
+ * (DESIGN.md §12): the wire form an out-of-process operator's
+ * applyControl leaves for every live producer to poll. Fields mirror
+ * ControlConfig, rates in 32.32 fixed point (control/snapshot.h);
+ * category overrides use ~0ull for "inherit".
+ *
+ * seqlock discipline: the writer (who claimed this entry's version
+ * via ControlPage::publishCount) bumps seq to odd, release-stores the
+ * fields, then release-stores seq = 2 * version. A reader that sees
+ * an even seq, copies, and re-reads the same seq has a torn-free
+ * entry; anything else means a writer was mid-flight — retry or skip.
+ */
+struct ControlPageEntry
+{
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> version{0};
+    std::atomic<uint64_t> appliedNs{0};
+    std::atomic<uint64_t> sampleRateFx{0};
+    std::atomic<uint64_t> categoryRateFx[16]{};
+    std::atomic<uint64_t> firstK{0};
+    std::atomic<uint64_t> intervalNs{0};
+    std::atomic<uint64_t> recordBudget{0};
+    std::atomic<uint64_t> ringMinBlocks{0};
+    std::atomic<uint64_t> ringMaxBlocks{0};
+    /** Bit 0: journal enabled. Bit 1: watchdog enabled. */
+    std::atomic<uint64_t> flags{0};
+
+    static constexpr uint64_t kInheritRate = ~uint64_t(0);
+    static constexpr uint64_t kJournalFlag = 1u << 0;
+    static constexpr uint64_t kWatchdogFlag = 1u << 1;
+};
+
+/**
+ * The control page: a publish counter plus a small history ring of
+ * snapshot entries. Writers claim version = publishCount.fetch_add(1)
+ * + 1 and fill entries[(version - 1) % kControlHistory]; concurrent
+ * publishers from different processes therefore never share an entry
+ * (a collision needs one writer to lag kControlHistory whole
+ * publishes behind — such an entry fails its seqlock check and is
+ * skipped). Readers poll publishCount with one relaxed load; nothing
+ * here is ever touched by the per-event write path.
+ */
+constexpr std::size_t kControlHistory = 8;
+
+struct alignas(cacheLineSize) ControlPage
+{
+    std::atomic<uint64_t> publishCount{0};
+    ControlPageEntry entries[kControlHistory];
+};
+
+/**
  * Byte offsets of the control region's sections. All sections are
  * 128-byte aligned so MetadataBlock's alignas(128) holds inside any
  * page-aligned region base.
@@ -152,6 +204,7 @@ struct ControlLayout
     std::size_t globalOff = 0;
     std::size_t coreLocalOff = 0;
     std::size_t metaOff = 0;
+    std::size_t controlPageOff = 0;
     std::size_t totalBytes = 0;
 
     static constexpr ControlLayout
@@ -174,7 +227,10 @@ struct ControlLayout
             off + cores * sizeof(CacheAligned<std::atomic<uint64_t>>),
             align);
         l.metaOff = off;
-        off += active_blocks * sizeof(MetadataBlock);
+        off = alignUp(off + active_blocks * sizeof(MetadataBlock),
+                      align);
+        l.controlPageOff = off;
+        off += sizeof(ControlPage);
         l.totalBytes = off;
         return l;
     }
@@ -200,6 +256,7 @@ struct ControlView
     CacheAligned<std::atomic<uint64_t>> *global = nullptr;
     CacheAligned<std::atomic<uint64_t>> *coreLocal = nullptr;
     MetadataBlock *meta = nullptr;
+    ControlPage *page = nullptr;
 
     static ControlView
     bind(uint8_t *base, unsigned cores, std::size_t active_blocks)
@@ -219,6 +276,8 @@ struct ControlView
             reinterpret_cast<CacheAligned<std::atomic<uint64_t>> *>(
                 base + l.coreLocalOff);
         v.meta = reinterpret_cast<MetadataBlock *>(base + l.metaOff);
+        v.page =
+            reinterpret_cast<ControlPage *>(base + l.controlPageOff);
         return v;
     }
 };

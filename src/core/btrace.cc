@@ -189,6 +189,13 @@ BTrace::BTrace(const BTraceConfig &config, const CostModel &model)
 
     span.commit(0, cfg.numBlocks * cap);
 
+    // Control plane last in the init sequence but before the ready
+    // publish: the owner wipes the arena control page and posts
+    // version 1 (cfg.control) while no attachment can observe it yet.
+    plane = std::make_unique<ControlPlane>(
+        *this, ControlGeometry{numActive, maxN},
+        shared ? ctrl.page : nullptr, /*owner_init=*/true, cfg.control);
+
     if (shared) {
         // The registry can't be full here: the region was just wiped.
         const bool ok = registerAttachment(/*is_owner=*/true);

@@ -32,6 +32,7 @@
 #include "common/cacheline.h"
 #include "common/status.h"
 #include "common/virtual_memory.h"
+#include "control/control_plane.h"
 #include "core/arena_control.h"
 #include "core/config.h"
 #include "core/epoch.h"
@@ -255,6 +256,38 @@ class BTrace : public Tracer
      * attachments would mis-resolve post-resize positions.
      */
     void resize(std::size_t new_num_blocks);
+
+    /**
+     * Non-fatal resize for runtime actuation (the governor): the
+     * preconditions resize() asserts come back as a Status instead —
+     * InvalidArgument for a target that is not a multiple of A inside
+     * [A, maxBlocks], Busy for a shared arena with other live
+     * attachments (the per-process RatioLog rule). On Ok the resize
+     * has completed.
+     */
+    Status tryResize(std::size_t new_num_blocks);
+
+    /**
+     * Apply a new control configuration (DESIGN.md §12): validated,
+     * versioned, swapped in atomically for this attachment, and — on
+     * a shared arena — published to the arena control page so every
+     * other attachment converges on its next pollControl().
+     */
+    Status applyControl(const ControlConfig &next)
+    {
+        return plane->apply(next);
+    }
+
+    /**
+     * Adopt a control version another attachment published to the
+     * arena page, if any. One relaxed load when nothing changed; call
+     * at poll cadence (lease renewal, drain ticks), never per event.
+     */
+    bool pollControl() { return plane->poll(); }
+
+    /** The attachment's control plane (history, tallies, metrics). */
+    ControlPlane &controlPlane() { return *plane; }
+    const ControlPlane &controlPlane() const { return *plane; }
 
     /**
      * Scan the arena's lease-owner table and attach registry for dead
@@ -506,6 +539,14 @@ class BTrace : public Tracer
     BTraceCounters ctrs;
     /** Lifecycle journal; nullptr = disabled (the common fast path). */
     std::atomic<EventJournal *> jnl{nullptr};
+    /**
+     * Runtime control plane (DESIGN.md §12). Constructed by both
+     * constructors once the control region is bound — never null
+     * afterwards. With all knobs at defaults it publishes a nullptr
+     * snapshot, so the record path stays byte-identical to a build
+     * without the plane (ControlContract test).
+     */
+    std::unique_ptr<ControlPlane> plane;
 };
 
 } // namespace btrace

@@ -12,6 +12,7 @@
 #include "common/cacheline.h"
 #include "common/panic.h"
 #include "common/storage_backend.h"
+#include "control/control_config.h"
 #include "trace/event.h"
 
 /**
@@ -51,6 +52,15 @@ struct BTraceConfig
      * `btrace_inspect --arena`.
      */
     std::string arenaPath;
+
+    /**
+     * Initial control-plane knobs (sampling, first-K, record budget,
+     * governor ring bounds — DESIGN.md §12). Unlike the geometry
+     * above, these are *runtime-reconfigurable* afterwards via
+     * Session::applyControl, a watched control file, or the arena
+     * control page. The all-defaults value costs nothing at runtime.
+     */
+    ControlConfig control;
 
     std::size_t ratio() const { return numBlocks / activeBlocks; }
     std::size_t capacityBytes() const { return numBlocks * blockSize; }
@@ -101,6 +111,22 @@ struct BTraceConfig
         if (!arenaPath.empty() && storage != StorageKind::File)
             return errInvalidArgument(
                 "arenaPath is only meaningful for the file backend");
+        if (Status st = control.validate(); !st.ok())
+            return st;
+        // Cross-field control rules: the governor's ring bounds must
+        // be reachable resize targets of *this* geometry (multiples
+        // of A within [A, effectiveMaxBlocks], §4.4).
+        if (control.ringMinBlocks != 0 &&
+            (control.ringMinBlocks < activeBlocks ||
+             control.ringMinBlocks % activeBlocks != 0))
+            return errInvalidArgument(
+                "control: ringMinBlocks must be a multiple of A >= A");
+        if (control.ringMaxBlocks != 0 &&
+            (control.ringMaxBlocks % activeBlocks != 0 ||
+             control.ringMaxBlocks > effectiveMaxBlocks()))
+            return errInvalidArgument(
+                "control: ringMaxBlocks must be a multiple of A within "
+                "the maxBlocks ceiling");
         return Status();
     }
 

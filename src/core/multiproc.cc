@@ -60,6 +60,12 @@ BTrace::BTrace(AttachTag, std::unique_ptr<StorageBackend> backend,
     ratioLog.publish();
 
     span.commit(0, numActive * g.ratio * cap);
+
+    // Adopt the owner's published control version (or defaults when
+    // the page predates any publish); pollControl() converges later.
+    plane = std::make_unique<ControlPlane>(
+        *this, ControlGeometry{numActive, maxN}, ctrl.page,
+        /*owner_init=*/false, cfg.control);
 }
 
 Expected<std::unique_ptr<BTrace>>

@@ -18,6 +18,32 @@
 
 namespace btrace {
 
+Status
+BTrace::tryResize(std::size_t new_num_blocks)
+{
+    // Same preconditions resize() asserts, surfaced as a Status so a
+    // runtime actuator (the governor) can decline gracefully instead
+    // of taking the process down.
+    if (new_num_blocks < numActive ||
+        new_num_blocks % numActive != 0 || new_num_blocks > maxN)
+        return errInvalidArgument(
+            "resize target must be a multiple of A within "
+            "[A, maxBlocks]");
+    if (shared) {
+        std::size_t live = 0;
+        for (std::size_t i = 0; i < kMaxAttachments; ++i)
+            if (ctrl.producers[i].attachGen.load(
+                    std::memory_order_acquire) != 0)
+                ++live;
+        if (live > 1)
+            return errBusy(
+                "resize requires being the arena's sole live "
+                "attachment (per-process RatioLog)");
+    }
+    resize(new_num_blocks);
+    return Status();
+}
+
 void
 BTrace::resize(std::size_t new_num_blocks)
 {

@@ -113,6 +113,23 @@ class Session
     /** Reclaim leases and registry slots of dead attachments. */
     SweepReport sweepDeadOwners() { return bt->sweepDeadOwners(); }
 
+    /**
+     * Runtime reconfiguration (DESIGN.md §12): validate and publish a
+     * new control version for this attachment; on a shared arena it
+     * is also written to the arena control page for everyone else.
+     */
+    Status applyControl(const ControlConfig &c)
+    {
+        return bt->applyControl(c);
+    }
+
+    /**
+     * Adopt a control version published by another attachment, if
+     * any. One relaxed load when nothing changed; call at a poll
+     * cadence (lease renewal, drain tick), never per event.
+     */
+    bool pollControl() { return bt->pollControl(); }
+
   private:
     explicit Session(std::unique_ptr<BTrace> t) : bt(std::move(t)) {}
 

@@ -70,6 +70,8 @@ journalEventKindName(JournalEventKind kind)
       case JournalEventKind::ResizeEnd: return "resize_end";
       case JournalEventKind::ConsumerPass: return "consumer_pass";
       case JournalEventKind::WatchdogTrip: return "watchdog_trip";
+      case JournalEventKind::GovernorDecision:
+          return "governor_decision";
       case JournalEventKind::Count: break;
     }
     return "unknown";

@@ -50,6 +50,7 @@ enum class JournalEventKind : uint16_t
     ResizeEnd,      //!< ratio swung and published; arg = new ratio
     ConsumerPass,   //!< incremental consumer read; arg = entries
     WatchdogTrip,   //!< health event fired; arg = HealthKind
+    GovernorDecision, //!< control-plane actuation; arg = GovernorAction
     Count
 };
 

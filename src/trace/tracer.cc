@@ -4,7 +4,21 @@
 #include <exception>
 #include <thread>
 
+#include "control/snapshot.h"
+
 namespace btrace {
+
+bool
+Tracer::shouldRecord(uint16_t category, uint32_t thread,
+                     uint64_t stamp) const
+{
+    // The entire cost at defaults: one relaxed load, one branch.
+    const ControlSnapshot *cs =
+        control.load(std::memory_order_relaxed);
+    if (cs == nullptr) [[likely]]
+        return true;
+    return cs->shouldRecord(category, thread, stamp);
+}
 
 void
 Tracer::abandonWrite(WriteTicket &ticket)
@@ -59,6 +73,15 @@ bool
 Tracer::record(uint16_t core, uint32_t thread, uint64_t stamp,
                uint32_t payload_len, uint16_t category, double *cost_out)
 {
+    // Control-plane sampling gate. A sampled-out event is shed
+    // *deliberately* — the caller is told true (not a drop), and loss
+    // accounting is untouched: sampling is policy, dropping is
+    // failure.
+    if (!shouldRecord(category, thread, stamp)) {
+        if (cost_out)
+            *cost_out = 0.0;
+        return true;
+    }
     ScopedWrite w(*this, core, thread, payload_len,
                   ScopedWrite::Blocking);
     if (!w.ok()) {

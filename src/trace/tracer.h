@@ -140,6 +140,7 @@ struct DumpOptions
 };
 
 class Tracer;
+struct ControlSnapshot;
 
 /**
  * A claim on up to @c n entry slots, served without per-entry shared
@@ -369,6 +370,39 @@ class Tracer
         return observer.load(std::memory_order_acquire);
     }
 
+    /**
+     * Publish @p s as the effective control snapshot (control plane
+     * internals — ControlPlane::publish is the only intended caller;
+     * nullptr means controls-at-defaults, the common case). The
+     * snapshot must stay valid until replaced *and* every reader that
+     * may have loaded it is done — the ControlPlane guarantees this
+     * by never freeing published snapshots (DESIGN.md §12).
+     */
+    void
+    setControlSnapshot(const ControlSnapshot *s)
+    {
+        control.store(s, std::memory_order_release);
+    }
+
+    /** Currently effective control snapshot, or nullptr (defaults). */
+    const ControlSnapshot *
+    controlSnapshot() const
+    {
+        return control.load(std::memory_order_acquire);
+    }
+
+    /**
+     * The control plane's sampling gate: true when an event of
+     * @p category from @p thread at @p stamp should be recorded.
+     * record() consults it internally; lease-path callers (the replay
+     * engine, btrace_producer) call it before allocating an entry.
+     * With controls at defaults this is one relaxed load and a
+     * predicted-not-taken branch — zero shared RMWs, the same bar as
+     * the journal and observer planes.
+     */
+    bool shouldRecord(uint16_t category, uint32_t thread,
+                      uint64_t stamp) const;
+
   protected:
     friend class Lease;
 
@@ -437,6 +471,8 @@ class Tracer
 
   private:
     std::atomic<TracerObserver *> observer{nullptr};
+    /** Effective control snapshot; nullptr = all-defaults (no gate). */
+    std::atomic<const ControlSnapshot *> control{nullptr};
 };
 
 inline const CostModel &

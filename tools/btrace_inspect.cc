@@ -7,6 +7,7 @@
  *   btrace_inspect --metrics <obs.jsonl>
  *   btrace_inspect --journal <flight.json>
  *   btrace_inspect --arena <ring.arena>
+ *   btrace_inspect --control <ring.arena>
  *
  * Prints the per-core/per-category summary of a file written by
  * TracePersister, optionally exports it for Perfetto/chrome://tracing
@@ -22,7 +23,11 @@
  * DESIGN.md §10): the tool validates the header, reports whether the
  * owning tracer shut down cleanly, decodes every readable block in the
  * data area, and prints the embedded flight bundle — the full
- * post-mortem of a process that died mid-trace.
+ * post-mortem of a process that died mid-trace. With --control, the
+ * input is the same arena but the tool decodes the *control page*
+ * (DESIGN.md §12) instead: the active runtime-tuning snapshot and the
+ * bounded history of previously published ones — which sample rates,
+ * first-K guarantees, and ring bounds were in force, and when.
  */
 
 #include <algorithm>
@@ -37,6 +42,8 @@
 
 #include "analysis/export.h"
 #include "common/storage_backend.h"
+#include "control/snapshot.h"
+#include "core/arena_control.h"
 #include "core/persister.h"
 #include "obs/export.h"
 #include "obs/flight_recorder.h"
@@ -54,7 +61,8 @@ usage()
                  "[--csv FILE] [--head N] [--gaps]\n"
                  "       btrace_inspect --metrics <obs.jsonl>\n"
                  "       btrace_inspect --journal <flight.json>\n"
-                 "       btrace_inspect --arena <ring.arena>\n");
+                 "       btrace_inspect --arena <ring.arena>\n"
+                 "       btrace_inspect --control <ring.arena>\n");
     return 2;
 }
 
@@ -297,6 +305,162 @@ inspectArena(const std::string &path)
     return 0;
 }
 
+/** One control-page entry, copied out torn-free. */
+struct DecodedControl
+{
+    uint64_t version = 0;
+    uint64_t appliedNs = 0;
+    uint64_t sampleRateFx = 0;
+    uint64_t categoryRateFx[kControlCategorySlots] = {};
+    uint64_t firstK = 0;
+    uint64_t intervalNs = 0;
+    uint64_t recordBudget = 0;
+    uint64_t ringMinBlocks = 0;
+    uint64_t ringMaxBlocks = 0;
+    uint64_t flags = 0;
+};
+
+/**
+ * Seqlock read of one history slot. False for never-written, torn, or
+ * lapped entries (the same discipline control_plane.cc uses online).
+ */
+bool
+readControlEntry(const ControlPageEntry &e, DecodedControl &out)
+{
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        const uint64_t s0 = e.seq.load(std::memory_order_acquire);
+        if (s0 == 0 || (s0 & 1) != 0)
+            continue;  // never written, or a writer is mid-flight
+        DecodedControl d;
+        d.version = e.version.load(std::memory_order_relaxed);
+        d.appliedNs = e.appliedNs.load(std::memory_order_relaxed);
+        d.sampleRateFx = e.sampleRateFx.load(std::memory_order_relaxed);
+        for (std::size_t i = 0; i < kControlCategorySlots; ++i)
+            d.categoryRateFx[i] =
+                e.categoryRateFx[i].load(std::memory_order_relaxed);
+        d.firstK = e.firstK.load(std::memory_order_relaxed);
+        d.intervalNs = e.intervalNs.load(std::memory_order_relaxed);
+        d.recordBudget = e.recordBudget.load(std::memory_order_relaxed);
+        d.ringMinBlocks =
+            e.ringMinBlocks.load(std::memory_order_relaxed);
+        d.ringMaxBlocks =
+            e.ringMaxBlocks.load(std::memory_order_relaxed);
+        d.flags = e.flags.load(std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (e.seq.load(std::memory_order_acquire) != s0)
+            continue;
+        if (s0 != 2 * d.version)
+            return false;  // slot lapped by a newer publish
+        out = d;
+        return true;
+    }
+    return false;
+}
+
+/** Decode the arena's control page: active + historical snapshots. */
+int
+inspectControl(const std::string &path)
+{
+    ArenaView v = ArenaView::open(path);
+    if (!v.ok()) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     v.error().c_str());
+        return exitCodeFor(v.status().code());
+    }
+    const uint8_t *ctrl = v.ctrlRegion();
+    if (ctrl == nullptr) {
+        std::fprintf(stderr, "%s: arena has no control region\n",
+                     path.c_str());
+        return exitCodeFor(StatusCode::NotFound);
+    }
+    const auto *hdr = reinterpret_cast<const ControlHeader *>(ctrl);
+    if (hdr->magic != ControlHeader::kMagic) {
+        std::fprintf(stderr, "%s: bad control-region magic\n",
+                     path.c_str());
+        return exitCodeFor(StatusCode::Corruption);
+    }
+    if (hdr->version < 2) {
+        std::fprintf(stderr,
+                     "%s: control region v%u predates the control "
+                     "page (need v2)\n",
+                     path.c_str(), hdr->version);
+        return exitCodeFor(StatusCode::Incompatible);
+    }
+    const ControlLayout layout =
+        ControlLayout::compute(hdr->cores, hdr->activeBlocks);
+    if (layout.totalBytes > v.ctrlBytes()) {
+        std::fprintf(stderr, "%s: control region truncated\n",
+                     path.c_str());
+        return exitCodeFor(StatusCode::Corruption);
+    }
+    const auto *page = reinterpret_cast<const ControlPage *>(
+        ctrl + layout.controlPageOff);
+
+    const uint64_t published =
+        page->publishCount.load(std::memory_order_acquire);
+    std::printf("control page of %s\n", path.c_str());
+    std::printf("  snapshots published  %llu\n",
+                static_cast<unsigned long long>(published));
+    if (published == 0) {
+        std::printf("  (defaults in force; nothing was ever "
+                    "published)\n");
+        return 0;
+    }
+
+    std::vector<DecodedControl> history;
+    for (std::size_t i = 0; i < kControlHistory; ++i) {
+        DecodedControl d;
+        if (readControlEntry(page->entries[i], d))
+            history.push_back(d);
+    }
+    std::sort(history.begin(), history.end(),
+              [](const DecodedControl &a, const DecodedControl &b) {
+                  return a.version < b.version;
+              });
+    if (published > kControlHistory)
+        std::printf("  (history ring holds the last %zu; versions "
+                    "1..%llu aged out)\n",
+                    kControlHistory,
+                    static_cast<unsigned long long>(
+                        published - kControlHistory));
+
+    for (const DecodedControl &d : history) {
+        const bool active = d.version == published;
+        std::printf("\nsnapshot v%llu%s\n",
+                    static_cast<unsigned long long>(d.version),
+                    active ? "  (active)" : "");
+        std::printf("  applied          %.3f s (monotonic)\n",
+                    double(d.appliedNs) / 1e9);
+        std::printf("  sample rate      %.6f\n",
+                    controlFxToRate(d.sampleRateFx));
+        for (std::size_t c = 0; c < kControlCategorySlots; ++c)
+            if (d.categoryRateFx[c] != ControlPageEntry::kInheritRate)
+                std::printf("  category %-2zu rate %.6f\n", c,
+                            controlFxToRate(d.categoryRateFx[c]));
+        if (d.firstK != 0)
+            std::printf("  first-K          %llu per %.3f s\n",
+                        static_cast<unsigned long long>(d.firstK),
+                        double(d.intervalNs) / 1e9);
+        if (d.recordBudget != 0)
+            std::printf("  record budget    %llu per %.3f s\n",
+                        static_cast<unsigned long long>(d.recordBudget),
+                        double(d.intervalNs) / 1e9);
+        if (d.ringMinBlocks != 0 || d.ringMaxBlocks != 0)
+            std::printf("  ring bounds      [%llu, %llu] blocks\n",
+                        static_cast<unsigned long long>(
+                            d.ringMinBlocks),
+                        static_cast<unsigned long long>(
+                            d.ringMaxBlocks));
+        std::printf("  journal %s, watchdog %s\n",
+                    (d.flags & ControlPageEntry::kJournalFlag) ? "on"
+                                                               : "off",
+                    (d.flags & ControlPageEntry::kWatchdogFlag)
+                        ? "on"
+                        : "off");
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -310,6 +474,8 @@ main(int argc, char **argv)
         return argc == 3 ? inspectJournal(argv[2]) : usage();
     if (std::strcmp(argv[1], "--arena") == 0)
         return argc == 3 ? inspectArena(argv[2]) : usage();
+    if (std::strcmp(argv[1], "--control") == 0)
+        return argc == 3 ? inspectControl(argv[2]) : usage();
     const std::string input = argv[1];
     std::string json_path, csv_path;
     long head = 0;

@@ -93,24 +93,46 @@ main(int argc, char **argv)
     Session s = sess.take();
     const uint32_t tid = uint32_t(::getpid());
 
-    uint64_t written = 0, stamp = 1;
-    while (written < events) {
+    uint64_t written = 0, suppressed = 0, attempted = 0, stamp = 1;
+    while (attempted < events) {
+        // Lease-renewal cadence is the control poll point (§12): one
+        // relaxed load when nothing changed, adoption of whatever an
+        // operator published to the arena page otherwise.
+        (void)s.pollControl();
         Lease l = s->lease(core, tid, payload, leaseN);
         if (!l.ok()) {
             // Arena saturated: yield to the consumer and retry.
             ::usleep(1000);
             continue;
         }
-        while (written < events) {
+        while (attempted < events) {
+            const uint64_t st = stamp++;
+            ++attempted;
+            if (!s->shouldRecord(0, tid, st)) {
+                ++suppressed;  // shed by policy, not a drop
+                continue;
+            }
             WriteTicket t = l.allocate(payload);
-            if (!t.ok())
-                break;  // span exhausted; renew the lease
-            writeNormal(t.dst, stamp++, core, tid, 0, payload);
+            if (!t.ok()) {
+                // Span exhausted before this event: renew the lease.
+                --attempted;
+                --stamp;
+                break;
+            }
+            writeNormal(t.dst, st, core, tid, 0, payload);
             l.confirm(t);
             ++written;
         }
         l.close();
     }
+    if (suppressed != 0)
+        std::fprintf(stderr,
+                     "btrace_producer: sampled %llu suppressed %llu "
+                     "(control v%llu)\n",
+                     static_cast<unsigned long long>(written),
+                     static_cast<unsigned long long>(suppressed),
+                     static_cast<unsigned long long>(
+                         s->controlPlane().version()));
 
     if (holdLease) {
         // Take a lease, use part of it, and never close it. The

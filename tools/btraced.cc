@@ -21,10 +21,15 @@
 #include <cstring>
 #include <fstream>
 
+#include <algorithm>
 #include <chrono>
 #include <string>
 #include <thread>
 
+#include "trace/trace_file.h"
+
+#include "control/control_file.h"
+#include "control/governor.h"
 #include "daemon/daemon.h"
 #include "obs/export.h"
 
@@ -33,11 +38,18 @@ using namespace btrace;
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_hup = 0;
 
 void
 onSignal(int)
 {
     g_stop = 1;
+}
+
+void
+onHup(int)
+{
+    g_hup = 1;
 }
 
 int
@@ -51,8 +63,12 @@ usage()
         "               [--interval-ms N] [--sweep-every N]\n"
         "               [--duration SEC] [--close-active 0|1]\n"
         "               [--expect-generation N] [--metrics-out PATH]\n"
+        "               [--control-file PATH] [--governor 0|1]\n"
+        "               [--governor-interval-ms N]\n"
         "create-mode geometry: [--blocks N] [--active N]\n"
-        "               [--block-bytes N] [--cores N]\n");
+        "               [--block-bytes N] [--cores N]\n"
+        "The control file (key = value; see control_file.h) is read at\n"
+        "startup and re-applied on SIGHUP or when its mtime changes.\n");
     return exitCodeFor(StatusCode::InvalidArgument);
 }
 
@@ -63,6 +79,9 @@ struct Flags
     bool create = false;
     std::string outDir = "btraced-out";
     std::string metricsOut;
+    std::string controlFile;
+    bool governor = true;
+    double governorIntervalSec = 1.0;
     DaemonOptions daemon;
     double durationSec = 0.0;  // 0 = until signal
     uint64_t expectGeneration = 0;
@@ -114,6 +133,14 @@ main(int argc, char **argv)
         } else if (std::strcmp(a, "--metrics-out") == 0 &&
                    (v = next())) {
             f.metricsOut = v;
+        } else if (std::strcmp(a, "--control-file") == 0 &&
+                   (v = next())) {
+            f.controlFile = v;
+        } else if (std::strcmp(a, "--governor") == 0 && (v = next())) {
+            f.governor = std::atoi(v) != 0;
+        } else if (std::strcmp(a, "--governor-interval-ms") == 0 &&
+                   (v = next())) {
+            f.governorIntervalSec = std::atof(v) / 1000.0;
         } else if (std::strcmp(a, "--blocks") == 0 && (v = next())) {
             f.blocks = std::strtoull(v, nullptr, 10);
         } else if (std::strcmp(a, "--active") == 0 && (v = next())) {
@@ -168,16 +195,92 @@ main(int argc, char **argv)
     }
     ConsumerDaemon &d = *daemon.value();
 
+    // Control plane (DESIGN.md §12): the control file is the
+    // operator's knob. Applied at startup, then re-applied on SIGHUP
+    // or whenever its mtime moves; applyControl on this attachment
+    // publishes to the arena control page, so live producers in other
+    // processes adopt it on their next poll.
+    const auto applyControlFile = [&]() -> Status {
+        auto cc = loadControlFile(f.controlFile);
+        if (!cc.ok())
+            return cc.status();
+        return d.session().applyControl(cc.value());
+    };
+    if (!f.controlFile.empty()) {
+        if (Status st = applyControlFile(); !st.ok()) {
+            std::fprintf(stderr, "btraced: %s\n",
+                         st.toString().c_str());
+            return exitCodeFor(st.code());
+        }
+        std::fprintf(
+            stderr, "btraced: control v%llu from %s\n",
+            static_cast<unsigned long long>(
+                d.session()->controlPlane().version()),
+            f.controlFile.c_str());
+    }
+    ControlFileWatcher watcher(f.controlFile);
+
     MetricsRegistry registry;
     d.registerMetrics(registry);
+    Governor governor;
+    governor.registerMetrics(registry);
 
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
+    std::signal(SIGHUP, onHup);
 
     d.start();
     const auto t0 = std::chrono::steady_clock::now();
+    auto lastGovern = t0;
+    DaemonStats prev = d.stats();
     while (g_stop == 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+        // Reconfiguration sources: SIGHUP / control-file rewrite, and
+        // versions other attachments published to the arena page.
+        if (!f.controlFile.empty() && (g_hup != 0 || watcher.changed())) {
+            g_hup = 0;
+            if (Status st = applyControlFile(); !st.ok())
+                std::fprintf(stderr, "btraced: control reload: %s\n",
+                             st.toString().c_str());
+            else
+                std::fprintf(
+                    stderr, "btraced: control v%llu applied\n",
+                    static_cast<unsigned long long>(
+                        d.session()->controlPlane().version()));
+        }
+        (void)d.session().pollControl();
+
+        const auto now = std::chrono::steady_clock::now();
+        if (f.governor &&
+            std::chrono::duration<double>(now - lastGovern).count() >=
+                f.governorIntervalSec) {
+            lastGovern = now;
+            const DaemonStats cur = d.stats();
+            BTrace &bt = d.session().tracer();
+            const ControlConfig cc = bt.controlPlane().current();
+            GovernorInput in;
+            in.overwrittenDelta =
+                cur.overwrittenPositions - prev.overwrittenPositions;
+            in.recordedDelta = cur.entries - prev.entries;
+            const double drained_bytes =
+                double(cur.entries - prev.entries) *
+                double(sizeof(TraceDiskRecord));
+            const double capacity =
+                double(bt.numBlocks()) * double(bt.config().blockSize);
+            in.occupancy =
+                capacity > 0.0
+                    ? std::min(1.0, drained_bytes / capacity)
+                    : 0.0;
+            in.numBlocks = bt.numBlocks();
+            in.activeBlocks = bt.config().activeBlocks;
+            in.ringMinBlocks = cc.ringMinBlocks;
+            in.ringMaxBlocks = cc.ringMaxBlocks;
+            in.sampleRate = cc.sampleRate;
+            governor.actuate(bt, governor.evaluate(in));
+            prev = cur;
+        }
+
         if (f.durationSec > 0.0 &&
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - t0)

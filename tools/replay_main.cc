@@ -40,6 +40,7 @@
 
 #include "analysis/continuity.h"
 #include "common/status.h"
+#include "control/control_file.h"
 #include "analysis/export.h"
 #include "obs/btrace_metrics.h"
 #include "obs/flight_recorder.h"
@@ -67,6 +68,7 @@ struct Flags
     std::string flightOut;     //!< flight-recorder bundle path
     std::string backend;       //!< empty = build default
     std::string arena;         //!< file backend: persistent ring path
+    std::string controlFile;   //!< initial control config (§12)
 };
 
 int
@@ -80,7 +82,7 @@ usage()
         "              [--obs-json=PATH] [--obs-prom=PATH]\n"
         "              [--journal-out=PATH] [--flight-out=PATH]\n"
         "              [--backend=private|shm|file] [--arena=PATH]\n"
-        "              [--list-workloads]\n");
+        "              [--control-file=PATH] [--list-workloads]\n");
     return exitCodeFor(StatusCode::InvalidArgument);
 }
 
@@ -136,6 +138,8 @@ main(int argc, char **argv)
             f.backend = v12;
         } else if (const char *v13 = val("--arena")) {
             f.arena = v13;
+        } else if (const char *v14 = val("--control-file")) {
+            f.controlFile = v14;
         } else if (std::strcmp(a, "--list-workloads") == 0) {
             for (const Workload &w : workloadCatalog())
                 std::printf("%s\n", w.name.c_str());
@@ -170,6 +174,20 @@ main(int argc, char **argv)
     }
     auto tracer = makeTracer(kind, topt);
 
+    // Initial control config (DESIGN.md §12): parse before anything
+    // records; parse/validate failures exit with the mapped code so
+    // scripts can branch on 2 (invalid) vs 3 (missing file).
+    ControlConfig control;
+    if (!f.controlFile.empty()) {
+        auto cc = loadControlFile(f.controlFile);
+        if (!cc.ok()) {
+            std::fprintf(stderr, "replay: %s\n",
+                         cc.status().toString().c_str());
+            return exitCodeFor(cc.status().code());
+        }
+        control = cc.value();
+    }
+
     // The observer hook is Tracer-level: every tracer gets sampled
     // write latency. The counter/gauge registry is BTrace-specific.
     TracerObserver observer;
@@ -182,9 +200,26 @@ main(int argc, char **argv)
     const MetricsRegistry *reg = &baselineReg;
     BTrace *btp = dynamic_cast<BTrace *>(tracer.get());
     if (btp != nullptr) {
+        if (!f.controlFile.empty()) {
+            if (Status st = btp->applyControl(control); !st.ok()) {
+                // Geometry-dependent rules (ring bounds vs A) are
+                // only checkable here, after the tracer exists.
+                std::fprintf(stderr, "replay: %s\n",
+                             st.toString().c_str());
+                return exitCodeFor(st.code());
+            }
+            std::fprintf(stderr, "replay: control v%llu from %s\n",
+                         static_cast<unsigned long long>(
+                             btp->controlPlane().version()),
+                         f.controlFile.c_str());
+        }
         btObs = std::make_unique<BTraceObs>(*btp, &observer);
         reg = &btObs->registry();
-        if (!f.journalOut.empty() || !f.flightOut.empty()) {
+        // The journal toggle is honored at tool level: an operator
+        // turning `journal = off` in the control file wins over the
+        // output flags.
+        if ((!f.journalOut.empty() || !f.flightOut.empty()) &&
+            control.journalEnabled) {
             journal = std::make_unique<EventJournal>();
             btp->attachJournal(journal.get());
         }
@@ -199,6 +234,11 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "warning: --journal-out/--flight-out need the "
                          "btrace tracer; ignored for '%s'\n",
+                         f.tracer.c_str());
+        if (!f.controlFile.empty())
+            std::fprintf(stderr,
+                         "warning: --control-file needs the btrace "
+                         "tracer; ignored for '%s'\n",
                          f.tracer.c_str());
         baselineReg.addCounter(
             "btrace_obs_samples_total",
@@ -215,7 +255,9 @@ main(int argc, char **argv)
     so.labels = {{"tracer", tracerKindName(kind)},
                  {"workload", wl.name}};
     StatsSampler sampler(*reg, so);
-    if (btObs)
+    // `watchdog = off` in the control file disables the health
+    // watchdog (and with it the flight recorder's trip hook).
+    if (btObs && control.watchdogEnabled)
         sampler.setHealthSource(
             [&btObs]() { return btObs->healthInput(); });
     if (journal)
