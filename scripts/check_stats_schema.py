@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Validate a btrace_stats --json document (DESIGN.md §13).
+
+The document is the stable schema (btrace_stats_version 1) that
+tools/btrace_stats emits and CI's stats-smoke job consumes:
+
+    {"btrace_stats_version": 1,
+     "segments": {"scanned","v1","v2","torn","dirty","unreadable",
+                  "rotation_gaps","missing_indices"},
+     "totals": {"records","payload_bytes","wall_stamped_records",
+                "min_stamp","max_stamp",
+                "first_drain_unix_ns","last_drain_unix_ns"},
+     "retention": {"declared_records","declared_payload_bytes",
+                   "overwritten_positions","skipped_blocks",
+                   "abandoned_blocks","torn_tail_bytes",
+                   "header_scan_mismatch","retained_ratio"},
+     "window_sec": F,
+     "categories": [{"category","records","payload_bytes","share"}],
+     "categories_truncated": B,
+     "producers": [{"producer","records","payload_bytes",
+                    "rate_per_sec"}],
+     "producers_truncated": B,
+     "buckets": [{"start_ns","records","payload_bytes"}]}
+
+Checks: required keys and types, counters non-negative integers,
+version breakdown summing to scanned, category shares and the
+retained ratio in [0, 1], bucket starts strictly ascending, and the
+row sums of the (untruncated) category/producer tables reconciling
+with the totals.
+
+Usage: check_stats_schema.py FILE [FILE...]    (exit 0 iff valid)
+"""
+
+import json
+import sys
+
+SEGMENT_FIELDS = (
+    "scanned",
+    "v1",
+    "v2",
+    "torn",
+    "dirty",
+    "unreadable",
+    "rotation_gaps",
+    "missing_indices",
+)
+TOTAL_FIELDS = (
+    "records",
+    "payload_bytes",
+    "wall_stamped_records",
+    "min_stamp",
+    "max_stamp",
+    "first_drain_unix_ns",
+    "last_drain_unix_ns",
+)
+RETENTION_COUNTERS = (
+    "declared_records",
+    "declared_payload_bytes",
+    "overwritten_positions",
+    "skipped_blocks",
+    "abandoned_blocks",
+    "torn_tail_bytes",
+)
+
+
+def is_count(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_counters(doc, key, fields):
+    sec = doc.get(key)
+    if not isinstance(sec, dict):
+        return ["'%s' missing or not an object" % key], {}
+    errs = [
+        "%s.%s missing or not a non-negative integer" % (key, f)
+        for f in fields
+        if not is_count(sec.get(f))
+    ]
+    return errs, sec
+
+
+def check_rows(doc, key, id_field, fields):
+    rows = doc.get(key)
+    if not isinstance(rows, list):
+        return ["'%s' missing or not an array" % key], []
+    errs = []
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            errs.append("%s[%d] is not an object" % (key, i))
+            continue
+        if not is_count(row.get(id_field)):
+            errs.append("%s[%d].%s missing" % (key, i, id_field))
+        for f in fields:
+            if f in ("share", "rate_per_sec"):
+                if not is_num(row.get(f)) or row[f] < 0:
+                    errs.append("%s[%d].%s missing or negative"
+                                % (key, i, f))
+            elif not is_count(row.get(f)):
+                errs.append("%s[%d].%s missing" % (key, i, f))
+    if not isinstance(doc.get(key + "_truncated"), bool):
+        errs.append("'%s_truncated' missing or not a bool" % key)
+    return errs, rows
+
+
+def check_doc(doc):
+    errs = []
+    if doc.get("btrace_stats_version") != 1:
+        errs.append("'btrace_stats_version' missing or not 1")
+
+    seg_errs, seg = check_counters(doc, "segments", SEGMENT_FIELDS)
+    errs += seg_errs
+    tot_errs, tot = check_counters(doc, "totals", TOTAL_FIELDS)
+    errs += tot_errs
+    ret_errs, ret = check_counters(doc, "retention", RETENTION_COUNTERS)
+    errs += ret_errs
+
+    if not seg_errs:
+        accounted = seg["v1"] + seg["v2"] + seg["unreadable"]
+        if accounted != seg["scanned"]:
+            errs.append(
+                "segments: v1 + v2 + unreadable = %d != scanned %d"
+                % (accounted, seg["scanned"])
+            )
+    if not tot_errs and tot["records"]:
+        if tot["min_stamp"] > tot["max_stamp"]:
+            errs.append("totals: min_stamp > max_stamp")
+        if tot["wall_stamped_records"] > tot["records"]:
+            errs.append("totals: wall_stamped_records > records")
+
+    if not isinstance(ret.get("header_scan_mismatch"), bool):
+        errs.append("retention.header_scan_mismatch missing")
+    ratio = ret.get("retained_ratio")
+    if not is_num(ratio) or not 0.0 <= ratio <= 1.0:
+        errs.append("retention.retained_ratio missing or not in [0,1]")
+
+    if not is_num(doc.get("window_sec")) or doc["window_sec"] < 0:
+        errs.append("'window_sec' missing or negative")
+
+    cat_errs, cats = check_rows(
+        doc, "categories", "category",
+        ("records", "payload_bytes", "share"))
+    errs += cat_errs
+    prod_errs, prods = check_rows(
+        doc, "producers", "producer",
+        ("records", "payload_bytes", "rate_per_sec"))
+    errs += prod_errs
+
+    for key, rows in (("categories", cats), ("producers", prods)):
+        if errs or doc.get(key + "_truncated"):
+            continue
+        # Untruncated tables must reconcile with the totals exactly.
+        total = sum(r["records"] for r in rows)
+        if total != tot.get("records"):
+            errs.append(
+                "%s rows sum to %d records, totals say %d"
+                % (key, total, tot.get("records"))
+            )
+    if not cat_errs:
+        for i, row in enumerate(cats):
+            if not 0.0 <= row["share"] <= 1.0:
+                errs.append("categories[%d].share not in [0,1]" % i)
+
+    buckets = doc.get("buckets")
+    if not isinstance(buckets, list):
+        errs.append("'buckets' missing or not an array")
+    else:
+        prev = -1
+        in_bucket = 0
+        for i, b in enumerate(buckets):
+            if not isinstance(b, dict) or not all(
+                is_count(b.get(f))
+                for f in ("start_ns", "records", "payload_bytes")
+            ):
+                errs.append("buckets[%d] malformed" % i)
+                continue
+            if b["start_ns"] <= prev:
+                errs.append("buckets[%d].start_ns not ascending" % i)
+            prev = b["start_ns"]
+            in_bucket += b["records"]
+        if not errs and tot and in_bucket > tot["wall_stamped_records"]:
+            errs.append(
+                "buckets hold %d records but only %d are wall-stamped"
+                % (in_bucket, tot["wall_stamped_records"])
+            )
+    return errs
+
+
+def check_file(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return ["%s: %s" % (path, e)]
+    if not isinstance(doc, dict):
+        return ["%s: not a JSON object" % path]
+    return ["%s: %s" % (path, e) for e in check_doc(doc)]
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.stderr.write(
+            "usage: check_stats_schema.py FILE [FILE...]\n")
+        return 2
+    errs = []
+    for path in argv[1:]:
+        errs += check_file(path)
+    for e in errs:
+        sys.stderr.write(e + "\n")
+    if not errs:
+        print("ok: %d file(s) valid" % (len(argv) - 1))
+    return 1 if errs else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

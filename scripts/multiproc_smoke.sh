@@ -8,6 +8,12 @@
 #   - the daemon's sweep proves the killed producer dead and reclaims
 #     its lease (metrics: reclaimed leases/attachments >= 1);
 #   - the rotating segments decode with btrace_inspect;
+#   - btrace_stats reconciles the segment directory exactly against
+#     the daemon's own drain counters (DESIGN.md §13), its JSON passes
+#     scripts/check_stats_schema.py, and a --follow run observes the
+#     directory growing while the daemon drains;
+#   - the metrics snapshot is rewritten mid-run and on SIGTERM, not
+#     only at clean exit;
 #   - error paths map to the documented exit codes (3 = no such
 #     arena, 2 = bad usage).
 #
@@ -19,11 +25,13 @@ BUILD_DIR="${1:-build}"
 BTRACED="$BUILD_DIR/tools/btraced"
 PRODUCER="$BUILD_DIR/tools/btrace_producer"
 INSPECT="$BUILD_DIR/tools/btrace_inspect"
+STATS="$BUILD_DIR/tools/btrace_stats"
+SCRIPTS="$(cd "$(dirname "$0")" && pwd)"
 
-for bin in "$BTRACED" "$PRODUCER" "$INSPECT"; do
+for bin in "$BTRACED" "$PRODUCER" "$INSPECT" "$STATS"; do
     if [ ! -x "$bin" ]; then
-        echo "missing tool: $bin (build the 'btraced', 'btrace_producer'" \
-             "and 'btrace_inspect' targets first)" >&2
+        echo "missing tool: $bin (build the 'btraced', 'btrace_producer'," \
+             "'btrace_inspect' and 'btrace_stats' targets first)" >&2
         exit 1
     fi
 done
@@ -55,19 +63,37 @@ echo "== 2. daemon creates the arena and drains it"
     --segment-bytes $((1 << 20)) --metrics-out "$METRICS" &
 DAEMON_PID=$!
 
-# Wait for the arena to appear (the daemon stamps it before draining).
+# Wait until the arena actually accepts attachments. File size is not
+# readiness: the owner sizes the file before stamping its headers, and
+# an attacher in that window gets the retryable Busy exit (7). Probe
+# with a real one-event producer until the attach goes through.
+READY=1
 for _ in $(seq 1 100); do
-    [ -s "$ARENA" ] && break
+    "$PRODUCER" --arena "$ARENA" --events 1 --core 7 \
+        > /dev/null 2>&1
+    READY=$?
+    [ "$READY" -eq 0 ] && break
     sleep 0.05
 done
-[ -s "$ARENA" ] || fail "daemon never created $ARENA"
+[ "$READY" -eq 0 ] || fail "daemon never created $ARENA (probe exit $READY)"
+
+# Tail the segment directory while it is still being written: the
+# follow loop must observe the directory growing, and its final JSON
+# report (emitted when --duration elapses, after the daemon exits)
+# must pass the schema check like any one-shot report.
+"$STATS" "$SEGS" --follow --interval-ms 250 --duration 8 \
+    --json="$WORK/follow.json" > "$WORK/follow.out" 2>/dev/null &
+FOLLOW_PID=$!
 
 echo "== 3. clean producers write through leases"
+# Wall-clock stamps feed the daemon's drain-lag histogram and the
+# offline throughput buckets; distinct categories exercise the
+# per-category attribution in the v2 segment headers.
 "$PRODUCER" --arena "$ARENA" --events "$EVENTS_PER_PRODUCER" --core 1 \
-    > "$WORK/p1.out" &
+    --category 2 --wallclock-stamps > "$WORK/p1.out" &
 P1=$!
 "$PRODUCER" --arena "$ARENA" --events "$EVENTS_PER_PRODUCER" --core 2 \
-    > "$WORK/p2.out" &
+    --category 5 --wallclock-stamps > "$WORK/p2.out" &
 P2=$!
 
 echo "== 4. one producer dies by SIGKILL holding a lease"
@@ -88,9 +114,33 @@ wait "$P2" || fail "producer 2 exited nonzero"
 [ "$(cat "$WORK/p2.out")" = "$EVENTS_PER_PRODUCER" ] \
     || fail "producer 2 wrote $(cat "$WORK/p2.out") events"
 
+echo "== 5. metrics snapshot is rewritten mid-run, not only at exit"
+# The daemon still has seconds to live; the snapshot must already be
+# on disk (rewritten every drain interval) for crash post-mortems.
+for _ in $(seq 1 100); do
+    [ -s "$METRICS" ] && break
+    sleep 0.05
+done
+kill -0 "$DAEMON_PID" 2>/dev/null \
+    || fail "daemon exited before the mid-run metrics check could run"
+[ -s "$METRICS" ] || fail "metrics snapshot not rewritten during the run"
+[ "$(metric btraced_drains_total)" -ge 1 ] \
+    || fail "mid-run metrics snapshot shows no drains"
+
+# A second producer wave, long after the --follow tail's first scan:
+# the tail must observe the directory grow between ticks (the first
+# wave can drain inside a single 250 ms interval on a fast machine).
+sleep 1
+"$PRODUCER" --arena "$ARENA" --events "$EVENTS_PER_PRODUCER" --core 4 \
+    --category 2 --wallclock-stamps > "$WORK/p3.out" &
+P3=$!
+wait "$P3" || fail "second-wave producer exited nonzero"
+[ "$(cat "$WORK/p3.out")" = "$EVENTS_PER_PRODUCER" ] \
+    || fail "second-wave producer wrote $(cat "$WORK/p3.out") events"
+
 wait "$DAEMON_PID" || fail "btraced exited nonzero"
 
-echo "== 5. sweep reclaimed the dead producer"
+echo "== 6. sweep reclaimed the dead producer"
 [ -s "$METRICS" ] || fail "no metrics dump"
 [ "$(metric btraced_reclaimed_leases_total)" -ge 1 ] \
     || fail "no lease was reclaimed"
@@ -98,7 +148,7 @@ echo "== 5. sweep reclaimed the dead producer"
     || fail "dead attachment was not cleared"
 [ "$(metric btraced_sweeps_total)" -ge 1 ] || fail "no sweep ran"
 
-echo "== 6. segments decode"
+echo "== 7. segments decode and validate"
 ls "$SEGS"/segment-*.btrace >/dev/null 2>&1 || fail "no segments written"
 TOTAL=0
 for seg in "$SEGS"/segment-*.btrace; do
@@ -115,9 +165,123 @@ DRAINED=$(metric btraced_entries_total)
     || fail "segments hold $TOTAL entries, daemon counted $DRAINED"
 [ "$TOTAL" -ge "$EVENTS_PER_PRODUCER" ] \
     || fail "suspiciously few entries on disk: $TOTAL"
+# The validating directory walk must agree and find clean v2 headers.
+"$INSPECT" --segments "$SEGS" > "$WORK/segments.out" \
+    || fail "btrace_inspect --segments rejected the directory"
+grep -q "clean close" "$WORK/segments.out" \
+    || fail "no segment carries a clean-close v2 header"
 
-echo "== 7. a late attach to the finished arena still works"
+echo "== 8. btrace_stats reconciles with the daemon counters"
+"$STATS" "$SEGS" --top 64 --json="$WORK/stats.json" \
+    > /dev/null || fail "btrace_stats failed"
+python3 "$SCRIPTS/check_stats_schema.py" "$WORK/stats.json" \
+    || fail "stats JSON fails the schema check"
+python3 - "$WORK/stats.json" "$METRICS" <<'PYEOF' || fail "stats/metrics reconciliation"
+import json, re, sys
+
+doc = json.load(open(sys.argv[1]))
+series = {}
+for line in open(sys.argv[2]):
+    if line.startswith("#") or not line.strip():
+        continue
+    name, _, value = line.rpartition(" ")
+    series[name] = series.get(name, 0) + float(value)
+
+def total(base):
+    return int(sum(v for k, v in series.items()
+                   if k == base or k.startswith(base + "{")))
+
+errs = []
+# The offline aggregator and the daemon account the same drained
+# entries on two independent paths; with retention never having
+# deleted a segment they must agree EXACTLY, not approximately.
+for got, metric in (
+    (doc["totals"]["records"], "btraced_entries_total"),
+    (doc["totals"]["payload_bytes"], "btraced_payload_bytes_total"),
+    (doc["totals"]["wall_stamped_records"],
+     "btraced_lag_sampled_records_total"),
+    (doc["retention"]["overwritten_positions"],
+     "btraced_overwritten_positions_total"),
+    (doc["retention"]["skipped_blocks"], "btraced_skipped_blocks_total"),
+    (doc["retention"]["abandoned_blocks"],
+     "btraced_abandoned_blocks_total"),
+):
+    if got != total(metric):
+        errs.append("%s: segments say %d, daemon counted %d"
+                    % (metric, got, total(metric)))
+
+# Per-producer attribution: every labeled daemon series must match the
+# offline per-producer table row for the same writer id.
+daemon_rows = {}
+for key, value in series.items():
+    m = re.match(r'btraced_producer_records_total\{.*producer="(\d+)"',
+                 key)
+    if m:
+        daemon_rows[int(m.group(1))] = int(value)
+stats_rows = {r["producer"]: r["records"] for r in doc["producers"]}
+if doc["producers_truncated"]:
+    errs.append("producer table truncated; raise --top")
+elif daemon_rows != stats_rows:
+    errs.append("producer rows differ: daemon %r vs stats %r"
+                % (daemon_rows, stats_rows))
+if len(stats_rows) < 2:
+    errs.append("expected at least the two clean producers, got %r"
+                % stats_rows)
+
+# Both trace categories the clean producers used must be attributed.
+cats = {r["category"] for r in doc["categories"]}
+for want in (2, 5):
+    if want not in cats:
+        errs.append("category %d missing from the report" % want)
+
+if doc["retention"]["header_scan_mismatch"]:
+    errs.append("declared/scanned mismatch after a clean run")
+
+for e in errs:
+    sys.stderr.write("reconcile: %s\n" % e)
+sys.exit(1 if errs else 0)
+PYEOF
+
+echo "== 9. the --follow tail observed the directory growing"
+wait "$FOLLOW_PID" || fail "btrace_stats --follow exited nonzero"
+[ "$(wc -l < "$WORK/follow.out")" -ge 2 ] \
+    || fail "follow mode never saw the segment directory grow"
+python3 "$SCRIPTS/check_stats_schema.py" "$WORK/follow.json" \
+    || fail "follow-mode JSON fails the schema check"
+# Tailing a segment the daemon held open must converge on exactly the
+# state a post-hoc scan sees — no torn reads, no double counting.
+python3 - "$WORK/follow.json" "$WORK/stats.json" <<'PYEOF' || fail "follow/one-shot mismatch"
+import json, sys
+follow = json.load(open(sys.argv[1]))
+oneshot = json.load(open(sys.argv[2]))
+if follow["totals"] != oneshot["totals"]:
+    sys.stderr.write("follow totals %r != one-shot totals %r\n"
+                     % (follow["totals"], oneshot["totals"]))
+    sys.exit(1)
+PYEOF
+
+echo "== 10. SIGTERM still flushes the metrics snapshot"
+TERM_ARENA="$WORK/term.arena"
+TERM_METRICS="$WORK/term.prom"
+"$BTRACED" --arena "$TERM_ARENA" --create --out "$WORK/term-segs" \
+    --blocks 512 --active 64 --block-bytes 4096 --cores 4 \
+    --interval-ms 20 --metrics-out "$TERM_METRICS" 2>/dev/null &
+TERM_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$TERM_ARENA" ] && break
+    sleep 0.05
+done
+sleep 0.3
+kill -TERM "$TERM_PID"
+wait "$TERM_PID" || fail "btraced exited nonzero after SIGTERM"
+[ -s "$TERM_METRICS" ] || fail "SIGTERM exit left no metrics snapshot"
+grep -q "btraced_drains_total" "$TERM_METRICS" \
+    || fail "SIGTERM metrics snapshot is missing the drain counter"
+
+echo "== 11. a late attach to the finished arena still works"
 "$INSPECT" --arena "$ARENA" > /dev/null || fail "arena post-mortem failed"
 
 echo "PASS: multi-process smoke ($TOTAL entries across segments," \
-     "$(metric btraced_reclaimed_leases_total) lease(s) reclaimed)"
+     "$(metric btraced_reclaimed_leases_total) lease(s) reclaimed," \
+     "$(grep -o '"producer":' "$WORK/stats.json" | wc -l) producer row(s)" \
+     "reconciled)"

@@ -91,6 +91,20 @@ if [ -n "$OBS_JSON" ] && [ -s "$OBS_JSON" ]; then
         failures="$failures obs-schema"
 fi
 
+# The pipeline-observability smoke (DESIGN.md §13): daemon + producer
+# processes, then btrace_stats reconciled exactly against the daemon's
+# drain counters and schema-checked. It exercises the tools the
+# benches above do not.
+echo "### scripts/multiproc_smoke.sh build" | tee -a bench_output.txt
+status=0
+scripts/multiproc_smoke.sh build > "$tmp" 2>&1 || status=$?
+tee -a bench_output.txt < "$tmp"
+if [ "$status" -ne 0 ]; then
+    echo "FAILED: multiproc_smoke exited $status" \
+        | tee -a bench_output.txt >&2
+    failures="$failures multiproc-smoke"
+fi
+
 # Verify the bench result files landed at the repo root (the paths
 # CI uploads and EXPERIMENTS.md references). micro_throughput and
 # micro_latency were pinned there explicitly above; table2_main

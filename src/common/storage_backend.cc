@@ -205,7 +205,6 @@ class ArenaBackend : public StorageBackend
             return st;
 
         ArenaHeader *h = new (base) ArenaHeader();
-        h->magic = ArenaHeader::kMagic;
         h->version = ArenaHeader::kVersion;
         h->pageSize = static_cast<uint32_t>(page);
         h->flightOffset = header_bytes;
@@ -215,6 +214,11 @@ class ArenaBackend : public StorageBackend
         h->dataOffset = header_bytes + flight_cap + ctrl_cap;
         h->dataBytes = data_cap;
         h->generation.store(1, std::memory_order_release);
+        // Stamp the magic LAST: a concurrent attacher that maps the
+        // file between the ftruncate above and this store sees zeros
+        // (reported as Busy, i.e. retryable), never a header that
+        // claims to be valid while half-written.
+        h->magic = ArenaHeader::kMagic;
         gen_ = 1;
         hdr = h;
         return Status();
@@ -234,6 +238,11 @@ class ArenaBackend : public StorageBackend
         if (Status s = map(); !s.ok())
             return s;
         auto *h = reinterpret_cast<ArenaHeader *>(base);
+        if (h->magic == 0)
+            // The owner sizes the file before stamping the header, so
+            // an attacher can map an all-zero prefix mid-create. That
+            // is a retryable race, not a corrupt arena.
+            return errBusy("arena attach: arena still initializing");
         if (h->magic != ArenaHeader::kMagic)
             return errCorruption("arena attach: bad magic");
         if (h->version != ArenaHeader::kVersion)

@@ -86,6 +86,12 @@ BTrace::attachArena(std::unique_ptr<StorageBackend> backend,
             "without a tracer, or by an older version)");
 
     const auto *chdr = reinterpret_cast<ControlHeader *>(ctrl_base);
+    if (chdr->magic == 0)
+        // All-zero magic is what a racing attacher sees between the
+        // owner's ftruncate and its header stamp: still initializing,
+        // not corrupt — report Busy so callers know to retry.
+        return errBusy(
+            "attachArena: control region still initializing");
     if (chdr->magic != ControlHeader::kMagic)
         return errCorruption(
             "attachArena: bad control-region magic");

@@ -77,10 +77,13 @@ ConsumerDaemon::openSegment()
 {
     const std::string path = daemonSegmentPath(opt.outDir, segIndex);
     segFd = ::open(path.c_str(),
-                   O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+                   O_CREAT | O_TRUNC | O_RDWR | O_CLOEXEC, 0644);
     if (segFd < 0)
         return errIo("cannot open segment " + path);
-    if (Status s = writeTraceFileHeader(segFd); !s.ok()) {
+    segHdr = SegmentHeaderV2{};
+    segHdr.writerPid = uint64_t(::getpid());
+    segHdr.attachGeneration = sess.generation();
+    if (Status s = writeSegmentHeaderV2(segFd, segHdr); !s.ok()) {
         ::close(segFd);
         segFd = -1;
         return s;
@@ -90,11 +93,21 @@ ConsumerDaemon::openSegment()
     return Status();
 }
 
+/** Stamp the clean-close flag and sync the finished segment. */
+void
+ConsumerDaemon::finalizeSegmentLocked()
+{
+    segHdr.flags |= SegmentHeaderV2::kCleanClose;
+    (void)updateSegmentHeaderV2(segFd, segHdr);
+    ::fsync(segFd);
+}
+
 Status
 ConsumerDaemon::rotateIfNeeded()
 {
     if (segBytes < opt.segmentBytes)
         return Status();
+    finalizeSegmentLocked();
     ::close(segFd);
     segFd = -1;
     ++segIndex;
@@ -113,27 +126,86 @@ ConsumerDaemon::rotateIfNeeded()
     return Status();
 }
 
-Expected<uint64_t>
-ConsumerDaemon::drainOnce()
+Status
+ConsumerDaemon::drainLocked(const Dump &d,
+                            std::vector<uint32_t> &fresh)
 {
-    std::lock_guard<std::mutex> lock(mu);
-    if (segFd < 0)
-        return errInvalidArgument("daemon already stopped");
-    if (Status s = rotateIfNeeded(); !s.ok())
-        return s;
-    const Dump d =
-        sess->dumpFrom(cursor, DumpOptions{opt.closeActive, false});
+    const bool sawLoss = d.overwrittenPositions != 0 ||
+                         d.skippedBlocks != 0 ||
+                         d.abandonedBlocks != 0;
     if (!d.entries.empty()) {
+        // Records first, header second: a crash between the two
+        // leaves the header *undercounting*, which the offline reader
+        // reconciles (declared < scanned), never overcounting.
         if (Status s = appendTraceRecords(segFd, d.entries); !s.ok())
             return s;
         segBytes += d.entries.size() * sizeof(TraceDiskRecord);
+
+        const uint64_t now = wallClockNs();
+        if (segHdr.firstDrainUnixNs == 0)
+            segHdr.firstDrainUnixNs = now;
+        segHdr.lastDrainUnixNs = now;
+
+        uint64_t newestStamp = 0;
+        for (const DumpEntry &e : d.entries) {
+            segHdr.noteEntry(e);
+            st.payloadBytes += e.size;
+            ProducerTally &tally = producers[e.thread];
+            if (tally.records == 0 && tally.payloadBytes == 0)
+                fresh.push_back(e.thread);
+            ++tally.records;
+            tally.payloadBytes += e.size;
+            if (e.stamp >= kWallClockStampFloorNs) {
+                drainLag.add(now > e.stamp ? now - e.stamp : 0);
+                ++st.lagSampledRecords;
+                if (e.stamp > newestStamp)
+                    newestStamp = e.stamp;
+            } else {
+                ++st.lagUnstampedRecords;
+            }
+        }
+        if (newestStamp != 0)
+            lastLagNs = now > newestStamp ? now - newestStamp : 0;
     }
+    segHdr.overwrittenPositions += d.overwrittenPositions;
+    segHdr.skippedBlocks += d.skippedBlocks;
+    segHdr.abandonedBlocks += d.abandonedBlocks;
+
     ++st.drains;
     st.entries += d.entries.size();
     st.overwrittenPositions += d.overwrittenPositions;
     st.skippedBlocks += d.skippedBlocks;
     st.abandonedBlocks += d.abandonedBlocks;
-    return Expected<uint64_t>(uint64_t(d.entries.size()));
+
+    if (!d.entries.empty() || sawLoss)
+        return updateSegmentHeaderV2(segFd, segHdr);
+    return Status();
+}
+
+Expected<uint64_t>
+ConsumerDaemon::drainOnce()
+{
+    std::vector<uint32_t> fresh;
+    MetricsRegistry *reg = nullptr;
+    uint64_t n = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (segFd < 0)
+            return errInvalidArgument("daemon already stopped");
+        if (Status s = rotateIfNeeded(); !s.ok())
+            return s;
+        const Dump d =
+            sess->dumpFrom(cursor, DumpOptions{opt.closeActive, false});
+        if (Status s = drainLocked(d, fresh); !s.ok())
+            return s;
+        n = uint64_t(d.entries.size());
+        reg = metricsReg;
+    }
+    // Outside mu: MetricsRegistry::collect() holds the registry lock
+    // while running callbacks that take mu, so registering under mu
+    // would invert that order (ABBA).
+    exportProducers(fresh, reg);
+    return Expected<uint64_t>(n);
 }
 
 SweepReport
@@ -181,23 +253,22 @@ ConsumerDaemon::stop()
         worker.join();
     running.store(false, std::memory_order_release);
 
-    std::lock_guard<std::mutex> lock(mu);
-    if (segFd < 0)
-        return;
-    // Final close-active drain so the tail of every open block lands.
-    const Dump d = sess->dumpFrom(cursor, DumpOptions{true, false});
-    if (!d.entries.empty() &&
-        appendTraceRecords(segFd, d.entries).ok()) {
-        segBytes += d.entries.size() * sizeof(TraceDiskRecord);
-        ++st.drains;
-        st.entries += d.entries.size();
-        st.overwrittenPositions += d.overwrittenPositions;
-        st.skippedBlocks += d.skippedBlocks;
-        st.abandonedBlocks += d.abandonedBlocks;
+    std::vector<uint32_t> fresh;
+    MetricsRegistry *reg = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (segFd < 0)
+            return;
+        // Final close-active drain so the tail of every open block
+        // lands, then finalize the segment as cleanly closed.
+        const Dump d = sess->dumpFrom(cursor, DumpOptions{true, false});
+        (void)drainLocked(d, fresh);
+        finalizeSegmentLocked();
+        ::close(segFd);
+        segFd = -1;
+        reg = metricsReg;
     }
-    ::fsync(segFd);
-    ::close(segFd);
-    segFd = -1;
+    exportProducers(fresh, reg);
 }
 
 DaemonStats
@@ -205,6 +276,20 @@ ConsumerDaemon::stats() const
 {
     std::lock_guard<std::mutex> lock(mu);
     return st;
+}
+
+std::map<uint32_t, ProducerTally>
+ConsumerDaemon::producerTallies() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return producers;
+}
+
+uint64_t
+ConsumerDaemon::lastDrainLagNs() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return lastLagNs;
 }
 
 std::string
@@ -249,11 +334,80 @@ ConsumerDaemon::registerMetrics(MetricsRegistry &registry)
     counter("btraced_skipped_blocks_total",
             "blocks lost to SKP markers (data loss)",
             &DaemonStats::skippedBlocks);
+    counter("btraced_abandoned_blocks_total",
+            "blocks abandoned by dead producers (data loss)",
+            &DaemonStats::abandonedBlocks);
+    counter("btraced_payload_bytes_total",
+            "payload bytes drained to segments",
+            &DaemonStats::payloadBytes);
+    counter("btraced_lag_sampled_records_total",
+            "wall-clock-stamped records fed to the drain-lag histogram",
+            &DaemonStats::lagSampledRecords);
+    counter("btraced_lag_unstamped_records_total",
+            "logically stamped records with no wall-clock lag",
+            &DaemonStats::lagUnstampedRecords);
     registry.addGauge("btraced_segment_bytes",
                       "payload bytes in the open segment", [this]() {
                           std::lock_guard<std::mutex> lock(mu);
                           return double(segBytes);
                       });
+    registry.addGauge("btraced_last_drain_lag_ns",
+                      "newest-record lag of the latest drain pass",
+                      [this]() {
+                          std::lock_guard<std::mutex> lock(mu);
+                          return double(lastLagNs);
+                      });
+    registry.addGauge("btraced_producers_seen",
+                      "distinct writer ids drained so far", [this]() {
+                          std::lock_guard<std::mutex> lock(mu);
+                          return double(producers.size());
+                      });
+    registry.addHistogram("btraced_drain_lag_ns",
+                          "record-stamp to drain-time lag", &drainLag);
+
+    // Producers drained before this call get their labeled series
+    // now; later arrivals are added lazily by drainOnce (outside mu —
+    // see there for the lock-order note).
+    std::vector<uint32_t> known;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        metricsReg = &registry;
+        known.reserve(producers.size());
+        for (const auto &kv : producers)
+            known.push_back(kv.first);
+    }
+    exportProducers(known, &registry);
+}
+
+void
+ConsumerDaemon::exportProducers(const std::vector<uint32_t> &ids,
+                                MetricsRegistry *registry)
+{
+    if (registry == nullptr || ids.empty())
+        return;
+    for (const uint32_t id : ids) {
+        const MetricLabels labels = {
+            {"producer", std::to_string(id)}};
+        registry->addCounter(
+            "btraced_producer_records_total",
+            "records drained, by writer id", labels, [this, id]() {
+                std::lock_guard<std::mutex> lock(mu);
+                const auto it = producers.find(id);
+                return it == producers.end()
+                           ? 0.0
+                           : double(it->second.records);
+            });
+        registry->addCounter(
+            "btraced_producer_bytes_total",
+            "payload bytes drained, by writer id", labels,
+            [this, id]() {
+                std::lock_guard<std::mutex> lock(mu);
+                const auto it = producers.find(id);
+                return it == producers.end()
+                           ? 0.0
+                           : double(it->second.payloadBytes);
+            });
+    }
 }
 
 } // namespace btrace

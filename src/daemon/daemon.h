@@ -15,7 +15,21 @@
  * Observability rides the PR 4/5 planes: a MetricsRegistry gauge/
  * counter set (drains, entries, segments, reclaimed leases, data
  * loss) and an optional EventJournal attached to the daemon's tracer
- * view for the lifecycle timeline.
+ * view for the lifecycle timeline. Segments are written in the v2
+ * format (trace_file.h): each drain appends its records and then
+ * rewrites the segment header in place with the accumulated
+ * provenance — writer pid, attach generation, drain window,
+ * per-category tallies, loss counters — so offline analytics
+ * (btrace_stats) can reconcile segments against these live counters.
+ *
+ * Freshness (DESIGN.md §13): for records whose stamps are wall-clock
+ * nanoseconds (>= kWallClockStampFloorNs), every drain feeds
+ * record-stamp → drain-time lag into a ConcurrentHistogram and tracks
+ * the newest-record lag of the latest pass; logical stamps are
+ * counted as unstamped instead of polluting the histogram. Per-writer
+ * attribution keys on DumpEntry::thread (the writer pid for
+ * cross-process arenas) and exports one labeled counter series per
+ * producer.
  */
 
 #ifndef BTRACE_DAEMON_DAEMON_H
@@ -23,12 +37,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <thread>
 
+#include "common/latency_histogram.h"
 #include "common/status.h"
 #include "core/session.h"
 #include "obs/metrics.h"
+#include "trace/trace_file.h"
 
 namespace btrace {
 
@@ -66,6 +83,16 @@ struct DaemonStats
     uint64_t overwrittenPositions = 0;  //!< data loss seen by the cursor
     uint64_t skippedBlocks = 0;  //!< blocks lost to SKP markers
     uint64_t abandonedBlocks = 0;
+    uint64_t payloadBytes = 0;   //!< sum of drained DumpEntry::size
+    uint64_t lagSampledRecords = 0;    //!< wall-clock stamps, lag taken
+    uint64_t lagUnstampedRecords = 0;  //!< logical stamps, no lag
+};
+
+/** Per-producer (writer pid) drain tallies. */
+struct ProducerTally
+{
+    uint64_t records = 0;
+    uint64_t payloadBytes = 0;
 };
 
 /**
@@ -113,13 +140,30 @@ class ConsumerDaemon
 
     DaemonStats stats() const;
 
+    /** Per-producer tallies keyed by writer id (DumpEntry::thread). */
+    std::map<uint32_t, ProducerTally> producerTallies() const;
+
+    /** Record-stamp → drain-time lag of wall-clock-stamped records. */
+    const ConcurrentHistogram &drainLagHistogram() const
+    {
+        return drainLag;
+    }
+
+    /** Newest-record lag of the latest drain that landed records. */
+    uint64_t lastDrainLagNs() const;
+
     /** The daemon's own attachment (e.g. for attachJournal). */
     Session &session() { return sess; }
 
     /** Path of the segment currently being appended to. */
     std::string currentSegmentPath() const;
 
-    /** Register drain/reclaim counters on @p registry (PR 4 plane). */
+    /**
+     * Register drain/reclaim counters, the drain-lag histogram, and
+     * the per-producer labeled series on @p registry. Producers that
+     * first appear in later drains get their series added lazily (the
+     * registry must outlive the daemon's drain loop once passed here).
+     */
     void registerMetrics(MetricsRegistry &registry);
 
   private:
@@ -127,6 +171,11 @@ class ConsumerDaemon
 
     Status openSegment();
     Status rotateIfNeeded();
+    void finalizeSegmentLocked();
+    /** Append + account one dump; new producer ids land in @p fresh. */
+    Status drainLocked(const Dump &d, std::vector<uint32_t> &fresh);
+    void exportProducers(const std::vector<uint32_t> &ids,
+                         MetricsRegistry *registry);
     void run();
 
     Session sess;
@@ -136,10 +185,16 @@ class ConsumerDaemon
     uint64_t segIndex = 0;       //!< index of the *open* segment
     uint64_t oldestSegIndex = 0; //!< oldest segment still on disk
     std::size_t segBytes = 0;    //!< payload bytes in the open segment
+    SegmentHeaderV2 segHdr;      //!< accumulated header, mirrored on disk
     DumpCursor cursor;
 
     mutable std::mutex mu;       //!< serializes drains vs stop()
     DaemonStats st;
+    std::map<uint32_t, ProducerTally> producers;
+    MetricsRegistry *metricsReg = nullptr;  //!< set by registerMetrics
+    uint64_t lastLagNs = 0;
+
+    ConcurrentHistogram drainLag;
 
     std::atomic<bool> running{false};
     std::atomic<bool> stopping{false};

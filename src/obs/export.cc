@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <set>
 
 #include "obs/json_reader.h"
 
@@ -47,6 +48,18 @@ appendKvs(std::string &out, const char *key,
     out += "}";
 }
 
+/** Prometheus label-value escaping: backslash, quote, newline. */
+void
+promEscapeTo(std::string &out, const std::string &v)
+{
+    for (char c : v) {
+        if (c == '\\') out += "\\\\";
+        else if (c == '"') out += "\\\"";
+        else if (c == '\n') out += "\\n";
+        else out += c;
+    }
+}
+
 /** Render `{label="v",...}`; empty string when there are no labels. */
 std::string
 promLabels(const ObsLabels &labels, const std::string &extra = {})
@@ -58,13 +71,7 @@ promLabels(const ObsLabels &labels, const std::string &extra = {})
         if (!first) out += ",";
         first = false;
         out += kv.first + "=\"";
-        // Prometheus label escaping: backslash, quote, newline.
-        for (char c : kv.second) {
-            if (c == '\\') out += "\\\\";
-            else if (c == '"') out += "\\\"";
-            else if (c == '\n') out += "\\n";
-            else out += c;
-        }
+        promEscapeTo(out, kv.second);
         out += "\"";
     }
     if (!extra.empty()) {
@@ -72,6 +79,22 @@ promLabels(const ObsLabels &labels, const std::string &extra = {})
         out += extra;
     }
     out += "}";
+    return out;
+}
+
+/** Series labels (MetricValue::labels) as a promLabels `extra` run. */
+std::string
+seriesLabelRun(const MetricLabels &labels)
+{
+    std::string out;
+    bool first = true;
+    for (const auto &kv : labels) {
+        if (!first) out += ",";
+        first = false;
+        out += kv.first + "=\"";
+        promEscapeTo(out, kv.second);
+        out += "\"";
+    }
     return out;
 }
 
@@ -179,12 +202,20 @@ renderPrometheus(const MetricsRegistry::Collected &collected,
     out.reserve(2048);
     const std::string lbl = promLabels(labels);
 
+    // A labeled family (several series sharing one name) must be
+    // announced exactly once — duplicate # TYPE lines are invalid
+    // exposition (and scripts/check_obs_schema.py rejects them).
+    std::set<std::string> announced;
     for (const MetricValue &m : collected.metrics) {
-        out += "# HELP " + m.name + " " + m.help + "\n";
-        out += "# TYPE " + m.name + " ";
-        out += (m.kind == MetricKind::Counter) ? "counter" : "gauge";
-        out += "\n";
-        out += m.name + lbl + " " + formatValue(m.value) + "\n";
+        if (announced.insert(m.name).second) {
+            out += "# HELP " + m.name + " " + m.help + "\n";
+            out += "# TYPE " + m.name + " ";
+            out += (m.kind == MetricKind::Counter) ? "counter"
+                                                   : "gauge";
+            out += "\n";
+        }
+        out += m.name + promLabels(labels, seriesLabelRun(m.labels)) +
+               " " + formatValue(m.value) + "\n";
     }
 
     for (const HistogramValue &h : collected.histograms) {

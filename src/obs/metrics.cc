@@ -4,21 +4,57 @@
 
 namespace btrace {
 
+std::string
+seriesKey(const std::string &name, const MetricLabels &labels)
+{
+    if (labels.empty())
+        return name;
+    std::string out = name;
+    out += "{";
+    bool first = true;
+    for (const auto &kv : labels) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += kv.first + "=\"" + kv.second + "\"";
+    }
+    out += "}";
+    return out;
+}
+
 void
 MetricsRegistry::addCounter(std::string name, std::string help,
                             ReadFn fn)
 {
-    std::lock_guard<std::mutex> lock(mu);
-    scalars.push_back(Scalar{std::move(name), std::move(help),
-                             MetricKind::Counter, std::move(fn)});
+    addCounter(std::move(name), std::move(help), MetricLabels{},
+               std::move(fn));
 }
 
 void
 MetricsRegistry::addGauge(std::string name, std::string help, ReadFn fn)
 {
+    addGauge(std::move(name), std::move(help), MetricLabels{},
+             std::move(fn));
+}
+
+void
+MetricsRegistry::addCounter(std::string name, std::string help,
+                            MetricLabels labels, ReadFn fn)
+{
     std::lock_guard<std::mutex> lock(mu);
     scalars.push_back(Scalar{std::move(name), std::move(help),
-                             MetricKind::Gauge, std::move(fn)});
+                             MetricKind::Counter, std::move(fn),
+                             std::move(labels)});
+}
+
+void
+MetricsRegistry::addGauge(std::string name, std::string help,
+                          MetricLabels labels, ReadFn fn)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    scalars.push_back(Scalar{std::move(name), std::move(help),
+                             MetricKind::Gauge, std::move(fn),
+                             std::move(labels)});
 }
 
 void
@@ -41,6 +77,7 @@ MetricsRegistry::collect() const
         v.help = s.help;
         v.kind = s.kind;
         v.value = s.fn ? s.fn() : 0.0;
+        v.labels = s.labels;
         out.metrics.push_back(std::move(v));
     }
     out.histograms.reserve(hists.size());

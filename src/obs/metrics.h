@@ -40,6 +40,13 @@ enum class MetricKind
     Gauge,    //!< instantaneous level or ratio
 };
 
+/**
+ * Per-series `key=value` label pairs (Prometheus dimension labels).
+ * Series of one family (same name) differ only in their labels — e.g.
+ * btraced's per-producer counters, one series per attached pid.
+ */
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
 /** One evaluated scalar metric. */
 struct MetricValue
 {
@@ -47,7 +54,16 @@ struct MetricValue
     std::string help;
     MetricKind kind = MetricKind::Gauge;
     double value = 0.0;
+    MetricLabels labels;  //!< per-series labels (usually empty)
 };
+
+/**
+ * Unique key of a series: the bare name without labels, or
+ * `name{k="v",...}` — the form the JSON-lines exporter and the
+ * sampler's rate matching use as map key.
+ */
+std::string seriesKey(const std::string &name,
+                      const MetricLabels &labels);
 
 /**
  * One evaluated histogram: headline quantiles for the JSON-lines
@@ -89,6 +105,16 @@ class MetricsRegistry
     void addGauge(std::string name, std::string help, ReadFn fn);
 
     /**
+     * Labeled-series variants: several series of one family (same
+     * name, same help/kind) distinguished by labels. Exporters
+     * announce the family once and emit one sample line per series.
+     */
+    void addCounter(std::string name, std::string help,
+                    MetricLabels labels, ReadFn fn);
+    void addGauge(std::string name, std::string help,
+                  MetricLabels labels, ReadFn fn);
+
+    /**
      * Register a histogram; @p h must outlive the registry. Each
      * collect() takes one merged snapshot and summarizes it.
      */
@@ -107,6 +133,7 @@ class MetricsRegistry
         std::string help;
         MetricKind kind;
         ReadFn fn;
+        MetricLabels labels;
     };
 
     struct Hist

@@ -126,10 +126,14 @@ StatsSampler::sampleOnce()
     s.labels = opt.labels;
     s.histograms = c.histograms;
     for (const MetricValue &m : c.metrics) {
+        // Labeled series fold their labels into the key so families
+        // like btraced_producer_records_total{producer="123"} stay
+        // distinct in the flat JSON maps (and in rate matching).
+        const std::string key = seriesKey(m.name, m.labels);
         if (m.kind == MetricKind::Counter)
-            s.counters.emplace_back(m.name, m.value);
+            s.counters.emplace_back(key, m.value);
         else
-            s.gauges.emplace_back(m.name, m.value);
+            s.gauges.emplace_back(key, m.value);
     }
 
     // Per-second rates vs the previous sample, matched by name so a

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Offline analytics over a directory of rotated trace segments — the
+ * library half of tools/btrace_stats, in the spirit of Apache Traffic
+ * Server's traffic_logstats (DESIGN.md §13).
+ *
+ * The aggregator folds SegmentInfo scans (trace_file.h, v1 and v2)
+ * into one SegmentDirStats: per-category and per-producer record/byte
+ * tallies, time-bucketed throughput over wall-clock-stamped records,
+ * and a retention-quality account that reconciles what the segments
+ * *declare* (v2 headers: drain-side loss counters, record counts)
+ * against what the record scan actually finds (torn tails, truncated
+ * appends) and against the segment numbering itself (rotation gaps
+ * where retention unlinked files between the survivors).
+ *
+ * Everything here is plain offline file reading — no arena access, no
+ * shared state with a live tracer.
+ */
+
+#ifndef BTRACE_TRACE_SEGMENT_STATS_H
+#define BTRACE_TRACE_SEGMENT_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "trace/trace_file.h"
+
+namespace btrace {
+
+/** One segment file discovered on disk. */
+struct SegmentFile
+{
+    std::string path;
+    uint64_t index = 0;    //!< parsed from segment-NNNNNN.btrace
+    bool indexed = false;  //!< false: name carries no rotation index
+};
+
+/**
+ * Find segment files. A directory yields every "segment-*.btrace"
+ * inside it, sorted by rotation index; a regular file yields itself
+ * (unindexed). NotFound when the path does not exist.
+ */
+Expected<std::vector<SegmentFile>>
+listSegmentFiles(const std::string &dirOrFile);
+
+/** Per-category tallies. */
+struct CategoryStats
+{
+    uint64_t records = 0;
+    uint64_t payloadBytes = 0;
+};
+
+/** Per-producer (record thread id; the writer pid under btraced). */
+struct ProducerStats
+{
+    uint64_t records = 0;
+    uint64_t payloadBytes = 0;
+    uint64_t minStamp = UINT64_MAX;
+    uint64_t maxStamp = 0;
+};
+
+/** One throughput bucket over wall-clock-stamped records. */
+struct ThroughputBucket
+{
+    uint64_t records = 0;
+    uint64_t payloadBytes = 0;
+};
+
+/** Everything the aggregator knows after scanning a segment set. */
+struct SegmentDirStats
+{
+    // Segment inventory.
+    uint64_t segmentsScanned = 0;
+    uint64_t v1Segments = 0;
+    uint64_t v2Segments = 0;
+    uint64_t tornSegments = 0;    //!< record stream ends mid-record
+    uint64_t dirtySegments = 0;   //!< v2 without the clean-close flag
+    uint64_t unreadableSegments = 0;  //!< bad magic / truncated header
+    uint64_t rotationGaps = 0;    //!< runs of unlinked indices
+    uint64_t missingIndices = 0;  //!< total indices retention removed
+
+    // Scanned truth.
+    uint64_t records = 0;
+    uint64_t payloadBytes = 0;
+    uint64_t wallStampedRecords = 0;  //!< stamps >= the wall-clock floor
+    uint64_t minStamp = UINT64_MAX;
+    uint64_t maxStamp = 0;
+    uint64_t tornTailBytes = 0;
+
+    // Declared by v2 headers (drain-side accounting).
+    uint64_t declaredRecords = 0;
+    uint64_t declaredPayloadBytes = 0;
+    uint64_t overwrittenPositions = 0;
+    uint64_t skippedBlocks = 0;
+    uint64_t abandonedBlocks = 0;
+    uint64_t firstDrainUnixNs = 0;
+    uint64_t lastDrainUnixNs = 0;
+
+    std::map<uint16_t, CategoryStats> categories;
+    std::map<uint32_t, ProducerStats> producers;
+    /** bucket start (unix ns, multiple of the bucket width) → tallies */
+    std::map<uint64_t, ThroughputBucket> buckets;
+
+    /** Declared record count disagrees with the scan (torn tail or a
+     * writer killed between append and header rewrite). */
+    bool
+    headerScanMismatch() const
+    {
+        return v2Segments != 0 && declaredRecords != records;
+    }
+};
+
+/**
+ * Incremental segment-set aggregator. Feed files (or pre-read
+ * SegmentInfo values) in any order; stats() is valid at any point.
+ */
+class SegmentAggregator
+{
+  public:
+    /** @p bucketSec sizes the throughput buckets (<= 0: disabled). */
+    explicit SegmentAggregator(double bucketSec = 1.0);
+
+    /**
+     * Read and fold one segment file. Unreadable files (missing, bad
+     * magic, truncated v2 header) are *counted* — the retention report
+     * owes the operator that number — and reported back as the error.
+     */
+    Status addFile(const SegmentFile &file, bool strict = false);
+
+    /** Fold an already-decoded segment. */
+    void addSegment(const SegmentInfo &info, const SegmentFile &file);
+
+    /** Scan @p dirOrFile and fold everything found. */
+    Status addAll(const std::string &dirOrFile, bool strict = false);
+
+    const SegmentDirStats &stats() const { return st; }
+
+    /** Human-readable report (top-N rows per table). */
+    std::string renderTable(std::size_t topN = 10) const;
+
+    /**
+     * The stable JSON document (schema btrace_stats_version 1,
+     * validated by scripts/check_stats_schema.py).
+     */
+    std::string renderJson(std::size_t topN = 10) const;
+
+  private:
+    uint64_t bucketNs;
+    SegmentDirStats st;
+    std::vector<uint64_t> indices;  //!< rotation indices seen
+
+    void recomputeGaps();
+};
+
+} // namespace btrace
+
+#endif // BTRACE_TRACE_SEGMENT_STATS_H

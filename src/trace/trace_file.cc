@@ -1,9 +1,21 @@
 #include "trace/trace_file.h"
 
 #include <fcntl.h>
+#include <time.h>
 #include <unistd.h>
 
+#include <cstring>
+
 namespace btrace {
+
+uint64_t
+wallClockNs()
+{
+    struct timespec ts;
+    ::clock_gettime(CLOCK_REALTIME, &ts);
+    return uint64_t(ts.tv_sec) * 1'000'000'000ull +
+           uint64_t(ts.tv_nsec);
+}
 
 Status
 writeTraceFileHeader(int fd)
@@ -11,6 +23,37 @@ writeTraceFileHeader(int fd)
     const uint64_t magic = kTraceFileMagic;
     if (::write(fd, &magic, sizeof(magic)) != ssize_t(sizeof(magic)))
         return errIo("cannot write trace file header");
+    return Status();
+}
+
+Status
+writeSegmentHeaderV2(int fd, SegmentHeaderV2 &hdr)
+{
+    hdr.headerBytes = sizeof(SegmentHeaderV2);
+    const uint64_t magic = kTraceFileMagicV2;
+    if (::pwrite(fd, &magic, sizeof(magic), 0) !=
+        ssize_t(sizeof(magic)))
+        return errIo("cannot write segment magic");
+    if (::pwrite(fd, &hdr, sizeof(hdr), sizeof(magic)) !=
+        ssize_t(sizeof(hdr)))
+        return errIo("cannot write segment header");
+    // Leave the append offset past the header for the record stream.
+    if (::lseek(fd, sizeof(magic) + sizeof(hdr), SEEK_SET) < 0)
+        return errIo("cannot seek past segment header");
+    return Status();
+}
+
+Status
+updateSegmentHeaderV2(int fd, const SegmentHeaderV2 &hdr)
+{
+    // Re-stamp headerBytes: this build always writes its own layout,
+    // and a caller-built header (tests, repair tools) may not have
+    // been through writeSegmentHeaderV2.
+    SegmentHeaderV2 h = hdr;
+    h.headerBytes = sizeof(SegmentHeaderV2);
+    if (::pwrite(fd, &h, sizeof(h), sizeof(uint64_t)) !=
+        ssize_t(sizeof(h)))
+        return errIo("cannot update segment header");
     return Status();
 }
 
@@ -29,24 +72,43 @@ appendTraceRecords(int fd, const std::vector<DumpEntry> &entries)
     return Status();
 }
 
-namespace {
-
-Expected<std::vector<DumpEntry>>
-readImpl(const std::string &path, bool *torn, bool fail_on_torn)
+Expected<SegmentInfo>
+readSegment(const std::string &path, bool strict)
 {
-    if (torn != nullptr)
-        *torn = false;
     const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
     if (fd < 0)
         return errNotFound("no such trace file: " + path);
+
+    SegmentInfo info;
     uint64_t magic = 0;
-    if (::read(fd, &magic, sizeof(magic)) != ssize_t(sizeof(magic)) ||
-        magic != kTraceFileMagic) {
+    if (::read(fd, &magic, sizeof(magic)) != ssize_t(sizeof(magic))) {
+        ::close(fd);
+        return errCorruption("not a btrace trace file: " + path);
+    }
+    if (magic == kTraceFileMagicV2) {
+        info.version = 2;
+        // headerBytes first, so a reader from this build can skip a
+        // larger future header without understanding its tail.
+        if (::read(fd, &info.header, sizeof(info.header)) !=
+                ssize_t(sizeof(info.header)) ||
+            info.header.headerBytes < sizeof(info.header)) {
+            ::close(fd);
+            return errCorruption("segment cut off inside its header: " +
+                                 path);
+        }
+        if (info.header.headerBytes > sizeof(info.header) &&
+            ::lseek(fd,
+                    off_t(sizeof(magic)) + off_t(info.header.headerBytes),
+                    SEEK_SET) < 0) {
+            ::close(fd);
+            return errCorruption("segment header overruns the file: " +
+                                 path);
+        }
+    } else if (magic != kTraceFileMagic) {
         ::close(fd);
         return errCorruption("not a btrace trace file: " + path);
     }
 
-    std::vector<DumpEntry> out;
     TraceDiskRecord rec;
     for (;;) {
         const ssize_t got = ::read(fd, &rec, sizeof(rec));
@@ -54,17 +116,33 @@ readImpl(const std::string &path, bool *torn, bool fail_on_torn)
             break;
         if (got != ssize_t(sizeof(rec))) {
             ::close(fd);
-            if (fail_on_torn)
+            if (strict)
                 return errCorruption(
                     "torn trace record at the end of " + path);
-            if (torn != nullptr)
-                *torn = true;
-            return Expected<std::vector<DumpEntry>>(std::move(out));
+            info.torn = true;
+            info.tornTailBytes = got > 0 ? uint64_t(got) : 0;
+            return Expected<SegmentInfo>(std::move(info));
         }
-        out.push_back(rec.toEntry());
+        info.entries.push_back(rec.toEntry());
     }
     ::close(fd);
-    return Expected<std::vector<DumpEntry>>(std::move(out));
+    return Expected<SegmentInfo>(std::move(info));
+}
+
+namespace {
+
+Expected<std::vector<DumpEntry>>
+readImpl(const std::string &path, bool *torn, bool fail_on_torn)
+{
+    if (torn != nullptr)
+        *torn = false;
+    auto seg = readSegment(path, /*strict=*/fail_on_torn);
+    if (!seg.ok())
+        return seg.status();
+    if (torn != nullptr)
+        *torn = seg.value().torn;
+    return Expected<std::vector<DumpEntry>>(
+        std::move(seg.value().entries));
 }
 
 } // namespace

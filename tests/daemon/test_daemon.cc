@@ -19,6 +19,8 @@
 #include <thread>
 
 #include "daemon/daemon.h"
+#include "obs/export.h"
+#include "trace/segment_stats.h"
 #include "trace/trace_file.h"
 
 namespace btrace {
@@ -253,6 +255,261 @@ TEST_F(DaemonTest, MakeReportsUnusableOutDir)
     ASSERT_FALSE(d.ok());
     EXPECT_EQ(d.status().code(), StatusCode::IoError);
     std::remove(clash.c_str());
+}
+
+TEST_F(DaemonTest, SegmentHeaderV2CarriesProvenance)
+{
+    auto s = Session::create(smallConfig());
+    ASSERT_TRUE(s.ok());
+    DaemonOptions opts;
+    opts.outDir = dir;
+    opts.closeActive = true;
+    auto d = ConsumerDaemon::make(s.take(), opts);
+    ASSERT_TRUE(d.ok());
+    ConsumerDaemon &daemon = *d.value();
+
+    for (uint64_t st = 1; st <= 40; ++st)
+        ASSERT_TRUE(daemon.session()->record(0, 7, st, 16,
+                                             uint16_t(st % 3)));
+    ASSERT_TRUE(daemon.drainOnce().ok());
+    daemon.stop();
+
+    auto seg = readSegment(daemonSegmentPath(dir, 0), true);
+    ASSERT_TRUE(seg.ok()) << seg.status().toString();
+    const SegmentHeaderV2 &h = seg.value().header;
+    EXPECT_EQ(seg.value().version, 2u);
+    EXPECT_EQ(h.writerPid, uint64_t(::getpid()));
+    EXPECT_EQ(h.recordCount, 40u);
+    // DumpEntry::size is the full on-ring event (payload + header).
+    ASSERT_FALSE(seg.value().entries.empty());
+    EXPECT_EQ(h.payloadBytes,
+              40u * seg.value().entries.front().size);
+    EXPECT_EQ(h.minStamp, 1u);
+    EXPECT_EQ(h.maxStamp, 40u);
+    EXPECT_NE(h.firstDrainUnixNs, 0u);
+    EXPECT_GE(h.lastDrainUnixNs, h.firstDrainUnixNs);
+    EXPECT_NE(h.flags & SegmentHeaderV2::kCleanClose, 0u);
+    // Stamps 1..40 over categories stamp%3: 13 zeros, 14 ones, 13 twos.
+    EXPECT_EQ(h.categoryRecords[0], 13u);
+    EXPECT_EQ(h.categoryRecords[1], 14u);
+    EXPECT_EQ(h.categoryRecords[2], 13u);
+    // The declared totals reconcile exactly with the scan.
+    EXPECT_EQ(h.recordCount, seg.value().entries.size());
+}
+
+TEST_F(DaemonTest, RotationFinalizesEveryHeader)
+{
+    auto s = Session::create(smallConfig());
+    ASSERT_TRUE(s.ok());
+    DaemonOptions opts;
+    opts.outDir = dir;
+    opts.closeActive = true;
+    opts.segmentBytes = 10 * sizeof(TraceDiskRecord);
+    opts.maxSegments = 0;  // keep everything for the scan
+    auto d = ConsumerDaemon::make(s.take(), opts);
+    ASSERT_TRUE(d.ok());
+    ConsumerDaemon &daemon = *d.value();
+
+    for (int round = 0; round < 5; ++round) {
+        for (uint64_t k = 1; k <= 10; ++k)
+            ASSERT_TRUE(daemon.session()->record(
+                0, 1, uint64_t(round) * 10 + k, 16));
+        ASSERT_TRUE(daemon.drainOnce().ok());
+    }
+    daemon.stop();
+
+    SegmentAggregator agg;
+    ASSERT_TRUE(agg.addAll(dir).ok());
+    const SegmentDirStats &st = agg.stats();
+    EXPECT_EQ(st.records, 50u);
+    EXPECT_EQ(st.v2Segments, st.segmentsScanned);
+    EXPECT_EQ(st.dirtySegments, 0u);  // every header finalized
+    EXPECT_EQ(st.declaredRecords, 50u);
+    EXPECT_FALSE(st.headerScanMismatch());
+    EXPECT_EQ(st.rotationGaps, 0u);
+}
+
+TEST_F(DaemonTest, SegmentDirReconcilesWithDaemonStats)
+{
+    auto s = Session::create(smallConfig());
+    ASSERT_TRUE(s.ok());
+    DaemonOptions opts;
+    opts.outDir = dir;
+    opts.closeActive = true;
+    auto d = ConsumerDaemon::make(s.take(), opts);
+    ASSERT_TRUE(d.ok());
+    ConsumerDaemon &daemon = *d.value();
+
+    for (uint64_t st = 1; st <= 60; ++st)
+        ASSERT_TRUE(
+            daemon.session()->record(0, st % 2 ? 5 : 6, st, 24));
+    ASSERT_TRUE(daemon.drainOnce().ok());
+    daemon.stop();
+    const DaemonStats ds = daemon.stats();
+
+    SegmentAggregator agg;
+    ASSERT_TRUE(agg.addAll(dir).ok());
+    const SegmentDirStats &st = agg.stats();
+    // No retention ran, so offline totals equal the live counters.
+    EXPECT_EQ(st.records, ds.entries);
+    EXPECT_EQ(st.payloadBytes, ds.payloadBytes);
+    EXPECT_EQ(st.overwrittenPositions, ds.overwrittenPositions);
+    EXPECT_EQ(st.skippedBlocks, ds.skippedBlocks);
+
+    const auto tallies = daemon.producerTallies();
+    ASSERT_EQ(tallies.size(), st.producers.size());
+    for (const auto &kv : tallies) {
+        const auto it = st.producers.find(kv.first);
+        ASSERT_NE(it, st.producers.end());
+        EXPECT_EQ(it->second.records, kv.second.records);
+        EXPECT_EQ(it->second.payloadBytes, kv.second.payloadBytes);
+    }
+}
+
+TEST_F(DaemonTest, DrainLagSampledForWallClockStamps)
+{
+    auto s = Session::create(smallConfig());
+    ASSERT_TRUE(s.ok());
+    DaemonOptions opts;
+    opts.outDir = dir;
+    opts.closeActive = true;
+    auto d = ConsumerDaemon::make(s.take(), opts);
+    ASSERT_TRUE(d.ok());
+    ConsumerDaemon &daemon = *d.value();
+
+    // 10 wall-clock-stamped records and 5 logical ones.
+    const uint64_t base = wallClockNs() - 1'000'000ull;  // 1 ms ago
+    for (uint64_t k = 0; k < 10; ++k)
+        ASSERT_TRUE(
+            daemon.session()->record(0, 1, base + k * 1000, 16));
+    for (uint64_t st = 1; st <= 5; ++st)
+        ASSERT_TRUE(daemon.session()->record(0, 1, st, 16));
+    ASSERT_TRUE(daemon.drainOnce().ok());
+    daemon.stop();
+
+    const DaemonStats ds = daemon.stats();
+    EXPECT_EQ(ds.lagSampledRecords, 10u);
+    EXPECT_EQ(ds.lagUnstampedRecords, 5u);
+    EXPECT_EQ(daemon.drainLagHistogram().count(), 10u);
+    // Stamps were ~1 ms in the past, so lag is at least that.
+    const HistogramSnapshot snap = daemon.drainLagHistogram().snapshot();
+    EXPECT_GE(snap.quantile(0.5), 900'000u);
+    EXPECT_GE(daemon.lastDrainLagNs(), 900'000u);
+    EXPECT_LT(daemon.lastDrainLagNs(), 60'000'000'000ull);
+}
+
+TEST_F(DaemonTest, PerProducerCountersExported)
+{
+    auto s = Session::create(smallConfig());
+    ASSERT_TRUE(s.ok());
+    DaemonOptions opts;
+    opts.outDir = dir;
+    opts.closeActive = true;
+    auto d = ConsumerDaemon::make(s.take(), opts);
+    ASSERT_TRUE(d.ok());
+    ConsumerDaemon &daemon = *d.value();
+
+    // Producer 5 drained before registerMetrics, producer 6 after —
+    // both must end up as labeled series.
+    for (uint64_t st = 1; st <= 10; ++st)
+        ASSERT_TRUE(daemon.session()->record(0, 5, st, 16));
+    ASSERT_TRUE(daemon.drainOnce().ok());
+
+    MetricsRegistry registry;
+    daemon.registerMetrics(registry);
+
+    for (uint64_t st = 11; st <= 14; ++st)
+        ASSERT_TRUE(daemon.session()->record(0, 6, st, 16));
+    ASSERT_TRUE(daemon.drainOnce().ok());
+    daemon.stop();
+
+    const auto collected = registry.collect();
+    double rec5 = -1, rec6 = -1, bytes6 = -1, seen = -1;
+    for (const MetricValue &m : collected.metrics) {
+        const std::string key = seriesKey(m.name, m.labels);
+        if (key == "btraced_producer_records_total{producer=\"5\"}")
+            rec5 = m.value;
+        if (key == "btraced_producer_records_total{producer=\"6\"}")
+            rec6 = m.value;
+        if (key == "btraced_producer_bytes_total{producer=\"6\"}")
+            bytes6 = m.value;
+        if (key == "btraced_producers_seen")
+            seen = m.value;
+    }
+    EXPECT_EQ(rec5, 10.0);
+    EXPECT_EQ(rec6, 4.0);
+    // 4 records; DumpEntry::size = payload 16 + 24-byte event header.
+    EXPECT_EQ(bytes6, 4.0 * 40.0);
+    EXPECT_EQ(seen, 2.0);
+
+    // The Prometheus rendering announces each family exactly once.
+    const std::string prom =
+        renderPrometheus(collected, {{"daemon", "btraced"}});
+    const std::string type =
+        "# TYPE btraced_producer_records_total counter";
+    const auto first = prom.find(type);
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(prom.find(type, first + 1), std::string::npos);
+    EXPECT_NE(prom.find("btraced_producer_records_total{daemon="
+                        "\"btraced\",producer=\"5\"}"),
+              std::string::npos);
+    EXPECT_NE(prom.find("# TYPE btraced_drain_lag_ns histogram"),
+              std::string::npos);
+}
+
+// The daemon's bookkeeping must ride the consumer side only: draining
+// through ConsumerDaemon (v2 headers, lag histogram, per-producer
+// tallies) must leave the producer fast path's shared-RMW count
+// byte-identical to draining the same workload with a raw dumpFrom —
+// the same contract bar the control/journal/observer planes meet.
+TEST_F(DaemonTest, StatsObsContractSharedRmwsUnchanged)
+{
+    uint64_t rmws[2] = {0, 0};
+    const auto workload = [](Session &sess) {
+        for (int round = 0; round < 4; ++round) {
+            Lease l = sess->lease(0, 9, 16, 32);
+            ASSERT_TRUE(l.ok());
+            for (int k = 0; k < 20; ++k) {
+                WriteTicket t = l.allocate(16);
+                if (!t.ok())
+                    break;
+                writeNormal(t.dst,
+                            uint64_t(round) * 20 + uint64_t(k) + 1, 0,
+                            9, 0, 16);
+                l.confirm(t);
+            }
+            l.close();
+        }
+    };
+
+    for (const bool viaDaemon : {false, true}) {
+        auto s = Session::create(smallConfig());
+        ASSERT_TRUE(s.ok());
+        if (viaDaemon) {
+            DaemonOptions opts;
+            opts.outDir = dir;
+            opts.closeActive = true;
+            auto d = ConsumerDaemon::make(s.take(), opts);
+            ASSERT_TRUE(d.ok());
+            ConsumerDaemon &daemon = *d.value();
+            workload(daemon.session());
+            ASSERT_TRUE(daemon.drainOnce().ok());
+            workload(daemon.session());
+            ASSERT_TRUE(daemon.drainOnce().ok());
+            rmws[1] =
+                daemon.session()->countersSnapshot().sharedRmws;
+            daemon.stop();
+        } else {
+            Session sess = s.take();
+            DumpCursor cursor;
+            workload(sess);
+            (void)sess->dumpFrom(cursor, DumpOptions{true, false});
+            workload(sess);
+            (void)sess->dumpFrom(cursor, DumpOptions{true, false});
+            rmws[0] = sess->countersSnapshot().sharedRmws;
+        }
+    }
+    EXPECT_EQ(rmws[0], rmws[1]);
 }
 
 TEST(TraceFileCodec, TornTailIsCorruptionStrictButReadableLossy)

@@ -8,6 +8,7 @@
  *   btrace_inspect --journal <flight.json>
  *   btrace_inspect --arena <ring.arena>
  *   btrace_inspect --control <ring.arena>
+ *   btrace_inspect --segments <dir|segment.btrace>
  *
  * Prints the per-core/per-category summary of a file written by
  * TracePersister, optionally exports it for Perfetto/chrome://tracing
@@ -28,6 +29,12 @@
  * (DESIGN.md §12) instead: the active runtime-tuning snapshot and the
  * bounded history of previously published ones — which sample rates,
  * first-K guarantees, and ring bounds were in force, and when.
+ * With --segments, the input is a btraced segment directory (or one
+ * segment file): every segment is validated through the v2 decoder
+ * and summarized per file — version, provenance, drain window, torn
+ * tails, declared-vs-scanned agreement — with directory totals at the
+ * end. Deep analytics (rates, per-producer attribution, retention
+ * quality) live in btrace_stats; this mode is the validator.
  */
 
 #include <algorithm>
@@ -48,6 +55,7 @@
 #include "obs/export.h"
 #include "obs/flight_recorder.h"
 #include "trace/event.h"
+#include "trace/segment_stats.h"
 
 using namespace btrace;
 
@@ -62,8 +70,111 @@ usage()
                  "       btrace_inspect --metrics <obs.jsonl>\n"
                  "       btrace_inspect --journal <flight.json>\n"
                  "       btrace_inspect --arena <ring.arena>\n"
-                 "       btrace_inspect --control <ring.arena>\n");
+                 "       btrace_inspect --control <ring.arena>\n"
+                 "       btrace_inspect --segments <dir|file>\n");
     return 2;
+}
+
+/** Validate and summarize a segment directory (or one segment). */
+int
+inspectSegments(const std::string &path)
+{
+    auto files = listSegmentFiles(path);
+    if (!files.ok()) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     files.status().toString().c_str());
+        return exitCodeFor(files.status().code());
+    }
+    if (files.value().empty()) {
+        std::fprintf(stderr, "%s: no segment files\n", path.c_str());
+        return exitCodeFor(StatusCode::NotFound);
+    }
+
+    SegmentAggregator agg;
+    int bad = 0;
+    for (const SegmentFile &f : files.value()) {
+        auto seg = readSegment(f.path, /*strict=*/false);
+        if (!seg.ok()) {
+            std::printf("%-28s UNREADABLE: %s\n", f.path.c_str(),
+                        seg.status().toString().c_str());
+            ++bad;
+            (void)agg.addFile(f);  // keep the inventory honest
+            continue;
+        }
+        const SegmentInfo &info = seg.value();
+        agg.addSegment(info, f);
+
+        std::printf("%-28s v%u, %zu records, %llu payload bytes",
+                    f.path.c_str(), info.version, info.entries.size(),
+                    static_cast<unsigned long long>([&] {
+                        uint64_t b = 0;
+                        for (const DumpEntry &e : info.entries)
+                            b += e.size;
+                        return b;
+                    }()));
+        if (!info.entries.empty()) {
+            uint64_t lo = UINT64_MAX, hi = 0;
+            for (const DumpEntry &e : info.entries) {
+                lo = std::min(lo, e.stamp);
+                hi = std::max(hi, e.stamp);
+            }
+            std::printf(", stamps %llu..%llu",
+                        static_cast<unsigned long long>(lo),
+                        static_cast<unsigned long long>(hi));
+        }
+        if (info.torn)
+            std::printf(", TORN tail (%llu bytes)",
+                        static_cast<unsigned long long>(
+                            info.tornTailBytes));
+        std::printf("\n");
+
+        if (info.version >= 2) {
+            const SegmentHeaderV2 &h = info.header;
+            std::printf("  writer pid %llu gen %llu, %s",
+                        static_cast<unsigned long long>(h.writerPid),
+                        static_cast<unsigned long long>(
+                            h.attachGeneration),
+                        (h.flags & SegmentHeaderV2::kCleanClose)
+                            ? "clean close"
+                            : "NOT closed (live or crashed)");
+            if (h.firstDrainUnixNs != 0)
+                std::printf(", drains %.3fs..%.3fs",
+                            double(h.firstDrainUnixNs) / 1e9,
+                            double(h.lastDrainUnixNs) / 1e9);
+            std::printf("\n");
+            if (h.recordCount != info.entries.size()) {
+                std::printf("  DECLARED %llu records but scan found "
+                            "%zu\n",
+                            static_cast<unsigned long long>(
+                                h.recordCount),
+                            info.entries.size());
+                ++bad;
+            }
+            if (h.overwrittenPositions != 0 || h.skippedBlocks != 0 ||
+                h.abandonedBlocks != 0)
+                std::printf("  loss: %llu overwritten, %llu skipped, "
+                            "%llu abandoned\n",
+                            static_cast<unsigned long long>(
+                                h.overwrittenPositions),
+                            static_cast<unsigned long long>(
+                                h.skippedBlocks),
+                            static_cast<unsigned long long>(
+                                h.abandonedBlocks));
+        }
+    }
+
+    const SegmentDirStats &st = agg.stats();
+    std::printf("\ntotals: %llu records, %llu payload bytes across "
+                "%llu segment(s)",
+                static_cast<unsigned long long>(st.records),
+                static_cast<unsigned long long>(st.payloadBytes),
+                static_cast<unsigned long long>(st.segmentsScanned));
+    if (st.rotationGaps != 0)
+        std::printf("; %llu rotation gap(s), %llu aged out",
+                    static_cast<unsigned long long>(st.rotationGaps),
+                    static_cast<unsigned long long>(st.missingIndices));
+    std::printf("\n");
+    return bad == 0 ? 0 : exitCodeFor(StatusCode::Corruption);
 }
 
 /** Pretty-print an obs JSON-lines file (replay --obs-json output). */
@@ -476,6 +587,8 @@ main(int argc, char **argv)
         return argc == 3 ? inspectArena(argv[2]) : usage();
     if (std::strcmp(argv[1], "--control") == 0)
         return argc == 3 ? inspectControl(argv[2]) : usage();
+    if (std::strcmp(argv[1], "--segments") == 0)
+        return argc == 3 ? inspectSegments(argv[2]) : usage();
     const std::string input = argv[1];
     std::string json_path, csv_path;
     long head = 0;

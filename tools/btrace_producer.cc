@@ -4,6 +4,7 @@
  *
  *   btrace_producer --arena PATH --events N [--payload N] [--core C]
  *                   [--lease N] [--expect-generation N] [--hold-lease]
+ *                   [--category C] [--wallclock-stamps]
  *
  * Attaches to a shared file arena and writes N events through batched
  * leases, then detaches cleanly — unless --hold-lease is given, in
@@ -24,6 +25,7 @@
 #include <string>
 
 #include "core/session.h"
+#include "trace/trace_file.h"
 
 using namespace btrace;
 
@@ -37,7 +39,14 @@ usage()
                  "                       [--payload N] [--core C] "
                  "[--lease N]\n"
                  "                       [--expect-generation N] "
-                 "[--hold-lease]\n");
+                 "[--hold-lease]\n"
+                 "                       [--category C] "
+                 "[--wallclock-stamps]\n"
+                 "--wallclock-stamps records CLOCK_REALTIME ns instead "
+                 "of a logical\n"
+                 "counter, so btraced's drain-lag and btrace_stats's "
+                 "throughput buckets\n"
+                 "see real time.\n");
     return exitCodeFor(StatusCode::InvalidArgument);
 }
 
@@ -53,6 +62,8 @@ main(int argc, char **argv)
     uint32_t leaseN = 32;
     uint64_t expectGeneration = 0;
     bool holdLease = false;
+    uint16_t category = 0;
+    bool wallclockStamps = false;
 
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
@@ -75,6 +86,10 @@ main(int argc, char **argv)
             expectGeneration = std::strtoull(v, nullptr, 10);
         } else if (std::strcmp(a, "--hold-lease") == 0) {
             holdLease = true;
+        } else if (std::strcmp(a, "--category") == 0 && (v = next())) {
+            category = uint16_t(std::atoi(v));
+        } else if (std::strcmp(a, "--wallclock-stamps") == 0) {
+            wallclockStamps = true;
         } else {
             return usage();
         }
@@ -106,9 +121,10 @@ main(int argc, char **argv)
             continue;
         }
         while (attempted < events) {
-            const uint64_t st = stamp++;
+            const uint64_t st =
+                wallclockStamps ? wallClockNs() : stamp++;
             ++attempted;
-            if (!s->shouldRecord(0, tid, st)) {
+            if (!s->shouldRecord(category, tid, st)) {
                 ++suppressed;  // shed by policy, not a drop
                 continue;
             }
@@ -116,10 +132,11 @@ main(int argc, char **argv)
             if (!t.ok()) {
                 // Span exhausted before this event: renew the lease.
                 --attempted;
-                --stamp;
+                if (!wallclockStamps)
+                    --stamp;
                 break;
             }
-            writeNormal(t.dst, st, core, tid, 0, payload);
+            writeNormal(t.dst, st, core, tid, category, payload);
             l.confirm(t);
             ++written;
         }
@@ -147,7 +164,9 @@ main(int argc, char **argv)
             WriteTicket t = l.allocate(payload);
             if (!t.ok())
                 break;
-            writeNormal(t.dst, stamp++, core, tid, 0, payload);
+            writeNormal(t.dst,
+                        wallclockStamps ? wallClockNs() : stamp++,
+                        core, tid, category, payload);
             l.confirm(t);
         }
         std::printf("HOLDING\n");

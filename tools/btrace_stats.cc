@@ -1,0 +1,224 @@
+/**
+ * @file
+ * btrace_stats — offline segment-directory analytics (DESIGN.md §13).
+ *
+ *   btrace_stats PATH... [--top N] [--bucket-sec F] [--strict]
+ *                [--json[=FILE]]
+ *                [--follow [--interval-ms N] [--duration SEC]]
+ *
+ * Each PATH is a segment directory (btraced --out) or a single
+ * segment file. The one-shot mode scans everything once and prints
+ * either the human table or the stable JSON document (schema
+ * btrace_stats_version 1, validated by scripts/check_stats_schema.py;
+ * --json=FILE writes it to FILE instead of stdout). --follow re-scans
+ * at the given cadence, printing one delta line whenever the totals
+ * move — tailing a live daemon's directory, including segments that
+ * rotate in while watching — and emits the usual full report when the
+ * duration elapses or SIGINT/SIGTERM arrives.
+ *
+ * Unreadable segments fail the run in --strict mode; otherwise they
+ * are warned about and counted in the report's `unreadable` slot.
+ * Exit codes follow exitCodeFor() like the other tools.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "trace/segment_stats.h"
+
+using namespace btrace;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: btrace_stats PATH... [--top N] [--bucket-sec F]\n"
+        "                    [--strict] [--json[=FILE]]\n"
+        "                    [--follow] [--interval-ms N] "
+        "[--duration SEC]\n"
+        "PATH: a segment directory (btraced --out) or one segment "
+        "file.\n");
+    return exitCodeFor(StatusCode::InvalidArgument);
+}
+
+struct Flags
+{
+    std::vector<std::string> paths;
+    std::size_t topN = 10;
+    double bucketSec = 1.0;
+    bool strict = false;
+    bool json = false;
+    std::string jsonFile;
+    bool follow = false;
+    double intervalSec = 0.5;
+    double durationSec = 0.0;  // 0 = until signal
+};
+
+/**
+ * One full scan of every path. In lossy mode, per-segment read errors
+ * are warned and folded into the report (NotFound of a whole path is
+ * tolerated only when @p quiet_missing — the daemon may not have
+ * created its out dir yet when --follow starts).
+ */
+Status
+scanAll(const Flags &f, SegmentAggregator &agg, bool quiet_missing)
+{
+    for (const std::string &p : f.paths) {
+        Status s = agg.addAll(p, f.strict);
+        if (s.ok())
+            continue;
+        if (quiet_missing && s.code() == StatusCode::NotFound)
+            continue;
+        if (f.strict)
+            return s;
+        std::fprintf(stderr, "btrace_stats: %s\n",
+                     s.toString().c_str());
+        if (s.code() == StatusCode::NotFound ||
+            s.code() == StatusCode::IoError)
+            return s;  // a whole path is missing, not one bad segment
+    }
+    return Status();
+}
+
+int
+emitReport(const Flags &f, const SegmentAggregator &agg)
+{
+    if (!f.json) {
+        std::fputs(agg.renderTable(f.topN).c_str(), stdout);
+        return 0;
+    }
+    const std::string doc = agg.renderJson(f.topN);
+    if (f.jsonFile.empty()) {
+        std::printf("%s\n", doc.c_str());
+        return 0;
+    }
+    std::ofstream out(f.jsonFile);
+    if (!out) {
+        std::fprintf(stderr, "btrace_stats: cannot write %s\n",
+                     f.jsonFile.c_str());
+        return exitCodeFor(StatusCode::IoError);
+    }
+    out << doc << "\n";
+    return 0;
+}
+
+int
+runFollow(const Flags &f)
+{
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    const auto t0 = std::chrono::steady_clock::now();
+    uint64_t prevRecords = 0, prevBytes = 0, prevSegments = 0;
+    bool first = true;
+    SegmentAggregator last(f.bucketSec);
+    while (g_stop == 0) {
+        // Rebuild from scratch each pass: the open segment grows in
+        // place, so an incremental fold would double-count it, and at
+        // segment-directory scale a rescan is cheap.
+        SegmentAggregator agg(f.bucketSec);
+        if (Status s = scanAll(f, agg, /*quiet_missing=*/true);
+            !s.ok() && f.strict)
+            return exitCodeFor(s.code());
+        const SegmentDirStats &st = agg.stats();
+        if (first || st.records != prevRecords ||
+            st.segmentsScanned != prevSegments) {
+            const double t = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+            std::printf("[%8.3f] segments=%llu records=%llu (+%llu) "
+                        "bytes=%llu (+%llu)\n",
+                        t,
+                        static_cast<unsigned long long>(
+                            st.segmentsScanned),
+                        static_cast<unsigned long long>(st.records),
+                        static_cast<unsigned long long>(
+                            st.records - prevRecords),
+                        static_cast<unsigned long long>(
+                            st.payloadBytes),
+                        static_cast<unsigned long long>(
+                            st.payloadBytes - prevBytes));
+            std::fflush(stdout);
+            prevRecords = st.records;
+            prevBytes = st.payloadBytes;
+            prevSegments = st.segmentsScanned;
+            first = false;
+        }
+        last = std::move(agg);
+        if (f.durationSec > 0.0 &&
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                    .count() >= f.durationSec)
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(f.intervalSec));
+    }
+    return emitReport(f, last);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Flags f;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        const char *v = nullptr;
+        if (std::strcmp(a, "--top") == 0 && (v = next())) {
+            f.topN = std::strtoull(v, nullptr, 10);
+        } else if (std::strcmp(a, "--bucket-sec") == 0 &&
+                   (v = next())) {
+            f.bucketSec = std::atof(v);
+        } else if (std::strcmp(a, "--strict") == 0) {
+            f.strict = true;
+        } else if (std::strcmp(a, "--json") == 0) {
+            f.json = true;
+        } else if (std::strncmp(a, "--json=", 7) == 0) {
+            f.json = true;
+            f.jsonFile = a + 7;
+        } else if (std::strcmp(a, "--follow") == 0) {
+            f.follow = true;
+        } else if (std::strcmp(a, "--interval-ms") == 0 &&
+                   (v = next())) {
+            f.intervalSec = std::atof(v) / 1000.0;
+        } else if (std::strcmp(a, "--duration") == 0 && (v = next())) {
+            f.durationSec = std::atof(v);
+        } else if (a[0] == '-') {
+            return usage();
+        } else {
+            f.paths.push_back(a);
+        }
+    }
+    if (f.paths.empty())
+        return usage();
+
+    if (f.follow)
+        return runFollow(f);
+
+    SegmentAggregator agg(f.bucketSec);
+    if (Status s = scanAll(f, agg, /*quiet_missing=*/false); !s.ok())
+        return exitCodeFor(s.code());
+    return emitReport(f, agg);
+}

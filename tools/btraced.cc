@@ -52,6 +52,29 @@ onHup(int)
     g_hup = 1;
 }
 
+/**
+ * Rewrite the Prometheus snapshot atomically: write a sibling tmp
+ * file, then rename over the target so a scraper never reads a torn
+ * half. Called every drain interval and at exit, so even a SIGKILLed
+ * daemon leaves a snapshot at most one interval stale.
+ */
+bool
+writeMetricsFile(const MetricsRegistry &registry,
+                 const std::string &path)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp);
+        if (!out)
+            return false;
+        out << renderPrometheus(registry.collect(),
+                                {{"daemon", "btraced"}});
+        if (!out.flush())
+            return false;
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
 int
 usage()
 {
@@ -232,9 +255,27 @@ main(int argc, char **argv)
     d.start();
     const auto t0 = std::chrono::steady_clock::now();
     auto lastGovern = t0;
+    auto lastMetrics = t0;
+    const double metricsIntervalSec =
+        std::max(f.daemon.drainIntervalSec, 0.05);
     DaemonStats prev = d.stats();
     while (g_stop == 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+        // Keep the on-disk metrics snapshot fresh while running, not
+        // only at clean exit: a crashed or SIGKILLed daemon must still
+        // leave a recent snapshot behind for the post-mortem.
+        if (!f.metricsOut.empty()) {
+            const auto nowM = std::chrono::steady_clock::now();
+            if (std::chrono::duration<double>(nowM - lastMetrics)
+                    .count() >= metricsIntervalSec) {
+                lastMetrics = nowM;
+                if (!writeMetricsFile(registry, f.metricsOut))
+                    std::fprintf(stderr,
+                                 "btraced: cannot write %s\n",
+                                 f.metricsOut.c_str());
+            }
+        }
 
         // Reconfiguration sources: SIGHUP / control-file rewrite, and
         // versions other attachments published to the arena page.
@@ -306,15 +347,14 @@ main(int argc, char **argv)
                      st.overwrittenPositions),
                  static_cast<unsigned long long>(st.skippedBlocks));
 
-    if (!f.metricsOut.empty()) {
-        std::ofstream out(f.metricsOut);
-        if (!out) {
-            std::fprintf(stderr, "btraced: cannot write %s\n",
-                         f.metricsOut.c_str());
-            return exitCodeFor(StatusCode::IoError);
-        }
-        out << renderPrometheus(registry.collect(),
-                                {{"daemon", "btraced"}});
+    // Final rewrite after the stop-drain so the snapshot carries the
+    // complete totals (this also covers SIGINT/SIGTERM exits — the
+    // loop above breaks on the signal and falls through to here).
+    if (!f.metricsOut.empty() &&
+        !writeMetricsFile(registry, f.metricsOut)) {
+        std::fprintf(stderr, "btraced: cannot write %s\n",
+                     f.metricsOut.c_str());
+        return exitCodeFor(StatusCode::IoError);
     }
     return 0;
 }
