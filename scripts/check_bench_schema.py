@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_contention.json produced by bench/contention_sweep.
+
+Structural checks: required top-level fields, schema version, known
+backend and phase names, and per-mode point lists whose thread counts
+match the announced sweep in order. Physical checks: thread_counts
+strictly increasing, every point did work (total_ops > 0) and passed
+its audit, and the per-phase attribution is conservative — the summed
+phase time of a point cannot exceed the wall-clock CPU budget
+(elapsed_sec x threads) by more than a 10% tolerance, since probes
+never nest and each thread runs for at most the measured interval.
+
+Usage: check_bench_schema.py FILE [FILE...]   (exit 0 iff all valid)
+"""
+
+import json
+import sys
+
+TOP_FIELDS = (
+    "bench",
+    "schema_version",
+    "payload_bytes",
+    "lease_entries",
+    "seconds_per_point",
+    "quick",
+    "tsc_ns_per_tick",
+    "probe_overhead_ns",
+    "thread_counts",
+    "backends",
+    "perf_counters",
+)
+BACKENDS = {"private", "shm", "file"}
+MODES = ("single", "leased")
+PHASES = {"claim", "bump", "publish", "retry", "lease_renew",
+          "control_poll"}
+PHASE_FIELDS = ("count", "total_ns", "mean_ns", "p50_ns", "p99_ns")
+# Attribution budget slack: scheduler preemption inside a probe bills
+# wall time, and TSC calibration itself carries ~1% error.
+BUDGET_TOLERANCE = 1.10
+BUDGET_SLACK_NS = 1e6
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_phase(where, name, ph, errors):
+    if not isinstance(ph, dict):
+        errors.append("%s: phase %r is not an object" % (where, name))
+        return 0.0
+    for f in PHASE_FIELDS:
+        if not is_num(ph.get(f)) or ph[f] < 0:
+            errors.append("%s: phase %r field %r missing or negative"
+                          % (where, name, f))
+            return 0.0
+    if ph["count"] > 0:
+        mean = ph["total_ns"] / ph["count"]
+        if abs(mean - ph["mean_ns"]) > max(1.0, mean * 0.01):
+            errors.append(
+                "%s: phase %r mean_ns %.4f inconsistent with "
+                "total_ns/count %.4f" % (where, name, ph["mean_ns"], mean))
+    elif ph["total_ns"] != 0:
+        errors.append("%s: phase %r has time but no samples"
+                      % (where, name))
+    return float(ph["total_ns"])
+
+
+def check_point(where, pt, want_threads, errors):
+    if not isinstance(pt, dict):
+        errors.append("%s: point is not an object" % where)
+        return
+    if pt.get("threads") != want_threads:
+        errors.append("%s: threads %r does not match announced sweep "
+                      "position (%d)" % (where, pt.get("threads"),
+                                         want_threads))
+    for f in ("total_ops", "elapsed_sec", "ops_per_sec", "shared_rmws",
+              "rmws_per_op", "cores"):
+        if not is_num(pt.get(f)) or pt[f] < 0:
+            errors.append("%s: %r missing or negative" % (where, f))
+            return
+    if pt["total_ops"] <= 0:
+        errors.append("%s: total_ops is zero — the point measured "
+                      "nothing" % where)
+    if pt["elapsed_sec"] <= 0:
+        errors.append("%s: elapsed_sec is not positive" % where)
+        return
+    if pt.get("audit_ok") is not True:
+        errors.append("%s: audit_ok is not true" % where)
+    if not isinstance(pt.get("pinned"), bool):
+        errors.append("%s: 'pinned' missing or not a bool" % where)
+
+    npo = pt.get("ns_per_op")
+    if not isinstance(npo, dict):
+        errors.append("%s: 'ns_per_op' missing or not an object" % where)
+    else:
+        for f in ("mean", "p50", "p99"):
+            if not is_num(npo.get(f)) or npo[f] < 0:
+                errors.append("%s: ns_per_op.%s missing or negative"
+                              % (where, f))
+
+    phases = pt.get("phases")
+    if not isinstance(phases, dict):
+        errors.append("%s: 'phases' missing or not an object" % where)
+        return
+    unknown = set(phases) - PHASES
+    if unknown:
+        errors.append("%s: unknown phase(s) %s"
+                      % (where, ", ".join(sorted(unknown))))
+    missing = PHASES - set(phases)
+    if missing:
+        errors.append("%s: missing phase(s) %s"
+                      % (where, ", ".join(sorted(missing))))
+    attributed = sum(check_phase(where, n, ph, errors)
+                     for n, ph in phases.items() if n in PHASES)
+    budget = pt["elapsed_sec"] * pt["threads"] * 1e9
+    if attributed > budget * BUDGET_TOLERANCE + BUDGET_SLACK_NS:
+        errors.append(
+            "%s: attributed phase time %.0f ns exceeds the wall-clock "
+            "budget %.0f ns x %.2f" % (where, attributed, budget,
+                                       BUDGET_TOLERANCE))
+
+    perf = pt.get("perf")
+    if perf is not None:
+        if not isinstance(perf, dict):
+            errors.append("%s: 'perf' is not an object" % where)
+        else:
+            for f in ("cycles_per_op", "cache_misses_per_op",
+                      "branch_misses_per_op"):
+                if not is_num(perf.get(f)) or perf[f] < 0:
+                    errors.append("%s: perf.%s missing or negative"
+                                  % (where, f))
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path, "r") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return 0, ["%s: %s" % (path, e)]
+    if not isinstance(doc, dict):
+        return 0, ["%s: top level is not an object" % path]
+
+    for f in TOP_FIELDS:
+        if f not in doc:
+            errors.append("%s: missing top-level field %r" % (path, f))
+    if errors:
+        return 0, errors
+    if doc["bench"] != "contention_sweep":
+        errors.append("%s: bench is %r, expected 'contention_sweep'"
+                      % (path, doc["bench"]))
+    if doc["schema_version"] != 1:
+        errors.append("%s: unknown schema_version %r"
+                      % (path, doc["schema_version"]))
+    if not is_num(doc["tsc_ns_per_tick"]) or doc["tsc_ns_per_tick"] <= 0:
+        errors.append("%s: tsc_ns_per_tick not positive" % path)
+    if doc["perf_counters"] is False and "perf_error" not in doc:
+        errors.append("%s: counters off but no perf_error explaining "
+                      "why" % path)
+
+    tc = doc["thread_counts"]
+    if not isinstance(tc, list) or not tc or \
+            not all(isinstance(t, int) and t > 0 for t in tc):
+        errors.append("%s: thread_counts must be a non-empty list of "
+                      "positive integers" % path)
+        return 0, errors
+    if any(b <= a for a, b in zip(tc, tc[1:])):
+        errors.append("%s: thread_counts not strictly increasing: %r"
+                      % (path, tc))
+
+    backends = doc["backends"]
+    if not isinstance(backends, list) or not backends:
+        errors.append("%s: 'backends' must be a non-empty list" % path)
+        return 0, errors
+    points = 0
+    for bi, be in enumerate(backends):
+        bwhere = "%s: backends[%d]" % (path, bi)
+        if not isinstance(be, dict):
+            errors.append("%s is not an object" % bwhere)
+            continue
+        name = be.get("backend")
+        if name not in BACKENDS:
+            errors.append("%s: unknown backend %r" % (bwhere, name))
+        modes = be.get("modes")
+        if not isinstance(modes, dict):
+            errors.append("%s: 'modes' missing or not an object" % bwhere)
+            continue
+        for mode in MODES:
+            pts = modes.get(mode)
+            if not isinstance(pts, list):
+                errors.append("%s: mode %r missing or not a list"
+                              % (bwhere, mode))
+                continue
+            if len(pts) != len(tc):
+                errors.append("%s: mode %r has %d points for %d "
+                              "announced thread counts"
+                              % (bwhere, mode, len(pts), len(tc)))
+            for pi, pt in enumerate(pts):
+                if pi < len(tc):
+                    check_point("%s.%s[%d]" % (bwhere, mode, pi), pt,
+                                tc[pi], errors)
+                    points += 1
+    return points, errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.stderr.write(__doc__)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        points, errors = check_file(path)
+        for err in errors:
+            sys.stderr.write(err + "\n")
+        if errors:
+            failed = True
+        else:
+            print("%s: %d points OK" % (path, points))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

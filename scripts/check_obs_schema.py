@@ -8,8 +8,12 @@ Each line is one sample:
      "histograms": {"name": {"count","p50","p99","p999","max"}},
      "health": [{"kind","detail"}, ...]}
 
-Checks per line: required keys, types, histogram summary fields, and
-known health kinds. Checks across lines: seq strictly increasing and
+Checks per line: required keys, types, histogram summary fields,
+known health kinds, and the btrace_profile_* family (registered as a
+block by registerProfilerMetrics, so any profile metric on a line
+implies the full set: one histogram per phase, the samples counter,
+and both calibration gauges — and no names outside the family).
+Checks across lines: seq strictly increasing and
 counters / t_sec / histogram counts non-decreasing. A seq of 0 starts
 a new run (bench binaries append one stream per run to the same file),
 which resets the cross-line state.
@@ -34,6 +38,53 @@ HEALTH_KINDS = {
     "lease_straggler_wedge",
     "consumer_lag_growth",
 }
+
+# The cost-attribution profiler family (DESIGN.md §14). Registered as
+# one block, so presence of any member implies the whole set.
+PROFILE_PHASES = (
+    "claim",
+    "bump",
+    "publish",
+    "retry",
+    "lease_renew",
+    "control_poll",
+)
+PROFILE_HISTS = {"btrace_profile_%s_ns" % p for p in PROFILE_PHASES}
+PROFILE_COUNTERS = {"btrace_profile_samples_total"}
+PROFILE_GAUGES = {
+    "btrace_profile_ns_per_tick",
+    "btrace_profile_probe_overhead_ns",
+}
+
+
+def check_profile_family(obj):
+    """The btrace_profile_* names on one sample line, if any."""
+    counters = set(obj.get("counters", {}))
+    gauges = set(obj.get("gauges", {}))
+    hists = set(obj.get("histograms", {}))
+    present = {n for n in counters | gauges | hists
+               if n.startswith("btrace_profile_")}
+    if not present:
+        return []
+    errs = [
+        "unknown btrace_profile_* metric '%s'" % n
+        for n in sorted(present
+                        - PROFILE_HISTS - PROFILE_COUNTERS
+                        - PROFILE_GAUGES)
+    ]
+    for want, have, where in (
+        (PROFILE_HISTS, hists, "histograms"),
+        (PROFILE_COUNTERS, counters, "counters"),
+        (PROFILE_GAUGES, gauges, "gauges"),
+    ):
+        for name in sorted(want - have):
+            errs.append(
+                "profile family incomplete: '%s' missing from %s"
+                % (name, where))
+    tick = obj.get("gauges", {}).get("btrace_profile_ns_per_tick")
+    if is_num(tick) and tick <= 0:
+        errs.append("btrace_profile_ns_per_tick is not positive")
+    return errs
 
 
 def is_num(v):
@@ -85,6 +136,7 @@ def check_line(obj):
                 errs.append("health[%d] is not an object" % i)
             elif ev.get("kind") not in HEALTH_KINDS:
                 errs.append("health[%d].kind %r unknown" % (i, ev.get("kind")))
+    errs += check_profile_family(obj)
     return errs
 
 

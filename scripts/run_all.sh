@@ -9,15 +9,19 @@
 # Any --obs-* argument (e.g. --obs-interval=0.5 --obs-json=obs.jsonl)
 # is forwarded to every bench binary, so one invocation produces the
 # observability stream alongside the results; the stream is then
-# schema-checked. --quick is forwarded too (CI-sized runs). A bench
-# exiting nonzero — or a missing BENCH_*.json — fails the script:
-# loudly, at the end, after every bench has had its chance to run.
+# schema-checked. --quick is forwarded too (CI-sized runs) and skips
+# the multi-minute contention sweep entirely — but a *full* run that
+# fails to produce BENCH_contention.json fails the script, same
+# missing-artifact contract as the other BENCH files. A bench exiting
+# nonzero — or a missing BENCH_*.json — fails the script: loudly, at
+# the end, after every bench has had its chance to run.
 set -eu
 cd "$(dirname "$0")/.."
 ROOT=$(pwd)
 
 OBS_FLAGS=
 OBS_JSON=
+QUICK=
 for arg in "$@"; do
     case "$arg" in
         --obs-json=*)
@@ -29,6 +33,7 @@ for arg in "$@"; do
             ;;
         --quick)
             OBS_FLAGS="$OBS_FLAGS $arg"
+            QUICK=1
             ;;
         *)
             echo "unknown argument: $arg (only --obs-* and --quick" \
@@ -70,6 +75,17 @@ for b in build/bench/*; do
         micro_latency)
             OUT_FLAGS="--benchmark_out=$ROOT/BENCH_latency.json"
             OUT_FLAGS="$OUT_FLAGS --benchmark_out_format=json"
+            ;;
+        contention_sweep)
+            # A full 1..64-thread sweep is minutes of wall time; quick
+            # runs (CI) get their contention point from the dedicated
+            # bench-contention job's reduced sweep instead.
+            if [ -n "$QUICK" ]; then
+                echo "### $b skipped (--quick)" | tee -a bench_output.txt
+                echo | tee -a bench_output.txt
+                continue
+            fi
+            OUT_FLAGS="--json=$ROOT/BENCH_contention.json"
             ;;
     esac
     echo "### $b $OBS_FLAGS $OUT_FLAGS" | tee -a bench_output.txt
@@ -113,7 +129,10 @@ fi
 # build/ (from a bench run by hand) is swept up as a fallback. A
 # missing artifact fails the run — this is exactly the silent
 # publication gap this check exists to catch.
-for j in BENCH_main.json BENCH_latency.json BENCH_throughput.json; do
+ARTIFACTS="BENCH_main.json BENCH_latency.json BENCH_throughput.json"
+# The contention sweep only runs (and is only demanded) on full runs.
+[ -z "$QUICK" ] && ARTIFACTS="$ARTIFACTS BENCH_contention.json"
+for j in $ARTIFACTS; do
     if [ ! -s "$j" ] && [ -s "build/$j" ]; then
         cp "build/$j" "$j"
     fi
@@ -124,6 +143,11 @@ for j in BENCH_main.json BENCH_latency.json BENCH_throughput.json; do
         failures="$failures $j"
     fi
 done
+
+if [ -z "$QUICK" ] && [ -s BENCH_contention.json ]; then
+    python3 scripts/check_bench_schema.py BENCH_contention.json ||
+        failures="$failures bench-schema"
+fi
 
 if [ -n "$failures" ]; then
     echo "FAILED:$failures" >&2

@@ -142,6 +142,10 @@ ControlPlane::poll()
 {
     if (page == nullptr)
         return false;
+    // Control-poll-phase probe (DESIGN.md §14): how much of the
+    // renewal cadence goes to watching the control page.
+    PhaseProbe probe(tracer.activeProfiler(),
+                     ProfilePhase::ControlPoll);
     // The whole no-change path: one relaxed load and a compare.
     const uint64_t v =
         page->publishCount.load(std::memory_order_relaxed);

@@ -350,6 +350,9 @@ BTrace::allocate(uint16_t core, uint32_t thread, uint32_t payload_len)
     ticket.thread = thread;
     ticket.cost = costs.tscRead + costs.setupOverhead;
 
+    // One arming load for every probe in this call (DESIGN.md §14).
+    CostProfiler *const pf = activeProfiler();
+
     // Bounded safety valve: with every metadata block held by a
     // preempted writer the advancement loop cannot make progress;
     // report Retry so the caller can reschedule (§3.4).
@@ -370,7 +373,7 @@ BTrace::allocate(uint16_t core, uint32_t thread, uint32_t payload_len)
             if (coreLocal[core]->load(std::memory_order_acquire) ==
                 local_word) {
                 const AdvanceResult res =
-                    tryAdvance(core, local_word, ticket.cost);
+                    timedAdvance(pf, core, local_word, ticket.cost);
                 if (res == AdvanceResult::WouldBlock) {
                     ticket.status = AllocStatus::Retry;
                     ctrs.wouldBlock.fetch_add(1,
@@ -386,8 +389,14 @@ BTrace::allocate(uint16_t core, uint32_t thread, uint32_t payload_len)
         // turning the reservation stale (§3.2).
         BTRACE_TEST_YIELD(AllocPreReserve);
 
-        const RndPos old = RndPos::unpack(m.allocated.fetch_add(
-            need, std::memory_order_acq_rel));
+        uint64_t claimed;
+        {
+            // Claim-phase probe: the reservation FAA itself.
+            PhaseProbe probe(pf, ProfilePhase::Claim);
+            claimed =
+                m.allocated.fetch_add(need, std::memory_order_acq_rel);
+        }
+        const RndPos old = RndPos::unpack(claimed);
         ctrs.sharedRmws.fetch_add(1, std::memory_order_relaxed);
         ticket.cost += costs.atomicLocal;
 
@@ -427,7 +436,7 @@ BTrace::allocate(uint16_t core, uint32_t thread, uint32_t payload_len)
 
             // Block exhausted: advance to a fresh one (§4.2).
             const AdvanceResult res =
-                tryAdvance(core, local_word, ticket.cost);
+                timedAdvance(pf, core, local_word, ticket.cost);
             if (res == AdvanceResult::WouldBlock) {
                 ticket.status = AllocStatus::Retry;
                 ctrs.wouldBlock.fetch_add(1, std::memory_order_relaxed);
@@ -468,7 +477,7 @@ BTrace::allocate(uint16_t core, uint32_t thread, uint32_t payload_len)
         if (coreLocal[core]->load(std::memory_order_acquire) ==
             local_word) {
             const AdvanceResult res =
-                tryAdvance(core, local_word, ticket.cost);
+                timedAdvance(pf, core, local_word, ticket.cost);
             if (res == AdvanceResult::WouldBlock) {
                 ticket.status = AllocStatus::Retry;
                 ctrs.wouldBlock.fetch_add(1, std::memory_order_relaxed);
@@ -488,7 +497,12 @@ BTrace::confirm(WriteTicket &ticket)
     BTRACE_DASSERT(ticket.status == AllocStatus::Ok, "confirm without Ok");
     BTRACE_DASSERT(!ticket.leased, "leased tickets confirm via the lease");
     MetadataBlock &m = meta[ticket.handle.slot];
-    m.confirmed.fetch_add(ticket.entrySize, std::memory_order_acq_rel);
+    {
+        // Publish-phase probe: the confirm FAA (DESIGN.md §14).
+        PhaseProbe probe(activeProfiler(), ProfilePhase::Publish);
+        m.confirmed.fetch_add(ticket.entrySize,
+                              std::memory_order_acq_rel);
+    }
     ctrs.sharedRmws.fetch_add(1, std::memory_order_relaxed);
     ticket.cost += costs.atomicLocal;
 }
@@ -521,6 +535,9 @@ BTrace::lease(uint16_t core, uint32_t thread, uint32_t payload_hint,
 
     double cost = costs.tscRead + costs.setupOverhead;
 
+    // One arming load for every probe in this call (DESIGN.md §14).
+    CostProfiler *const pf = activeProfiler();
+
     // Same bounded safety valve as allocate(): with every metadata
     // block held by a preempted writer the advancement loop cannot
     // make progress; report Retry so the caller can reschedule (§3.4).
@@ -536,7 +553,7 @@ BTrace::lease(uint16_t core, uint32_t thread, uint32_t payload_hint,
         if (pre.rnd != exp_rnd || pre.pos >= cap) {
             if (coreLocal[core]->load(std::memory_order_acquire) ==
                 local_word) {
-                if (tryAdvance(core, local_word, cost) ==
+                if (timedAdvance(pf, core, local_word, cost) ==
                     AdvanceResult::WouldBlock) {
                     ctrs.wouldBlock.fetch_add(1,
                                               std::memory_order_relaxed);
@@ -551,8 +568,14 @@ BTrace::lease(uint16_t core, uint32_t thread, uint32_t payload_hint,
         // turning the whole span reservation stale (§3.2).
         BTRACE_TEST_YIELD(LeasePreClaim);
 
-        const RndPos old = RndPos::unpack(m.allocated.fetch_add(
-            want, std::memory_order_acq_rel));
+        uint64_t claimed;
+        {
+            // Claim-phase probe: the span-reservation FAA itself.
+            PhaseProbe probe(pf, ProfilePhase::Claim);
+            claimed =
+                m.allocated.fetch_add(want, std::memory_order_acq_rel);
+        }
+        const RndPos old = RndPos::unpack(claimed);
         ctrs.sharedRmws.fetch_add(1, std::memory_order_relaxed);
         cost += costs.atomicLocal;
 
@@ -607,7 +630,7 @@ BTrace::lease(uint16_t core, uint32_t thread, uint32_t payload_hint,
                             uint64_t(BlockCloseReason::Full));
             }
 
-            if (tryAdvance(core, local_word, cost) ==
+            if (timedAdvance(pf, core, local_word, cost) ==
                 AdvanceResult::WouldBlock) {
                 ctrs.wouldBlock.fetch_add(1, std::memory_order_relaxed);
                 return deniedLease(AllocStatus::Retry, cost);
@@ -640,7 +663,7 @@ BTrace::lease(uint16_t core, uint32_t thread, uint32_t payload_hint,
 
         if (coreLocal[core]->load(std::memory_order_acquire) ==
             local_word) {
-            if (tryAdvance(core, local_word, cost) ==
+            if (timedAdvance(pf, core, local_word, cost) ==
                 AdvanceResult::WouldBlock) {
                 ctrs.wouldBlock.fetch_add(1, std::memory_order_relaxed);
                 return deniedLease(AllocStatus::Retry, cost);
@@ -657,51 +680,63 @@ BTrace::leaseClose(Lease &l)
 {
     const LeaseView v = viewOf(l);
     const uint32_t remainder = v.len - v.used;
-    double cost = 0.0;
-    if (remainder > 0) {
-        // Return the unused span as one dummy entry so every leased
-        // byte is confirmed exactly once (DESIGN.md §3).
-        writeDummy(v.base + v.used, remainder);
-        cost += costs.copy(8);
-    }
-    // Critical window: the remainder dummy is written but the bulk
-    // confirm has not landed; the block stays incomplete and must be
-    // skipped, never re-locked, until the fetch_add below. A producer
-    // killed here is still Active in the owner table, so a sweeper
-    // reclaims the whole span cleanly.
-    BTRACE_TEST_YIELD(LeasePreCloseConfirm);
     const uint32_t publish = v.confirmedBytes + remainder;
-
-    // Owner-record close protocol (DESIGN.md §11): Active -> Closing
-    // immediately before the bulk confirm, Free after it. A sweeper
-    // only ever claims Active records, so once our CAS lands it can
-    // never confirm this span a second time. Not charged to
-    // sharedRmws: robustness plane, never executed on the private
-    // backend.
+    double cost = 0.0;
+    CostProfiler *const pf = activeProfiler();
     LeaseOwnerRecord *rec = nullptr;
-    if (shared && v.handle.aux != 0) {
-        rec = &ctrl.owners[v.handle.aux - 1];
-        uint32_t expect = LeaseOwnerRecord::Active;
-        if (!rec->state.compare_exchange_strong(
-                expect, LeaseOwnerRecord::Closing,
-                std::memory_order_acq_rel,
-                std::memory_order_acquire)) {
-            // A sweeper concluded we were dead (pid reuse, or a
-            // registry mishap) and owns the record: it dummy-fills
-            // and confirms the span on our behalf. Publishing too
-            // would double-confirm, so drop ours; keep the level
-            // counter and the entry tally sane.
-            ctrs.leasedOutstanding.fetch_sub(
-                publish, std::memory_order_relaxed);
-            ctrs.leaseEntries.fetch_add(v.served,
-                                        std::memory_order_relaxed);
-            chargeLease(l, cost);
-            return;
+    {
+        // Lease-renew-phase probe (DESIGN.md §14): the close-side
+        // overhead a renewal pays — remainder dummy fill plus the
+        // owner-record CAS. The bulk confirm FAA lands in the publish
+        // phase below, so the two buckets never overlap.
+        PhaseProbe renewProbe(pf, ProfilePhase::LeaseRenew);
+        if (remainder > 0) {
+            // Return the unused span as one dummy entry so every
+            // leased byte is confirmed exactly once (DESIGN.md §3).
+            writeDummy(v.base + v.used, remainder);
+            cost += costs.copy(8);
+        }
+        // Critical window: the remainder dummy is written but the
+        // bulk confirm has not landed; the block stays incomplete and
+        // must be skipped, never re-locked, until the fetch_add
+        // below. A producer killed here is still Active in the owner
+        // table, so a sweeper reclaims the whole span cleanly.
+        BTRACE_TEST_YIELD(LeasePreCloseConfirm);
+
+        // Owner-record close protocol (DESIGN.md §11): Active ->
+        // Closing immediately before the bulk confirm, Free after it.
+        // A sweeper only ever claims Active records, so once our CAS
+        // lands it can never confirm this span a second time. Not
+        // charged to sharedRmws: robustness plane, never executed on
+        // the private backend.
+        if (shared && v.handle.aux != 0) {
+            rec = &ctrl.owners[v.handle.aux - 1];
+            uint32_t expect = LeaseOwnerRecord::Active;
+            if (!rec->state.compare_exchange_strong(
+                    expect, LeaseOwnerRecord::Closing,
+                    std::memory_order_acq_rel,
+                    std::memory_order_acquire)) {
+                // A sweeper concluded we were dead (pid reuse, or a
+                // registry mishap) and owns the record: it
+                // dummy-fills and confirms the span on our behalf.
+                // Publishing too would double-confirm, so drop ours;
+                // keep the level counter and the entry tally sane.
+                ctrs.leasedOutstanding.fetch_sub(
+                    publish, std::memory_order_relaxed);
+                ctrs.leaseEntries.fetch_add(v.served,
+                                            std::memory_order_relaxed);
+                chargeLease(l, cost);
+                return;
+            }
         }
     }
     if (publish > 0) {
-        meta[v.handle.slot].confirmed.fetch_add(
-            publish, std::memory_order_acq_rel);
+        {
+            // Publish-phase probe: the bulk confirm FAA.
+            PhaseProbe probe(pf, ProfilePhase::Publish);
+            meta[v.handle.slot].confirmed.fetch_add(
+                publish, std::memory_order_acq_rel);
+        }
         ctrs.sharedRmws.fetch_add(1, std::memory_order_relaxed);
         cost += costs.atomicLocal;
     }

@@ -491,6 +491,21 @@ class BTrace : public Tracer
                              double &cost);
 
     /**
+     * tryAdvance under a retry-phase probe (DESIGN.md §14): the
+     * advancement/backoff work a writer performs when its block is
+     * exhausted or stolen is the fast path's "retry" cost bucket.
+     * @p pf is the caller's one activeProfiler() load; disarmed this
+     * is tryAdvance plus a predicted branch.
+     */
+    AdvanceResult
+    timedAdvance(CostProfiler *pf, uint16_t core, uint64_t local_word,
+                 double &cost)
+    {
+        PhaseProbe probe(pf, ProfilePhase::Retry);
+        return tryAdvance(core, local_word, cost);
+    }
+
+    /**
      * Speculative consumer read of one physical block (§4.3).
      * Appends parsed entries and tallies skipped/unreadable blocks on
      * @p out; an Abandoned outcome is returned *unclassified* — the

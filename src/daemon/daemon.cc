@@ -156,8 +156,16 @@ ConsumerDaemon::drainLocked(const Dump &d,
             ++tally.records;
             tally.payloadBytes += e.size;
             if (e.stamp >= kWallClockStampFloorNs) {
-                drainLag.add(now > e.stamp ? now - e.stamp : 0);
-                ++st.lagSampledRecords;
+                if (now >= e.stamp) {
+                    drainLag.add(now - e.stamp);
+                    ++st.lagSampledRecords;
+                } else {
+                    // Drained before its own stamp: the wall clock
+                    // stepped back between record and drain. A
+                    // negative lag is garbage — keep it out of the
+                    // histogram and count the clamp instead.
+                    ++st.drainLagClamped;
+                }
                 if (e.stamp > newestStamp)
                     newestStamp = e.stamp;
             } else {
@@ -346,6 +354,9 @@ ConsumerDaemon::registerMetrics(MetricsRegistry &registry)
     counter("btraced_lag_unstamped_records_total",
             "logically stamped records with no wall-clock lag",
             &DaemonStats::lagUnstampedRecords);
+    counter("btraced_drain_lag_clamped_total",
+            "future-stamped records clamped out of the lag histogram",
+            &DaemonStats::drainLagClamped);
     registry.addGauge("btraced_segment_bytes",
                       "payload bytes in the open segment", [this]() {
                           std::lock_guard<std::mutex> lock(mu);

@@ -26,7 +26,9 @@
  * nanoseconds (>= kWallClockStampFloorNs), every drain feeds
  * record-stamp → drain-time lag into a ConcurrentHistogram and tracks
  * the newest-record lag of the latest pass; logical stamps are
- * counted as unstamped instead of polluting the histogram. Per-writer
+ * counted as unstamped instead of polluting the histogram, and
+ * records drained before their own stamp (wall-clock step-back) are
+ * clamped out of it and counted separately. Per-writer
  * attribution keys on DumpEntry::thread (the writer pid for
  * cross-process arenas) and exports one labeled counter series per
  * producer.
@@ -86,6 +88,15 @@ struct DaemonStats
     uint64_t payloadBytes = 0;   //!< sum of drained DumpEntry::size
     uint64_t lagSampledRecords = 0;    //!< wall-clock stamps, lag taken
     uint64_t lagUnstampedRecords = 0;  //!< logical stamps, no lag
+    /**
+     * Wall-clock-stamped records drained *before* their stamp (the
+     * clock stepped back between record and drain — NTP slew, manual
+     * set, or a producer on a different clock). Their "negative" lag
+     * is clamped out of the histogram and tallied here instead, so a
+     * clock step is visible as a counter, not as a spurious pile of
+     * zero-lag samples.
+     */
+    uint64_t drainLagClamped = 0;
 };
 
 /** Per-producer (writer pid) drain tallies. */

@@ -6,6 +6,38 @@
 
 namespace btrace {
 
+void
+registerProfilerMetrics(MetricsRegistry &reg,
+                        const CostProfiler &profiler)
+{
+    for (std::size_t i = 0; i < kProfilePhases; ++i) {
+        const auto p = static_cast<ProfilePhase>(i);
+        reg.addHistogram(std::string("btrace_profile_") +
+                             profilePhaseName(p) + "_ns",
+                         std::string("Attributed ns in the ") +
+                             profilePhaseName(p) + " phase",
+                         &profiler.histogram(p));
+    }
+    reg.addCounter("btrace_profile_samples_total",
+                   "Phase probes recorded across all phases",
+                   [&profiler]() {
+                       uint64_t n = 0;
+                       for (std::size_t i = 0; i < kProfilePhases; ++i)
+                           n += profiler
+                                    .histogram(
+                                        static_cast<ProfilePhase>(i))
+                                    .count();
+                       return static_cast<double>(n);
+                   });
+    reg.addGauge("btrace_profile_ns_per_tick",
+                 "Calibrated nanoseconds per raw TSC tick",
+                 [&profiler]() { return profiler.nsPerTick(); });
+    reg.addGauge("btrace_profile_probe_overhead_ns",
+                 "Estimated cost of one armed probe pair, subtracted "
+                 "per sample",
+                 [&profiler]() { return profiler.probeOverheadNs(); });
+}
+
 double
 BTraceObs::effectivityRatio(const BTraceCounters::Snapshot &s,
                             std::size_t block_size)

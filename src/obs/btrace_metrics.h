@@ -33,10 +33,21 @@
 
 #include "core/btrace.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/watchdog.h"
 #include "trace/observer.h"
 
 namespace btrace {
+
+/**
+ * Export a CostProfiler into @p reg as the `btrace_profile_*` family:
+ * one `btrace_profile_<phase>_ns` histogram per fast-path phase, a
+ * `btrace_profile_samples_total` counter (probes across all phases),
+ * and the `btrace_profile_ns_per_tick` / `btrace_profile_probe_overhead_ns`
+ * calibration gauges. @p profiler must outlive @p reg's collectors.
+ */
+void registerProfilerMetrics(MetricsRegistry &reg,
+                             const CostProfiler &profiler);
 
 /** Knobs of the adapter. */
 struct BTraceObsOptions

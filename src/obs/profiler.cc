@@ -1,0 +1,320 @@
+#include "obs/profiler.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define BTRACE_HAVE_PERF_EVENT 1
+#include <cerrno>
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace btrace {
+
+namespace {
+
+uint64_t
+monotonicRawNs()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC_RAW, &ts);
+    return uint64_t(ts.tv_sec) * 1000000000ull + uint64_t(ts.tv_nsec);
+}
+
+struct Calibration
+{
+    double nsPerTick = 1.0;
+    uint64_t overheadTicks = 0;
+};
+
+/**
+ * Measure ns-per-tick against CLOCK_MONOTONIC_RAW over a ~2 ms spin,
+ * and the cost of one probe pair as the mean of back-to-back TSC
+ * reads. TSC frequency is invariant on every post-2008 x86 part
+ * (constant_tsc) and the aarch64 virtual counter is fixed-rate by
+ * architecture, so one measurement per process is enough.
+ */
+Calibration
+calibrate()
+{
+    Calibration c;
+    const uint64_t t0 = monotonicRawNs();
+    const uint64_t c0 = profilerTicks();
+    while (monotonicRawNs() - t0 < 2000000)
+        ;
+    const uint64_t t1 = monotonicRawNs();
+    const uint64_t c1 = profilerTicks();
+    if (c1 > c0 && t1 > t0)
+        c.nsPerTick = double(t1 - t0) / double(c1 - c0);
+
+    constexpr int kProbes = 4096;
+    uint64_t acc = 0;
+    for (int i = 0; i < kProbes; ++i) {
+        const uint64_t a = profilerTicks();
+        const uint64_t b = profilerTicks();
+        acc += b > a ? b - a : 0;
+    }
+    c.overheadTicks = acc / kProbes;
+    return c;
+}
+
+const Calibration &
+cachedCalibration()
+{
+    static const Calibration c = calibrate();
+    return c;
+}
+
+} // namespace
+
+const char *
+profilePhaseName(ProfilePhase p)
+{
+    switch (p) {
+    case ProfilePhase::Claim:
+        return "claim";
+    case ProfilePhase::Bump:
+        return "bump";
+    case ProfilePhase::Publish:
+        return "publish";
+    case ProfilePhase::Retry:
+        return "retry";
+    case ProfilePhase::LeaseRenew:
+        return "lease_renew";
+    case ProfilePhase::ControlPoll:
+        return "control_poll";
+    case ProfilePhase::Count_:
+        break;
+    }
+    return "unknown";
+}
+
+CostProfiler::CostProfiler(unsigned shards)
+    : hist{ConcurrentHistogram(shards), ConcurrentHistogram(shards),
+           ConcurrentHistogram(shards), ConcurrentHistogram(shards),
+           ConcurrentHistogram(shards), ConcurrentHistogram(shards)}
+{
+    static_assert(kProfilePhases == 6,
+                  "update the hist initializer with the phase list");
+    const Calibration &c = cachedCalibration();
+    nsPerTickVal = c.nsPerTick;
+    overheadTicksVal = c.overheadTicks;
+}
+
+ProfileSnapshot
+CostProfiler::snapshot() const
+{
+    ProfileSnapshot s;
+    s.nsPerTick = nsPerTickVal;
+    s.probeOverheadNs = probeOverheadNs();
+    for (std::size_t i = 0; i < kProfilePhases; ++i) {
+        const HistogramSnapshot h = hist[i].snapshot();
+        PhaseStats &ps = s.phases[i];
+        ps.count = h.total;
+        ps.totalNs = h.sum;
+        ps.meanNs = h.total > 0 ? double(h.sum) / double(h.total) : 0.0;
+        ps.p50Ns = h.quantile(0.50);
+        ps.p99Ns = h.quantile(0.99);
+        ps.maxNs = h.maxValue();
+    }
+    return s;
+}
+
+void
+CostProfiler::clear()
+{
+    for (ConcurrentHistogram &h : hist)
+        h.clear();
+}
+
+uint64_t
+ProfileSnapshot::samples() const
+{
+    uint64_t n = 0;
+    for (const PhaseStats &p : phases)
+        n += p.count;
+    return n;
+}
+
+uint64_t
+ProfileSnapshot::attributedNs() const
+{
+    uint64_t n = 0;
+    for (const PhaseStats &p : phases)
+        n += p.totalNs;
+    return n;
+}
+
+std::string
+ProfileSnapshot::table() const
+{
+    const uint64_t total = attributedNs();
+    char line[160];
+    std::string out;
+    std::snprintf(line, sizeof(line),
+                  "%-12s %12s %10s %8s %8s %10s %10s %7s\n", "phase",
+                  "count", "mean ns", "p50", "p99", "max ns",
+                  "total us", "share");
+    out += line;
+    for (std::size_t i = 0; i < kProfilePhases; ++i) {
+        const PhaseStats &p = phases[i];
+        if (p.count == 0)
+            continue;
+        std::snprintf(
+            line, sizeof(line),
+            "%-12s %12" PRIu64 " %10.1f %8" PRIu64 " %8" PRIu64
+            " %10" PRIu64 " %10.1f %6.1f%%\n",
+            profilePhaseName(static_cast<ProfilePhase>(i)), p.count,
+            p.meanNs, p.p50Ns, p.p99Ns, p.maxNs,
+            double(p.totalNs) / 1e3,
+            total > 0 ? 100.0 * double(p.totalNs) / double(total) : 0.0);
+        out += line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "attributed %.3f ms over %" PRIu64
+                  " probes (%.3f ns/tick, ~%.0f ns probe overhead "
+                  "subtracted per sample)\n",
+                  double(total) / 1e6, samples(), nsPerTick,
+                  probeOverheadNs);
+    out += line;
+    return out;
+}
+
+#ifdef BTRACE_HAVE_PERF_EVENT
+
+namespace {
+
+long
+perfEventOpen(perf_event_attr *attr, pid_t pid, int cpu, int group_fd)
+{
+    return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, 0ul);
+}
+
+int
+openCounter(uint64_t config, int group_fd, std::string &err)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof(attr);
+    attr.config = config;
+    attr.disabled = group_fd < 0 ? 1 : 0;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP;
+    const long fd = perfEventOpen(&attr, 0, -1, group_fd);
+    if (fd < 0) {
+        const int e = errno;
+        const char *why =
+            e == ENOSYS ? "syscall unavailable (ENOSYS)"
+            : e == EACCES || e == EPERM
+                ? "not permitted (perf_event_paranoid or seccomp)"
+            : e == ENOENT || e == ENODEV
+                ? "hardware event unsupported here"
+                : std::strerror(e);
+        err = std::string("perf_event_open: ") + why;
+        return -1;
+    }
+    return int(fd);
+}
+
+} // namespace
+
+ThreadPerfCounters::~ThreadPerfCounters()
+{
+    closeAll();
+}
+
+void
+ThreadPerfCounters::closeAll()
+{
+    for (int &fd : fds) {
+        if (fd >= 0)
+            ::close(fd);
+        fd = -1;
+    }
+}
+
+bool
+ThreadPerfCounters::open()
+{
+    closeAll();
+    fds[0] = openCounter(PERF_COUNT_HW_CPU_CYCLES, -1, err);
+    if (fds[0] < 0)
+        return false;
+    fds[1] = openCounter(PERF_COUNT_HW_CACHE_MISSES, fds[0], err);
+    fds[2] = fds[1] < 0 ? -1
+                        : openCounter(PERF_COUNT_HW_BRANCH_MISSES,
+                                      fds[0], err);
+    if (fds[1] < 0 || fds[2] < 0) {
+        // All-or-nothing: a partial group would silently report
+        // zeros for the missing members.
+        closeAll();
+        return false;
+    }
+    ioctl(fds[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(fds[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    err.clear();
+    return true;
+}
+
+void
+ThreadPerfCounters::reset()
+{
+    if (ok())
+        ioctl(fds[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+}
+
+PerfSample
+ThreadPerfCounters::read() const
+{
+    PerfSample s;
+    if (!ok())
+        return s;
+    struct
+    {
+        uint64_t nr;
+        uint64_t values[3];
+    } data{};
+    if (::read(fds[0], &data, sizeof(data)) < 0 || data.nr < 3)
+        return s;
+    s.cycles = data.values[0];
+    s.cacheMisses = data.values[1];
+    s.branchMisses = data.values[2];
+    return s;
+}
+
+#else // !BTRACE_HAVE_PERF_EVENT
+
+ThreadPerfCounters::~ThreadPerfCounters() = default;
+
+void
+ThreadPerfCounters::closeAll()
+{
+}
+
+bool
+ThreadPerfCounters::open()
+{
+    err = "perf_event_open: not supported on this platform";
+    return false;
+}
+
+void
+ThreadPerfCounters::reset()
+{
+}
+
+PerfSample
+ThreadPerfCounters::read() const
+{
+    return {};
+}
+
+#endif // BTRACE_HAVE_PERF_EVENT
+
+} // namespace btrace

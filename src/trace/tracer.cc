@@ -117,6 +117,10 @@ ScopedWrite::ScopedWrite(Tracer &t, uint16_t core, uint32_t thread,
             policy == NonBlocking)
             return;
         accrued = ticket.cost + t.model().retryBackoff;
+        // Retry-phase probe: the backoff yield between failed
+        // acquires. The allocate() above carries its own claim/retry
+        // probes, so only the wait itself is attributed here.
+        PhaseProbe probe(t.activeProfiler(), ProfilePhase::Retry);
         std::this_thread::yield();
     }
 }

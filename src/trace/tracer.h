@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/panic.h"
+#include "obs/profiler.h"
 #include "trace/cost.h"
 #include "trace/event.h"
 #include "trace/observer.h"
@@ -403,6 +404,28 @@ class Tracer
     bool shouldRecord(uint16_t category, uint32_t thread,
                       uint64_t stamp) const;
 
+    /**
+     * Attach (or detach, with nullptr) the cost-attribution profiler
+     * (obs/profiler.h, DESIGN.md §14). Armed like the journal: every
+     * fast-path probe site pays one relaxed load and a branch when
+     * detached, and an attached profiler only ever writes its own
+     * per-thread histogram shards — zero shared RMWs either way
+     * (asserted by ProfilerContract). The profiler must outlive its
+     * attachment.
+     */
+    void
+    attachProfiler(CostProfiler *p)
+    {
+        profiler.store(p, std::memory_order_release);
+    }
+
+    /** Armed profiler, or nullptr; the single probe-arming load. */
+    CostProfiler *
+    activeProfiler() const
+    {
+        return profiler.load(std::memory_order_relaxed);
+    }
+
   protected:
     friend class Lease;
 
@@ -473,6 +496,8 @@ class Tracer
     std::atomic<TracerObserver *> observer{nullptr};
     /** Effective control snapshot; nullptr = all-defaults (no gate). */
     std::atomic<const ControlSnapshot *> control{nullptr};
+    /** Armed cost profiler; nullptr = probes disarmed (the default). */
+    std::atomic<CostProfiler *> profiler{nullptr};
 };
 
 inline const CostModel &
@@ -508,6 +533,10 @@ Lease::allocate(uint32_t payload_len)
         }
         return ticket;
     }
+    // Bump-phase probe (DESIGN.md §14): covers the span check and the
+    // pointer arithmetic below. Disarmed this is one relaxed load and
+    // a branch; armed it is two TSC reads into a thread-local shard.
+    PhaseProbe probe(owner->activeProfiler(), ProfilePhase::Bump);
     const auto need = static_cast<uint32_t>(
         EntryLayout::normalSize(payload_len));
     if (used + need > len) {

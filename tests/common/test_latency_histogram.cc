@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -149,6 +150,81 @@ TEST(LatencyHistogram, ExplicitShardsAndClear)
     h.clear();
     EXPECT_EQ(h.count(), 0u);
     EXPECT_EQ(h.snapshot().maxValue(), 0u);
+}
+
+TEST(LatencyHistogram, ConcurrentAddWhileSnapshot)
+{
+    // 4 writers hammer the shards while the reader repeatedly merges.
+    // Every snapshot must be internally sane (sum consistent with
+    // counts being mid-flight is fine; totals can only grow), and the
+    // final merge must account for every add exactly.
+    ConcurrentHistogram h(4);
+    constexpr int kWriters = 4;
+    constexpr uint64_t kPerWriter = 60000;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&h, &go, w]() {
+            while (!go.load(std::memory_order_acquire))
+                std::this_thread::yield();
+            Prng rng(uint64_t(w) + 17);
+            for (uint64_t i = 0; i < kPerWriter; ++i)
+                h.addToShard(unsigned(w), 1 + (rng.next() >> 44));
+        });
+    }
+    go.store(true, std::memory_order_release);
+
+    uint64_t prevTotal = 0;
+    uint64_t prevSum = 0;
+    for (int pass = 0; pass < 400; ++pass) {
+        const HistogramSnapshot s = h.snapshot();
+        // Relaxed per-bucket reads: totals are monotone across
+        // successive merges even while writers are live.
+        EXPECT_GE(s.total, prevTotal);
+        EXPECT_GE(s.sum, prevSum);
+        uint64_t bucketTotal = 0;
+        for (const uint64_t c : s.counts)
+            bucketTotal += c;
+        EXPECT_EQ(bucketTotal, s.total);
+        prevTotal = s.total;
+        prevSum = s.sum;
+    }
+    for (std::thread &t : writers)
+        t.join();
+
+    const HistogramSnapshot fin = h.snapshot();
+    EXPECT_EQ(fin.total, uint64_t(kWriters) * kPerWriter);
+    uint64_t expectSum = 0;
+    for (int w = 0; w < kWriters; ++w) {
+        Prng rng(uint64_t(w) + 17);
+        for (uint64_t i = 0; i < kPerWriter; ++i)
+            expectSum += 1 + (rng.next() >> 44);
+    }
+    EXPECT_EQ(fin.sum, expectSum);
+}
+
+TEST(LatencyHistogram, PercentileAccuracyBound)
+{
+    // Known distribution: exact uniform 1..N, one of each. Every
+    // reported percentile must sit within one sub-bucket (1/16) below
+    // the true order statistic — the histogram's documented bound.
+    constexpr uint64_t kN = 100000;
+    ConcurrentHistogram h(1);
+    for (uint64_t v = 1; v <= kN; ++v)
+        h.add(v);
+    const HistogramSnapshot s = h.snapshot();
+    ASSERT_EQ(s.total, kN);
+    for (const double q :
+         {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999}) {
+        const uint64_t exact = 1 + uint64_t(q * double(kN - 1));
+        const uint64_t approx = s.quantile(q);
+        EXPECT_LE(approx, exact) << "q=" << q;
+        EXPECT_GE(double(approx),
+                  double(exact) * (1.0 - 1.0 / 16.0) - 1.0)
+            << "q=" << q << " exact=" << exact;
+    }
+    EXPECT_LE(s.maxValue(), kN);
+    EXPECT_GE(double(s.maxValue()), double(kN) * (1.0 - 1.0 / 16.0));
 }
 
 TEST(LatencyHistogram, SnapshotMerge)

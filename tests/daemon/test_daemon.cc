@@ -398,6 +398,56 @@ TEST_F(DaemonTest, DrainLagSampledForWallClockStamps)
     EXPECT_LT(daemon.lastDrainLagNs(), 60'000'000'000ull);
 }
 
+TEST_F(DaemonTest, FutureStampedRecordsClampedOutOfLagHistogram)
+{
+    auto s = Session::create(smallConfig());
+    ASSERT_TRUE(s.ok());
+    DaemonOptions opts;
+    opts.outDir = dir;
+    opts.closeActive = true;
+    auto d = ConsumerDaemon::make(s.take(), opts);
+    ASSERT_TRUE(d.ok());
+    ConsumerDaemon &daemon = *d.value();
+
+    // 4 records stamped 10 s in the future (a wall-clock step-back
+    // between record and drain looks exactly like this) and 6 sane
+    // ones from 1 ms in the past.
+    const uint64_t future = wallClockNs() + 10'000'000'000ull;
+    for (uint64_t k = 0; k < 4; ++k)
+        ASSERT_TRUE(
+            daemon.session()->record(0, 1, future + k * 1000, 16));
+    const uint64_t base = wallClockNs() - 1'000'000ull;
+    for (uint64_t k = 0; k < 6; ++k)
+        ASSERT_TRUE(
+            daemon.session()->record(0, 1, base + k * 1000, 16));
+    ASSERT_TRUE(daemon.drainOnce().ok());
+    daemon.stop();
+
+    // The clamped records never reach the histogram or the sampled
+    // tally; they surface in their own counter instead.
+    const DaemonStats ds = daemon.stats();
+    EXPECT_EQ(ds.drainLagClamped, 4u);
+    EXPECT_EQ(ds.lagSampledRecords, 6u);
+    EXPECT_EQ(ds.lagUnstampedRecords, 0u);
+    EXPECT_EQ(daemon.drainLagHistogram().count(), 6u);
+    const HistogramSnapshot snap = daemon.drainLagHistogram().snapshot();
+    EXPECT_GE(snap.quantile(0.5), 900'000u);
+    // The newest stamp is in the future, so the freshness gauge
+    // clamps to zero rather than going negative.
+    EXPECT_EQ(daemon.lastDrainLagNs(), 0u);
+
+    MetricsRegistry registry;
+    daemon.registerMetrics(registry);
+    const auto collected = registry.collect();
+    bool found = false;
+    for (const MetricValue &m : collected.metrics)
+        if (m.name == "btraced_drain_lag_clamped_total") {
+            found = true;
+            EXPECT_DOUBLE_EQ(m.value, 4.0);
+        }
+    EXPECT_TRUE(found);
+}
+
 TEST_F(DaemonTest, PerProducerCountersExported)
 {
     auto s = Session::create(smallConfig());

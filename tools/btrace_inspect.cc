@@ -5,6 +5,7 @@
  *   btrace_inspect <trace.bin> [--json FILE] [--csv FILE]
  *                  [--head N] [--gaps]
  *   btrace_inspect --metrics <obs.jsonl>
+ *   btrace_inspect --profile <obs.jsonl>
  *   btrace_inspect --journal <flight.json>
  *   btrace_inspect --arena <ring.arena>
  *   btrace_inspect --control <ring.arena>
@@ -35,6 +36,11 @@
  * tails, declared-vs-scanned agreement — with directory totals at the
  * end. Deep analytics (rates, per-producer attribution, retention
  * quality) live in btrace_stats; this mode is the validator.
+ * With --profile, the input is again an obs JSON-lines file but the
+ * tool renders only the `btrace_profile_*` family (replay --profile /
+ * registerProfilerMetrics, DESIGN.md §14): the per-phase cost
+ * attribution table of the last sample — offline, from the stream
+ * alone, no live process needed.
  */
 
 #include <algorithm>
@@ -54,6 +60,7 @@
 #include "core/persister.h"
 #include "obs/export.h"
 #include "obs/flight_recorder.h"
+#include "obs/profiler.h"
 #include "trace/event.h"
 #include "trace/segment_stats.h"
 
@@ -68,6 +75,7 @@ usage()
                  "usage: btrace_inspect <trace.bin> [--json FILE] "
                  "[--csv FILE] [--head N] [--gaps]\n"
                  "       btrace_inspect --metrics <obs.jsonl>\n"
+                 "       btrace_inspect --profile <obs.jsonl>\n"
                  "       btrace_inspect --journal <flight.json>\n"
                  "       btrace_inspect --arena <ring.arena>\n"
                  "       btrace_inspect --control <ring.arena>\n"
@@ -248,6 +256,113 @@ inspectMetrics(const std::string &path)
             std::printf("  [seq %llu] %s\n",
                         static_cast<unsigned long long>(p.seq),
                         k.c_str());
+    return 0;
+}
+
+/**
+ * Render the `btrace_profile_*` family of the last obs sample as a
+ * phase-attribution table (offline twin of replay --profile).
+ */
+int
+inspectProfile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        return 1;
+    }
+    ParsedObsLine last;
+    bool have = false;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        ParsedObsLine p = parseObsLine(line);
+        if (!p.ok) {
+            std::fprintf(stderr, "%s:%zu: bad obs line: %s\n",
+                         path.c_str(), lineno, p.error.c_str());
+            return 1;
+        }
+        last = std::move(p);
+        have = true;
+    }
+    if (!have) {
+        std::fprintf(stderr, "%s: no samples\n", path.c_str());
+        return 1;
+    }
+
+    const auto hist = [&](const std::string &name,
+                          const char *field) -> double {
+        const auto h = last.histograms.find(name);
+        if (h == last.histograms.end())
+            return 0.0;
+        const auto f = h->second.find(field);
+        return f == h->second.end() ? 0.0 : f->second;
+    };
+
+    bool family = false;
+    for (std::size_t i = 0; i < kProfilePhases; ++i)
+        family =
+            family ||
+            last.histograms.count(
+                std::string("btrace_profile_") +
+                profilePhaseName(static_cast<ProfilePhase>(i)) +
+                "_ns") != 0;
+    if (!family) {
+        std::fprintf(stderr,
+                     "%s: no btrace_profile_* metrics — was the run "
+                     "profiled (replay --profile)?\n",
+                     path.c_str());
+        return 1;
+    }
+
+    std::printf("profile of last sample (seq %llu, t=%.2fs)",
+                static_cast<unsigned long long>(last.seq), last.tSec);
+    for (const auto &kv : last.labels)
+        std::printf("  %s=%s", kv.first.c_str(), kv.second.c_str());
+    std::printf("\n\n");
+
+    double attributed = 0.0, samples = 0.0;
+    for (std::size_t i = 0; i < kProfilePhases; ++i) {
+        const std::string name =
+            std::string("btrace_profile_") +
+            profilePhaseName(static_cast<ProfilePhase>(i)) + "_ns";
+        attributed += hist(name, "sum");
+        samples += hist(name, "count");
+    }
+
+    std::printf("%-12s %12s %10s %8s %8s %10s %10s %7s\n", "phase",
+                "count", "mean ns", "p50", "p99", "max ns", "total us",
+                "share");
+    for (std::size_t i = 0; i < kProfilePhases; ++i) {
+        const auto p = static_cast<ProfilePhase>(i);
+        const std::string name =
+            std::string("btrace_profile_") + profilePhaseName(p) +
+            "_ns";
+        const double count = hist(name, "count");
+        const double sum = hist(name, "sum");
+        std::printf("%-12s %12.0f %10.1f %8.0f %8.0f %10.0f %10.1f "
+                    "%6.1f%%\n",
+                    profilePhaseName(p), count,
+                    count > 0 ? sum / count : 0.0, hist(name, "p50"),
+                    hist(name, "p99"), hist(name, "max"), sum / 1e3,
+                    attributed > 0 ? 100.0 * sum / attributed : 0.0);
+    }
+
+    const auto gauge = [&](const char *name) {
+        const auto it = last.gauges.find(name);
+        return it == last.gauges.end() ? 0.0 : it->second;
+    };
+    std::printf("\nattributed %.3f ms over %.0f probes", attributed / 1e6,
+                samples);
+    if (gauge("btrace_profile_ns_per_tick") > 0)
+        std::printf(" (%.3f ns/tick, ~%.0f ns probe overhead "
+                    "subtracted per sample)",
+                    gauge("btrace_profile_ns_per_tick"),
+                    gauge("btrace_profile_probe_overhead_ns"));
+    std::printf("\n");
     return 0;
 }
 
@@ -581,6 +696,8 @@ main(int argc, char **argv)
         return usage();
     if (std::strcmp(argv[1], "--metrics") == 0)
         return argc == 3 ? inspectMetrics(argv[2]) : usage();
+    if (std::strcmp(argv[1], "--profile") == 0)
+        return argc == 3 ? inspectProfile(argv[2]) : usage();
     if (std::strcmp(argv[1], "--journal") == 0)
         return argc == 3 ? inspectJournal(argv[2]) : usage();
     if (std::strcmp(argv[1], "--arena") == 0)

@@ -7,7 +7,7 @@
  *          [--lease=N] [--obs-interval=SEC] [--obs-json=PATH]
  *          [--obs-prom=PATH] [--journal-out=PATH] [--flight-out=PATH]
  *          [--backend=private|shm|file] [--arena=PATH]
- *          [--list-workloads]
+ *          [--profile] [--list-workloads]
  *
  * The virtual-time replay engine (§5) drives the chosen tracer with
  * the chosen workload while a StatsSampler watches the same instance
@@ -69,6 +69,7 @@ struct Flags
     std::string backend;       //!< empty = build default
     std::string arena;         //!< file backend: persistent ring path
     std::string controlFile;   //!< initial control config (§12)
+    bool profile = false;      //!< arm the phase-cost profiler (§14)
 };
 
 int
@@ -82,7 +83,8 @@ usage()
         "              [--obs-json=PATH] [--obs-prom=PATH]\n"
         "              [--journal-out=PATH] [--flight-out=PATH]\n"
         "              [--backend=private|shm|file] [--arena=PATH]\n"
-        "              [--control-file=PATH] [--list-workloads]\n");
+        "              [--control-file=PATH] [--profile]\n"
+        "              [--list-workloads]\n");
     return exitCodeFor(StatusCode::InvalidArgument);
 }
 
@@ -140,6 +142,8 @@ main(int argc, char **argv)
             f.arena = v13;
         } else if (const char *v14 = val("--control-file")) {
             f.controlFile = v14;
+        } else if (std::strcmp(a, "--profile") == 0) {
+            f.profile = true;
         } else if (std::strcmp(a, "--list-workloads") == 0) {
             for (const Workload &w : workloadCatalog())
                 std::printf("%s\n", w.name.c_str());
@@ -192,6 +196,22 @@ main(int argc, char **argv)
     // write latency. The counter/gauge registry is BTrace-specific.
     TracerObserver observer;
     tracer->attachObserver(&observer);
+
+    // Phase-cost profiler (DESIGN.md §14): armed exactly like the
+    // journal — one pointer store; disarmed sites pay a relaxed load.
+    // Hardware counters ride along when perf_event_open is permitted;
+    // otherwise the run degrades to TSC-only with a warning.
+    std::unique_ptr<CostProfiler> profiler;
+    ThreadPerfCounters perfCtrs;
+    if (f.profile) {
+        profiler = std::make_unique<CostProfiler>();
+        tracer->attachProfiler(profiler.get());
+        if (!perfCtrs.open())
+            std::fprintf(stderr,
+                         "replay: hardware counters off — %s; "
+                         "TSC-only profile\n",
+                         perfCtrs.error().c_str());
+    }
 
     std::unique_ptr<BTraceObs> btObs;
     std::unique_ptr<EventJournal> journal;
@@ -248,6 +268,10 @@ main(int argc, char **argv)
                                  "Sampled record() write latency (ns)",
                                  &observer.recordNs);
     }
+
+    if (profiler)
+        registerProfilerMetrics(btObs ? btObs->registry() : baselineReg,
+                                *profiler);
 
     SamplerOptions so;
     so.intervalSec = f.obsInterval > 0 ? f.obsInterval : 1.0;
@@ -337,6 +361,20 @@ main(int argc, char **argv)
     }
     if (journal)
         btp->attachJournal(nullptr);
+    if (profiler) {
+        tracer->attachProfiler(nullptr);
+        std::printf("%s", profiler->snapshot().table().c_str());
+        if (perfCtrs.ok()) {
+            const PerfSample ps = perfCtrs.read();
+            std::printf("perf: %llu cycles, %llu cache misses, "
+                        "%llu branch misses\n",
+                        static_cast<unsigned long long>(ps.cycles),
+                        static_cast<unsigned long long>(
+                            ps.cacheMisses),
+                        static_cast<unsigned long long>(
+                            ps.branchMisses));
+        }
+    }
 
     // A run that produced nothing or sampled nothing is broken.
     if (res.produced.empty()) {
